@@ -1,0 +1,60 @@
+// Shared plumbing for the table/figure harnesses: scenario selection (the
+// paper scale by default, overridable for quick runs via REPRO_SCALE) and a
+// stopwatch for stage reporting.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/analyses.h"
+#include "core/pipeline.h"
+
+namespace repro::bench {
+
+/// Scenario from the REPRO_SCALE environment variable:
+/// "paper" (default), "small", or "tiny".
+inline Scenario scenario_from_env() {
+  const char* scale = std::getenv("REPRO_SCALE");
+  const std::string value = scale == nullptr ? "paper" : scale;
+  if (value == "tiny") return Scenario::tiny();
+  if (value == "small") return Scenario::small();
+  if (value != "paper") {
+    std::fprintf(stderr, "unknown REPRO_SCALE '%s', using paper\n",
+                 value.c_str());
+  }
+  return Scenario::paper();
+}
+
+inline const char* scale_name() {
+  const char* scale = std::getenv("REPRO_SCALE");
+  return scale == nullptr ? "paper" : scale;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s   [scale: %s]\n", title, scale_name());
+  std::printf("==============================================================\n\n");
+}
+
+inline void print_footer(const Stopwatch& watch) {
+  std::printf("\n[completed in %.1f s]\n", watch.seconds());
+}
+
+inline constexpr double kPaperXis[] = {0.1, 0.9};
+
+}  // namespace repro::bench

@@ -1,0 +1,85 @@
+// Network-wide view of Section 3.3 / 4.3: the blast radius of single
+// facilities (how many ISPs, hypergiants, users and Gbps one building
+// carries) and what an outage of the biggest one does to link loads across
+// the whole topology -- congested links and the fraction of ISPs whose
+// content paths cross them.
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "traffic/network_load.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace repro;
+  using namespace repro::bench;
+  const Stopwatch watch;
+  print_header("Facility blast radius and network-wide cascade");
+
+  Pipeline pipeline(scenario_from_env());
+  NetworkLoadConfig config;
+  // Sampling keeps the paper-scale run quick; the shape is unaffected.
+  config.isp_stride = 3;
+  const NetworkLoadModel model(pipeline.internet(),
+                               pipeline.registry(Snapshot::k2023),
+                               pipeline.demand(), pipeline.capacity(),
+                               pipeline.routing(), config);
+
+  const auto radii = model.blast_radii();
+  std::printf("Facilities hosting offnets: %zu\n\n", radii.size());
+  TextTable table({"facility", "ISPs", "HGs", "users (M)", "displaced Gbps"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(radii.size(), 15); ++i) {
+    const FacilityBlastRadius& radius = radii[i];
+    table.add_row({pipeline.internet().facilities[radius.facility].name,
+                   std::to_string(radius.isps),
+                   std::to_string(radius.hypergiants),
+                   format_fixed(radius.users / 1e6, 1),
+                   format_fixed(radius.displaced_gbps, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Multi-ISP facilities: the colocation risk in one number.
+  std::size_t multi_isp = 0;
+  std::size_t multi_hg = 0;
+  for (const FacilityBlastRadius& radius : radii) {
+    if (radius.isps >= 2) ++multi_isp;
+    if (radius.hypergiants >= 2) ++multi_hg;
+  }
+  std::printf("facilities hosting offnets of >=2 ISPs: %s, of >=2 hypergiants: %s\n\n",
+              format_percent(static_cast<double>(multi_isp) / radii.size()).c_str(),
+              format_percent(static_cast<double>(multi_hg) / radii.size()).c_str());
+
+  // Network-wide cascade: fail each of the top facilities at *its* local
+  // evening peak (that is when the displaced traffic is largest) and count
+  // the newly congested links and newly affected ISPs vs the same-hour
+  // baseline.
+  TextTable cascade({"failed facility", "local-peak UTC", "displaced Gbps",
+                     "congested links (base -> outage)",
+                     "ISPs on congested paths (base -> outage)"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(radii.size(), 8); ++i) {
+    const Facility& facility =
+        pipeline.internet().facilities[radii[i].facility];
+    const double longitude =
+        pipeline.internet().metros[facility.metro].location.longitude_deg;
+    double hour = std::fmod(21.0 - longitude / 15.0, 24.0);
+    if (hour < 0.0) hour += 24.0;
+    const NetworkLoadResult before = model.evaluate(hour);
+    const NetworkLoadResult after = model.evaluate(hour, {radii[i].facility});
+    cascade.add_row(
+        {facility.name, format_fixed(hour, 0),
+         format_fixed(radii[i].displaced_gbps, 0),
+         std::to_string(before.congested_links.size()) + " -> " +
+             std::to_string(after.congested_links.size()),
+         format_percent(before.congested_fraction()) + " -> " +
+             format_percent(after.congested_fraction())});
+  }
+  std::printf("%s\n", cascade.render().c_str());
+
+  std::printf(
+      "Paper claim to hold: one building concentrates many ISPs' and several\n"
+      "hypergiants' serving capacity; its loss pushes traffic onto shared\n"
+      "interdomain links and congests paths well beyond the facility itself.\n");
+  print_footer(watch);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Regenerates Figure 1: per-country fraction of Internet users in ISPs
+// hosting offnets from >=2, >=3 and all 4 of Akamai/Google/Netflix/Meta
+// (the paper's world maps, here as a table plus a CSV for plotting), and the
+// Section 3.1 ISP counts (3382 >= 2, 1880 >= 3, 505 all four).
+#include "bench_common.h"
+
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace repro;
+  using namespace repro::bench;
+  const Stopwatch watch;
+  print_header("Figure 1 -- users in ISPs hosting multiple hypergiants");
+
+  Pipeline pipeline(scenario_from_env());
+  const Figure1Study study = figure1_study(pipeline);
+  std::printf("%s\n", render(study, 40).c_str());
+
+  // Full per-country series as CSV (the map's data).
+  TextTable csv({"country", "users_m", "frac_ge2", "frac_ge3", "frac_eq4"});
+  for (const CountryHostingRow& row : study.countries) {
+    csv.add_row({row.code, format_fixed(row.users_m, 3),
+                 format_fixed(row.frac_ge2, 4), format_fixed(row.frac_ge3, 4),
+                 format_fixed(row.frac_eq4, 4)});
+  }
+  write_file("bench_output/figure1_countries.csv", csv.render_csv());
+  std::printf("full series written to bench_output/figure1_countries.csv\n\n");
+
+  std::printf(
+      "Paper reference: of 5516 hosting ISPs, 3382 host >=2 hypergiants,\n"
+      "1880 host >=3 and 505 host all four; in many countries the majority\n"
+      "of users sit in ISPs hosting offnets of >=2 hypergiants.\n");
+  print_footer(watch);
+  return 0;
+}

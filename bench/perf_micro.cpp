@@ -1,0 +1,163 @@
+// google-benchmark microbenchmarks for the computational kernels: the
+// trimmed-Manhattan distance, pairwise distance matrices, OPTICS ordering
+// and xi extraction, valley-free route computation, traceroute synthesis,
+// scan classification, and the deterministic RNG.
+#include <benchmark/benchmark.h>
+
+#include "cluster/optics.h"
+#include "hypergiant/background.h"
+#include "mlab/ping_mesh.h"
+#include "route/peering_inference.h"
+#include "scan/classifier.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace repro {
+namespace {
+
+// Shared tiny world (built once; benchmarks must not mutate it).
+const Internet& world() {
+  static const Internet net =
+      InternetGenerator(GeneratorConfig::tiny()).generate();
+  return net;
+}
+
+const OffnetRegistry& registry() {
+  static const OffnetRegistry reg = [] {
+    DeploymentConfig config;
+    config.footprint_scale = GeneratorConfig::tiny().scale;
+    return DeploymentPolicy(world(), config).deploy(Snapshot::k2023);
+  }();
+  return reg;
+}
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngLognormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.lognormal(0.0, 0.5));
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_TrimmedManhattan(benchmark::State& state) {
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> a(cols);
+  std::vector<double> b(cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    a[i] = rng.uniform(10.0, 200.0);
+    b[i] = rng.uniform(10.0, 200.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trimmed_manhattan(a, b, 0.2));
+  }
+}
+BENCHMARK(BM_TrimmedManhattan)->Arg(40)->Arg(163);
+
+void BM_PairwiseDistances(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = 163;
+  Rng rng(3);
+  std::vector<double> table(rows * cols);
+  for (auto& value : table) value = rng.uniform(10.0, 200.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairwise_distances(table, rows, cols, 0.2));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PairwiseDistances)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+DistanceMatrix random_blobs(std::size_t n, std::size_t blobs) {
+  Rng rng(4);
+  std::vector<double> positions(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    positions[i] = static_cast<double>(i % blobs) * 1000.0 +
+                   static_cast<double>(i) + rng.uniform(-0.02, 0.02);
+  }
+  DistanceMatrix matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      matrix.set(i, j, std::abs(positions[i] - positions[j]));
+    }
+  }
+  return matrix;
+}
+
+void BM_OpticsOrder(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DistanceMatrix matrix = random_blobs(n, 4);
+  for (auto _ : state) {
+    OpticsResult result;
+    optics_order(matrix, 2, result);
+    benchmark::DoNotOptimize(result.ordering.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OpticsOrder)->Arg(32)->Arg(128)->Arg(512)->Complexity();
+
+void BM_OpticsXiExtraction(benchmark::State& state) {
+  const DistanceMatrix matrix = random_blobs(256, 4);
+  OpticsResult base;
+  optics_order(matrix, 2, base);
+  for (auto _ : state) {
+    reextract_xi(base, 2, 0.1);
+    benchmark::DoNotOptimize(base.cluster_count);
+  }
+}
+BENCHMARK(BM_OpticsXiExtraction);
+
+void BM_RoutesToDestination(benchmark::State& state) {
+  const RoutingEngine engine(world());
+  const AsIndex google = world().as_by_asn(kGoogleAsn);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.routes_to(google));
+  }
+}
+BENCHMARK(BM_RoutesToDestination);
+
+void BM_Traceroute(benchmark::State& state) {
+  const RoutingEngine engine(world());
+  const TracerouteEngine tracer(world(), TracerouteConfig{});
+  const AsIndex google = world().as_by_asn(kGoogleAsn);
+  const AsIndex target = world().access_isps().front();
+  const RoutingTable table = engine.routes_to(target);
+  const Ipv4 dst = world().ases[target].user_prefixes.front().at(1);
+  std::uint64_t flow = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.trace(google, dst, table, ++flow));
+  }
+}
+BENCHMARK(BM_Traceroute);
+
+void BM_ScanAndClassify(benchmark::State& state) {
+  PopulationConfig population;
+  population.background_per_isp = 1;
+  const CertStore store =
+      build_tls_population(world(), registry(), Snapshot::k2023, population);
+  const Scanner scanner(ScannerConfig{});
+  const OffnetClassifier classifier(world(), Methodology::k2023);
+  for (auto _ : state) {
+    const auto records = scanner.scan(store);
+    benchmark::DoNotOptimize(classifier.classify(records));
+  }
+}
+BENCHMARK(BM_ScanAndClassify);
+
+void BM_PingIspMeasurement(benchmark::State& state) {
+  const VantagePointSet vps(world(), 40, 163163);
+  const PingMesh mesh(world(), vps, PingConfig{});
+  const AsIndex isp = registry().hosting_isps().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh.measure_isp(registry(), isp));
+  }
+}
+BENCHMARK(BM_PingIspMeasurement);
+
+}  // namespace
+}  // namespace repro
+
+BENCHMARK_MAIN();

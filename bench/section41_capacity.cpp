@@ -1,0 +1,25 @@
+// Regenerates the Section 4.1 evidence that offnets run near capacity:
+//   * single-site fractions per hypergiant (from the clustering),
+//   * the COVID lockdown surge arithmetic (+58% demand -> offnets +20%,
+//     interdomain more than doubles),
+//   * the 530-apartment diurnal study (peak hours shift traffic to distant
+//     servers).
+#include "bench_common.h"
+
+int main() {
+  using namespace repro;
+  using namespace repro::bench;
+  const Stopwatch watch;
+  print_header("Section 4.1 -- offnets run near capacity");
+
+  Pipeline pipeline(scenario_from_env());
+  std::printf("%s\n", render(section41_study(pipeline, kPaperXis)).c_str());
+
+  std::printf(
+      "Paper reference: 75.3-91.2%% of ISPs have a single Netflix site,\n"
+      "37.8-64.3%% single Meta, 34.3-78.4%% single Google, 34.6-75.1%%\n"
+      "single Akamai; lockdown: offnets +20%% vs demand +58%%, interdomain\n"
+      "more than doubled; at peak, distant servers carry a larger share.\n");
+  print_footer(watch);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Section 4.2.2: dedicated interconnect (PNI) capacity vs the
+// interdomain demand left after offnet serving, at each ISP's local evening
+// peak -- the paper's evidence that PNIs frequently lack sufficient
+// bandwidth (Google >= 13% average exceedance; 10% of Meta PNIs at 2x).
+#include "bench_common.h"
+
+int main() {
+  using namespace repro;
+  using namespace repro::bench;
+  const Stopwatch watch;
+  print_header("Section 4.2.2 -- PNI capacity vs peak interdomain demand");
+
+  Pipeline pipeline(scenario_from_env());
+  std::printf("%s\n", render(section422_study(pipeline)).c_str());
+  print_footer(watch);
+  return 0;
+}

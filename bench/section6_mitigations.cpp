@@ -1,0 +1,94 @@
+// The Section 6 discussion as a what-if: replay the busiest-facility failure
+// of Section 4.3 with the proposed shared-link isolation mechanism and show
+// the trade-off (collateral damage to unrelated traffic vs self-inflicted
+// degradation of the spilling hypergiants). Also plays a 48-hour "perfect
+// storm" timeline -- flash crowd + facility failure -- under both policies.
+#include "bench_common.h"
+
+#include "traffic/timeline.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace repro;
+  using namespace repro::bench;
+  const Stopwatch watch;
+  print_header("Section 6 -- mitigating spillover with isolation");
+
+  Pipeline pipeline(scenario_from_env());
+  std::printf("%s\n", render(section6_study(pipeline)).c_str());
+
+  // Perfect-storm timeline: among ISPs hosting all four hypergiants, pick
+  // the one where the busiest-facility failure hurts shared links the most
+  // (that is where a flash crowd on top compounds into a real storm).
+  const Internet& net = pipeline.internet();
+  const OffnetRegistry& registry = pipeline.registry(Snapshot::k2023);
+  AsIndex isp = kInvalidIndex;
+  double worst_collateral = -1.0;
+  for (const AsIndex candidate : registry.hosting_isps()) {
+    if (registry.hypergiants_at(candidate).size() < 4) continue;
+    const CascadeOutcome probe = cascade_study(
+        net, registry, pipeline.demand(), pipeline.capacity(), candidate);
+    const double collateral =
+        probe.failure.other_traffic_degraded_fraction();
+    if (collateral > worst_collateral) {
+      worst_collateral = collateral;
+      isp = candidate;
+    }
+  }
+  if (isp == kInvalidIndex) {
+    std::printf("no all-four ISP in this world; skipping the timeline\n");
+    return 0;
+  }
+  FacilityIndex busiest = kInvalidIndex;
+  std::size_t most = 0;
+  for (const auto& [facility, hgs] : registry.facility_map(isp)) {
+    if (hgs.size() > most) {
+      most = hgs.size();
+      busiest = facility;
+    }
+  }
+
+  const SpilloverSimulator simulator(net, registry, pipeline.demand(),
+                                     pipeline.capacity());
+  const TimelineSimulator timeline_sim(simulator);
+  // Events: flash crowd on Google hours 18-26, facility failure hours 20-30.
+  const double peak_utc = simulator.local_peak_utc_hour(isp);
+  const std::vector<TimelineEvent> events{
+      flash_crowd(Hypergiant::kGoogle, 18.0, 8.0, 1.5),
+      facility_failure(busiest, 20.0, 10.0),
+  };
+
+  std::printf("Perfect-storm timeline: %s (%.1fM users), facility %s (%zu "
+              "hypergiants)\n\n",
+              net.ases[isp].name.c_str(), net.ases[isp].users / 1e6,
+              net.facilities[busiest].name.c_str(), most);
+  TextTable table({"hour", "policy", "offnet Gbps", "interdomain Gbps",
+                   "IXP drop", "other degraded"});
+  for (const SharedLinkPolicy policy :
+       {SharedLinkPolicy::kBestEffort, SharedLinkPolicy::kIsolation}) {
+    const auto points = timeline_sim.run(isp, events, 36.0, 1.0,
+                                         peak_utc - 21.0, policy);
+    for (const TimelinePoint& point : points) {
+      if (static_cast<int>(point.hour) % 4 != 0 &&
+          !(point.hour >= 18 && point.hour <= 30)) {
+        continue;  // dense around the storm, sparse elsewhere
+      }
+      double offnet = 0.0;
+      double interdomain = 0.0;
+      for (const Hypergiant hg : all_hypergiants()) {
+        offnet += point.state.flow(hg).offnet;
+        interdomain += point.state.flow(hg).interdomain();
+      }
+      table.add_row({format_fixed(point.hour, 0),
+                     std::string(to_string(policy)), format_fixed(offnet, 0),
+                     format_fixed(interdomain, 0),
+                     format_percent(point.state.ixp_drop_fraction()),
+                     format_percent(
+                         point.state.other_traffic_degraded_fraction(), 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  print_footer(watch);
+  return 0;
+}

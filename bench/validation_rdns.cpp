@@ -1,0 +1,25 @@
+// Regenerates the Section 3.2 validation: check cluster location
+// consistency against rDNS hostnames geolocated HOIHO-style, for both
+// clustering settings, before and after the paper's manual corrections of
+// HOIHO misinterpretations.
+#include "bench_common.h"
+
+int main() {
+  using namespace repro;
+  using namespace repro::bench;
+  const Stopwatch watch;
+  print_header("Section 3.2 validation -- rDNS location consistency");
+
+  Pipeline pipeline(scenario_from_env());
+  for (const double xi : kPaperXis) {
+    std::printf("%s\n", render(validation_study(pipeline, xi)).c_str());
+  }
+
+  std::printf(
+      "Paper reference: xi=0.1 -- 60 clusters with >=2 located hostnames,\n"
+      "55 single-city + 3 single-metro + 2 multi-city; xi=0.9 -- 34 clusters,\n"
+      "30 + 2 + 2. Shape to hold: the overwhelming majority of clusters are\n"
+      "geographically consistent once HOIHO misreads are corrected.\n");
+  print_footer(watch);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Colocation deep-dive on a small world: Table 2 buckets at both xi
+// settings, the Figure 2 facility-share CCDF, the rDNS validation, and the
+// single-site statistics -- the full Section 3 pipeline end to end.
+#include <iostream>
+
+#include "core/analyses.h"
+#include "core/pipeline.h"
+
+int main() {
+  using namespace repro;
+  Pipeline pipeline(Scenario::small());
+
+  const double xis[] = {0.1, 0.9};
+  std::cout << render(table2_study(pipeline, xis)) << "\n";
+  std::cout << render(figure2_study(pipeline, xis)) << "\n";
+  std::cout << render(validation_study(pipeline, 0.1)) << "\n";
+  std::cout << render(section41_study(pipeline, xis)) << "\n";
+  return 0;
+}

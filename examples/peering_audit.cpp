@@ -1,0 +1,95 @@
+// Peering audit walkthrough (Section 4.2.1): issue traceroutes from inside
+// Google's network towards a handful of ISPs, print the hop-by-hop output the
+// way a measurement tool would show it, and run the inference that decides
+// "peer" / "possible peer" / "no evidence" -- then compare against the
+// planted ground truth.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "route/peering_inference.h"
+
+namespace {
+
+using namespace repro;
+
+void print_traceroute(const Internet& net, const IxpRegistry& registry,
+                      const Traceroute& trace) {
+  int ttl = 1;
+  for (const TracerouteHop& hop : trace.hops) {
+    if (!hop.ip) {
+      std::printf("    %2d  *\n", ttl++);
+      continue;
+    }
+    std::string attribution = "unmapped";
+    if (const auto mapping = registry.port_lookup(*hop.ip)) {
+      attribution = "IXP port of AS" + std::to_string(mapping->member_asn);
+    } else if (registry.is_ixp_lan(*hop.ip)) {
+      attribution = "IXP LAN (port unknown)";
+    } else if (const auto as = net.as_of_ip(*hop.ip)) {
+      attribution = net.ases[*as].name;
+    }
+    std::printf("    %2d  %-15s  [%s]\n", ttl++, hop.ip->to_string().c_str(),
+                attribution.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Pipeline pipeline(Scenario::small());
+  const Internet& net = pipeline.internet();
+  const AsIndex google = net.as_by_asn(kGoogleAsn);
+
+  const TracerouteEngine tracer(net, pipeline.scenario().traceroute);
+  const IxpRegistry ixp_registry =
+      IxpRegistry::build(net, pipeline.scenario().ixp);
+  const PeeringStudy study(net, tracer, ixp_registry,
+                           pipeline.scenario().peering);
+
+  // Audit a few offnet-hosting ISPs of different sizes.
+  const auto& report = pipeline.discovery(Snapshot::k2023, Methodology::k2023);
+  std::vector<AsIndex> targets;
+  for (const auto& [isp, ips] : report.footprint(Hypergiant::kGoogle).by_isp) {
+    (void)ips;
+    targets.push_back(isp);
+  }
+  std::printf("auditing 5 of %zu ISPs hosting Google offnets\n\n",
+              targets.size());
+
+  int shown = 0;
+  for (const AsIndex target : targets) {
+    if (shown >= 5) break;
+    ++shown;
+    const RoutingTable table = pipeline.routing().routes_to(target);
+    const Ipv4 destination = net.ases[target].user_prefixes.front().at(1);
+    std::printf("%s (%.0fk users) -> %s\n", net.ases[target].name.c_str(),
+                net.ases[target].users / 1e3, destination.to_string().c_str());
+    const Traceroute trace = tracer.trace(google, destination, table, shown);
+    print_traceroute(net, ixp_registry, trace);
+
+    const auto evidence = study.run(google, {&target, 1}, pipeline.routing());
+    const IspPeeringEvidence& result = evidence.at(target);
+    std::printf("  inference: %s%s%s   |   ground truth: %s\n\n",
+                std::string(to_string(result.status)).c_str(),
+                result.seen_via_ixp ? " (via IXP)" : "",
+                result.seen_via_pni ? " (via PNI)" : "",
+                net.has_peering(target, google) ? "peers with Google"
+                                                : "no peering");
+  }
+
+  // Aggregate over everything.
+  const auto evidence = study.run(google, targets, pipeline.routing());
+  std::size_t peer = 0;
+  std::size_t possible = 0;
+  for (const auto& [isp, result] : evidence) {
+    (void)isp;
+    if (result.status == PeeringStatus::kPeer) ++peer;
+    if (result.status == PeeringStatus::kPossiblePeer) ++possible;
+  }
+  std::printf("aggregate over %zu offnet ISPs: %.1f%% peer, %.1f%% possible, "
+              "%.1f%% no evidence\n",
+              targets.size(), 100.0 * peer / targets.size(),
+              100.0 * possible / targets.size(),
+              100.0 * (targets.size() - peer - possible) / targets.size());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a small synthetic Internet, rediscover the planted
+// offnet deployments with the TLS-scan methodology, and print the headline
+// numbers of the paper (Table 1 style counts, multi-hypergiant hosting, and
+// a colocation summary for one ISP).
+#include <cstdio>
+#include <iostream>
+
+#include "core/analyses.h"
+#include "core/pipeline.h"
+
+int main() {
+  using namespace repro;
+
+  // A small world keeps this example fast; Scenario::paper() is the full
+  // scale the benchmarks use.
+  Pipeline pipeline(Scenario::small());
+
+  std::cout << "World: " << pipeline.internet().ases.size() << " ASes, "
+            << pipeline.internet().metros.size() << " metros, "
+            << pipeline.internet().facilities.size() << " facilities, "
+            << pipeline.internet().ixps.size() << " IXPs\n\n";
+
+  // Offnet discovery, 2021 vs 2023 (Table 1).
+  std::cout << render(table1_study(pipeline)) << "\n";
+
+  // Multi-hypergiant hosting (the Figure 1 aggregates).
+  const Figure1Study figure1 = figure1_study(pipeline);
+  std::cout << "ISPs hosting >=2 hypergiants: " << figure1.isps_ge2
+            << ", >=3: " << figure1.isps_ge3 << ", all four: " << figure1.isps_eq4
+            << "\n\n";
+
+  // Colocation for the largest hosting ISP, at the conservative xi.
+  const auto hosting = pipeline.hosting_isps_2023();
+  AsIndex biggest = hosting.front();
+  for (const AsIndex isp : hosting) {
+    if (pipeline.internet().ases[isp].users >
+        pipeline.internet().ases[biggest].users) {
+      biggest = isp;
+    }
+  }
+  const IspClustering* clustering = pipeline.clustering_of(0.1, biggest);
+  std::cout << "Largest hosting ISP: " << pipeline.internet().ases[biggest].name
+            << " (" << static_cast<long long>(pipeline.internet().ases[biggest].users)
+            << " users)\n";
+  if (clustering != nullptr && clustering->usable) {
+    std::cout << "  clustered " << clustering->registry_indices.size()
+              << " offnet IPs into " << clustering->cluster_count
+              << " sites (xi=0.1)\n";
+    for (const Hypergiant hg : all_hypergiants()) {
+      const HgColocation colocation =
+          colocation_of(*clustering, pipeline.registry(Snapshot::k2023), hg);
+      if (colocation.total_ips == 0) continue;
+      std::printf("  %-8s %3zu IPs, %5.1f%% colocated with another hypergiant\n",
+                  std::string(to_string(hg)).c_str(), colocation.total_ips,
+                  100.0 * colocation.fraction());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Spillover and cascade walkthrough (Section 4 of the paper): pick a large
+// multi-hypergiant ISP, show a normal evening peak, then a lockdown-style
+// surge, then a failure of the facility hosting the most hypergiants --
+// tracing where every Gbps goes (offnet, PNI, IXP, transit) and what the
+// collateral damage to unrelated traffic is.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "traffic/scenarios.h"
+#include "util/strings.h"
+
+namespace {
+
+void print_flows(const repro::SpilloverResult& result) {
+  using namespace repro;
+  std::printf("  %-8s %9s %9s %9s %9s %9s %9s\n", "service", "demand", "offnet",
+              "PNI", "IXP", "transit", "degraded");
+  for (const Hypergiant hg : all_hypergiants()) {
+    const HgFlow& flow = result.flow(hg);
+    std::printf("  %-8s %8.1fG %8.1fG %8.1fG %8.1fG %8.1fG %8.1fG\n",
+                std::string(to_string(hg)).c_str(), flow.demand, flow.offnet,
+                flow.pni, flow.ixp, flow.transit, flow.degraded);
+  }
+  std::printf("  shared IXP ports:   %.1fG load / %.1fG capacity (drop %s)\n",
+              result.ixp_load, result.ixp_capacity,
+              format_percent(result.ixp_drop_fraction()).c_str());
+  std::printf("  transit links:      %.1fG load / %.1fG capacity (drop %s)\n",
+              result.transit_load, result.transit_capacity,
+              format_percent(result.transit_drop_fraction()).c_str());
+  std::printf("  other traffic degraded: %s\n",
+              format_percent(result.other_traffic_degraded_fraction()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace repro;
+  Pipeline pipeline(Scenario::small());
+  const Internet& net = pipeline.internet();
+  const OffnetRegistry& registry = pipeline.registry(Snapshot::k2023);
+
+  // Pick the largest ISP hosting all four hypergiants.
+  AsIndex isp = kInvalidIndex;
+  for (const AsIndex candidate : registry.hosting_isps()) {
+    if (registry.hypergiants_at(candidate).size() < 4) continue;
+    if (isp == kInvalidIndex || net.ases[candidate].users > net.ases[isp].users) {
+      isp = candidate;
+    }
+  }
+  if (isp == kInvalidIndex) {
+    std::printf("no ISP hosts all four hypergiants in this world\n");
+    return 1;
+  }
+  std::printf("ISP under study: %s (%.1fM users, %zu offnet IPs)\n\n",
+              net.ases[isp].name.c_str(), net.ases[isp].users / 1e6,
+              registry.servers_at(isp).size());
+
+  const SpilloverSimulator simulator(net, registry, pipeline.demand(),
+                                     pipeline.capacity());
+  SpilloverScenario scenario;
+  scenario.utc_hour = simulator.local_peak_utc_hour(isp);
+
+  std::printf("--- normal evening peak ---\n");
+  print_flows(simulator.simulate(isp, scenario));
+
+  std::printf("\n--- lockdown-style surge (+58%% demand on every service) ---\n");
+  SpilloverScenario surge = scenario;
+  for (auto& multiplier : surge.demand_multiplier) multiplier = 1.58;
+  print_flows(simulator.simulate(isp, surge));
+
+  std::printf("\n--- failure of the busiest facility at evening peak ---\n");
+  const CascadeOutcome outcome = cascade_study(net, registry, pipeline.demand(),
+                                               pipeline.capacity(), isp);
+  std::printf("  failed facility: %s (hosted %d hypergiants)\n",
+              net.facilities[outcome.failed_facility].name.c_str(),
+              outcome.hypergiants_in_facility);
+  print_flows(outcome.failure);
+  std::printf("\n  collateral degradation vs baseline: %s\n",
+              format_percent(outcome.collateral_degradation(), 2).c_str());
+
+  std::printf("\n--- the lockdown arithmetic of Section 4.1 ---\n");
+  const CovidSurgeResult covid = covid_surge(CovidSurgeInput{});
+  std::printf("  offnet:      %.3f -> %.3f (%s)\n", covid.offnet_before,
+              covid.offnet_after,
+              format_percent(covid.offnet_increase_fraction()).c_str());
+  std::printf("  interdomain: %.3f -> %.3f (x%.2f)\n", covid.interdomain_before,
+              covid.interdomain_after, covid.interdomain_multiplier());
+  return 0;
+}

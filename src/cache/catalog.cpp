@@ -1,0 +1,46 @@
+#include "cache/catalog.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace repro {
+
+namespace {
+
+// Qualitative catalog shapes; the reference cache sizes in simulator.cpp are
+// calibrated against these to land near the paper's efficiency constants.
+constexpr std::array<CatalogProfile, kHypergiantCount> kProfiles = {{
+    // Google/YouTube: enormous long tail.
+    {3'000'000, 1.05, 30.0, 0.05},
+    // Netflix: small curated catalog, extreme skew.
+    {60'000, 1.22, 200.0, 0.01},
+    // Meta: large media pool, heavy churn.
+    {1'500'000, 1.18, 5.0, 0.08},
+    // Akamai: multi-tenant mix, weakest locality.
+    {2'500'000, 1.02, 10.0, 0.08},
+}};
+
+}  // namespace
+
+const CatalogProfile& catalog_profile(Hypergiant hg) noexcept {
+  return kProfiles[static_cast<std::size_t>(hg)];
+}
+
+RequestStream::RequestStream(const CatalogProfile& profile, std::uint64_t seed)
+    : profile_(profile),
+      zipf_(profile.object_count, profile.zipf_exponent),
+      rng_(seed),
+      next_ephemeral_(profile.object_count) {
+  require(profile_.object_count >= 1, "RequestStream: empty catalog");
+  require(profile_.uncacheable_fraction >= 0.0 &&
+              profile_.uncacheable_fraction < 1.0,
+          "RequestStream: bad uncacheable fraction");
+}
+
+ObjectId RequestStream::next() {
+  if (rng_.chance(profile_.uncacheable_fraction)) return next_ephemeral_++;
+  return zipf_.sample(rng_) - 1;  // ranks are 1-based
+}
+
+}  // namespace repro

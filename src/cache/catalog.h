@@ -1,0 +1,57 @@
+// Content catalogs: what an offnet cache is asked to serve. The paper takes
+// per-hypergiant cache efficiencies as given (Google 80%, Netflix 95%, Meta
+// 86%, Akamai 75%); this module derives them mechanistically from catalog
+// shape (size, popularity skew, churn) and cache capacity, so the constants
+// can be ablated instead of assumed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hypergiant/profile.h"
+#include "util/rng.h"
+
+namespace repro {
+
+/// A content object id; objects are dense [0, size).
+using ObjectId = std::uint64_t;
+
+/// Statistical description of a service's content catalog.
+struct CatalogProfile {
+  /// Number of distinct objects in rotation.
+  std::uint64_t object_count = 1'000'000;
+  /// Zipf popularity exponent (video catalogs are highly skewed).
+  double zipf_exponent = 1.0;
+  /// Mean object size in megabytes (controls how many objects fit a cache).
+  double mean_object_mb = 20.0;
+  /// Fraction of requests that go to brand-new (never-cached) objects:
+  /// live/ephemeral content and catalog churn; these cannot hit.
+  double uncacheable_fraction = 0.02;
+};
+
+/// Per-hypergiant catalog profiles, qualitatively calibrated:
+///   * Netflix: small curated catalog, extreme skew -> ~95% cacheable.
+///   * Google/YouTube: enormous long-tailed catalog -> ~80%.
+///   * Meta: large media pool, heavy churn -> ~86%.
+///   * Akamai: multi-tenant mix, weakest locality -> ~75%.
+const CatalogProfile& catalog_profile(Hypergiant hg) noexcept;
+
+/// A sampled request stream over a catalog.
+class RequestStream {
+ public:
+  RequestStream(const CatalogProfile& profile, std::uint64_t seed);
+
+  /// Next requested object. Ids >= profile.object_count denote uncacheable
+  /// one-off objects (each id unique).
+  ObjectId next();
+
+  const CatalogProfile& profile() const noexcept { return profile_; }
+
+ private:
+  CatalogProfile profile_;
+  ZipfSampler zipf_;
+  Rng rng_;
+  ObjectId next_ephemeral_;
+};
+
+}  // namespace repro

@@ -1,0 +1,47 @@
+#include "cache/lru.h"
+
+namespace repro {
+
+LruCache::LruCache(double capacity_mb) : capacity_mb_(capacity_mb) {
+  require(capacity_mb > 0.0, "LruCache: capacity must be positive");
+}
+
+bool LruCache::contains(ObjectId object) const noexcept {
+  return index_.contains(object);
+}
+
+void LruCache::evict_to_fit(double incoming_mb) {
+  while (used_mb_ + incoming_mb > capacity_mb_ && !recency_.empty()) {
+    const Entry& victim = recency_.back();
+    used_mb_ -= victim.size_mb;
+    index_.erase(victim.object);
+    recency_.pop_back();
+  }
+}
+
+bool LruCache::access(ObjectId object, double size_mb) {
+  require(size_mb >= 0.0, "LruCache: negative object size");
+  const auto it = index_.find(object);
+  if (it != index_.end()) {
+    ++hits_;
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (size_mb > capacity_mb_) return false;  // never admissible
+  evict_to_fit(size_mb);
+  recency_.push_front(Entry{object, size_mb});
+  index_[object] = recency_.begin();
+  used_mb_ += size_mb;
+  return false;
+}
+
+void LruCache::reset() {
+  recency_.clear();
+  index_.clear();
+  used_mb_ = 0.0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace repro

@@ -1,0 +1,57 @@
+// A byte-capacity LRU object cache: hash map into an intrusive recency list.
+// O(1) lookup/insert/evict.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "cache/catalog.h"
+#include "util/error.h"
+
+namespace repro {
+
+class LruCache {
+ public:
+  /// Capacity in megabytes. Objects larger than the capacity are never
+  /// admitted.
+  explicit LruCache(double capacity_mb);
+
+  /// Looks up `object`; on miss, admits it with `size_mb`, evicting LRU
+  /// entries as needed. Returns true on hit.
+  bool access(ObjectId object, double size_mb);
+
+  /// True if the object is currently cached (no recency update).
+  bool contains(ObjectId object) const noexcept;
+
+  std::size_t object_count() const noexcept { return index_.size(); }
+  double used_mb() const noexcept { return used_mb_; }
+  double capacity_mb() const noexcept { return capacity_mb_; }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+  /// Clears contents and statistics.
+  void reset();
+
+ private:
+  struct Entry {
+    ObjectId object;
+    double size_mb;
+  };
+
+  void evict_to_fit(double incoming_mb);
+
+  double capacity_mb_;
+  double used_mb_ = 0.0;
+  std::list<Entry> recency_;  // front = most recent
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace repro

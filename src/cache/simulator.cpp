@@ -1,0 +1,87 @@
+#include "cache/simulator.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace repro {
+
+namespace {
+
+// Reference capacities (MB); tuned against the catalog profiles so that the
+// simulated steady-state hit rates approximate the paper's constants.
+constexpr std::array<double, kHypergiantCount> kReferenceMb = {
+    12'000'000.0,  // Google: 12 TB of a 90 TB-equivalent long-tail catalog
+    6'000'000.0,   // Netflix: 6 TB vs a 12 TB curated catalog
+    2'500'000.0,   // Meta: 2.5 TB of hot media
+    4'000'000.0,   // Akamai: 4 TB multi-tenant
+};
+
+/// Deterministic per-object size: mean * lognormal(0, sigma), keyed by the
+/// object id so repeated requests agree on the size.
+double object_size_mb(ObjectId object, double mean_mb, double sigma,
+                      std::uint64_t seed) {
+  double u1 = static_cast<double>(mix64(object ^ seed) >> 11) * 0x1.0p-53;
+  const double u2 =
+      static_cast<double>(mix64(object * 31 + seed) >> 11) * 0x1.0p-53;
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.141592653589793 * u2);
+  return mean_mb * std::exp(sigma * z);
+}
+
+}  // namespace
+
+double reference_cache_mb(Hypergiant hg) noexcept {
+  return kReferenceMb[static_cast<std::size_t>(hg)];
+}
+
+CacheSimResult simulate_cache(Hypergiant hg, double capacity_mb,
+                              const CacheSimConfig& config) {
+  require(capacity_mb > 0.0, "simulate_cache: capacity must be positive");
+  require(config.measured_requests > 0, "simulate_cache: nothing to measure");
+
+  const CatalogProfile& profile = catalog_profile(hg);
+  RequestStream stream(profile, config.seed);
+  LruCache cache(capacity_mb);
+
+  for (std::uint64_t i = 0; i < config.warmup_requests; ++i) {
+    const ObjectId object = stream.next();
+    cache.access(object, object_size_mb(object, profile.mean_object_mb,
+                                        config.size_sigma, config.seed));
+  }
+
+  CacheSimResult result;
+  double hit_mb = 0.0;
+  double total_mb = 0.0;
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < config.measured_requests; ++i) {
+    const ObjectId object = stream.next();
+    const double size = object_size_mb(object, profile.mean_object_mb,
+                                       config.size_sigma, config.seed);
+    const bool hit = cache.access(object, size);
+    hits += hit ? 1 : 0;
+    hit_mb += hit ? size : 0.0;
+    total_mb += size;
+  }
+  result.requests = config.measured_requests;
+  result.hit_rate = static_cast<double>(hits) / config.measured_requests;
+  result.byte_hit_rate = total_mb > 0.0 ? hit_mb / total_mb : 0.0;
+  result.cache_used_mb = cache.used_mb();
+  result.cached_objects = cache.object_count();
+  return result;
+}
+
+std::vector<std::pair<double, CacheSimResult>> hit_rate_curve(
+    Hypergiant hg, std::span<const double> capacities_mb,
+    const CacheSimConfig& config) {
+  std::vector<std::pair<double, CacheSimResult>> curve;
+  curve.reserve(capacities_mb.size());
+  for (const double capacity : capacities_mb) {
+    curve.emplace_back(capacity, simulate_cache(hg, capacity, config));
+  }
+  return curve;
+}
+
+}  // namespace repro

@@ -1,0 +1,47 @@
+// Offnet cache simulation: drive an LRU cache with a catalog request stream
+// and measure the steady-state hit rate -- the mechanistic version of the
+// paper's "% of the hypergiant's traffic an offnet can serve".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cache/lru.h"
+
+namespace repro {
+
+struct CacheSimConfig {
+  std::uint64_t seed = 4096;
+  /// Requests used to warm the cache before measuring.
+  std::uint64_t warmup_requests = 1'200'000;
+  /// Requests measured for the steady-state hit rate.
+  std::uint64_t measured_requests = 400'000;
+  /// Per-object size jitter: size = mean * lognormal(0, sigma).
+  double size_sigma = 0.5;
+};
+
+/// Reference deployed cache capacity (MB) of one offnet deployment of `hg`
+/// -- calibrated so the simulated hit rates land near the paper's Section
+/// 2.1 efficiencies (Google 80%, Netflix 95%, Meta 86%, Akamai 75%).
+double reference_cache_mb(Hypergiant hg) noexcept;
+
+struct CacheSimResult {
+  double hit_rate = 0.0;        // fraction of measured requests served
+  double byte_hit_rate = 0.0;   // fraction of measured megabytes served
+  std::uint64_t requests = 0;
+  double cache_used_mb = 0.0;
+  std::size_t cached_objects = 0;
+};
+
+/// Simulates one cache of `capacity_mb` against `hg`'s catalog.
+CacheSimResult simulate_cache(Hypergiant hg, double capacity_mb,
+                              const CacheSimConfig& config = {});
+
+/// Full hit-rate curve: one simulation per capacity point.
+std::vector<std::pair<double, CacheSimResult>> hit_rate_curve(
+    Hypergiant hg, std::span<const double> capacities_mb,
+    const CacheSimConfig& config = {});
+
+}  // namespace repro

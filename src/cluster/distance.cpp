@@ -1,0 +1,64 @@
+#include "cluster/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro {
+
+double trimmed_manhattan(std::span<const double> a, std::span<const double> b,
+                         double trim_fraction) {
+  require(a.size() == b.size(), "trimmed_manhattan: size mismatch");
+  require(!a.empty(), "trimmed_manhattan: empty vectors");
+  require(trim_fraction >= 0.0 && trim_fraction < 1.0,
+          "trimmed_manhattan: trim_fraction outside [0, 1)");
+  std::vector<double> diffs(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) diffs[i] = std::fabs(a[i] - b[i]);
+  const auto keep = std::max<std::size_t>(
+      1, a.size() - static_cast<std::size_t>(
+                        std::floor(trim_fraction * static_cast<double>(a.size()))));
+  std::nth_element(diffs.begin(), diffs.begin() + static_cast<std::ptrdiff_t>(keep) - 1,
+                   diffs.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) total += diffs[i];
+  return total / static_cast<double>(keep);
+}
+
+DistanceMatrix::DistanceMatrix(std::size_t n) : n_(n) {
+  require(n >= 1, "DistanceMatrix: need at least one point");
+  values_.assign(n * (n - 1) / 2, 0.0);
+}
+
+std::size_t DistanceMatrix::offset(std::size_t i, std::size_t j) const {
+  require(i < n_ && j < n_ && i != j, "DistanceMatrix: bad indices");
+  if (i > j) std::swap(i, j);
+  // Upper-triangle packed index for (i, j), i < j.
+  return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+}
+
+double DistanceMatrix::at(std::size_t i, std::size_t j) const {
+  if (i == j) return 0.0;
+  return values_[offset(i, j)];
+}
+
+void DistanceMatrix::set(std::size_t i, std::size_t j, double value) {
+  require(value >= 0.0, "DistanceMatrix: negative distance");
+  values_[offset(i, j)] = value;
+}
+
+DistanceMatrix pairwise_distances(std::span<const double> table,
+                                  std::size_t rows, std::size_t cols,
+                                  double trim_fraction) {
+  require(rows >= 1 && cols >= 1, "pairwise_distances: empty table");
+  require(table.size() == rows * cols, "pairwise_distances: size mismatch");
+  DistanceMatrix matrix(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto row_i = table.subspan(i * cols, cols);
+    for (std::size_t j = i + 1; j < rows; ++j) {
+      const auto row_j = table.subspan(j * cols, cols);
+      matrix.set(i, j, trimmed_manhattan(row_i, row_j, trim_fraction));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace repro

@@ -1,0 +1,44 @@
+// The latency-vector distance from Calder et al. (IMC '13), used by the
+// paper's clustering: for a pair of IPs, exclude the 20% of vantage points
+// with the largest latency discrepancy between the two, then take the
+// normalized Manhattan distance over the rest.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace repro {
+
+/// Normalized trimmed Manhattan distance between two equally-sized latency
+/// vectors: mean |a_i - b_i| after discarding the `trim_fraction` largest
+/// absolute differences. Requires equal non-zero sizes and
+/// 0 <= trim_fraction < 1.
+double trimmed_manhattan(std::span<const double> a, std::span<const double> b,
+                         double trim_fraction = 0.2);
+
+/// Dense symmetric distance matrix.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  double at(std::size_t i, std::size_t j) const;
+  void set(std::size_t i, std::size_t j, double value);
+
+ private:
+  std::size_t n_;
+  std::vector<double> values_;  // upper triangle, row-major
+  std::size_t offset(std::size_t i, std::size_t j) const;
+};
+
+/// Builds the pairwise trimmed-Manhattan matrix over row vectors of a
+/// row-major `rows x cols` latency table.
+DistanceMatrix pairwise_distances(std::span<const double> table,
+                                  std::size_t rows, std::size_t cols,
+                                  double trim_fraction = 0.2);
+
+}  // namespace repro

@@ -1,0 +1,57 @@
+// OPTICS (Ankerst, Breunig, Kriegel, Sander -- SIGMOD '99) with xi-based
+// cluster extraction, over a precomputed distance matrix.
+//
+// The paper clusters each ISP's offnet IPs with OPTICS (n_min = 2) at two
+// steepness settings (xi = 0.1 and xi = 0.9) that bound the true amount of
+// colocation: small xi cuts the reachability plot at shallow dents (fine
+// clusters, conservative about colocation), large xi only at cliffs (coarse
+// clusters, liberal about colocation).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "cluster/distance.h"
+
+namespace repro {
+
+struct OpticsResult {
+  /// Point indices in OPTICS output order.
+  std::vector<std::size_t> ordering;
+  /// Reachability distance of ordering[k] (infinity for the first point of
+  /// each connected component).
+  std::vector<double> reachability;
+  /// Core distance per *point index* (not per position).
+  std::vector<double> core_distance;
+  /// Extracted clusters as [start, end] positions in `ordering`, innermost
+  /// first (the flat labeling below uses first-fit over this order).
+  std::vector<std::pair<std::size_t, std::size_t>> clusters;
+  /// Flat cluster label per *point index*; -1 = noise / not clustered.
+  std::vector<int> labels;
+  int cluster_count = 0;
+};
+
+/// Runs OPTICS with eps = infinity and extracts xi clusters.
+/// Requires min_pts >= 2 and 0 < xi < 1.
+OpticsResult optics_xi(const DistanceMatrix& distances, std::size_t min_pts,
+                       double xi);
+
+/// Re-extracts clusters and labels for a different xi on an already-computed
+/// ordering (the expensive O(n^2) ordering phase is xi-independent).
+/// `base` must contain a valid ordering/reachability (from optics_order or
+/// optics_xi); clusters, labels and cluster_count are overwritten.
+void reextract_xi(OpticsResult& base, std::size_t min_pts, double xi);
+
+/// Computes only the ordering / reachability plot (first half of optics_xi).
+/// Exposed for tests and the reachability-plot benchmarks.
+void optics_order(const DistanceMatrix& distances, std::size_t min_pts,
+                  OpticsResult& result);
+
+/// Extracts xi clusters from an existing reachability plot. `reachability`
+/// is indexed by output position. Returns [start, end] position pairs.
+std::vector<std::pair<std::size_t, std::size_t>> extract_xi_clusters(
+    const std::vector<double>& reachability, std::size_t min_pts, double xi,
+    std::size_t min_cluster_size);
+
+}  // namespace repro

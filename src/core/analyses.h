@@ -1,0 +1,259 @@
+// The paper's analyses, one study per table/figure/section. Each study
+// returns a plain result struct plus a render function that prints the same
+// rows/series the paper reports (the bench binaries call these).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "rdns/validation.h"
+#include "traffic/scenarios.h"
+#include "util/stats.h"
+
+namespace repro {
+
+// ----------------------------------------------------------- Table 1 ------
+
+struct Table1Row {
+  Hypergiant hg = Hypergiant::kGoogle;
+  std::size_t isps_2021 = 0;
+  std::size_t isps_2023 = 0;
+  /// ISPs found in the 2023 snapshot when applying the outdated 2021
+  /// methodology (shows why the update was needed).
+  std::size_t isps_2023_old_method = 0;
+
+  double growth_percent() const noexcept {
+    return isps_2021 == 0 ? 0.0
+                          : (static_cast<double>(isps_2023) / isps_2021 - 1.0) *
+                                100.0;
+  }
+};
+
+struct Table1Study {
+  std::vector<Table1Row> rows;
+  std::size_t total_offnet_ips_2023 = 0;
+  std::size_t total_hosting_isps_2023 = 0;
+};
+
+Table1Study table1_study(const Pipeline& pipeline);
+std::string render(const Table1Study& study);
+
+// ---------------------------------------------------------- Figure 1 ------
+
+struct CountryHostingRow {
+  std::string code;
+  std::string name;
+  double users_m = 0.0;       // Internet users in the synthetic world
+  double frac_ge2 = 0.0;      // user fraction in ISPs hosting >= 2 HGs
+  double frac_ge3 = 0.0;
+  double frac_eq4 = 0.0;
+};
+
+struct Figure1Study {
+  std::vector<CountryHostingRow> countries;  // sorted by users descending
+  std::size_t isps_ge1 = 0;
+  std::size_t isps_ge2 = 0;
+  std::size_t isps_ge3 = 0;
+  std::size_t isps_eq4 = 0;
+};
+
+Figure1Study figure1_study(const Pipeline& pipeline);
+std::string render(const Figure1Study& study, std::size_t max_countries = 30);
+
+// ----------------------------------------------------------- Table 2 ------
+
+struct Table2Row {
+  Hypergiant hg = Hypergiant::kGoogle;
+  double xi = 0.1;
+  std::size_t isp_count = 0;  // usable clustered ISPs hosting this HG
+  // Percentages over isp_count; the five columns sum to ~100.
+  double sole_pct = 0.0;
+  double coloc_0_pct = 0.0;        // multi-HG ISP, 0% of offnets colocated
+  double coloc_mid_low_pct = 0.0;  // (0%, 50%)
+  double coloc_mid_high_pct = 0.0; // [50%, 100%)
+  double coloc_full_pct = 0.0;     // 100%
+};
+
+struct Table2Study {
+  std::vector<Table2Row> rows;  // hg-major, xi-minor (like the paper)
+};
+
+Table2Study table2_study(const Pipeline& pipeline, std::span<const double> xis);
+std::string render(const Table2Study& study);
+
+// ---------------------------------------------------------- Figure 2 ------
+
+struct Figure2Series {
+  double xi = 0.1;
+  std::vector<CcdfPoint> ccdf;     // user-weighted CCDF of the fraction
+  double users_frac_ge_quarter = 0.0;  // >= 25% of traffic from one facility
+  double users_frac_all_four = 0.0;    // best facility hosts all four HGs
+};
+
+struct Figure2Study {
+  std::vector<Figure2Series> series;
+  double users_in_offnet_isps = 0.0;   // fraction of all users (paper: 76%)
+  double users_analyzable = 0.0;       // fraction of all users (paper: 56%)
+};
+
+/// Estimated fraction of a user's traffic serveable from the "best" single
+/// facility of the ISP (the inferred cluster hosting the most hypergiants).
+double best_facility_fraction(const IspClustering& clustering,
+                              const OffnetRegistry& registry);
+
+Figure2Study figure2_study(const Pipeline& pipeline, std::span<const double> xis);
+std::string render(const Figure2Study& study);
+
+// ------------------------------------------------- Validation (S3.2) ------
+
+struct ValidationStudy {
+  double xi = 0.1;
+  ValidationSummary with_corrections;
+  ValidationSummary without_corrections;  // raw HOIHO, ambiguity included
+};
+
+ValidationStudy validation_study(const Pipeline& pipeline, double xi);
+std::string render(const ValidationStudy& study);
+
+// ------------------------------------------------ Longitudinal (S3.1) -----
+
+/// "ISPs tended to host more hypergiants over time [and] multi-hypergiant
+/// hosting will continue to increase": ground-truth footprints generated
+/// year by year from the growth model anchored on the Table-1 snapshots.
+struct LongitudinalRow {
+  int year = 0;
+  std::array<std::size_t, kHypergiantCount> isps_per_hg{};
+  std::size_t hosting_isps = 0;
+  std::size_t isps_ge2 = 0;
+  std::size_t isps_ge3 = 0;
+  std::size_t isps_eq4 = 0;
+  double mean_hypergiants_per_hosting_isp = 0.0;
+};
+
+struct LongitudinalStudy {
+  std::vector<LongitudinalRow> rows;  // ascending years
+};
+
+LongitudinalStudy longitudinal_study(const Pipeline& pipeline,
+                                     int first_year = 2016,
+                                     int last_year = 2025);
+std::string render(const LongitudinalStudy& study);
+
+// ------------------------------------------------------- Section 3.3 ------
+
+/// Choke-point analysis: "authorities can exert control at a handful of
+/// local choke points". Per country, how few facilities intercept a given
+/// share of the country's offnet-served traffic (user-weighted, ground
+/// truth)?
+struct CountryChokepoints {
+  std::string code;
+  std::string name;
+  double users_m = 0.0;
+  /// Share of the country's user traffic that is offnet-served at all.
+  double offnet_served_traffic_share = 0.0;
+  /// Share of the country's *offnet-served* traffic interceptable at the
+  /// single busiest facility.
+  double top_facility_share = 0.0;
+  /// Facilities needed to intercept 50% / 90% of offnet-served traffic.
+  int facilities_for_half = 0;
+  int facilities_for_ninety = 0;
+  int facilities_total = 0;
+};
+
+struct Section33Study {
+  std::vector<CountryChokepoints> countries;  // sorted by users descending
+  /// Median (over countries) number of facilities covering half of the
+  /// offnet-served traffic.
+  double median_facilities_for_half = 0.0;
+};
+
+Section33Study section33_study(const Pipeline& pipeline);
+std::string render(const Section33Study& study, std::size_t max_countries = 25);
+
+// ------------------------------------------------------- Section 4.1 ------
+
+struct SingleSiteRow {
+  Hypergiant hg = Hypergiant::kGoogle;
+  double single_site_frac_lo = 0.0;  // across the xi settings
+  double single_site_frac_hi = 0.0;
+};
+
+struct Section41Study {
+  std::vector<SingleSiteRow> single_site;  // per hypergiant
+  CovidSurgeResult covid;
+  std::vector<DiurnalPoint> diurnal;
+};
+
+Section41Study section41_study(const Pipeline& pipeline,
+                               std::span<const double> xis);
+std::string render(const Section41Study& study);
+
+// ----------------------------------------------------- Section 4.2.1 ------
+
+struct Section421Study {
+  Hypergiant hg = Hypergiant::kGoogle;
+  std::size_t offnet_isps = 0;        // ISPs hosting this HG's offnets
+  double peer_pct = 0.0;              // of offnet_isps
+  double possible_pct = 0.0;
+  double no_evidence_pct = 0.0;
+  std::size_t total_peers = 0;        // inferred peers among all probed ASes
+  double via_ixp_pct = 0.0;           // of total_peers: >= 1 IXP adjacency
+  double ixp_only_pct = 0.0;          // of total_peers: only IXP adjacencies
+  /// Ground-truth check: true peering rate among offnet ISPs.
+  double true_peering_pct = 0.0;
+};
+
+Section421Study section421_study(const Pipeline& pipeline,
+                                 Hypergiant hg = Hypergiant::kGoogle);
+std::string render(const Section421Study& study);
+
+// ----------------------------------------------------- Section 4.2.2 ------
+
+struct Section422Study {
+  std::vector<PniUtilizationStats> per_hg;
+};
+
+Section422Study section422_study(const Pipeline& pipeline);
+std::string render(const Section422Study& study);
+
+// ------------------------------------------------------- Section 4.3 ------
+
+struct Section43Study {
+  std::size_t isps_studied = 0;
+  /// Mean degradation of non-hypergiant traffic when the busiest facility
+  /// fails, split by how many hypergiants it hosted.
+  double mean_collateral_single_hg = 0.0;
+  double mean_collateral_multi_hg = 0.0;
+  /// Fraction of studied ISPs where the failure congests a shared link.
+  double frac_shared_congestion = 0.0;
+  /// Mean extra interdomain traffic (Gbps) pushed by the failure.
+  double mean_interdomain_shift_gbps = 0.0;
+};
+
+Section43Study section43_study(const Pipeline& pipeline,
+                               std::size_t max_isps = 400);
+std::string render(const Section43Study& study);
+
+// --------------------------------------------------------- Section 6 ------
+
+/// Mitigation what-if: replay the Section 4.3 failure scenario under the
+/// shared-link isolation policy the discussion proposes and compare the
+/// collateral damage and the hypergiants' own degradation.
+struct Section6Study {
+  std::size_t isps_studied = 0;
+  /// Mean collateral damage to other traffic during the failure, by policy.
+  double collateral_best_effort = 0.0;
+  double collateral_isolation = 0.0;
+  /// Mean degraded hypergiant traffic (Gbps) during the failure, by policy
+  /// (isolation shifts the pain onto the spilling hypergiants).
+  double hg_degraded_best_effort_gbps = 0.0;
+  double hg_degraded_isolation_gbps = 0.0;
+};
+
+Section6Study section6_study(const Pipeline& pipeline,
+                             std::size_t max_isps = 400);
+std::string render(const Section6Study& study);
+
+}  // namespace repro

@@ -1,0 +1,122 @@
+#include "core/pipeline.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace repro {
+
+namespace {
+
+/// Cache key for a xi value (xi is a config constant like 0.1/0.9, so a
+/// fixed-point key is exact).
+std::uint64_t xi_key(double xi) {
+  require(xi > 0.0 && xi < 1.0, "Pipeline: xi outside (0, 1)");
+  return static_cast<std::uint64_t>(std::llround(xi * 1e6));
+}
+
+}  // namespace
+
+Pipeline::Pipeline(Scenario scenario) : scenario_(std::move(scenario)) {
+  InternetGenerator generator(scenario_.topology);
+  internet_ = generator.generate();
+}
+
+const OffnetRegistry& Pipeline::registry(Snapshot snapshot) const {
+  const auto it = registries_.find(snapshot);
+  if (it != registries_.end()) return it->second;
+  const DeploymentPolicy policy(internet_, scenario_.deployment);
+  return registries_.emplace(snapshot, policy.deploy(snapshot)).first->second;
+}
+
+const DiscoveryReport& Pipeline::discovery(Snapshot snapshot,
+                                           Methodology methodology) const {
+  const auto key = std::make_pair(snapshot, methodology);
+  const auto it = reports_.find(key);
+  if (it != reports_.end()) return it->second;
+
+  const CertStore population = build_tls_population(
+      internet_, registry(snapshot), snapshot, scenario_.population);
+  const Scanner scanner(scenario_.scanner);
+  const auto records = scanner.scan(population);
+  const OffnetClassifier classifier(internet_, methodology);
+  return reports_.emplace(key, classifier.classify(records)).first->second;
+}
+
+const VantagePointSet& Pipeline::vantage_points() const {
+  if (!vps_) {
+    vps_ = std::make_unique<VantagePointSet>(internet_, scenario_.vantage_points,
+                                             scenario_.vantage_seed);
+  }
+  return *vps_;
+}
+
+const PingMesh& Pipeline::ping_mesh() const {
+  if (!mesh_) {
+    mesh_ = std::make_unique<PingMesh>(internet_, vantage_points(),
+                                       scenario_.ping);
+  }
+  return *mesh_;
+}
+
+std::vector<AsIndex> Pipeline::hosting_isps_2023() const {
+  return discovery(Snapshot::k2023, Methodology::k2023).isps_hosting_at_least(1);
+}
+
+const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
+  const std::uint64_t key = xi_key(xi);
+  const auto it = clusterings_.find(key);
+  if (it != clusterings_.end()) return it->second;
+
+  // The ordering phase dominates and is xi-independent, so compute the
+  // paper's two standard settings together; an unusual xi is computed alone.
+  std::vector<double> xis{xi};
+  if (xi == 0.1 || xi == 0.9) xis = {0.1, 0.9};
+
+  ColocationConfig config;
+  config.filter = scenario_.filter;
+  const ColocationClusterer clusterer(registry(Snapshot::k2023), ping_mesh(),
+                                      vantage_points(), config);
+  std::vector<std::vector<IspClustering>> results(xis.size());
+  std::map<AsIndex, std::size_t> index;
+  for (const AsIndex isp : hosting_isps_2023()) {
+    index.emplace(isp, results.front().size());
+    auto per_xi = clusterer.cluster_isp_multi(isp, xis);
+    for (std::size_t x = 0; x < xis.size(); ++x) {
+      results[x].push_back(std::move(per_xi[x]));
+    }
+  }
+  for (std::size_t x = 0; x < xis.size(); ++x) {
+    cluster_index_[xi_key(xis[x])] = index;
+    clusterings_[xi_key(xis[x])] = std::move(results[x]);
+  }
+  return clusterings_.at(key);
+}
+
+const IspClustering* Pipeline::clustering_of(double xi, AsIndex isp) const {
+  const auto& all = clusterings(xi);
+  const auto& index = cluster_index_.at(xi_key(xi));
+  const auto it = index.find(isp);
+  if (it == index.end()) return nullptr;
+  return &all[it->second];
+}
+
+const RoutingEngine& Pipeline::routing() const {
+  if (!routing_) routing_ = std::make_unique<RoutingEngine>(internet_);
+  return *routing_;
+}
+
+const DemandModel& Pipeline::demand() const {
+  if (!demand_) demand_ = std::make_unique<DemandModel>(internet_);
+  return *demand_;
+}
+
+const CapacityModel& Pipeline::capacity() const {
+  if (!capacity_) {
+    capacity_ = std::make_unique<CapacityModel>(internet_, registry(Snapshot::k2023),
+                                                demand(), scenario_.capacity);
+  }
+  return *capacity_;
+}
+
+}  // namespace repro

@@ -1,0 +1,75 @@
+// The end-to-end reproduction pipeline. Owns the generated world and lazily
+// builds (and caches) each stage: ground-truth deployments per snapshot,
+// TLS populations and scans, discovery reports, the ping mesh, per-ISP
+// clusterings per xi, routing, and the traffic models.
+//
+// Typical use:
+//   Pipeline pipeline(Scenario::paper());
+//   auto table1 = table1_study(pipeline);            // analyses.h
+//   auto table2 = table2_study(pipeline, 0.1);
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/colocation.h"
+#include "core/scenario.h"
+#include "route/bgp.h"
+#include "scan/classifier.h"
+#include "traffic/spillover.h"
+
+namespace repro {
+
+class Pipeline {
+ public:
+  explicit Pipeline(Scenario scenario);
+
+  const Scenario& scenario() const noexcept { return scenario_; }
+  const Internet& internet() const noexcept { return internet_; }
+
+  /// Ground truth (what the measurements must rediscover).
+  const OffnetRegistry& registry(Snapshot snapshot) const;
+
+  /// Scan + classify with a methodology (cached per pair).
+  const DiscoveryReport& discovery(Snapshot snapshot,
+                                   Methodology methodology) const;
+
+  /// Vantage points and ping mesh over the 2023 ground truth.
+  const VantagePointSet& vantage_points() const;
+  const PingMesh& ping_mesh() const;
+
+  /// Clustering of every 2023 offnet-hosting ISP at a given xi (cached).
+  /// Indexed by position in discovery(2023, 2023 methodology) hosting order.
+  const std::vector<IspClustering>& clusterings(double xi) const;
+
+  /// Clustering lookup by ISP for a given xi; nullptr if the ISP hosts
+  /// nothing (or was not clustered).
+  const IspClustering* clustering_of(double xi, AsIndex isp) const;
+
+  /// Routing engine over the world.
+  const RoutingEngine& routing() const;
+
+  /// Traffic models over the 2023 ground truth.
+  const DemandModel& demand() const;
+  const CapacityModel& capacity() const;
+
+  /// ISPs hosting at least one offnet in the 2023 discovery.
+  std::vector<AsIndex> hosting_isps_2023() const;
+
+ private:
+  Scenario scenario_;
+  Internet internet_;
+
+  mutable std::map<Snapshot, OffnetRegistry> registries_;
+  mutable std::map<std::pair<Snapshot, Methodology>, DiscoveryReport> reports_;
+  mutable std::unique_ptr<VantagePointSet> vps_;
+  mutable std::unique_ptr<PingMesh> mesh_;
+  mutable std::map<std::uint64_t, std::vector<IspClustering>> clusterings_;
+  mutable std::map<std::uint64_t, std::map<AsIndex, std::size_t>> cluster_index_;
+  mutable std::unique_ptr<RoutingEngine> routing_;
+  mutable std::unique_ptr<DemandModel> demand_;
+  mutable std::unique_ptr<CapacityModel> capacity_;
+};
+
+}  // namespace repro

@@ -1,0 +1,40 @@
+#include "core/scenario.h"
+
+namespace repro {
+
+namespace {
+
+/// Couples the pieces that must agree with the topology scale.
+Scenario with_scale(GeneratorConfig topology, std::size_t vantage_points,
+                    std::size_t min_usable_sites) {
+  Scenario scenario;
+  scenario.topology = topology;
+  scenario.deployment.footprint_scale = topology.scale;
+  scenario.vantage_points = vantage_points;
+  scenario.filter.min_usable_sites = min_usable_sites;
+  return scenario;
+}
+
+}  // namespace
+
+Scenario Scenario::tiny() {
+  Scenario scenario = with_scale(GeneratorConfig::tiny(), 40, 25);
+  scenario.population.background_per_isp = 1;
+  scenario.population.onnet_servers_per_hg = 20;
+  scenario.population.decoy_count = 10;
+  scenario.peering.vm_count = 4;
+  scenario.peering.slash24s_per_target = 2;
+  return scenario;
+}
+
+Scenario Scenario::small() {
+  Scenario scenario = with_scale(GeneratorConfig::small(), 80, 50);
+  scenario.peering.vm_count = 6;
+  return scenario;
+}
+
+Scenario Scenario::paper() {
+  return with_scale(GeneratorConfig::paper(), 163, 100);
+}
+
+}  // namespace repro

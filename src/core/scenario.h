@@ -1,0 +1,45 @@
+// One knob object for the whole reproduction: topology, deployment,
+// measurement and inference settings. Presets scale the world from unit-test
+// size to the paper's scale.
+#pragma once
+
+#include "hypergiant/background.h"
+#include "hypergiant/deployment.h"
+#include "mlab/filters.h"
+#include "mlab/ping_mesh.h"
+#include "rdns/ptr_store.h"
+#include "route/ixp_registry.h"
+#include "route/peering_inference.h"
+#include "route/traceroute.h"
+#include "scan/scanner.h"
+#include "topology/generator.h"
+#include "traffic/capacity.h"
+
+namespace repro {
+
+struct Scenario {
+  GeneratorConfig topology;
+  DeploymentConfig deployment;
+  PopulationConfig population;
+  ScannerConfig scanner;
+  PingConfig ping;
+  FilterConfig filter;
+  PtrConfig ptr;
+  IxpRegistryConfig ixp;
+  TracerouteConfig traceroute;
+  PeeringStudyConfig peering;
+  CapacityConfig capacity;
+
+  /// Number of M-Lab-style vantage points (the paper uses 163).
+  std::size_t vantage_points = 163;
+  std::uint64_t vantage_seed = 163163;
+
+  /// Smallest world that exercises every code path; for unit tests.
+  static Scenario tiny();
+  /// Mid-size world for integration tests and quick examples.
+  static Scenario small();
+  /// Paper-scale world (used by the benchmark harnesses).
+  static Scenario paper();
+};
+
+}  // namespace repro

@@ -1,0 +1,69 @@
+#include "dns/authoritative.h"
+
+#include "util/strings.h"
+
+namespace repro {
+
+namespace {
+
+std::string canonical_for(Hypergiant hg) {
+  switch (hg) {
+    case Hypergiant::kGoogle: return "www.google.com";
+    case Hypergiant::kNetflix: return "www.netflix.com";
+    case Hypergiant::kMeta: return "www.facebook.com";
+    case Hypergiant::kAkamai: return "a248.e.akamai.net";
+  }
+  return "cdn.example.net";
+}
+
+}  // namespace
+
+std::string_view to_string(RedirectionPolicy policy) noexcept {
+  switch (policy) {
+    case RedirectionPolicy::kGeoDns2013: return "geo-dns-2013";
+    case RedirectionPolicy::kEmbeddedUrl2023: return "embedded-url-2023";
+    case RedirectionPolicy::kEcsAllowlist: return "ecs-allowlist";
+  }
+  return "?";
+}
+
+AuthoritativeDns::AuthoritativeDns(const RequestRouter& router, Hypergiant hg,
+                                   RedirectionPolicy policy,
+                                   std::set<Ipv4> ecs_allowlist)
+    : router_(router),
+      hg_(hg),
+      policy_(policy),
+      ecs_allowlist_(std::move(ecs_allowlist)),
+      canonical_(canonical_for(hg)) {}
+
+std::optional<DnsAnswer> AuthoritativeDns::resolve(
+    const std::string& hostname, Ipv4 resolver,
+    std::optional<Prefix> ecs) const {
+  const std::string name = to_lower(hostname);
+
+  // Embedded per-deployment hostnames resolve to their server everywhere
+  // (they already encode the site); real clients learn them in-band.
+  if (const auto embedded = router_.ip_of_embedded_hostname(name)) {
+    return DnsAnswer{*embedded};
+  }
+
+  if (name != canonical_) return std::nullopt;
+
+  const Ipv4 effective_client = ecs ? ecs->network() : resolver;
+  switch (policy_) {
+    case RedirectionPolicy::kGeoDns2013:
+      return DnsAnswer{router_.serving_ip(hg_, effective_client)};
+    case RedirectionPolicy::kEmbeddedUrl2023:
+      // The web hostname lives onnet/cloud; the offnet assignment is only
+      // visible inside returned pages.
+      return DnsAnswer{router_.onnet_ip(hg_)};
+    case RedirectionPolicy::kEcsAllowlist:
+      if (ecs && ecs_allowlist_.contains(resolver)) {
+        return DnsAnswer{router_.serving_ip(hg_, effective_client)};
+      }
+      return DnsAnswer{router_.onnet_ip(hg_)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace repro

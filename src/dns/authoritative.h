@@ -1,0 +1,63 @@
+// The hypergiant's authoritative DNS under three redirection eras:
+//
+//   * kGeoDns2013      -- the canonical hostname (www.google.com style)
+//                         resolves to the serving front-end for the querying
+//                         client (via EDNS-Client-Subnet when present, else
+//                         the resolver's address). This is what made the
+//                         Calder et al. 2013 ECS mapping technique work.
+//   * kEmbeddedUrl2023 -- the canonical hostname always resolves to onnet;
+//                         offnets are reachable only through per-deployment
+//                         hostnames embedded in pages served to real clients
+//                         (Google/Netflix/Meta today).
+//   * kEcsAllowlist    -- geo answers only for allow-listed resolvers
+//                         (Akamai today); everyone else gets onnet.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "dns/request_routing.h"
+
+namespace repro {
+
+enum class RedirectionPolicy : std::uint8_t {
+  kGeoDns2013 = 0,
+  kEmbeddedUrl2023,
+  kEcsAllowlist,
+};
+
+std::string_view to_string(RedirectionPolicy policy) noexcept;
+
+/// A DNS A-record answer.
+struct DnsAnswer {
+  Ipv4 ip;
+};
+
+class AuthoritativeDns {
+ public:
+  AuthoritativeDns(const RequestRouter& router, Hypergiant hg,
+                   RedirectionPolicy policy,
+                   std::set<Ipv4> ecs_allowlist = {});
+
+  /// The service's canonical public hostname (what the 2013 technique
+  /// queried).
+  const std::string& canonical_hostname() const noexcept { return canonical_; }
+
+  /// Resolves `hostname` for a query arriving from `resolver`, optionally
+  /// carrying an EDNS-Client-Subnet `ecs` prefix. Unknown names get no
+  /// answer.
+  std::optional<DnsAnswer> resolve(const std::string& hostname, Ipv4 resolver,
+                                   std::optional<Prefix> ecs) const;
+
+  RedirectionPolicy policy() const noexcept { return policy_; }
+
+ private:
+  const RequestRouter& router_;
+  Hypergiant hg_;
+  RedirectionPolicy policy_;
+  std::set<Ipv4> ecs_allowlist_;
+  std::string canonical_;
+};
+
+}  // namespace repro

@@ -1,0 +1,89 @@
+#include "dns/mapping_study.h"
+
+#include <array>
+#include <set>
+
+#include "util/error.h"
+
+namespace repro {
+
+EcsMappingResult ecs_mapping_study(const Internet& internet,
+                                   const OffnetRegistry& registry,
+                                   const RequestRouter& router,
+                                   const AuthoritativeDns& dns,
+                                   const EcsMappingConfig& config) {
+  require(config.prefixes_per_isp >= 1, "ecs_mapping_study: need probes");
+  EcsMappingResult result;
+  result.policy = dns.policy();
+
+  // Identify the hypergiant whose DNS we are sweeping via the router's
+  // ground truth (any client works; use recall bookkeeping below).
+  std::set<Ipv4> offnet_ips;
+  std::set<AsIndex> offnet_isps;
+  std::size_t truth_offnet_prefixes = 0;
+  std::size_t recalled_prefixes = 0;
+  std::set<AsIndex> truth_isps_probed;
+  std::set<AsIndex> truth_isps_recalled;
+
+  // The study must not use ground truth for *inference* -- only IP-to-AS
+  // (public BGP data) to decide whether an answer is an offnet.
+  std::array<AsIndex, kHypergiantCount> hg_ases{};
+  for (const Hypergiant hg : all_hypergiants()) {
+    hg_ases[static_cast<std::size_t>(hg)] = internet.as_by_asn(profile(hg).asn);
+  }
+  Hypergiant hg = Hypergiant::kGoogle;
+  // Recover which hypergiant this DNS belongs to from its canonical name.
+  for (const Hypergiant candidate : all_hypergiants()) {
+    const AuthoritativeDns probe(router, candidate, dns.policy());
+    if (probe.canonical_hostname() == dns.canonical_hostname()) hg = candidate;
+  }
+  result.hg = hg;
+
+  for (const AsIndex isp : internet.access_isps()) {
+    const As& as = internet.ases[isp];
+    if (as.user_prefixes.empty()) continue;
+    const Prefix& space = as.user_prefixes.front();
+    const std::uint64_t slash24s = std::max<std::uint64_t>(1, space.size() / 256);
+    const bool truth_hosts = registry.find_deployment(isp, hg) != nullptr;
+
+    for (std::size_t p = 0; p < config.prefixes_per_isp && p < slash24s; ++p) {
+      const Prefix client_prefix(space.at(p * 256), 24);
+      ++result.prefixes_probed;
+      if (truth_hosts) {
+        ++truth_offnet_prefixes;
+        truth_isps_probed.insert(isp);
+      }
+
+      const auto answer =
+          dns.resolve(dns.canonical_hostname(), config.resolver, client_prefix);
+      if (!answer) continue;
+      const auto owner = internet.as_of_ip(answer->ip);
+      if (!owner) continue;
+      const bool in_hg_as =
+          std::find(hg_ases.begin(), hg_ases.end(), *owner) != hg_ases.end();
+      if (in_hg_as) continue;  // onnet answer: nothing learned
+
+      ++result.prefixes_mapped_to_offnet;
+      offnet_ips.insert(answer->ip);
+      offnet_isps.insert(*owner);
+      if (truth_hosts) {
+        ++recalled_prefixes;
+        truth_isps_recalled.insert(isp);
+      }
+    }
+  }
+
+  result.distinct_offnet_ips = offnet_ips.size();
+  result.distinct_offnet_isps = offnet_isps.size();
+  if (truth_offnet_prefixes > 0) {
+    result.prefix_recall =
+        static_cast<double>(recalled_prefixes) / truth_offnet_prefixes;
+  }
+  if (!truth_isps_probed.empty()) {
+    result.isp_recall = static_cast<double>(truth_isps_recalled.size()) /
+                        truth_isps_probed.size();
+  }
+  return result;
+}
+
+}  // namespace repro

@@ -1,0 +1,50 @@
+// The Calder et al. (IMC '13) EDNS-Client-Subnet mapping technique, and why
+// it no longer works (Section 3.2): from a single vantage point, query the
+// hypergiant's canonical hostname once per client /24 with an ECS option and
+// collect the answers; every answer in a non-hypergiant AS is a discovered
+// offnet, and the client-to-server map falls out for free. Run against the
+// three redirection policies to show the technique's coverage collapse.
+#pragma once
+
+#include <cstdint>
+
+#include "dns/authoritative.h"
+
+namespace repro {
+
+struct EcsMappingConfig {
+  /// Client /24s sampled per access ISP.
+  std::size_t prefixes_per_isp = 2;
+  /// The study's resolver/vantage address (whether it is on the Akamai
+  /// allowlist decides the kEcsAllowlist outcome).
+  Ipv4 resolver = Ipv4(0x08080808u);
+};
+
+struct EcsMappingResult {
+  Hypergiant hg = Hypergiant::kGoogle;
+  RedirectionPolicy policy = RedirectionPolicy::kGeoDns2013;
+
+  std::size_t prefixes_probed = 0;
+  /// Probes answered with an address in a non-hypergiant AS (an offnet).
+  std::size_t prefixes_mapped_to_offnet = 0;
+  std::size_t distinct_offnet_ips = 0;
+  std::size_t distinct_offnet_isps = 0;
+
+  /// Recall against ground truth: of the ISPs that really host this
+  /// hypergiant's offnets (and were probed), the fraction the technique
+  /// identified as offnet-served.
+  double isp_recall = 0.0;
+
+  /// Fraction of probed prefixes whose ground truth is offnet service that
+  /// the technique correctly mapped to an offnet.
+  double prefix_recall = 0.0;
+};
+
+/// Runs the ECS sweep against one authoritative configuration.
+EcsMappingResult ecs_mapping_study(const Internet& internet,
+                                   const OffnetRegistry& registry,
+                                   const RequestRouter& router,
+                                   const AuthoritativeDns& dns,
+                                   const EcsMappingConfig& config = {});
+
+}  // namespace repro

@@ -1,0 +1,92 @@
+#include "dns/request_routing.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace repro {
+
+namespace {
+
+/// The per-deployment site name (shared convention with the TLS certs).
+std::string deployment_hostname(const Internet& internet,
+                                const OffnetRegistry& registry, AsIndex isp,
+                                Hypergiant hg, FacilityIndex facility) {
+  const Metro& metro = internet.metro_of_facility(facility);
+  const std::string site = std::to_string(10 + facility % 20);
+  const std::string unit = std::to_string(1 + isp % 6);
+  switch (hg) {
+    case Hypergiant::kGoogle:
+      return "r1---sn-" + metro.iata + site + ".googlevideo.com";
+    case Hypergiant::kNetflix:
+      return "ipv4-c001-" + metro.iata + site + "-isp.1.oca.nflxvideo.net";
+    case Hypergiant::kMeta:
+      return "scontent.f" + metro.iata + site + "-" + unit + ".fna.fbcdn.net";
+    case Hypergiant::kAkamai:
+      return "a" + std::to_string(200 + isp % 600) + "-" + metro.iata +
+             ".deploy.akamaized.net";
+  }
+  (void)registry;
+  return "cdn.example.net";
+}
+
+}  // namespace
+
+RequestRouter::RequestRouter(const Internet& internet,
+                             const OffnetRegistry& registry)
+    : internet_(internet), registry_(registry) {
+  // Precompute one embedded hostname per deployment, pointing at its first
+  // server (the services hand out per-session server picks; one
+  // representative is enough for the mapping analyses).
+  for (const auto& [key, deployment] : registry_.deployments()) {
+    if (deployment.server_indices.empty()) continue;
+    const OffnetServer& server =
+        registry_.servers()[deployment.server_indices.front()];
+    const std::string hostname = deployment_hostname(
+        internet_, registry_, key.first, key.second, server.facility);
+    deployment_hostname_[key] = hostname;
+    embedded_to_ip_.emplace(hostname, server.ip);
+  }
+}
+
+Ipv4 RequestRouter::onnet_ip(Hypergiant hg) const {
+  const AsIndex hg_as = internet_.as_by_asn(profile(hg).asn);
+  // The onnet serving block starts at offset 1000 (see background.cpp).
+  return internet_.ases[hg_as].infra.pool().at(1000);
+}
+
+Ipv4 RequestRouter::serving_ip(Hypergiant hg, Ipv4 client) const {
+  const auto isp = internet_.as_of_ip(client);
+  if (!isp) return onnet_ip(hg);
+  const Deployment* deployment = registry_.find_deployment(*isp, hg);
+  if (deployment == nullptr || deployment->server_indices.empty()) {
+    return onnet_ip(hg);
+  }
+  // Stable per-/24 server pick inside the deployment.
+  const std::uint64_t slot =
+      mix64(client.value() >> 8) % deployment->server_indices.size();
+  return registry_.servers()[deployment->server_indices[slot]].ip;
+}
+
+bool RequestRouter::serves_from_offnet(Hypergiant hg, Ipv4 client) const {
+  const auto isp = internet_.as_of_ip(client);
+  if (!isp) return false;
+  return registry_.find_deployment(*isp, hg) != nullptr;
+}
+
+std::optional<std::string> RequestRouter::embedded_hostname(Hypergiant hg,
+                                                            Ipv4 client) const {
+  const auto isp = internet_.as_of_ip(client);
+  if (!isp) return std::nullopt;
+  const auto it = deployment_hostname_.find(std::make_pair(*isp, hg));
+  if (it == deployment_hostname_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Ipv4> RequestRouter::ip_of_embedded_hostname(
+    const std::string& hostname) const {
+  const auto it = embedded_to_ip_.find(to_lower(hostname));
+  if (it == embedded_to_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace repro

@@ -1,0 +1,49 @@
+// Ground-truth request routing: which server (offnet or onnet) a hypergiant
+// sends a given client to, and the per-client URL hostnames the 2023-era
+// services embed in returned pages (e.g. fhan14-4.fna.fbcdn.net).
+//
+// Section 3.2 of the paper explains why the 2013 DNS-based mapping technique
+// no longer reveals this assignment: Google/Netflix/Meta now embed custom
+// URLs in web pages (visible only to actual clients), and Akamai answers
+// EDNS-Client-Subnet only for allow-listed resolvers. This module models the
+// assignment itself; dns/authoritative.h models what DNS will admit to.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hypergiant/deployment.h"
+
+namespace repro {
+
+class RequestRouter {
+ public:
+  RequestRouter(const Internet& internet, const OffnetRegistry& registry);
+
+  /// The server that would deliver `hg` content to `client`: an offnet IP
+  /// in the client's ISP when a deployment exists, otherwise an onnet IP.
+  Ipv4 serving_ip(Hypergiant hg, Ipv4 client) const;
+
+  /// True if `client` is served from an offnet (in-ISP) cache.
+  bool serves_from_offnet(Hypergiant hg, Ipv4 client) const;
+
+  /// The hostname a 2023-era service embeds in pages returned to `client`
+  /// (resolves to serving_ip via the authoritative DNS). Nullopt when the
+  /// client is served from onnet under a generic name.
+  std::optional<std::string> embedded_hostname(Hypergiant hg, Ipv4 client) const;
+
+  /// Reverse lookup used by the authoritative server: the serving IP a
+  /// 2023-era embedded hostname designates, if it is one.
+  std::optional<Ipv4> ip_of_embedded_hostname(const std::string& hostname) const;
+
+  /// A stable onnet serving address for `hg`.
+  Ipv4 onnet_ip(Hypergiant hg) const;
+
+ private:
+  const Internet& internet_;
+  const OffnetRegistry& registry_;
+  std::map<std::string, Ipv4> embedded_to_ip_;
+  std::map<std::pair<AsIndex, Hypergiant>, std::string> deployment_hostname_;
+};
+
+}  // namespace repro

@@ -1,0 +1,117 @@
+#include "hypergiant/background.h"
+
+#include <string>
+
+#include "hypergiant/certs.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace repro {
+
+namespace {
+
+TlsCertificate make_isp_certificate(const As& as, Snapshot snapshot, Rng& rng) {
+  TlsCertificate cert;
+  cert.subject.common_name = "www." + to_lower(as.name) + ".example.net";
+  cert.subject.organization = as.name + " Communications";
+  cert.subject.country = "";
+  cert.issuer.common_name = "R3";
+  cert.issuer.organization = "Let's Encrypt";
+  cert.san_dns = {cert.subject.common_name};
+  cert.not_before_year = snapshot_year(snapshot) - 1;
+  cert.not_after_year = snapshot_year(snapshot);
+  cert.serial = rng.next();
+  return cert;
+}
+
+/// Decoys exercise classifier specificity: hypergiant-ish strings that must
+/// not match the fingerprints (wrong suffix, wrong org, lookalike domains).
+TlsCertificate make_decoy_certificate(int ordinal, Snapshot snapshot, Rng& rng) {
+  TlsCertificate cert;
+  switch (ordinal % 5) {
+    case 0:
+      cert.subject.common_name = "cache.googlevideo.com.cdn-mirror.example";
+      cert.subject.organization = "Totally Not Google Ltd";
+      break;
+    case 1:
+      cert.subject.common_name = "*.fbcdn.net.phish.example";
+      cert.subject.organization = "";
+      break;
+    case 2:
+      cert.subject.common_name = "video.oca-nflxvideo.example.net";
+      cert.subject.organization = "Netflix Fan Club";
+      break;
+    case 3:
+      cert.subject.common_name = "*.akamaized.example.org";
+      cert.subject.organization = "Akamai Technologies";  // missing ", Inc."
+      break;
+    default:
+      cert.subject.common_name = "*.othercdn.example";
+      cert.subject.organization = "OtherCDN Inc";  // a 5th CDN we don't track
+      break;
+  }
+  cert.san_dns = {cert.subject.common_name};
+  cert.issuer.common_name = "R3";
+  cert.issuer.organization = "Let's Encrypt";
+  cert.not_before_year = snapshot_year(snapshot) - 1;
+  cert.not_after_year = snapshot_year(snapshot) + 1;
+  cert.serial = rng.next();
+  return cert;
+}
+
+}  // namespace
+
+CertStore build_tls_population(const Internet& internet,
+                               const OffnetRegistry& registry, Snapshot snapshot,
+                               const PopulationConfig& config) {
+  CertStore store;
+  Rng rng(config.seed ^ mix64(static_cast<std::uint64_t>(snapshot)));
+
+  // Offnet servers: hypergiant certificates in ISP address space.
+  for (const OffnetServer& server : registry.servers()) {
+    const Metro& metro =
+        internet.metro_of_facility(server.facility);
+    store.install(server.ip,
+                  make_offnet_certificate(server.hg, snapshot, metro.iata,
+                                          server.site_ordinal, rng));
+  }
+
+  // Onnet servers: hypergiant certificates inside the hypergiant's own AS.
+  for (const Hypergiant hg : all_hypergiants()) {
+    const AsIndex hg_as = internet.as_by_asn(profile(hg).asn);
+    const Prefix& infra = internet.ases[hg_as].infra.pool();
+    for (int i = 0; i < config.onnet_servers_per_hg; ++i) {
+      const std::uint64_t offset = 1000 + static_cast<std::uint64_t>(i);
+      require(offset < infra.size(), "build_tls_population: onnet block small");
+      store.install(infra.at(offset), make_onnet_certificate(hg, snapshot, rng));
+    }
+  }
+
+  // Background ISP endpoints in user space.
+  for (const AsIndex isp : internet.access_isps()) {
+    const As& as = internet.ases[isp];
+    if (as.user_prefixes.empty()) continue;
+    const Prefix& space = as.user_prefixes.front();
+    for (int i = 0; i < config.background_per_isp; ++i) {
+      const auto offset = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(space.size()) - 1));
+      store.install(space.at(offset), make_isp_certificate(as, snapshot, rng));
+    }
+  }
+
+  // Decoys scattered across random access ISPs' infra space (worst case for
+  // the classifier: lookalike cert in a plausible network).
+  const auto isps = internet.access_isps();
+  for (int i = 0; i < config.decoy_count && !isps.empty(); ++i) {
+    const AsIndex isp = isps[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(isps.size()) - 1))];
+    const Prefix& infra = internet.ases[isp].infra.pool();
+    // Decoys live in the top of the infra block, clear of offnet servers.
+    const std::uint64_t offset = infra.size() - 1 - static_cast<std::uint64_t>(i % 64);
+    store.install(infra.at(offset), make_decoy_certificate(i, snapshot, rng));
+  }
+
+  return store;
+}
+
+}  // namespace repro

@@ -1,0 +1,30 @@
+// Builds the scan-visible TLS population for one snapshot: offnet servers
+// (hypergiant certs inside ISP address space), onnet servers (hypergiant
+// certs inside hypergiant ASes -- which the classifier must exclude), plus a
+// background of unrelated ISP/enterprise certificates and deliberate
+// lookalike decoys that a sloppy fingerprint would misclassify.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergiant/deployment.h"
+#include "tls/cert_store.h"
+
+namespace repro {
+
+struct PopulationConfig {
+  std::uint64_t seed = 4242;
+  /// Background TLS endpoints per access ISP (web servers, mail, ...).
+  int background_per_isp = 2;
+  /// Onnet serving IPs per hypergiant.
+  int onnet_servers_per_hg = 200;
+  /// Lookalike decoys (certs with hypergiant-ish names that must NOT match).
+  int decoy_count = 50;
+};
+
+/// Assembles the CertStore a Censys-style scan of this snapshot would see.
+CertStore build_tls_population(const Internet& internet,
+                               const OffnetRegistry& registry, Snapshot snapshot,
+                               const PopulationConfig& config);
+
+}  // namespace repro

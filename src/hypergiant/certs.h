@@ -1,0 +1,37 @@
+// Per-hypergiant TLS certificate conventions, including the 2021 -> 2023
+// changes that broke the original discovery methodology (Section 2.2):
+//   * Google removed the Organization entry from the Subject Name; offnets
+//     are identified by CN matching *.googlevideo.com in 2023.
+//   * Meta switched to site-specific names (*.fhan14-4.fna.fbcdn.net style)
+//     so exact onnet-name matching no longer works; the 2023 methodology
+//     matches the *.fbcdn.net pattern.
+//   * Netflix (*.oca.nflxvideo.net) and Akamai (Organization-based) kept
+//     their conventions.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "hypergiant/profile.h"
+#include "tls/certificate.h"
+#include "util/rng.h"
+
+namespace repro {
+
+/// Issues the certificate an *offnet* server of `hg` serves at `snapshot`.
+/// `metro_iata` feeds Meta's site-specific naming; `site_ordinal` and
+/// `deployment_ordinal` distinguish multiple sites/racks in one metro.
+TlsCertificate make_offnet_certificate(Hypergiant hg, Snapshot snapshot,
+                                       std::string_view metro_iata,
+                                       int site_ordinal, Rng& rng);
+
+/// Issues the certificate an *onnet* server of `hg` (inside the
+/// hypergiant's own AS) serves at `snapshot`.
+TlsCertificate make_onnet_certificate(Hypergiant hg, Snapshot snapshot, Rng& rng);
+
+/// Meta's site-specific offnet name for a metro/site, e.g.
+/// "*.fhan14-4.fna.fbcdn.net" for Hanoi site 14-4.
+std::string meta_site_name(std::string_view metro_iata, int site_ordinal,
+                           int rack_ordinal);
+
+}  // namespace repro

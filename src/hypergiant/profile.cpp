@@ -1,0 +1,51 @@
+#include "hypergiant/profile.h"
+
+#include "topology/generator.h"
+
+namespace repro {
+
+namespace {
+
+constexpr std::array<Hypergiant, kHypergiantCount> kAll = {
+    Hypergiant::kGoogle, Hypergiant::kNetflix, Hypergiant::kMeta,
+    Hypergiant::kAkamai};
+
+constexpr std::array<HypergiantProfile, kHypergiantCount> kProfiles = {{
+    // id, asn, name, traffic_share, cache_eff, 2021, 2023, min_users,
+    // extra_site, servers_scale
+    {Hypergiant::kGoogle, kGoogleAsn, "Google", 0.21, 0.80, 3810, 4697, 1.5e4,
+     0.45, 15.0},
+    {Hypergiant::kNetflix, kNetflixAsn, "Netflix", 0.09, 0.95, 2115, 2906, 4e4,
+     0.10, 8.0},
+    {Hypergiant::kMeta, kMetaAsn, "Meta", 0.15, 0.86, 2214, 2588, 4e4, 0.22,
+     10.0},
+    {Hypergiant::kAkamai, kAkamaiAsn, "Akamai", 0.175, 0.75, 1094, 1094, 4e4,
+     0.35, 19.0},
+}};
+
+}  // namespace
+
+std::span<const Hypergiant> all_hypergiants() noexcept { return kAll; }
+
+std::string_view to_string(Hypergiant hg) noexcept {
+  return profile(hg).name;
+}
+
+std::string_view to_string(Snapshot snapshot) noexcept {
+  return snapshot == Snapshot::k2021 ? "2021" : "2023";
+}
+
+int snapshot_year(Snapshot snapshot) noexcept {
+  return snapshot == Snapshot::k2021 ? 2021 : 2023;
+}
+
+const HypergiantProfile& profile(Hypergiant hg) noexcept {
+  return kProfiles[static_cast<std::size_t>(hg)];
+}
+
+double offnet_serveable_traffic_fraction(Hypergiant hg) noexcept {
+  const auto& p = profile(hg);
+  return p.traffic_share * p.cache_efficiency;
+}
+
+}  // namespace repro

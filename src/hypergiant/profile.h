@@ -1,0 +1,69 @@
+// The four hypergiants: identities, traffic model constants (Section 2.1 of
+// the paper) and deployment-footprint targets (Table 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "topology/entities.h"
+
+namespace repro {
+
+enum class Hypergiant : std::uint8_t { kGoogle = 0, kNetflix, kMeta, kAkamai };
+
+inline constexpr std::size_t kHypergiantCount = 4;
+
+/// All hypergiants, in canonical order.
+std::span<const Hypergiant> all_hypergiants() noexcept;
+
+std::string_view to_string(Hypergiant hg) noexcept;
+
+/// The two scan snapshots the paper compares (Table 1).
+enum class Snapshot : std::uint8_t { k2021 = 0, k2023 };
+
+std::string_view to_string(Snapshot snapshot) noexcept;
+int snapshot_year(Snapshot snapshot) noexcept;
+
+/// Static per-hypergiant constants. Traffic shares and cache efficiencies
+/// are the paper's Section 2.1 / 3.2 estimates; footprint targets are the
+/// Table 1 ISP counts, which the deployment policy treats as calibration
+/// targets at scale 1.0.
+struct HypergiantProfile {
+  Hypergiant id;
+  AsNumber asn;
+  std::string_view name;
+
+  /// Share of total Internet traffic (Sandvine/Akamai estimates).
+  double traffic_share;
+  /// Fraction of the hypergiant's traffic an offnet can serve.
+  double cache_efficiency;
+
+  /// Table 1 footprint (number of ISPs with offnets) per snapshot.
+  int isps_2021;
+  int isps_2023;
+
+  /// Minimum ISP size (users) to qualify for an offnet.
+  double min_isp_users;
+
+  /// Probability that a multi-metro ISP gets an additional offnet site
+  /// (drives the Section 4.1 single-site fractions; Google deploys
+  /// multi-site most aggressively, Netflix least).
+  double extra_site_propensity;
+
+  /// Mean offnet servers per deployment at a reference ISP size; the
+  /// deployment scales it with ISP users.
+  double servers_scale;
+};
+
+/// Profile lookup (static data).
+const HypergiantProfile& profile(Hypergiant hg) noexcept;
+
+/// Fraction of a user's *total* Internet traffic a facility hosting this
+/// hypergiant's offnet can serve: traffic_share * cache_efficiency.
+/// (Google 21% x 80% = 17%, Netflix 9% x 95% = 9%, Meta 15% x 86% = 13%,
+/// Akamai 17.5% x 75% = 13%; all four together 52%.)
+double offnet_serveable_traffic_fraction(Hypergiant hg) noexcept;
+
+}  // namespace repro

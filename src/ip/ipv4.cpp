@@ -1,0 +1,74 @@
+#include "ip/ipv4.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace repro {
+
+namespace {
+
+std::uint32_t parse_octet(std::string_view text) {
+  if (text.empty() || text.size() > 3) throw ParseError("bad IPv4 octet: '" + std::string(text) + "'");
+  unsigned value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value > 255) {
+    throw ParseError("bad IPv4 octet: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Ipv4 Ipv4::parse(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) throw ParseError("bad IPv4 address: '" + std::string(text) + "'");
+  std::uint32_t value = 0;
+  for (const auto& part : parts) value = (value << 8) | parse_octet(part);
+  return Ipv4(value);
+}
+
+std::string Ipv4::to_string() const {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buffer;
+}
+
+Prefix::Prefix(Ipv4 network, int length) : length_(length) {
+  require(length >= 0 && length <= 32, "Prefix: length outside [0, 32]");
+  network_ = Ipv4(network.value() & mask());
+}
+
+Prefix Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) throw ParseError("prefix missing '/': '" + std::string(text) + "'");
+  const Ipv4 network = Ipv4::parse(text.substr(0, slash));
+  const std::string_view len_text = text.substr(slash + 1);
+  int length = -1;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() || length < 0 ||
+      length > 32) {
+    throw ParseError("bad prefix length: '" + std::string(len_text) + "'");
+  }
+  return Prefix(network, length);
+}
+
+Ipv4 Prefix::at(std::uint64_t i) const {
+  require(i < size(), "Prefix::at: index outside prefix");
+  return Ipv4(network_.value() + static_cast<std::uint32_t>(i));
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+Prefix enclosing_slash24(Ipv4 address) noexcept {
+  return Prefix(Ipv4(address.value() & 0xffffff00u), 24);
+}
+
+}  // namespace repro

@@ -1,0 +1,108 @@
+// IPv4 addresses and CIDR prefixes: strong value types with parsing,
+// formatting, and containment arithmetic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace repro {
+
+/// An IPv4 address as a host-order 32-bit value.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t value) noexcept : value_(value) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Throws ParseError.
+  static Ipv4 parse(std::string_view text);
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Dotted-quad rendering.
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 CIDR prefix (network address + length). The network address is
+/// always normalized (host bits zeroed).
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+
+  /// Builds a prefix, zeroing host bits. Throws Error if length > 32.
+  Prefix(Ipv4 network, int length);
+
+  /// Parses "a.b.c.d/len". Throws ParseError.
+  static Prefix parse(std::string_view text);
+
+  constexpr Ipv4 network() const noexcept { return network_; }
+  constexpr int length() const noexcept { return length_; }
+
+  /// Netmask as a host-order 32-bit value (length 0 -> 0).
+  constexpr std::uint32_t mask() const noexcept {
+    return length_ == 0 ? 0u : ~0u << (32 - length_);
+  }
+
+  /// Number of addresses covered (2^(32-length)); 2^32 reported as 0 is
+  /// avoided by returning a 64-bit count.
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// First address of the prefix.
+  constexpr Ipv4 first() const noexcept { return network_; }
+
+  /// Last address of the prefix.
+  constexpr Ipv4 last() const noexcept {
+    return Ipv4(network_.value() | ~mask());
+  }
+
+  /// i-th address inside the prefix. Throws Error when i >= size().
+  Ipv4 at(std::uint64_t i) const;
+
+  constexpr bool contains(Ipv4 address) const noexcept {
+    return (address.value() & mask()) == network_.value();
+  }
+
+  constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  /// "a.b.c.d/len" rendering.
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+ private:
+  Ipv4 network_{};
+  int length_ = 0;
+};
+
+/// The enclosing /24 of an address (the paper traceroutes one IP per
+/// announced /24).
+Prefix enclosing_slash24(Ipv4 address) noexcept;
+
+}  // namespace repro
+
+template <>
+struct std::hash<repro::Ipv4> {
+  std::size_t operator()(const repro::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};
+
+template <>
+struct std::hash<repro::Prefix> {
+  std::size_t operator()(const repro::Prefix& prefix) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{prefix.network().value()} << 8) |
+        static_cast<std::uint64_t>(prefix.length()));
+  }
+};

@@ -1,0 +1,10 @@
+// PrefixTrie is header-only (template); this translation unit exists to give
+// the target a compiled artifact and to instantiate a common specialization
+// as a compile check.
+#include "ip/prefix_trie.h"
+
+namespace repro {
+
+template class PrefixTrie<std::uint32_t>;
+
+}  // namespace repro

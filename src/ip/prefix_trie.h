@@ -1,0 +1,94 @@
+// Longest-prefix-match trie mapping IPv4 prefixes to values. Used for
+// IP-to-AS mapping (the scan classifier and the traceroute analyzer both
+// need to attribute addresses to networks, as the paper does with BGP data).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ip/ipv4.h"
+#include "util/error.h"
+
+namespace repro {
+
+/// Binary trie keyed by IPv4 prefixes. V must be copyable.
+template <typename V>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or overwrites the value at `prefix`.
+  void insert(const Prefix& prefix, V value) {
+    Node* node = root_.get();
+    for (int bit = 0; bit < prefix.length(); ++bit) {
+      const int side = bit_at(prefix.network(), bit);
+      if (!node->children[side]) node->children[side] = std::make_unique<Node>();
+      node = node->children[side].get();
+    }
+    if (!node->value.has_value()) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Longest-prefix-match lookup; nullopt when no covering prefix exists.
+  std::optional<V> lookup(Ipv4 address) const {
+    const Node* node = root_.get();
+    std::optional<V> best = node->value;
+    for (int bit = 0; bit < 32 && node; ++bit) {
+      node = node->children[bit_at(address, bit)].get();
+      if (node && node->value.has_value()) best = node->value;
+    }
+    return best;
+  }
+
+  /// Exact-match lookup of a stored prefix.
+  std::optional<V> exact(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (int bit = 0; bit < prefix.length() && node; ++bit) {
+      node = node->children[bit_at(prefix.network(), bit)].get();
+    }
+    if (!node) return std::nullopt;
+    return node->value;
+  }
+
+  /// Number of stored prefixes.
+  std::size_t size() const noexcept { return size_; }
+
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// All (prefix, value) pairs in lexicographic (network, length) order.
+  std::vector<std::pair<Prefix, V>> entries() const {
+    std::vector<std::pair<Prefix, V>> out;
+    out.reserve(size_);
+    collect(root_.get(), 0, 0, out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  static int bit_at(Ipv4 address, int bit) noexcept {
+    return (address.value() >> (31 - bit)) & 1u;
+  }
+
+  void collect(const Node* node, std::uint32_t accum, int depth,
+               std::vector<std::pair<Prefix, V>>& out) const {
+    if (!node) return;
+    if (node->value.has_value()) {
+      out.emplace_back(Prefix(Ipv4(accum), depth), *node->value);
+    }
+    if (depth == 32) return;
+    const std::uint32_t bit = 1u << (31 - depth);
+    collect(node->children[0].get(), accum, depth + 1, out);
+    collect(node->children[1].get(), accum | bit, depth + 1, out);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace repro

@@ -1,0 +1,89 @@
+#include "mlab/filters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro {
+
+namespace {
+
+bool finite(double value) noexcept { return std::isfinite(value); }
+
+}  // namespace
+
+bool violates_speed_of_light(const std::vector<double>& rtts,
+                             const VantagePointSet& vps,
+                             const FilterConfig& config) {
+  // Gather finite measurements sorted ascending; test pairs among the lowest.
+  std::vector<std::size_t> cols;
+  cols.reserve(rtts.size());
+  for (std::size_t i = 0; i < rtts.size(); ++i) {
+    if (finite(rtts[i])) cols.push_back(i);
+  }
+  if (cols.size() < 2) return false;
+  std::sort(cols.begin(), cols.end(),
+            [&](std::size_t a, std::size_t b) { return rtts[a] < rtts[b]; });
+  const std::size_t limit = std::min(cols.size(), config.sol_check_candidates);
+  for (std::size_t i = 0; i < limit; ++i) {
+    for (std::size_t j = i + 1; j < limit; ++j) {
+      const double bound =
+          propagation_ms(haversine_km(vps[cols[i]].location, vps[cols[j]].location));
+      if (rtts[cols[i]] / 2.0 + rtts[cols[j]] / 2.0 + config.sol_tolerance_ms <
+          bound) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+FilteredMatrix clean_matrix(const LatencyMatrix& matrix,
+                            const VantagePointSet& vps,
+                            const FilterConfig& config) {
+  FilteredMatrix out;
+
+  // Pass 1: drop unresponsive and physically impossible rows.
+  for (std::size_t row = 0; row < matrix.row_count(); ++row) {
+    std::vector<double> rtts(matrix.vp_count);
+    bool any = false;
+    for (std::size_t col = 0; col < matrix.vp_count; ++col) {
+      rtts[col] = matrix.at(row, col);
+      any = any || finite(rtts[col]);
+    }
+    if (!any) {
+      ++out.dropped_unresponsive;
+      continue;
+    }
+    if (violates_speed_of_light(rtts, vps, config)) {
+      ++out.dropped_impossible;
+      continue;
+    }
+    out.kept_rows.push_back(row);
+  }
+
+  // Pass 2: columns with successful measurements to all kept rows.
+  for (std::size_t col = 0; col < matrix.vp_count; ++col) {
+    bool all = !out.kept_rows.empty();
+    for (const std::size_t row : out.kept_rows) {
+      if (!finite(matrix.at(row, col))) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.kept_cols.push_back(col);
+  }
+
+  out.usable = out.kept_cols.size() >= config.min_usable_sites &&
+               !out.kept_rows.empty();
+
+  // Pass 3: compact matrix.
+  out.rtt.reserve(out.kept_rows.size() * out.kept_cols.size());
+  for (const std::size_t row : out.kept_rows) {
+    for (const std::size_t col : out.kept_cols) {
+      out.rtt.push_back(matrix.at(row, col));
+    }
+  }
+  return out;
+}
+
+}  // namespace repro

@@ -1,0 +1,143 @@
+#include "mlab/ping_mesh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace repro {
+
+namespace {
+
+/// Deterministic uniform in [0,1) from a key (stateless hashing).
+double hash_uniform(std::uint64_t key) noexcept {
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic exponential draw from a key.
+double hash_exponential(std::uint64_t key, double mean) noexcept {
+  double u = hash_uniform(key);
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) * mean;
+}
+
+std::uint64_t ip_key(Ipv4 ip, std::uint64_t salt) noexcept {
+  return mix64((std::uint64_t{ip.value()} << 8) ^ salt);
+}
+
+}  // namespace
+
+PingMesh::PingMesh(const Internet& internet, const VantagePointSet& vps,
+                   PingConfig config)
+    : internet_(internet), vps_(vps), config_(config) {
+  require(config_.probes >= 2, "PingConfig: need at least 2 probes");
+  require(config_.inflation_min >= 1.0 &&
+              config_.inflation_max >= config_.inflation_min,
+          "PingConfig: bad inflation range");
+}
+
+bool PingMesh::ip_unresponsive(Ipv4 ip) const noexcept {
+  return hash_uniform(ip_key(ip, config_.seed ^ 0x11)) <
+         config_.unresponsive_ip_rate;
+}
+
+bool PingMesh::ip_split_personality(Ipv4 ip) const noexcept {
+  if (ip_unresponsive(ip)) return false;
+  return hash_uniform(ip_key(ip, config_.seed ^ 0x22)) <
+         config_.split_personality_rate;
+}
+
+bool PingMesh::isp_icmp_limited(AsIndex isp) const noexcept {
+  return hash_uniform(mix64(config_.seed ^ 0x33) ^ mix64(isp)) <
+         config_.icmp_limited_isp_rate;
+}
+
+double PingMesh::base_rtt_ms(const VantagePoint& vp, const OffnetServer& server,
+                             FacilityIndex facility) const {
+  const GeoPoint& server_location = internet_.facilities[facility].location;
+  const double light = min_rtt_ms(vp.location, server_location);
+  // Path inflation is a property of the (VP, facility) route.
+  const std::uint64_t route_key =
+      mix64(config_.seed ^ 0x44) ^ mix64(vp.index * 100003ULL + facility);
+  const double inflation =
+      config_.inflation_min +
+      (config_.inflation_max - config_.inflation_min) * hash_uniform(route_key);
+  const double facility_offset =
+      hash_exponential(route_key ^ 0x55, config_.facility_offset_mean_ms);
+  // Rack key: servers of *any* hypergiant in the same facility and rack
+  // share the same top-of-rack path from a given vantage point.
+  const std::uint64_t rack_key =
+      mix64(route_key ^ 0xBB) ^
+      mix64(static_cast<std::uint64_t>(server.rack) * 2654435761ULL);
+  const double rack_offset =
+      hash_exponential(rack_key, config_.rack_offset_mean_ms);
+  const double ip_offset =
+      (hash_uniform(ip_key(server.ip, config_.seed ^ 0x66)) * 2.0 - 1.0) *
+      config_.per_ip_offset_ms;
+  return light * inflation + facility_offset + rack_offset + ip_offset;
+}
+
+double PingMesh::measure_once(const VantagePoint& vp,
+                              const OffnetServer& server) const {
+  if (ip_unresponsive(server.ip)) return kNoMeasurement;
+
+  double loss = config_.probe_loss;
+  if (isp_icmp_limited(server.isp)) loss = config_.icmp_limited_failure;
+
+  // Split-personality IPs answer from their real facility or from a distant
+  // "twin" facility depending on the probe -- we model the per-VP outcome:
+  // roughly half the VPs see the twin.
+  FacilityIndex facility = server.facility;
+  if (ip_split_personality(server.ip)) {
+    const std::uint64_t side_key =
+        ip_key(server.ip, config_.seed ^ 0x77) ^ mix64(vp.index);
+    if (hash_uniform(side_key) < 0.5) {
+      // Twin facility: deterministic per IP, far away in index space.
+      facility = static_cast<FacilityIndex>(
+          mix64(ip_key(server.ip, config_.seed ^ 0x88)) %
+          internet_.facilities.size());
+    }
+  }
+
+  // Per-measurement RNG (deterministic for the (vp, ip) pair).
+  Rng rng(mix64(config_.seed ^ 0x99) ^ ip_key(server.ip, vp.index));
+
+  // Number of responsive probes ~ Binomial(probes, 1 - loss).
+  int responsive = 0;
+  for (int i = 0; i < config_.probes; ++i) {
+    if (!rng.chance(loss)) ++responsive;
+  }
+  if (responsive < 2) return kNoMeasurement;
+
+  // Second-smallest of `responsive` iid exponential jitters, via the order-
+  // statistic representation X(k) = sum_{i<=k} E_i / (n - i + 1).
+  const double n = static_cast<double>(responsive);
+  const double jitter_second =
+      rng.exponential(1.0) * config_.jitter_mean_ms / n +
+      rng.exponential(1.0) * config_.jitter_mean_ms / (n - 1.0);
+
+  return base_rtt_ms(vp, server, facility) + jitter_second;
+}
+
+LatencyMatrix PingMesh::measure_isp(const OffnetRegistry& registry,
+                                    AsIndex isp) const {
+  LatencyMatrix matrix;
+  matrix.server_indices = registry.servers_at(isp);
+  matrix.vp_count = vps_.size();
+  matrix.ips.reserve(matrix.server_indices.size());
+  for (const std::size_t si : matrix.server_indices) {
+    matrix.ips.push_back(registry.servers()[si].ip);
+  }
+  matrix.rtt.resize(matrix.ips.size() * matrix.vp_count, kNoMeasurement);
+  for (std::size_t row = 0; row < matrix.server_indices.size(); ++row) {
+    const OffnetServer& server = registry.servers()[matrix.server_indices[row]];
+    for (std::size_t col = 0; col < matrix.vp_count; ++col) {
+      matrix.rtt[row * matrix.vp_count + col] =
+          measure_once(vps_[col], server);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace repro

@@ -1,0 +1,36 @@
+// The measurement platform: a set of M-Lab-style vantage points with known
+// locations, spread across the world's metros (the paper uses the 163 M-Lab
+// sites).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/internet.h"
+
+namespace repro {
+
+struct VantagePoint {
+  std::size_t index = 0;
+  std::string name;           // e.g. "mlab1-usa"
+  MetroIndex metro = kInvalidIndex;
+  GeoPoint location;
+};
+
+/// Builds `count` vantage points, at most a few per metro, weighted towards
+/// populous metros (like the real M-Lab deployment). Deterministic in seed.
+class VantagePointSet {
+ public:
+  VantagePointSet(const Internet& internet, std::size_t count,
+                  std::uint64_t seed);
+
+  const std::vector<VantagePoint>& points() const noexcept { return points_; }
+  std::size_t size() const noexcept { return points_.size(); }
+  const VantagePoint& operator[](std::size_t i) const { return points_.at(i); }
+
+ private:
+  std::vector<VantagePoint> points_;
+};
+
+}  // namespace repro

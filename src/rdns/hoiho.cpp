@@ -1,0 +1,48 @@
+#include "rdns/hoiho.h"
+
+#include "rdns/ptr_store.h"
+#include "util/strings.h"
+
+namespace repro {
+
+Hoiho::Hoiho(const Internet& internet) {
+  for (const Metro& metro : internet.metros) {
+    dictionary_[metro.iata] = Entry{metro.index, metro.location, false, false};
+    // The alternate code points ~30 km off the metro center (a suburb).
+    const GeoPoint suburb = jitter_point(metro.location, 30.0, 0.81, 0.37);
+    dictionary_[metro_alias_code(metro.iata)] =
+        Entry{metro.index, suburb, true, false};
+  }
+  // Misinterpretation defect: a common hostname word that looks like a
+  // location code (the paper's example: "host" interpreted as Hostert, LU).
+  const GeoPoint hostert{49.75, 6.08};
+  dictionary_["host"] = Entry{kInvalidIndex, hostert, false, true};
+}
+
+std::optional<Geohint> Hoiho::extract(const std::string& hostname) const {
+  // Tokens are separated by '-' and '.'.
+  std::string token;
+  const auto flush = [&]() -> std::optional<Geohint> {
+    if (token.empty()) return std::nullopt;
+    const auto it = dictionary_.find(to_lower(token));
+    token.clear();
+    if (it == dictionary_.end()) return std::nullopt;
+    return Geohint{it->second.metro, it->second.location, it->first,
+                   it->second.suburb};
+  };
+  for (const char c : hostname) {
+    if (c == '-' || c == '.') {
+      if (auto hint = flush()) return hint;
+    } else {
+      token.push_back(c);
+    }
+  }
+  return flush();
+}
+
+void Hoiho::apply_manual_corrections() {
+  std::erase_if(dictionary_,
+                [](const auto& item) { return item.second.ambiguous; });
+}
+
+}  // namespace repro

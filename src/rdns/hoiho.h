@@ -1,0 +1,51 @@
+// HOIHO-style geolocation from router/server hostnames (Luckie et al.,
+// CoNEXT '21): a dictionary of location codes learned from hostnames, used
+// to extract a location hint from a PTR name. The paper notes HOIHO
+// occasionally misinterprets tokens (e.g. "host" as Hostert, LU) and that
+// they manually corrected such cases -- we model both the defect and the
+// correction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "topology/internet.h"
+
+namespace repro {
+
+/// One extracted location hint.
+struct Geohint {
+  MetroIndex metro = kInvalidIndex;  // kInvalidIndex for bogus dictionary hits
+  GeoPoint location;
+  std::string token;   // the hostname token that matched
+  bool suburb = false; // matched the metro's alternate (suburb) code
+};
+
+class Hoiho {
+ public:
+  /// Builds the dictionary from the world's metro codes (main + alias),
+  /// plus deliberately ambiguous entries that collide with common hostname
+  /// words (the misinterpretation defect).
+  explicit Hoiho(const Internet& internet);
+
+  /// Extracts a location from a hostname by scanning '-'/'.'-separated
+  /// tokens against the dictionary. First match wins.
+  std::optional<Geohint> extract(const std::string& hostname) const;
+
+  /// Removes the ambiguous entries (the paper's manual correction step).
+  void apply_manual_corrections();
+
+  std::size_t dictionary_size() const noexcept { return dictionary_.size(); }
+
+ private:
+  struct Entry {
+    MetroIndex metro = kInvalidIndex;
+    GeoPoint location;
+    bool suburb = false;
+    bool ambiguous = false;  // a common-word collision, not a real code
+  };
+  std::unordered_map<std::string, Entry> dictionary_;
+};
+
+}  // namespace repro

@@ -1,0 +1,75 @@
+#include "rdns/ptr_store.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace repro {
+
+namespace {
+
+std::string_view hg_tag(Hypergiant hg) noexcept {
+  switch (hg) {
+    case Hypergiant::kGoogle: return "ggc";
+    case Hypergiant::kNetflix: return "oca";
+    case Hypergiant::kMeta: return "fna";
+    case Hypergiant::kAkamai: return "aka";
+  }
+  return "cdn";
+}
+
+}  // namespace
+
+std::string metro_alias_code(const std::string& iata) {
+  // A distinct 4-character namespace so aliases never collide with another
+  // metro's main code.
+  return iata + "2";
+}
+
+PtrStore PtrStore::build(const Internet& internet, const OffnetRegistry& registry,
+                         const PtrConfig& config) {
+  PtrStore store;
+  for (const OffnetServer& server : registry.servers()) {
+    Rng rng(mix64(config.seed ^ (std::uint64_t{server.ip.value()} << 13)));
+    if (!rng.chance(config.coverage)) continue;
+
+    const As& isp = internet.ases[server.isp];
+    const std::string domain = "as" + std::to_string(isp.asn) + ".example.net";
+    const std::string host_id = std::to_string(server.ip.value() & 0xffff);
+
+    if (rng.chance(config.generic_rate)) {
+      // Generic name, no usable location information. "host-" names are the
+      // trap HOIHO misreads as Hostert, LU before manual correction.
+      static constexpr const char* kGenericPrefixes[] = {"static", "host",
+                                                         "pool", "dyn"};
+      const auto prefix = kGenericPrefixes[rng.uniform_int(0, 3)];
+      store.records_.emplace(server.ip,
+                             std::string(prefix) + "-" + host_id + "." + domain);
+      continue;
+    }
+
+    const Metro& true_metro =
+        internet.metros[internet.facilities[server.facility].metro];
+    std::string code = true_metro.iata;
+    if (rng.chance(config.wrong_location_rate)) {
+      // Stale record: the code of a random other metro.
+      const auto other = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(internet.metros.size()) - 1));
+      code = internet.metros[other].iata;
+    } else if (rng.chance(config.alias_rate)) {
+      code = metro_alias_code(true_metro.iata);
+    }
+
+    store.records_.emplace(server.ip, "cache-" + std::string(hg_tag(server.hg)) +
+                                          "-" + code + "-" + host_id + "." +
+                                          domain);
+  }
+  return store;
+}
+
+std::optional<std::string> PtrStore::lookup(Ipv4 ip) const {
+  const auto it = records_.find(ip);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace repro

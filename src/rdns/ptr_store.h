@@ -1,0 +1,51 @@
+// Reverse-DNS synthesis (the paper uses Rapid7 Sonar PTR records): operator-
+// style hostnames for a subset of offnet IPs, with location hints embedded
+// as metro codes -- plus the real-world defects the paper reports: missing
+// records, generic names without location, stale/wrong locations, and
+// alternate codes for the same metro ("suburb" names).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "hypergiant/deployment.h"
+#include "topology/internet.h"
+
+namespace repro {
+
+struct PtrConfig {
+  std::uint64_t seed = 777;
+  /// Fraction of offnet IPs with any PTR record at all.
+  double coverage = 0.45;
+  /// Among named IPs: fraction whose hostname carries no location token.
+  double generic_rate = 0.35;
+  /// Among located hostnames: fraction with a stale/wrong metro code.
+  double wrong_location_rate = 0.008;
+  /// Among located hostnames: fraction using the metro's alternate
+  /// ("suburb") code instead of the main one.
+  double alias_rate = 0.015;
+};
+
+/// IP -> PTR hostname map for the offnet population.
+class PtrStore {
+ public:
+  /// Synthesizes PTR records for the registry's servers. Deterministic.
+  static PtrStore build(const Internet& internet, const OffnetRegistry& registry,
+                        const PtrConfig& config);
+
+  std::optional<std::string> lookup(Ipv4 ip) const;
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  std::unordered_map<Ipv4, std::string> records_;
+};
+
+/// The alternate ("suburb") code of a metro: its IATA with the last letter
+/// shifted, e.g. "usb" -> "usc". Shared between the PTR synthesizer and the
+/// HOIHO dictionary builder.
+std::string metro_alias_code(const std::string& iata);
+
+}  // namespace repro

@@ -1,0 +1,88 @@
+#include "rdns/validation.h"
+
+#include <map>
+#include <set>
+
+namespace repro {
+
+namespace {
+
+ClusterGeoConsistency classify(const Internet& internet,
+                               const std::vector<Geohint>& hints) {
+  // Same token (or same metro with no suburb involvement) => one city.
+  std::set<std::string> tokens;
+  for (const auto& hint : hints) tokens.insert(hint.token);
+  if (tokens.size() == 1) return ClusterGeoConsistency::kSingleCity;
+
+  // All pairwise locations close => one metropolitan area.
+  bool all_close = true;
+  for (std::size_t i = 0; i < hints.size() && all_close; ++i) {
+    for (std::size_t j = i + 1; j < hints.size() && all_close; ++j) {
+      all_close = haversine_km(hints[i].location, hints[j].location) <=
+                  kMetroAreaRadiusKm;
+    }
+  }
+  if (all_close) return ClusterGeoConsistency::kSingleMetroArea;
+
+  // One country?
+  std::set<CountryIndex> countries;
+  bool unknown_metro = false;
+  for (const auto& hint : hints) {
+    if (hint.metro == kInvalidIndex) {
+      unknown_metro = true;
+      continue;
+    }
+    countries.insert(internet.metros[hint.metro].country);
+  }
+  if (!unknown_metro && countries.size() <= 1) {
+    return ClusterGeoConsistency::kMultiCitySameCountry;
+  }
+  return ClusterGeoConsistency::kMultiCountry;
+}
+
+}  // namespace
+
+ValidationSummary validate_clusters(
+    const Internet& internet, const OffnetRegistry& registry,
+    const std::vector<IspClustering>& clusterings, const PtrStore& ptr,
+    const Hoiho& hoiho) {
+  ValidationSummary summary;
+  for (const IspClustering& clustering : clusterings) {
+    if (!clustering.usable) continue;
+    // Hints per cluster label.
+    std::map<int, std::vector<Geohint>> hints_by_cluster;
+    std::set<int> labels_seen;
+    for (std::size_t i = 0; i < clustering.registry_indices.size(); ++i) {
+      const int label = clustering.labels[i];
+      if (label < 0) continue;
+      labels_seen.insert(label);
+      const Ipv4 ip = registry.servers()[clustering.registry_indices[i]].ip;
+      const auto hostname = ptr.lookup(ip);
+      if (!hostname) continue;
+      const auto hint = hoiho.extract(*hostname);
+      if (!hint) continue;
+      hints_by_cluster[label].push_back(*hint);
+    }
+    summary.clusters_total += labels_seen.size();
+    for (const auto& [label, hints] : hints_by_cluster) {
+      (void)label;
+      if (hints.size() < 2) continue;
+      ++summary.clusters_with_hints;
+      switch (classify(internet, hints)) {
+        case ClusterGeoConsistency::kSingleCity: ++summary.single_city; break;
+        case ClusterGeoConsistency::kSingleMetroArea:
+          ++summary.single_metro_area;
+          break;
+        case ClusterGeoConsistency::kMultiCitySameCountry:
+          ++summary.multi_city_same_country;
+          break;
+        case ClusterGeoConsistency::kMultiCountry:
+          ++summary.multi_country;
+          break;
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace repro

@@ -1,0 +1,47 @@
+// Cluster validation against rDNS location hints (Section 3.2, Validation):
+// for clusters with two or more located hostnames, check whether all hints
+// agree on one city, fall within one metropolitan area, or span cities.
+#pragma once
+
+#include <vector>
+
+#include "cluster/colocation.h"
+#include "rdns/hoiho.h"
+#include "rdns/ptr_store.h"
+
+namespace repro {
+
+enum class ClusterGeoConsistency : std::uint8_t {
+  kSingleCity,           // all hints name the same city
+  kSingleMetroArea,      // multiple locations within one metropolitan area
+  kMultiCitySameCountry, // different cities, one country
+  kMultiCountry,         // different countries
+};
+
+struct ValidationSummary {
+  std::size_t clusters_total = 0;           // clusters examined
+  std::size_t clusters_with_hints = 0;      // >= 2 located hostnames
+  std::size_t single_city = 0;
+  std::size_t single_metro_area = 0;
+  std::size_t multi_city_same_country = 0;
+  std::size_t multi_country = 0;
+
+  double consistent_fraction() const noexcept {
+    return clusters_with_hints == 0
+               ? 0.0
+               : static_cast<double>(single_city + single_metro_area) /
+                     static_cast<double>(clusters_with_hints);
+  }
+};
+
+/// Distance threshold under which distinct locations count as one
+/// metropolitan area (the paper's "suburbs of London and Paris" cases).
+inline constexpr double kMetroAreaRadiusKm = 80.0;
+
+/// Validates the clusters of many ISPs' clusterings at once.
+ValidationSummary validate_clusters(
+    const Internet& internet, const OffnetRegistry& registry,
+    const std::vector<IspClustering>& clusterings, const PtrStore& ptr,
+    const Hoiho& hoiho);
+
+}  // namespace repro

@@ -1,0 +1,164 @@
+#include "route/bgp.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace repro {
+
+std::string_view to_string(RouteKind kind) noexcept {
+  switch (kind) {
+    case RouteKind::kSelf: return "self";
+    case RouteKind::kCustomer: return "customer";
+    case RouteKind::kPeer: return "peer";
+    case RouteKind::kProvider: return "provider";
+  }
+  return "?";
+}
+
+RoutingTable::RoutingTable(AsIndex destination, std::vector<RouteEntry> entries)
+    : destination_(destination), entries_(std::move(entries)) {}
+
+const RouteEntry& RoutingTable::entry(AsIndex source) const {
+  require(source < entries_.size(), "RoutingTable::entry: bad AS index");
+  return entries_[source];
+}
+
+std::vector<AsIndex> RoutingTable::as_path(AsIndex source) const {
+  std::vector<AsIndex> path;
+  AsIndex current = source;
+  while (true) {
+    const RouteEntry& e = entry(current);
+    if (!e.reachable) return {};
+    path.push_back(current);
+    if (current == destination_) return path;
+    require(path.size() <= entries_.size(), "RoutingTable: path loop");
+    current = e.next_hop;
+  }
+}
+
+std::vector<LinkIndex> RoutingTable::link_path(AsIndex source) const {
+  std::vector<LinkIndex> links;
+  AsIndex current = source;
+  while (current != destination_) {
+    const RouteEntry& e = entry(current);
+    if (!e.reachable) return {};
+    links.push_back(e.via_link);
+    require(links.size() <= entries_.size(), "RoutingTable: link loop");
+    current = e.next_hop;
+  }
+  return links;
+}
+
+RoutingEngine::RoutingEngine(const Internet& internet) : internet_(internet) {}
+
+RoutingTable RoutingEngine::routes_to(AsIndex destination) const {
+  const auto& ases = internet_.ases;
+  const auto& links = internet_.links;
+  require(destination < ases.size(), "routes_to: bad destination");
+
+  const std::size_t n = ases.size();
+  std::vector<RouteEntry> best(n);
+  best[destination] =
+      RouteEntry{true, RouteKind::kSelf, destination, kInvalidIndex, 0};
+
+  // Deterministic preference: shorter path first, then lower next-hop ASN.
+  const auto better = [&](const RouteEntry& candidate, const RouteEntry& current) {
+    if (!current.reachable) return true;
+    if (candidate.path_length != current.path_length) {
+      return candidate.path_length < current.path_length;
+    }
+    return ases[candidate.next_hop].asn < ases[current.next_hop].asn;
+  };
+
+  // Phase 1: customer routes. The destination's announcement climbs
+  // provider chains; an AS that hears it from a customer installs a
+  // customer route. BFS by path length for shortest-first.
+  {
+    std::queue<AsIndex> frontier;
+    frontier.push(destination);
+    while (!frontier.empty()) {
+      const AsIndex current = frontier.front();
+      frontier.pop();
+      for (const LinkIndex li : ases[current].provider_links) {
+        const auto& link = links[li];
+        const AsIndex provider = link.b;
+        const RouteEntry candidate{true, RouteKind::kCustomer, current, li,
+                                   best[current].path_length + 1};
+        if (best[provider].reachable &&
+            best[provider].kind == RouteKind::kCustomer &&
+            !better(candidate, best[provider])) {
+          continue;
+        }
+        if (best[provider].kind == RouteKind::kSelf && best[provider].reachable) {
+          continue;  // never displace the destination itself
+        }
+        const bool first_time = !best[provider].reachable;
+        best[provider] = candidate;
+        if (first_time) frontier.push(provider);
+        // Re-push on improvement to propagate shorter lengths. Path lengths
+        // only shrink, and the graph is a DAG upward, so this terminates.
+        else frontier.push(provider);
+      }
+    }
+  }
+
+  // Phase 2: peer routes. An AS with a customer route (or the destination)
+  // exports it to peers; a peer without a customer route may use it.
+  {
+    std::vector<RouteEntry> peer_routes(n);
+    for (AsIndex current = 0; current < n; ++current) {
+      if (!best[current].reachable) continue;
+      if (best[current].kind != RouteKind::kSelf &&
+          best[current].kind != RouteKind::kCustomer) {
+        continue;
+      }
+      for (const LinkIndex li : ases[current].peer_links) {
+        const auto& link = links[li];
+        const AsIndex neighbor = link.a == current ? link.b : link.a;
+        if (best[neighbor].reachable) continue;  // has customer route or self
+        const RouteEntry candidate{true, RouteKind::kPeer, current, li,
+                                   best[current].path_length + 1};
+        if (better(candidate, peer_routes[neighbor])) {
+          peer_routes[neighbor] = candidate;
+        }
+      }
+    }
+    for (AsIndex i = 0; i < n; ++i) {
+      if (peer_routes[i].reachable) best[i] = peer_routes[i];
+    }
+  }
+
+  // Phase 3: provider routes. Any AS with a route exports it to customers;
+  // customers without one install provider routes, cascading downward.
+  {
+    // BFS over customer links from all routed ASes, shortest-first by level.
+    std::queue<AsIndex> frontier;
+    for (AsIndex i = 0; i < n; ++i) {
+      if (best[i].reachable) frontier.push(i);
+    }
+    while (!frontier.empty()) {
+      const AsIndex current = frontier.front();
+      frontier.pop();
+      for (const LinkIndex li : ases[current].customer_links) {
+        const auto& link = links[li];
+        const AsIndex customer = link.a;
+        const RouteEntry candidate{true, RouteKind::kProvider, current, li,
+                                   best[current].path_length + 1};
+        if (best[customer].reachable) {
+          // Provider routes never displace customer/peer/self routes, and a
+          // provider route is only replaced by a strictly better one.
+          if (best[customer].kind != RouteKind::kProvider) continue;
+          if (!better(candidate, best[customer])) continue;
+        }
+        best[customer] = candidate;
+        frontier.push(customer);
+      }
+    }
+  }
+
+  return RoutingTable(destination, std::move(best));
+}
+
+}  // namespace repro

@@ -1,0 +1,68 @@
+// Valley-free interdomain routing (Gao-Rexford policies): for a destination
+// AS, compute every AS's best route under the standard preference
+// customer > peer > provider, then shortest AS path, then lowest next-hop
+// ASN. Used by the traceroute simulator and the traffic/spillover model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/internet.h"
+
+namespace repro {
+
+/// How a route was learned (determines export policy and preference).
+enum class RouteKind : std::uint8_t {
+  kSelf = 0,   // the destination itself
+  kCustomer,   // learned from a customer
+  kPeer,       // learned from a peer
+  kProvider,   // learned from a provider
+};
+
+std::string_view to_string(RouteKind kind) noexcept;
+
+/// One AS's best route towards the table's destination.
+struct RouteEntry {
+  bool reachable = false;
+  RouteKind kind = RouteKind::kSelf;
+  AsIndex next_hop = kInvalidIndex;
+  LinkIndex via_link = kInvalidIndex;
+  int path_length = 0;  // AS hops to the destination
+};
+
+/// Routing table for one destination AS.
+class RoutingTable {
+ public:
+  RoutingTable(AsIndex destination, std::vector<RouteEntry> entries);
+
+  AsIndex destination() const noexcept { return destination_; }
+
+  const RouteEntry& entry(AsIndex source) const;
+
+  /// AS-level path source -> destination (inclusive); empty if unreachable.
+  std::vector<AsIndex> as_path(AsIndex source) const;
+
+  /// Links traversed along the path (size = path length).
+  std::vector<LinkIndex> link_path(AsIndex source) const;
+
+ private:
+  AsIndex destination_;
+  std::vector<RouteEntry> entries_;
+};
+
+/// Computes routing tables over an Internet's AS graph.
+class RoutingEngine {
+ public:
+  explicit RoutingEngine(const Internet& internet);
+
+  /// Best valley-free routes of every AS towards `destination`.
+  RoutingTable routes_to(AsIndex destination) const;
+
+  const Internet& internet() const noexcept { return internet_; }
+
+ private:
+  const Internet& internet_;
+};
+
+}  // namespace repro

@@ -1,0 +1,52 @@
+// The public IXP databases (Euro-IX IXPDB, PeeringDB): map IXP peering-LAN
+// addresses to the member networks using them. Real databases are
+// incomplete; coverage is configurable per source, and the Euro-IX entries
+// take precedence (the paper prioritizes Euro-IX over PeeringDB following
+// Marder et al.).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "ip/prefix_trie.h"
+#include "topology/internet.h"
+
+namespace repro {
+
+enum class IxpDataSource : std::uint8_t { kEuroIx, kPeeringDb };
+
+struct IxpMapping {
+  IxpIndex ixp = kInvalidIndex;
+  AsNumber member_asn = 0;
+  IxpDataSource source = IxpDataSource::kEuroIx;
+};
+
+struct IxpRegistryConfig {
+  std::uint64_t seed = 60606;
+  /// Fraction of ports present in the Euro-IX dump.
+  double euroix_coverage = 0.85;
+  /// Fraction of the remaining ports recoverable from PeeringDB.
+  double peeringdb_coverage = 0.6;
+};
+
+/// A lookup service built from the (simulated) public databases.
+class IxpRegistry {
+ public:
+  static IxpRegistry build(const Internet& internet,
+                           const IxpRegistryConfig& config);
+
+  /// True if the address falls in any known IXP peering LAN.
+  bool is_ixp_lan(Ipv4 address) const;
+
+  /// Member using this port address, if the databases know it.
+  std::optional<IxpMapping> port_lookup(Ipv4 address) const;
+
+  std::size_t known_ports() const noexcept { return ports_.size(); }
+
+ private:
+  PrefixTrie<IxpIndex> lans_;
+  std::unordered_map<Ipv4, IxpMapping> ports_;
+};
+
+}  // namespace repro

@@ -1,0 +1,163 @@
+#include "route/peering_inference.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace repro {
+
+namespace {
+
+/// Public-data attribution of a hop address: IXP databases first (peering
+/// LANs are not announced in BGP), then IP-to-AS longest prefix match.
+struct HopAttribution {
+  bool mapped = false;
+  AsIndex owner = kInvalidIndex;
+  bool on_ixp_lan = false;
+};
+
+HopAttribution attribute(const Internet& internet, const IxpRegistry& registry,
+                         Ipv4 address) {
+  HopAttribution out;
+  if (registry.is_ixp_lan(address)) {
+    out.on_ixp_lan = true;
+    const auto mapping = registry.port_lookup(address);
+    if (!mapping) return out;  // LAN known, port not in the databases
+    const auto as = internet.find_as_by_asn(mapping->member_asn);
+    if (!as) return out;
+    out.mapped = true;
+    out.owner = *as;
+    return out;
+  }
+  const auto as = internet.as_of_ip(address);
+  if (!as) return out;
+  out.mapped = true;
+  out.owner = *as;
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(PeeringStatus status) noexcept {
+  switch (status) {
+    case PeeringStatus::kPeer: return "peer";
+    case PeeringStatus::kPossiblePeer: return "possible";
+    case PeeringStatus::kNoEvidence: return "no-evidence";
+  }
+  return "?";
+}
+
+PeeringStudy::PeeringStudy(const Internet& internet,
+                           const TracerouteEngine& engine,
+                           const IxpRegistry& ixp_registry,
+                           PeeringStudyConfig config)
+    : internet_(internet),
+      engine_(engine),
+      ixp_registry_(ixp_registry),
+      config_(config) {
+  require(config_.vm_count >= 1, "PeeringStudyConfig: need >= 1 VM");
+  require(config_.slash24s_per_target >= 1,
+          "PeeringStudyConfig: need >= 1 target /24");
+}
+
+IspPeeringEvidence PeeringStudy::classify_traceroute(const Traceroute& traceroute,
+                                                     AsIndex hg_as,
+                                                     AsIndex target) const {
+  IspPeeringEvidence evidence;
+  evidence.isp = target;
+  evidence.traceroutes = 1;
+
+  // Attribute every responsive hop.
+  struct Attributed {
+    HopAttribution attribution;
+    bool responsive = false;
+  };
+  std::vector<Attributed> hops;
+  hops.reserve(traceroute.hops.size());
+  for (const TracerouteHop& hop : traceroute.hops) {
+    Attributed a;
+    a.responsive = hop.ip.has_value();
+    if (a.responsive) a.attribution = attribute(internet_, ixp_registry_, *hop.ip);
+    hops.push_back(a);
+  }
+
+  // Find each hypergiant hop; inspect what follows.
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (!hops[i].responsive || !hops[i].attribution.mapped) continue;
+    if (hops[i].attribution.owner != hg_as) continue;
+    // Walk forward: stars may only license a "possible" inference.
+    std::size_t stars = 0;
+    for (std::size_t j = i + 1; j < hops.size(); ++j) {
+      if (!hops[j].responsive) {
+        ++stars;
+        continue;
+      }
+      if (!hops[j].attribution.mapped) break;  // unknown network in between
+      if (hops[j].attribution.owner == hg_as) break;  // still inside the HG
+      if (hops[j].attribution.owner == target) {
+        if (stars == 0) {
+          evidence.status = PeeringStatus::kPeer;
+          if (hops[j].attribution.on_ixp_lan) evidence.seen_via_ixp = true;
+          else evidence.seen_via_pni = true;
+        } else if (evidence.status == PeeringStatus::kNoEvidence) {
+          evidence.status = PeeringStatus::kPossiblePeer;
+        }
+      }
+      break;  // only the first mapped hop after the HG matters
+    }
+    if (evidence.status == PeeringStatus::kPeer) break;
+  }
+  return evidence;
+}
+
+std::map<AsIndex, IspPeeringEvidence> PeeringStudy::run(
+    AsIndex hg_as, std::span<const AsIndex> targets,
+    const RoutingEngine& routing) const {
+  std::map<AsIndex, IspPeeringEvidence> results;
+  for (const AsIndex target : targets) {
+    const RoutingTable table = routing.routes_to(target);
+    IspPeeringEvidence aggregate;
+    aggregate.isp = target;
+
+    const As& as = internet_.ases[target];
+    // Destination addresses: one per announced /24, round-robin over the
+    // ISP's user prefixes, capped by config.
+    std::vector<Ipv4> destinations;
+    for (const Prefix& prefix : as.user_prefixes) {
+      const std::uint64_t slash24s = prefix.size() / 256;
+      for (std::uint64_t s = 0;
+           s < slash24s && destinations.size() < config_.slash24s_per_target;
+           ++s) {
+        destinations.push_back(prefix.at(s * 256 + 1));
+      }
+    }
+    if (destinations.empty() && !as.user_prefixes.empty()) {
+      destinations.push_back(as.user_prefixes.front().at(1));
+    }
+    if (destinations.empty()) {
+      destinations.push_back(as.infra.pool().at(255));
+    }
+
+    for (std::size_t vm = 0; vm < config_.vm_count; ++vm) {
+      for (const Ipv4 destination : destinations) {
+        const Traceroute traceroute = engine_.trace(
+            hg_as, destination, table, mix64(config_.seed ^ (vm + 1)));
+        const IspPeeringEvidence one =
+            classify_traceroute(traceroute, hg_as, target);
+        ++aggregate.traceroutes;
+        aggregate.seen_via_ixp |= one.seen_via_ixp;
+        aggregate.seen_via_pni |= one.seen_via_pni;
+        if (one.status == PeeringStatus::kPeer) {
+          aggregate.status = PeeringStatus::kPeer;
+        } else if (one.status == PeeringStatus::kPossiblePeer &&
+                   aggregate.status == PeeringStatus::kNoEvidence) {
+          aggregate.status = PeeringStatus::kPossiblePeer;
+        }
+      }
+    }
+    results.emplace(target, aggregate);
+  }
+  return results;
+}
+
+}  // namespace repro

@@ -1,0 +1,115 @@
+#include "route/traceroute.h"
+
+#include "util/error.h"
+
+namespace repro {
+
+namespace {
+
+/// Router interfaces live in the low 256 addresses of each AS's infra
+/// block (offnet servers start above; see hypergiant/deployment.cpp).
+constexpr std::uint64_t kRouterSlots = 256;
+
+double hash_uniform(std::uint64_t key) noexcept {
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+TracerouteEngine::TracerouteEngine(const Internet& internet,
+                                   TracerouteConfig config)
+    : internet_(internet), config_(config) {}
+
+Ipv4 TracerouteEngine::router_ip(AsIndex as, std::uint64_t slot) const {
+  require(as < internet_.ases.size(), "router_ip: bad AS index");
+  const Prefix& infra = internet_.ases[as].infra.pool();
+  return infra.at(slot % kRouterSlots);
+}
+
+bool TracerouteEngine::as_silent(AsIndex as) const noexcept {
+  return hash_uniform(mix64(config_.seed ^ 0xA5) ^ mix64(as)) <
+         config_.silent_as_rate;
+}
+
+bool TracerouteEngine::router_silent(AsIndex as, Ipv4 router_address) const noexcept {
+  if (as_silent(as)) return true;
+  return hash_uniform(mix64(config_.seed ^ 0x5A) ^
+                      mix64(router_address.value())) < config_.silent_router_rate;
+}
+
+Traceroute TracerouteEngine::trace(AsIndex src, Ipv4 destination,
+                                   const RoutingTable& table,
+                                   std::uint64_t flow) const {
+  Traceroute result;
+  result.src = src;
+  result.destination = destination;
+
+  const std::vector<AsIndex> as_path = table.as_path(src);
+  if (as_path.empty()) return result;  // unreachable: all probes time out
+
+  const auto push_router = [&](AsIndex as, Ipv4 address) {
+    TracerouteHop hop;
+    hop.true_owner = as;
+    if (!router_silent(as, address)) hop.ip = address;
+    result.hops.push_back(hop);
+  };
+
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    const AsIndex as = as_path[i];
+    // Intra-AS hops: deterministic count of 1-3 from the AS identity.
+    const auto intra =
+        1 + mix64(mix64(config_.seed ^ 0x77) ^ mix64(as)) % 3;
+    for (std::uint64_t k = 0; k < intra; ++k) {
+      // Skip the source AS's ingress (the probe starts inside it) and give
+      // each position a stable interface slot.
+      if (i == 0 && k == 0) continue;
+      push_router(as, router_ip(as, mix64(as * 131ULL + k ^ mix64(flow)) % 199));
+    }
+
+    if (i + 1 >= as_path.size()) break;
+    // Interdomain handoff to the next AS. BGP picks one best route, but the
+    // *link* used depends on where the flow enters the border (hot-potato /
+    // ECMP across parallel interconnects); model that by letting the flow id
+    // choose among the parallel peering links of the pair.
+    const AsIndex next = as_path[i + 1];
+    const RouteEntry& entry = table.entry(as);
+    LinkIndex via = entry.via_link;
+    if (entry.kind == RouteKind::kPeer) {
+      const auto parallel = internet_.peering_links_between(as, next);
+      if (parallel.size() > 1) {
+        via = parallel[mix64(flow ^ mix64(as * 31ULL + next)) % parallel.size()];
+      }
+    }
+    const InterdomainLink& link = internet_.links[via];
+    if (link.kind == LinkKind::kIxpPeering) {
+      // The next hop is the neighbor's port on the IXP peering LAN.
+      const Ixp& ixp = internet_.ixps[link.ixp];
+      Ipv4 port_address = ixp.peering_lan.at(2);  // fallback
+      // Find the registered port of `next` on this fabric.
+      for (std::uint64_t offset = 2; offset < ixp.peering_lan.size(); ++offset) {
+        const auto info = internet_.ixp_port_of_ip(ixp.peering_lan.at(offset));
+        if (info && info->ixp == link.ixp && info->member == next) {
+          port_address = ixp.peering_lan.at(offset);
+          break;
+        }
+      }
+      push_router(next, port_address);
+    } else {
+      // PNI / transit handoff: the neighbor's border interface.
+      push_router(next, router_ip(next, mix64(next * 131ULL ^ mix64(flow)) % 199));
+    }
+  }
+
+  // Destination host.
+  TracerouteHop final_hop;
+  final_hop.true_owner = as_path.back();
+  const bool responds =
+      hash_uniform(mix64(config_.seed ^ 0xD0) ^ mix64(destination.value())) <
+      config_.destination_responds;
+  if (responds) final_hop.ip = destination;
+  result.hops.push_back(final_hop);
+  result.destination_reached = responds;
+  return result;
+}
+
+}  // namespace repro

@@ -1,0 +1,70 @@
+// IP-level traceroute simulation over AS-level BGP paths.
+//
+// Each AS on the path contributes 1-3 router hops numbered from its infra
+// block. Interdomain handoffs are visible the way they are on the real
+// Internet: a private interconnect shows the neighbor's router address,
+// while an IXP crossing shows the neighbor's port address on the IXP
+// peering LAN -- which is exactly what the Euro-IX/PeeringDB mapping keys
+// on. Routers may be persistently unresponsive ('*' hops), and whole ASes
+// may filter traceroute.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "route/bgp.h"
+#include "util/rng.h"
+
+namespace repro {
+
+/// One traceroute hop. `ip` is empty for an unresponsive hop ('*').
+/// `true_owner` is ground truth for tests; inference code must not use it.
+struct TracerouteHop {
+  std::optional<Ipv4> ip;
+  AsIndex true_owner = kInvalidIndex;
+};
+
+struct Traceroute {
+  AsIndex src = kInvalidIndex;
+  Ipv4 destination;
+  bool destination_reached = false;
+  std::vector<TracerouteHop> hops;
+};
+
+struct TracerouteConfig {
+  std::uint64_t seed = 31337;
+  /// Probability that an individual router never answers TTL-exceeded.
+  double silent_router_rate = 0.18;
+  /// Probability that an AS filters traceroute entirely (all hops silent).
+  double silent_as_rate = 0.06;
+  /// Probability the destination host answers the final probe.
+  double destination_responds = 0.85;
+};
+
+class TracerouteEngine {
+ public:
+  TracerouteEngine(const Internet& internet, TracerouteConfig config);
+
+  /// Traces from a host in `src` to `destination`, using `table` (which
+  /// must be the routing table towards the destination's AS). `flow`
+  /// distinguishes source hosts / flow ids: different flows traverse
+  /// different router interfaces inside each AS (ECMP-style), which is how
+  /// probing from many VMs gains extra visibility.
+  Traceroute trace(AsIndex src, Ipv4 destination, const RoutingTable& table,
+                   std::uint64_t flow = 0) const;
+
+  /// Ground-truth helpers for tests.
+  bool router_silent(AsIndex as, Ipv4 router_ip) const noexcept;
+  bool as_silent(AsIndex as) const noexcept;
+
+  /// Deterministic router interface address `slot` of an AS (carved from
+  /// the reserved low range of its infra block).
+  Ipv4 router_ip(AsIndex as, std::uint64_t slot) const;
+
+ private:
+  const Internet& internet_;
+  TracerouteConfig config_;
+};
+
+}  // namespace repro

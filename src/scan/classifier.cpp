@@ -1,0 +1,80 @@
+#include "scan/classifier.h"
+
+#include <algorithm>
+
+namespace repro {
+
+std::size_t HypergiantFootprint::ip_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [isp, ips] : by_isp) {
+    (void)isp;
+    total += ips.size();
+  }
+  return total;
+}
+
+std::size_t DiscoveryReport::total_offnet_ips() const noexcept {
+  std::size_t total = 0;
+  for (const auto& footprint : footprints) total += footprint.ip_count();
+  return total;
+}
+
+std::vector<AsIndex> DiscoveryReport::isps_hosting_at_least(
+    int min_hypergiants) const {
+  std::map<AsIndex, int> counts;
+  for (const auto& footprint : footprints) {
+    for (const auto& [isp, ips] : footprint.by_isp) {
+      (void)ips;
+      ++counts[isp];
+    }
+  }
+  std::vector<AsIndex> out;
+  for (const auto& [isp, count] : counts) {
+    if (count >= min_hypergiants) out.push_back(isp);
+  }
+  return out;
+}
+
+int DiscoveryReport::hypergiants_at(AsIndex isp) const noexcept {
+  int count = 0;
+  for (const auto& footprint : footprints) {
+    if (footprint.by_isp.contains(isp)) ++count;
+  }
+  return count;
+}
+
+OffnetClassifier::OffnetClassifier(const Internet& internet,
+                                   Methodology methodology)
+    : internet_(internet), methodology_(methodology) {}
+
+DiscoveryReport OffnetClassifier::classify(
+    const std::vector<ScanRecord>& records) const {
+  DiscoveryReport report;
+  report.methodology = methodology_;
+  for (std::size_t i = 0; i < kHypergiantCount; ++i) {
+    report.footprints[i].hg = static_cast<Hypergiant>(i);
+  }
+
+  // Any hypergiant's own AS disqualifies an IP from being an offnet of any
+  // hypergiant (the methodology looks for certs in *other* networks).
+  std::array<AsIndex, kHypergiantCount> hg_as{};
+  for (const Hypergiant hg : all_hypergiants()) {
+    hg_as[static_cast<std::size_t>(hg)] = internet_.as_by_asn(profile(hg).asn);
+  }
+
+  for (const ScanRecord& record : records) {
+    const auto owner = internet_.as_of_ip(record.ip);
+    if (!owner) continue;  // unrouted space
+    const bool in_hypergiant_as =
+        std::find(hg_as.begin(), hg_as.end(), *owner) != hg_as.end();
+    if (in_hypergiant_as) continue;
+    for (const Hypergiant hg : all_hypergiants()) {
+      if (!certificate_matches(record.cert, hg, methodology_)) continue;
+      report.footprints[static_cast<std::size_t>(hg)].by_isp[*owner].push_back(
+          record.ip);
+    }
+  }
+  return report;
+}
+
+}  // namespace repro

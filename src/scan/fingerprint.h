@@ -1,0 +1,35 @@
+// Certificate fingerprint rules: the per-hypergiant checks the 2021 (Gigis
+// et al.) and updated 2023 methodologies apply to a scanned certificate.
+//
+// 2021 methodology:
+//   * Google: Subject Organization == "Google LLC" + Google issuer.
+//   * Meta:   certificate name exactly matches an onnet wildcard
+//             (*.fna.fbcdn.net) + DigiCert issuer + Facebook/Meta org.
+//   * Netflix: name matches *.oca.nflxvideo.net + Netflix org.
+//   * Akamai: Subject Organization == "Akamai Technologies, Inc.".
+//
+// 2023 methodology (Section 2.2 updates):
+//   * Google: CN matches *.googlevideo.com + Google Trust Services issuer
+//             (the Organization entry is gone).
+//   * Meta:   name matches the *.fbcdn.net pattern (site-specific names
+//             like *.fhan14-4.fna.fbcdn.net no longer equal onnet names).
+//   * Netflix, Akamai: unchanged.
+#pragma once
+
+#include <string_view>
+
+#include "hypergiant/profile.h"
+#include "tls/certificate.h"
+
+namespace repro {
+
+/// Which methodology's fingerprints to apply.
+enum class Methodology : std::uint8_t { k2021 = 0, k2023 };
+
+std::string_view to_string(Methodology methodology) noexcept;
+
+/// True if `cert` matches hypergiant `hg`'s fingerprint under `methodology`.
+bool certificate_matches(const TlsCertificate& cert, Hypergiant hg,
+                         Methodology methodology) noexcept;
+
+}  // namespace repro

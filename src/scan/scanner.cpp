@@ -1,0 +1,23 @@
+#include "scan/scanner.h"
+
+#include "util/error.h"
+
+namespace repro {
+
+Scanner::Scanner(ScannerConfig config) : config_(config) {
+  require(config_.miss_rate >= 0.0 && config_.miss_rate < 1.0,
+          "ScannerConfig: miss_rate outside [0, 1)");
+}
+
+std::vector<ScanRecord> Scanner::scan(const CertStore& population) const {
+  Rng rng(config_.seed);
+  std::vector<ScanRecord> records;
+  records.reserve(population.size());
+  for (const TlsEndpoint& endpoint : population.all_sorted()) {
+    if (rng.chance(config_.miss_rate)) continue;
+    records.push_back({endpoint.ip, endpoint.cert});
+  }
+  return records;
+}
+
+}  // namespace repro

@@ -1,0 +1,37 @@
+// A Censys-style Internet-wide port-443 scan: walks the TLS population and
+// emits certificate records, with configurable miss rate (real scans never
+// see every host: firewalls, rate limits, churn).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tls/cert_store.h"
+#include "util/rng.h"
+
+namespace repro {
+
+/// One record of the scan output (one responsive IP:443).
+struct ScanRecord {
+  Ipv4 ip;
+  TlsCertificate cert;
+};
+
+struct ScannerConfig {
+  std::uint64_t seed = 1337;
+  /// Probability that a live endpoint is missed by the scan.
+  double miss_rate = 0.01;
+};
+
+/// Runs one scan over a snapshot's TLS population.
+class Scanner {
+ public:
+  explicit Scanner(ScannerConfig config);
+
+  std::vector<ScanRecord> scan(const CertStore& population) const;
+
+ private:
+  ScannerConfig config_;
+};
+
+}  // namespace repro

@@ -1,0 +1,28 @@
+#include "tls/cert_store.h"
+
+#include <algorithm>
+
+namespace repro {
+
+void CertStore::install(Ipv4 ip, TlsCertificate cert) {
+  endpoints_[ip] = std::move(cert);
+}
+
+void CertStore::remove(Ipv4 ip) noexcept { endpoints_.erase(ip); }
+
+std::optional<TlsCertificate> CertStore::lookup(Ipv4 ip) const {
+  const auto it = endpoints_.find(ip);
+  if (it == endpoints_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TlsEndpoint> CertStore::all_sorted() const {
+  std::vector<TlsEndpoint> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [ip, cert] : endpoints_) out.push_back({ip, cert});
+  std::sort(out.begin(), out.end(),
+            [](const TlsEndpoint& a, const TlsEndpoint& b) { return a.ip < b.ip; });
+  return out;
+}
+
+}  // namespace repro

@@ -1,0 +1,45 @@
+// The "state of port 443 on the IPv4 Internet" at one snapshot: a mapping
+// from IP address to the certificate it serves. The scanner iterates it;
+// the hypergiant deployment and the background-population synthesizer fill
+// it in.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ip/ipv4.h"
+#include "tls/certificate.h"
+
+namespace repro {
+
+/// One TLS endpoint visible to the scanner.
+struct TlsEndpoint {
+  Ipv4 ip;
+  TlsCertificate cert;
+};
+
+/// IP -> certificate map for one scan snapshot.
+class CertStore {
+ public:
+  /// Installs (or replaces) the certificate served at `ip`.
+  void install(Ipv4 ip, TlsCertificate cert);
+
+  /// Removes the endpoint at `ip` (no-op if absent).
+  void remove(Ipv4 ip) noexcept;
+
+  /// Certificate served at `ip`, if any.
+  std::optional<TlsCertificate> lookup(Ipv4 ip) const;
+
+  bool contains(Ipv4 ip) const noexcept { return endpoints_.contains(ip); }
+
+  std::size_t size() const noexcept { return endpoints_.size(); }
+
+  /// All endpoints in ascending IP order (deterministic scan order).
+  std::vector<TlsEndpoint> all_sorted() const;
+
+ private:
+  std::unordered_map<Ipv4, TlsCertificate> endpoints_;
+};
+
+}  // namespace repro

@@ -1,0 +1,42 @@
+#include "tls/certificate.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace repro {
+
+bool TlsCertificate::matches_name_glob(std::string_view name_pattern) const {
+  if (glob_match(name_pattern, subject.common_name)) return true;
+  for (const auto& san : san_dns) {
+    if (glob_match(name_pattern, san)) return true;
+  }
+  return false;
+}
+
+bool TlsCertificate::has_exact_name(std::string_view name) const {
+  if (to_lower(subject.common_name) == to_lower(name)) return true;
+  for (const auto& san : san_dns) {
+    if (to_lower(san) == to_lower(name)) return true;
+  }
+  return false;
+}
+
+std::uint64_t fingerprint(const TlsCertificate& cert) noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  const auto fold = [&h](std::string_view text) {
+    for (const char c : text) h = mix64(h ^ static_cast<std::uint64_t>(c));
+    h = mix64(h ^ 0x1f);  // field separator
+  };
+  fold(cert.subject.common_name);
+  fold(cert.subject.organization);
+  fold(cert.subject.country);
+  fold(cert.issuer.common_name);
+  fold(cert.issuer.organization);
+  for (const auto& san : cert.san_dns) fold(san);
+  h = mix64(h ^ static_cast<std::uint64_t>(cert.not_before_year));
+  h = mix64(h ^ static_cast<std::uint64_t>(cert.not_after_year));
+  h = mix64(h ^ cert.serial);
+  return h;
+}
+
+}  // namespace repro

@@ -1,0 +1,46 @@
+// A simplified X.509 end-entity certificate: exactly the fields the offnet
+// discovery methodology inspects (Subject CN/Organization, SAN dNSNames,
+// Issuer), plus validity and serial for realism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+/// Subject or issuer distinguished-name fields we model.
+struct DistinguishedName {
+  std::string common_name;    // CN
+  std::string organization;   // O (may be empty; Google dropped it in 2023)
+  std::string country;        // C
+
+  bool operator==(const DistinguishedName&) const = default;
+};
+
+/// An end-entity TLS certificate as seen by an Internet-wide scanner.
+struct TlsCertificate {
+  DistinguishedName subject;
+  DistinguishedName issuer;
+  std::vector<std::string> san_dns;  // subjectAltName dNSName entries
+  int not_before_year = 2020;
+  int not_after_year = 2025;
+  std::uint64_t serial = 0;
+
+  /// True if `name_pattern` (glob, e.g. "*.fbcdn.net") matches the subject
+  /// CN or any SAN entry.
+  bool matches_name_glob(std::string_view name_pattern) const;
+
+  /// True if the subject CN or any SAN entry equals `name` under TLS
+  /// wildcard comparison rules (used by the 2021 exact-onnet-name check).
+  bool has_exact_name(std::string_view name) const;
+
+  bool operator==(const TlsCertificate&) const = default;
+};
+
+/// SHA-like stable fingerprint of the certificate contents (not
+/// cryptographic; a deterministic 64-bit digest for dedup and logging).
+std::uint64_t fingerprint(const TlsCertificate& cert) noexcept;
+
+}  // namespace repro

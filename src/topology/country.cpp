@@ -1,0 +1,144 @@
+#include "topology/country.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.h"
+
+namespace repro {
+
+namespace {
+
+using enum Continent;
+
+// Internet-user estimates (millions) loosely follow public 2023 figures
+// (ITU / APNIC-style); centroids are rough country centers. Exact values do
+// not matter for the reproduction -- only the distributional shape does.
+constexpr std::array<CountryInfo, 95> kCountries{{
+    {"AE", "United Arab Emirates", kAsia, 9.4, {24.0, 54.0}},
+    {"AR", "Argentina", kSouthAmerica, 40.0, {-34.0, -64.0}},
+    {"AT", "Austria", kEurope, 8.2, {47.5, 14.5}},
+    {"AU", "Australia", kOceania, 24.0, {-25.0, 134.0}},
+    {"BD", "Bangladesh", kAsia, 66.0, {24.0, 90.0}},
+    {"BE", "Belgium", kEurope, 10.8, {50.8, 4.5}},
+    {"BG", "Bulgaria", kEurope, 5.3, {43.0, 25.0}},
+    {"BO", "Bolivia", kSouthAmerica, 8.2, {-17.0, -65.0}},
+    {"BR", "Brazil", kSouthAmerica, 181.0, {-10.0, -55.0}},
+    {"CA", "Canada", kNorthAmerica, 36.0, {56.0, -106.0}},
+    {"CH", "Switzerland", kEurope, 8.3, {47.0, 8.0}},
+    {"CL", "Chile", kSouthAmerica, 17.0, {-30.0, -71.0}},
+    {"CM", "Cameroon", kAfrica, 12.0, {6.0, 12.5}},
+    {"CN", "China", kAsia, 1050.0, {35.0, 105.0}},
+    {"CO", "Colombia", kSouthAmerica, 38.0, {4.0, -72.0}},
+    {"CZ", "Czechia", kEurope, 9.3, {49.8, 15.5}},
+    {"DE", "Germany", kEurope, 78.0, {51.0, 9.0}},
+    {"DK", "Denmark", kEurope, 5.8, {56.0, 10.0}},
+    {"DZ", "Algeria", kAfrica, 32.0, {28.0, 3.0}},
+    {"EC", "Ecuador", kSouthAmerica, 13.0, {-2.0, -77.5}},
+    {"EG", "Egypt", kAfrica, 80.0, {27.0, 30.0}},
+    {"ES", "Spain", kEurope, 44.0, {40.0, -4.0}},
+    {"ET", "Ethiopia", kAfrica, 21.0, {8.0, 38.0}},
+    {"FI", "Finland", kEurope, 5.2, {64.0, 26.0}},
+    {"FR", "France", kEurope, 60.0, {46.0, 2.0}},
+    {"GB", "United Kingdom", kEurope, 66.0, {54.0, -2.0}},
+    {"GH", "Ghana", kAfrica, 23.0, {8.0, -2.0}},
+    {"GL", "Greenland", kNorthAmerica, 0.05, {72.0, -40.0}},
+    {"GR", "Greece", kEurope, 8.5, {39.0, 22.0}},
+    {"GT", "Guatemala", kNorthAmerica, 9.0, {15.5, -90.3}},
+    {"HK", "Hong Kong", kAsia, 7.0, {22.3, 114.2}},
+    {"HU", "Hungary", kEurope, 8.6, {47.0, 20.0}},
+    {"ID", "Indonesia", kAsia, 212.0, {-2.0, 118.0}},
+    {"IE", "Ireland", kEurope, 4.9, {53.0, -8.0}},
+    {"IL", "Israel", kAsia, 8.3, {31.5, 34.8}},
+    {"IN", "India", kAsia, 880.0, {21.0, 78.0}},
+    {"IQ", "Iraq", kAsia, 32.0, {33.0, 44.0}},
+    {"IR", "Iran", kAsia, 72.0, {32.0, 53.0}},
+    {"IT", "Italy", kEurope, 51.0, {42.8, 12.8}},
+    {"JP", "Japan", kAsia, 103.0, {36.0, 138.0}},
+    {"KE", "Kenya", kAfrica, 23.0, {1.0, 38.0}},
+    {"KH", "Cambodia", kAsia, 11.0, {12.5, 105.0}},
+    {"KR", "South Korea", kAsia, 50.0, {36.0, 128.0}},
+    {"KZ", "Kazakhstan", kAsia, 17.0, {48.0, 67.0}},
+    {"LK", "Sri Lanka", kAsia, 11.0, {7.0, 81.0}},
+    {"LU", "Luxembourg", kEurope, 0.6, {49.8, 6.1}},
+    {"MA", "Morocco", kAfrica, 32.0, {32.0, -6.0}},
+    {"MM", "Myanmar", kAsia, 24.0, {21.0, 96.0}},
+    {"MN", "Mongolia", kAsia, 2.7, {46.9, 103.8}},
+    {"MX", "Mexico", kNorthAmerica, 97.0, {23.0, -102.0}},
+    {"MY", "Malaysia", kAsia, 31.0, {3.5, 102.0}},
+    {"MZ", "Mozambique", kAfrica, 6.0, {-18.0, 35.0}},
+    {"NG", "Nigeria", kAfrica, 103.0, {9.0, 8.0}},
+    {"NL", "Netherlands", kEurope, 16.3, {52.2, 5.3}},
+    {"NO", "Norway", kEurope, 5.3, {61.0, 8.0}},
+    {"NP", "Nepal", kAsia, 15.0, {28.0, 84.0}},
+    {"NZ", "New Zealand", kOceania, 4.7, {-41.0, 174.0}},
+    {"PE", "Peru", kSouthAmerica, 24.0, {-10.0, -76.0}},
+    {"PH", "Philippines", kAsia, 85.0, {13.0, 122.0}},
+    {"PK", "Pakistan", kAsia, 87.0, {30.0, 70.0}},
+    {"PL", "Poland", kEurope, 33.0, {52.0, 19.0}},
+    {"PT", "Portugal", kEurope, 8.7, {39.5, -8.0}},
+    {"PY", "Paraguay", kSouthAmerica, 5.6, {-23.0, -58.0}},
+    {"QA", "Qatar", kAsia, 2.9, {25.3, 51.2}},
+    {"RO", "Romania", kEurope, 17.0, {46.0, 25.0}},
+    {"RS", "Serbia", kEurope, 6.2, {44.0, 21.0}},
+    {"RU", "Russia", kEurope, 127.0, {60.0, 90.0}},
+    {"SA", "Saudi Arabia", kAsia, 34.0, {24.0, 45.0}},
+    {"SE", "Sweden", kEurope, 9.9, {62.0, 15.0}},
+    {"SG", "Singapore", kAsia, 5.5, {1.35, 103.8}},
+    {"SK", "Slovakia", kEurope, 4.9, {48.7, 19.5}},
+    {"SN", "Senegal", kAfrica, 10.0, {14.5, -14.5}},
+    {"TH", "Thailand", kAsia, 61.0, {15.0, 101.0}},
+    {"TN", "Tunisia", kAfrica, 8.0, {34.0, 9.0}},
+    {"TR", "Turkey", kAsia, 71.0, {39.0, 35.0}},
+    {"TW", "Taiwan", kAsia, 21.0, {23.7, 121.0}},
+    {"TZ", "Tanzania", kAfrica, 19.0, {-6.0, 35.0}},
+    {"UA", "Ukraine", kEurope, 31.0, {49.0, 32.0}},
+    {"UG", "Uganda", kAfrica, 13.0, {1.3, 32.3}},
+    {"US", "United States", kNorthAmerica, 307.0, {39.8, -98.6}},
+    {"UY", "Uruguay", kSouthAmerica, 3.1, {-33.0, -56.0}},
+    {"UZ", "Uzbekistan", kAsia, 27.0, {41.0, 64.0}},
+    {"VE", "Venezuela", kSouthAmerica, 21.0, {8.0, -66.0}},
+    {"VN", "Vietnam", kAsia, 77.0, {16.0, 106.0}},
+    {"ZA", "South Africa", kAfrica, 43.0, {-29.0, 24.0}},
+    {"ZM", "Zambia", kAfrica, 6.0, {-13.5, 27.8}},
+    {"ZW", "Zimbabwe", kAfrica, 5.5, {-19.0, 29.8}},
+    {"AO", "Angola", kAfrica, 12.0, {-12.5, 18.5}},
+    {"CI", "Ivory Coast", kAfrica, 12.0, {7.5, -5.5}},
+    {"CR", "Costa Rica", kNorthAmerica, 4.2, {10.0, -84.2}},
+    {"DO", "Dominican Republic", kNorthAmerica, 9.0, {19.0, -70.7}},
+    {"HN", "Honduras", kNorthAmerica, 5.0, {15.0, -86.5}},
+    {"JM", "Jamaica", kNorthAmerica, 2.4, {18.1, -77.3}},
+    {"LB", "Lebanon", kAsia, 4.8, {33.9, 35.9}},
+    {"OM", "Oman", kAsia, 4.4, {21.0, 57.0}},
+}};
+
+}  // namespace
+
+std::string_view to_string(Continent continent) noexcept {
+  switch (continent) {
+    case kAfrica: return "Africa";
+    case kAsia: return "Asia";
+    case kEurope: return "Europe";
+    case kNorthAmerica: return "North America";
+    case kSouthAmerica: return "South America";
+    case kOceania: return "Oceania";
+  }
+  return "?";
+}
+
+std::span<const CountryInfo> all_countries() noexcept { return kCountries; }
+
+const CountryInfo& country_by_code(std::string_view code) {
+  const auto it = std::find_if(kCountries.begin(), kCountries.end(),
+                               [&](const CountryInfo& c) { return c.code == code; });
+  if (it == kCountries.end()) throw NotFoundError("country code '" + std::string(code) + "'");
+  return *it;
+}
+
+double total_internet_users_m() noexcept {
+  double total = 0.0;
+  for (const auto& country : kCountries) total += country.internet_users_m;
+  return total;
+}
+
+}  // namespace repro

@@ -1,0 +1,44 @@
+// Embedded country database: ISO code, continent, Internet-user population
+// (an APNIC-style estimate) and a geographic centroid. The generator draws
+// metros and ISP populations from this table; Figure 1 aggregates by it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/geo.h"
+
+namespace repro {
+
+enum class Continent : std::uint8_t {
+  kAfrica,
+  kAsia,
+  kEurope,
+  kNorthAmerica,
+  kSouthAmerica,
+  kOceania,
+};
+
+/// Human-readable continent name.
+std::string_view to_string(Continent continent) noexcept;
+
+struct CountryInfo {
+  std::string_view code;       // ISO 3166-1 alpha-2
+  std::string_view name;
+  Continent continent;
+  double internet_users_m;     // Internet users, millions (2023-ish estimate)
+  GeoPoint centroid;
+};
+
+/// The full embedded table, sorted by ISO code.
+std::span<const CountryInfo> all_countries() noexcept;
+
+/// Lookup by ISO code. Throws NotFoundError for unknown codes.
+const CountryInfo& country_by_code(std::string_view code);
+
+/// Sum of internet_users_m over the table.
+double total_internet_users_m() noexcept;
+
+}  // namespace repro

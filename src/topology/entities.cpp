@@ -1,0 +1,24 @@
+#include "topology/entities.h"
+
+namespace repro {
+
+std::string_view to_string(AsTier tier) noexcept {
+  switch (tier) {
+    case AsTier::kTier1: return "tier1";
+    case AsTier::kTransit: return "transit";
+    case AsTier::kAccess: return "access";
+    case AsTier::kHypergiant: return "hypergiant";
+  }
+  return "?";
+}
+
+std::string_view to_string(LinkKind kind) noexcept {
+  switch (kind) {
+    case LinkKind::kTransit: return "transit";
+    case LinkKind::kPrivatePeering: return "pni";
+    case LinkKind::kIxpPeering: return "ixp";
+  }
+  return "?";
+}
+
+}  // namespace repro

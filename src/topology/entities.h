@@ -1,0 +1,120 @@
+// Core topology entities: metros, facilities, IXPs, autonomous systems and
+// interdomain links. These are plain data records owned by `Internet`;
+// cross-references use stable integer indices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ip/allocator.h"
+#include "ip/ipv4.h"
+#include "util/geo.h"
+
+namespace repro {
+
+/// BGP autonomous system number.
+using AsNumber = std::uint32_t;
+
+/// Indices into the Internet's entity vectors.
+using CountryIndex = std::uint32_t;
+using MetroIndex = std::uint32_t;
+using FacilityIndex = std::uint32_t;
+using IxpIndex = std::uint32_t;
+using AsIndex = std::uint32_t;
+using LinkIndex = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidIndex = 0xffffffffu;
+
+/// A metropolitan area: where facilities, IXPs and users live.
+struct Metro {
+  MetroIndex index = kInvalidIndex;
+  std::string name;          // e.g. "US-newyork3"
+  std::string iata;          // 3-letter code used in hostnames, e.g. "nyc"
+  CountryIndex country = kInvalidIndex;
+  GeoPoint location;
+  double users = 0.0;        // Internet users attributed to this metro
+};
+
+enum class FacilityKind : std::uint8_t {
+  kIspOwned,     // an ISP's own POP / central office
+  kColocation,   // third-party colo offering space to many networks
+};
+
+/// A physical building that can host offnet servers.
+struct Facility {
+  FacilityIndex index = kInvalidIndex;
+  std::string name;              // e.g. "Equinix-style NYC-1" or "AS65012 POP nyc"
+  FacilityKind kind = FacilityKind::kColocation;
+  MetroIndex metro = kInvalidIndex;
+  AsNumber owner_asn = 0;        // 0 for third-party colocation facilities
+  GeoPoint location;
+};
+
+/// An Internet exchange point with a shared peering LAN.
+struct Ixp {
+  IxpIndex index = kInvalidIndex;
+  std::string name;              // e.g. "IX-nyc"
+  MetroIndex metro = kInvalidIndex;
+  FacilityIndex facility = kInvalidIndex;  // the colo hosting the fabric
+  Prefix peering_lan;            // addresses assigned to member router ports
+  std::vector<AsIndex> members;
+  double port_capacity_gbps = 100.0;  // default member port size
+};
+
+enum class AsTier : std::uint8_t {
+  kTier1,       // global transit-free backbone
+  kTransit,     // regional/national transit provider
+  kAccess,      // eyeball/access ISP (the offnet hosts)
+  kHypergiant,  // content hypergiant (Google/Netflix/Meta/Akamai onnet)
+};
+
+std::string_view to_string(AsTier tier) noexcept;
+
+/// An autonomous system. For access ISPs this is "the ISP" of the paper.
+struct As {
+  AsIndex index = kInvalidIndex;
+  AsNumber asn = 0;
+  std::string name;
+  AsTier tier = AsTier::kAccess;
+  CountryIndex country = kInvalidIndex;
+  double users = 0.0;                 // APNIC-style user estimate
+  std::vector<MetroIndex> metros;     // points of presence
+  std::vector<FacilityIndex> facilities;  // facilities where it can host/hosts
+  /// The metro where this ISP interconnects and preferentially hosts
+  /// offnets (most smaller ISPs have exactly one such location).
+  MetroIndex primary_metro = kInvalidIndex;
+
+  /// Address space: infrastructure (routers, hosted offnet servers) and
+  /// user space announced to the Internet.
+  PrefixAllocator infra{Prefix{}};
+  std::vector<Prefix> user_prefixes;
+
+  /// Adjacency (filled by the generator): link indices by role.
+  std::vector<LinkIndex> provider_links;  // links where this AS is customer
+  std::vector<LinkIndex> customer_links;  // links where this AS is provider
+  std::vector<LinkIndex> peer_links;      // settlement-free peering (PNI/IXP)
+};
+
+enum class LinkKind : std::uint8_t {
+  kTransit,         // customer-provider
+  kPrivatePeering,  // dedicated PNI in a facility
+  kIxpPeering,      // public peering across an IXP fabric
+};
+
+std::string_view to_string(LinkKind kind) noexcept;
+
+/// An interdomain link. For kTransit, `a` is the customer and `b` the
+/// provider. For peering kinds the order carries no meaning.
+struct InterdomainLink {
+  LinkIndex index = kInvalidIndex;
+  LinkKind kind = LinkKind::kTransit;
+  AsIndex a = kInvalidIndex;
+  AsIndex b = kInvalidIndex;
+  /// Where the link lands: a facility for transit/PNI, or the IXP.
+  FacilityIndex facility = kInvalidIndex;
+  IxpIndex ixp = kInvalidIndex;
+  double capacity_gbps = 10.0;
+};
+
+}  // namespace repro

@@ -1,0 +1,78 @@
+#include "traffic/capacity.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace repro {
+
+namespace {
+
+double hash_lognormal(std::uint64_t key, double median, double sigma) noexcept {
+  // Box-Muller on two hash-derived uniforms.
+  double u1 = static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(mix64(key ^ 0x9e37) >> 11) * 0x1.0p-53;
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.141592653589793 * u2);
+  return median * std::exp(sigma * z);
+}
+
+}  // namespace
+
+CapacityModel::CapacityModel(const Internet& internet,
+                             const OffnetRegistry& registry,
+                             const DemandModel& demand, CapacityConfig config)
+    : internet_(internet), registry_(registry), demand_(demand), config_(config) {}
+
+double CapacityModel::offnet_capacity_gbps(AsIndex isp, Hypergiant hg) const {
+  const Deployment* deployment = registry_.find_deployment(isp, hg);
+  if (deployment == nullptr) return 0.0;
+  const double cacheable = demand_.hypergiant_peak_demand_gbps(isp, hg) *
+                           profile(hg).cache_efficiency;
+  const double headroom = hash_lognormal(
+      mix64(config_.seed ^ (isp * 7919ULL) ^ static_cast<std::uint64_t>(hg)),
+      config_.offnet_headroom_median, config_.offnet_headroom_sigma);
+  return cacheable * headroom;
+}
+
+double CapacityModel::site_capacity_gbps(AsIndex isp, Hypergiant hg,
+                                         FacilityIndex facility) const {
+  const Deployment* deployment = registry_.find_deployment(isp, hg);
+  if (deployment == nullptr) return 0.0;
+  // Pro-rata by server count at the facility.
+  std::size_t total = 0;
+  std::size_t at_facility = 0;
+  for (const std::size_t si : deployment->server_indices) {
+    ++total;
+    if (registry_.servers()[si].facility == facility) ++at_facility;
+  }
+  if (total == 0) return 0.0;
+  return offnet_capacity_gbps(isp, hg) * static_cast<double>(at_facility) /
+         static_cast<double>(total);
+}
+
+InterdomainCapacity CapacityModel::interdomain_capacity(AsIndex isp,
+                                                        Hypergiant hg) const {
+  InterdomainCapacity out;
+  const AsIndex hg_as = internet_.as_by_asn(profile(hg).asn);
+  for (const LinkIndex li : internet_.ases[isp].peer_links) {
+    const InterdomainLink& link = internet_.links[li];
+    const AsIndex other = link.a == isp ? link.b : link.a;
+    if (other != hg_as) continue;
+    if (link.kind == LinkKind::kPrivatePeering) out.pni_gbps += link.capacity_gbps;
+    else if (link.kind == LinkKind::kIxpPeering) out.ixp_gbps += link.capacity_gbps;
+  }
+  out.transit_gbps = total_transit_gbps(isp);
+  return out;
+}
+
+double CapacityModel::total_transit_gbps(AsIndex isp) const {
+  double total = 0.0;
+  for (const LinkIndex li : internet_.ases[isp].provider_links) {
+    total += internet_.links[li].capacity_gbps;
+  }
+  return total;
+}
+
+}  // namespace repro

@@ -1,0 +1,60 @@
+// Capacity provisioning: how much an offnet deployment can serve, and what
+// interdomain capacity (PNI, IXP port, transit) an ISP has towards each
+// hypergiant. Offnets are provisioned with limited headroom over their share
+// of peak demand (Section 4.1: offnets run near capacity), and PNIs with a
+// heavy lower tail (Section 4.2.2: frequently insufficient).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hypergiant/deployment.h"
+#include "traffic/demand.h"
+
+namespace repro {
+
+struct CapacityConfig {
+  std::uint64_t seed = 808;
+  /// Median headroom of an offnet deployment over the hypergiant's
+  /// cacheable share of the ISP's peak demand (1.2 = 20% above peak).
+  double offnet_headroom_median = 1.2;
+  double offnet_headroom_sigma = 0.12;
+};
+
+/// Interdomain capacity of an ISP towards one hypergiant, by path type.
+struct InterdomainCapacity {
+  double pni_gbps = 0.0;       // dedicated private interconnects
+  double ixp_gbps = 0.0;       // shared IXP port capacity (total port size)
+  double transit_gbps = 0.0;   // provider links (shared with all traffic)
+};
+
+/// Deterministic capacity model over ground truth.
+class CapacityModel {
+ public:
+  CapacityModel(const Internet& internet, const OffnetRegistry& registry,
+                const DemandModel& demand, CapacityConfig config);
+
+  /// Serving capacity (Gbps) of `hg`'s offnet deployment at `isp`
+  /// (0 when there is no deployment). Split across sites pro rata.
+  double offnet_capacity_gbps(AsIndex isp, Hypergiant hg) const;
+
+  /// Capacity of one site (facility) of a deployment.
+  double site_capacity_gbps(AsIndex isp, Hypergiant hg,
+                            FacilityIndex facility) const;
+
+  /// Dedicated and shared interdomain capacity between `isp` and `hg`.
+  InterdomainCapacity interdomain_capacity(AsIndex isp, Hypergiant hg) const;
+
+  /// Total provider (transit) capacity of the ISP, all traffic shares it.
+  double total_transit_gbps(AsIndex isp) const;
+
+  const CapacityConfig& config() const noexcept { return config_; }
+
+ private:
+  const Internet& internet_;
+  const OffnetRegistry& registry_;
+  const DemandModel& demand_;
+  CapacityConfig config_;
+};
+
+}  // namespace repro

@@ -1,0 +1,60 @@
+#include "traffic/demand.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace repro {
+
+double diurnal_multiplier(double local_hour_value) noexcept {
+  // Smooth curve with trough at 04:00 (0.35) and peak at 21:00 (1.0).
+  const double phase =
+      2.0 * std::numbers::pi * (local_hour_value - 21.0) / 24.0;
+  // cos(phase) = 1 at 21:00, -1 at 09:00; warp to sharpen the evening peak.
+  const double base = 0.5 * (1.0 + std::cos(phase));  // [0, 1]
+  return 0.35 + 0.65 * std::pow(base, 1.3);
+}
+
+double local_hour(double utc_hour, double longitude_deg) noexcept {
+  double hour = utc_hour + longitude_deg / 15.0;
+  hour = std::fmod(hour, 24.0);
+  if (hour < 0.0) hour += 24.0;
+  return hour;
+}
+
+double total_hypergiant_share() noexcept {
+  double total = 0.0;
+  for (const Hypergiant hg : all_hypergiants()) total += profile(hg).traffic_share;
+  return total;
+}
+
+DemandModel::DemandModel(const Internet& internet) : internet_(internet) {}
+
+double DemandModel::isp_peak_demand_gbps(AsIndex isp) const {
+  require(isp < internet_.ases.size(), "DemandModel: bad AS index");
+  return peak_demand_gbps(internet_.ases[isp].users);
+}
+
+double DemandModel::isp_demand_gbps(AsIndex isp, double utc_hour) const {
+  const As& as = internet_.ases[isp];
+  const double longitude =
+      internet_.metros[as.primary_metro].location.longitude_deg;
+  return isp_peak_demand_gbps(isp) *
+         diurnal_multiplier(local_hour(utc_hour, longitude));
+}
+
+double DemandModel::hypergiant_demand_gbps(AsIndex isp, Hypergiant hg,
+                                           double utc_hour) const {
+  return isp_demand_gbps(isp, utc_hour) * profile(hg).traffic_share;
+}
+
+double DemandModel::hypergiant_peak_demand_gbps(AsIndex isp, Hypergiant hg) const {
+  return isp_peak_demand_gbps(isp) * profile(hg).traffic_share;
+}
+
+double DemandModel::other_demand_gbps(AsIndex isp, double utc_hour) const {
+  return isp_demand_gbps(isp, utc_hour) * (1.0 - total_hypergiant_share());
+}
+
+}  // namespace repro

@@ -1,0 +1,47 @@
+// Traffic demand model: per-ISP aggregate demand with a diurnal curve, split
+// across the hypergiants by their published traffic shares (Section 2.1) and
+// a residual "everything else" share.
+#pragma once
+
+#include "hypergiant/profile.h"
+#include "topology/generator.h"
+#include "topology/internet.h"
+
+namespace repro {
+
+/// Diurnal demand multiplier for a local hour in [0, 24): trough ~0.35
+/// around 04:00, peak 1.0 at 21:00 (residential eyeball pattern).
+double diurnal_multiplier(double local_hour) noexcept;
+
+/// Local hour at a longitude for a given UTC hour.
+double local_hour(double utc_hour, double longitude_deg) noexcept;
+
+/// Sum of the four hypergiants' traffic shares (~0.625).
+double total_hypergiant_share() noexcept;
+
+/// Demand model over a generated Internet.
+class DemandModel {
+ public:
+  explicit DemandModel(const Internet& internet);
+
+  /// ISP aggregate demand (Gbps) at a UTC hour, using the ISP's primary
+  /// metro longitude for the local clock.
+  double isp_demand_gbps(AsIndex isp, double utc_hour) const;
+
+  /// Peak aggregate demand (diurnal multiplier = 1).
+  double isp_peak_demand_gbps(AsIndex isp) const;
+
+  /// Demand attributable to one hypergiant at a UTC hour.
+  double hypergiant_demand_gbps(AsIndex isp, Hypergiant hg, double utc_hour) const;
+
+  /// Peak demand attributable to one hypergiant.
+  double hypergiant_peak_demand_gbps(AsIndex isp, Hypergiant hg) const;
+
+  /// Demand of everything that is not one of the four hypergiants.
+  double other_demand_gbps(AsIndex isp, double utc_hour) const;
+
+ private:
+  const Internet& internet_;
+};
+
+}  // namespace repro

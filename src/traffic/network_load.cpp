@@ -1,0 +1,151 @@
+#include "traffic/network_load.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.h"
+
+namespace repro {
+
+NetworkLoadModel::NetworkLoadModel(const Internet& internet,
+                                   const OffnetRegistry& registry,
+                                   const DemandModel& demand,
+                                   const CapacityModel& capacity,
+                                   const RoutingEngine& routing,
+                                   NetworkLoadConfig config)
+    : internet_(internet),
+      registry_(registry),
+      demand_(demand),
+      capacity_(capacity),
+      routing_(routing),
+      config_(config) {
+  require(config_.isp_stride >= 1, "NetworkLoadConfig: stride must be >= 1");
+}
+
+NetworkLoadResult NetworkLoadModel::evaluate(
+    double utc_hour, const std::set<FacilityIndex>& failed) const {
+  NetworkLoadResult result;
+  result.link_load.assign(internet_.links.size(), 0.0);
+
+  std::array<AsIndex, kHypergiantCount> hg_as{};
+  for (const Hypergiant hg : all_hypergiants()) {
+    hg_as[static_cast<std::size_t>(hg)] = internet_.as_by_asn(profile(hg).asn);
+  }
+  const auto isps = internet_.access_isps();
+  std::vector<std::vector<LinkIndex>> paths_used;
+  std::vector<std::vector<std::vector<LinkIndex>>> per_isp_paths;
+  per_isp_paths.reserve(isps.size() / config_.isp_stride + 1);
+
+  for (std::size_t i = 0; i < isps.size(); i += config_.isp_stride) {
+    const AsIndex isp = isps[i];
+    ++result.isps_evaluated;
+    const RoutingTable table = routing_.routes_to(isp);
+    std::vector<std::vector<LinkIndex>> this_isp_paths;
+
+    // Hypergiant interdomain remainders (after surviving offnet serving).
+    for (const Hypergiant hg : all_hypergiants()) {
+      const double hg_demand = demand_.hypergiant_demand_gbps(isp, hg, utc_hour);
+      if (hg_demand <= 0.0) continue;
+      double offnet = 0.0;
+      if (const Deployment* deployment = registry_.find_deployment(isp, hg)) {
+        for (const FacilityIndex site : deployment->sites) {
+          if (failed.contains(site)) continue;
+          offnet += capacity_.site_capacity_gbps(isp, hg, site);
+        }
+        offnet = std::min(offnet, hg_demand * profile(hg).cache_efficiency);
+      }
+      const double remainder = hg_demand - offnet;
+      if (remainder <= 0.0) continue;
+      const auto links = table.link_path(hg_as[static_cast<std::size_t>(hg)]);
+      for (const LinkIndex li : links) result.link_load[li] += remainder;
+      if (!links.empty()) this_isp_paths.push_back(links);
+      result.total_interdomain_gbps += remainder;
+    }
+
+    // Background traffic from the wider Internet: it arrives from diffuse
+    // origins, so it spreads over the ISP's provider links in proportion to
+    // their capacity (the upstream backbone fabric is not the bottleneck).
+    const double other = demand_.other_demand_gbps(isp, utc_hour);
+    const As& as = internet_.ases[isp];
+    double provider_capacity = 0.0;
+    for (const LinkIndex li : as.provider_links) {
+      provider_capacity += internet_.links[li].capacity_gbps;
+    }
+    if (provider_capacity > 0.0) {
+      std::vector<LinkIndex> access_links;
+      for (const LinkIndex li : as.provider_links) {
+        result.link_load[li] += other * internet_.links[li].capacity_gbps /
+                                provider_capacity;
+        access_links.push_back(li);
+      }
+      this_isp_paths.push_back(std::move(access_links));
+    }
+    result.total_interdomain_gbps += other;
+
+    per_isp_paths.push_back(std::move(this_isp_paths));
+  }
+
+  // Congestion and affected ISPs.
+  std::vector<bool> congested(internet_.links.size(), false);
+  for (LinkIndex li = 0; li < internet_.links.size(); ++li) {
+    if (result.link_load[li] > internet_.links[li].capacity_gbps) {
+      congested[li] = true;
+      result.congested_links.push_back(li);
+    }
+  }
+  for (const auto& isp_paths : per_isp_paths) {
+    bool hit = false;
+    for (const auto& path : isp_paths) {
+      for (const LinkIndex li : path) {
+        if (congested[li]) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) break;
+    }
+    if (hit) ++result.isps_on_congested_paths;
+  }
+  return result;
+}
+
+std::vector<FacilityBlastRadius> NetworkLoadModel::blast_radii() const {
+  std::map<FacilityIndex, FacilityBlastRadius> radii;
+  std::map<FacilityIndex, std::set<AsIndex>> isps_at;
+  std::map<FacilityIndex, std::set<Hypergiant>> hgs_at;
+
+  for (const auto& [key, deployment] : registry_.deployments()) {
+    const auto [isp, hg] = key;
+    std::set<FacilityIndex> sites(deployment.sites.begin(),
+                                  deployment.sites.end());
+    for (const FacilityIndex site : sites) {
+      auto& radius = radii[site];
+      radius.facility = site;
+      isps_at[site].insert(isp);
+      hgs_at[site].insert(hg);
+      const double site_capacity = capacity_.site_capacity_gbps(isp, hg, site);
+      const double cacheable = demand_.hypergiant_peak_demand_gbps(isp, hg) *
+                               profile(hg).cache_efficiency;
+      radius.displaced_gbps += std::min(site_capacity, cacheable);
+    }
+  }
+
+  std::vector<FacilityBlastRadius> out;
+  out.reserve(radii.size());
+  for (auto& [facility, radius] : radii) {
+    radius.isps = isps_at[facility].size();
+    radius.hypergiants = hgs_at[facility].size();
+    for (const AsIndex isp : isps_at[facility]) {
+      radius.users += internet_.ases[isp].users;
+    }
+    out.push_back(radius);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FacilityBlastRadius& a, const FacilityBlastRadius& b) {
+              return a.displaced_gbps > b.displaced_gbps;
+            });
+  return out;
+}
+
+}  // namespace repro

@@ -1,0 +1,79 @@
+// Network-wide load model: place every ISP's hypergiant spillover and
+// background traffic onto the actual interdomain links of its BGP paths and
+// find the congested links -- the topology-level view of Section 4.3's
+// collateral damage (per-ISP spillover only sees the ISP's own edge).
+//
+// Also computes facility "blast radii" (Section 3.3: "facility-wide outages
+// will impact all hosted servers"): how many ISPs, hypergiants, users and
+// Gbps a single building takes down.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "route/bgp.h"
+#include "traffic/spillover.h"
+
+namespace repro {
+
+struct NetworkLoadConfig {
+  /// Evaluate every k-th access ISP (1 = all; larger = faster sampling).
+  std::size_t isp_stride = 1;
+};
+
+/// Internet-wide evaluation at one instant.
+struct NetworkLoadResult {
+  /// Per-link load in Gbps (indexed by LinkIndex).
+  std::vector<double> link_load;
+  double total_interdomain_gbps = 0.0;
+  /// Links whose load exceeds capacity.
+  std::vector<LinkIndex> congested_links;
+  /// ISPs at least one of whose hypergiant paths crosses a congested link.
+  std::size_t isps_on_congested_paths = 0;
+  std::size_t isps_evaluated = 0;
+
+  double congested_fraction() const noexcept {
+    return isps_evaluated == 0
+               ? 0.0
+               : static_cast<double>(isps_on_congested_paths) / isps_evaluated;
+  }
+};
+
+/// One facility's blast radius.
+struct FacilityBlastRadius {
+  FacilityIndex facility = kInvalidIndex;
+  std::size_t isps = 0;            // ISPs with offnet servers there
+  std::size_t hypergiants = 0;     // distinct hypergiants hosted
+  double users = 0.0;              // users of the hosting ISPs
+  double displaced_gbps = 0.0;     // peak traffic the facility was serving
+};
+
+class NetworkLoadModel {
+ public:
+  NetworkLoadModel(const Internet& internet, const OffnetRegistry& registry,
+                   const DemandModel& demand, const CapacityModel& capacity,
+                   const RoutingEngine& routing,
+                   NetworkLoadConfig config = {});
+
+  /// Evaluates link loads at `utc_hour` with `failed` facilities down.
+  /// Hypergiant interdomain remainders ride the BGP path from the
+  /// hypergiant's AS; background (non-hypergiant) traffic rides the path
+  /// from a backbone.
+  NetworkLoadResult evaluate(double utc_hour,
+                             const std::set<FacilityIndex>& failed = {}) const;
+
+  /// Blast radii of all facilities hosting at least one offnet, sorted by
+  /// displaced traffic (descending).
+  std::vector<FacilityBlastRadius> blast_radii() const;
+
+ private:
+  const Internet& internet_;
+  const OffnetRegistry& registry_;
+  const DemandModel& demand_;
+  const CapacityModel& capacity_;
+  const RoutingEngine& routing_;
+  NetworkLoadConfig config_;
+};
+
+}  // namespace repro

@@ -1,0 +1,154 @@
+#include "traffic/spillover.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace repro {
+
+namespace {
+
+double drop_fraction(double load, double capacity) noexcept {
+  if (load <= capacity || load <= 0.0) return 0.0;
+  return (load - capacity) / load;
+}
+
+}  // namespace
+
+std::string_view to_string(SharedLinkPolicy policy) noexcept {
+  switch (policy) {
+    case SharedLinkPolicy::kBestEffort: return "best-effort";
+    case SharedLinkPolicy::kIsolation: return "isolation";
+  }
+  return "?";
+}
+
+double SpilloverResult::ixp_drop_fraction() const noexcept {
+  return drop_fraction(ixp_load, ixp_capacity);
+}
+
+double SpilloverResult::transit_drop_fraction() const noexcept {
+  return drop_fraction(transit_load, transit_capacity);
+}
+
+double SpilloverResult::other_traffic_degraded_fraction() const noexcept {
+  if (policy == SharedLinkPolicy::kIsolation) {
+    // Other traffic holds a reservation; it only degrades if it alone
+    // exceeds the resource.
+    const double ixp_part = other_ixp_load * drop_fraction(other_ixp_load,
+                                                           ixp_capacity);
+    const double transit_part =
+        other_transit_load * drop_fraction(other_transit_load, transit_capacity);
+    return other_demand > 0.0 ? (ixp_part + transit_part) / other_demand : 0.0;
+  }
+  // Best effort: other traffic degrades with everything else on its paths.
+  const double via_ixp =
+      ixp_capacity > 0.0 ? SpilloverSimulator::kOtherTrafficIxpShare : 0.0;
+  return via_ixp * ixp_drop_fraction() +
+         (1.0 - via_ixp) * transit_drop_fraction();
+}
+
+SpilloverSimulator::SpilloverSimulator(const Internet& internet,
+                                       const OffnetRegistry& registry,
+                                       const DemandModel& demand,
+                                       const CapacityModel& capacity)
+    : internet_(internet),
+      registry_(registry),
+      demand_(demand),
+      capacity_(capacity) {}
+
+double SpilloverSimulator::local_peak_utc_hour(AsIndex isp) const {
+  require(isp < internet_.ases.size(), "local_peak_utc_hour: bad AS index");
+  const double longitude =
+      internet_.metros[internet_.ases[isp].primary_metro].location.longitude_deg;
+  double utc = 21.0 - longitude / 15.0;
+  utc = std::fmod(utc, 24.0);
+  if (utc < 0.0) utc += 24.0;
+  return utc;
+}
+
+SpilloverResult SpilloverSimulator::simulate(
+    AsIndex isp, const SpilloverScenario& scenario) const {
+  SpilloverResult result;
+
+  // IXP port capacity: per fabric membership, sized to the member.
+  for (const Ixp& ixp : internet_.ixps) {
+    if (std::find(ixp.members.begin(), ixp.members.end(), isp) !=
+        ixp.members.end()) {
+      result.ixp_capacity += ixp_member_port_gbps(internet_.ases[isp].users);
+    }
+  }
+  result.transit_capacity = capacity_.total_transit_gbps(isp);
+
+  result.policy = scenario.policy;
+  result.other_demand = demand_.other_demand_gbps(isp, scenario.utc_hour);
+  const double other_via_ixp =
+      result.ixp_capacity > 0.0 ? result.other_demand * kOtherTrafficIxpShare
+                                : 0.0;
+  result.other_ixp_load = other_via_ixp;
+  result.other_transit_load = result.other_demand - other_via_ixp;
+  result.ixp_load += other_via_ixp;
+  result.transit_load += result.other_demand - other_via_ixp;
+
+  for (const Hypergiant hg : all_hypergiants()) {
+    HgFlow& flow = result.flows[static_cast<std::size_t>(hg)];
+    flow.demand = demand_.hypergiant_demand_gbps(isp, hg, scenario.utc_hour) *
+                  scenario.demand_multiplier[static_cast<std::size_t>(hg)];
+    if (flow.demand <= 0.0) continue;
+
+    // 1. Local offnets (surviving sites only).
+    const double cacheable = flow.demand * profile(hg).cache_efficiency;
+    double available = 0.0;
+    if (const Deployment* deployment = registry_.find_deployment(isp, hg)) {
+      for (const FacilityIndex site : deployment->sites) {
+        if (scenario.failed_facilities.contains(site)) continue;
+        available += capacity_.site_capacity_gbps(isp, hg, site);
+      }
+    }
+    flow.offnet = std::min(cacheable, available);
+    double remainder = flow.demand - flow.offnet;
+
+    // 2. Dedicated PNIs.
+    const InterdomainCapacity inter = capacity_.interdomain_capacity(isp, hg);
+    flow.pni = std::min(remainder, inter.pni_gbps);
+    remainder -= flow.pni;
+    if (remainder <= 0.0) continue;
+
+    // 3. Shared routes: IXP fabric if a peering exists there, else transit.
+    if (inter.ixp_gbps > 0.0) {
+      flow.ixp = remainder;
+      result.ixp_load += remainder;
+    } else {
+      flow.transit = remainder;
+      result.transit_load += remainder;
+    }
+  }
+
+  // Congestion on shared resources.
+  double hg_ixp_drop;
+  double hg_transit_drop;
+  if (scenario.policy == SharedLinkPolicy::kIsolation) {
+    // Other traffic is reserved its share; hypergiant spillover competes
+    // only for the remainder and absorbs the whole shortfall itself.
+    const double hg_ixp_load = result.ixp_load - result.other_ixp_load;
+    const double hg_transit_load =
+        result.transit_load - result.other_transit_load;
+    const double ixp_left =
+        std::max(0.0, result.ixp_capacity - result.other_ixp_load);
+    const double transit_left =
+        std::max(0.0, result.transit_capacity - result.other_transit_load);
+    hg_ixp_drop = drop_fraction(hg_ixp_load, ixp_left);
+    hg_transit_drop = drop_fraction(hg_transit_load, transit_left);
+  } else {
+    // Best effort: everyone on the link degrades proportionally.
+    hg_ixp_drop = result.ixp_drop_fraction();
+    hg_transit_drop = result.transit_drop_fraction();
+  }
+  for (HgFlow& flow : result.flows) {
+    flow.degraded = flow.ixp * hg_ixp_drop + flow.transit * hg_transit_drop;
+  }
+  return result;
+}
+
+}  // namespace repro

@@ -1,0 +1,106 @@
+// The spillover waterfall (Section 4): when demand exceeds (or a failure
+// removes) local offnet capacity, the overflow is served across interdomain
+// boundaries -- dedicated PNIs first, then shared routes (IXP fabrics,
+// transit providers), where it competes with everything else. Congestion on
+// a shared resource degrades *all* traffic on it proportionally: that is the
+// collateral damage of Section 4.3.
+#pragma once
+
+#include <array>
+#include <set>
+
+#include "traffic/capacity.h"
+
+namespace repro {
+
+/// How shared links (IXP ports, transit) arbitrate overload -- the
+/// Section 6 mitigation discussion.
+enum class SharedLinkPolicy : std::uint8_t {
+  /// Today's Internet: everything on the link degrades proportionally,
+  /// so hypergiant spillover damages unrelated traffic.
+  kBestEffort = 0,
+  /// Isolation mechanisms "to protect capacity for each hypergiant and for
+  /// other Internet traffic": non-hypergiant traffic is reserved its
+  /// baseline share first; hypergiant spillover only competes for the
+  /// remainder (and degrades itself when that runs out).
+  kIsolation,
+};
+
+std::string_view to_string(SharedLinkPolicy policy) noexcept;
+
+/// What-if inputs for one ISP simulation.
+struct SpilloverScenario {
+  /// UTC hour of the evaluation (use local_peak_utc_hour() for the ISP's
+  /// evening peak).
+  double utc_hour = 20.0;
+  /// Per-hypergiant demand multipliers (flash crowd, lockdown surge, ...).
+  std::array<double, kHypergiantCount> demand_multiplier{1.0, 1.0, 1.0, 1.0};
+  /// Facilities that are down (offnet sites there serve nothing).
+  std::set<FacilityIndex> failed_facilities;
+  /// Shared-link arbitration (Section 6 what-if).
+  SharedLinkPolicy policy = SharedLinkPolicy::kBestEffort;
+};
+
+/// Where one hypergiant's traffic to the ISP ended up (Gbps).
+struct HgFlow {
+  double demand = 0.0;
+  double offnet = 0.0;    // served locally
+  double pni = 0.0;       // dedicated interconnect
+  double ixp = 0.0;       // shared IXP fabric (pre-congestion desired load)
+  double transit = 0.0;   // provider path (pre-congestion desired load)
+  double degraded = 0.0;  // lost/degraded due to shared-link congestion
+
+  double interdomain() const noexcept { return pni + ixp + transit; }
+};
+
+/// Outcome of one ISP x scenario simulation.
+struct SpilloverResult {
+  std::array<HgFlow, kHypergiantCount> flows;
+
+  double other_demand = 0.0;         // non-hypergiant traffic
+  double ixp_load = 0.0;             // total desired load on IXP ports
+  double ixp_capacity = 0.0;
+  double transit_load = 0.0;         // total desired load on provider links
+  double transit_capacity = 0.0;
+  double other_ixp_load = 0.0;       // the non-hypergiant share of ixp_load
+  double other_transit_load = 0.0;   // ... and of transit_load
+
+  SharedLinkPolicy policy = SharedLinkPolicy::kBestEffort;
+
+  /// Fraction of desired load that a shared resource cannot carry.
+  double ixp_drop_fraction() const noexcept;
+  double transit_drop_fraction() const noexcept;
+
+  /// Collateral damage: fraction of *other* (non-hypergiant) traffic
+  /// degraded by congestion on the shared resources it uses. Zero under
+  /// kIsolation (that is the point of the mechanism).
+  double other_traffic_degraded_fraction() const noexcept;
+
+  const HgFlow& flow(Hypergiant hg) const noexcept {
+    return flows[static_cast<std::size_t>(hg)];
+  }
+};
+
+/// Fluid-model spillover simulator.
+class SpilloverSimulator {
+ public:
+  SpilloverSimulator(const Internet& internet, const OffnetRegistry& registry,
+                     const DemandModel& demand, const CapacityModel& capacity);
+
+  SpilloverResult simulate(AsIndex isp, const SpilloverScenario& scenario) const;
+
+  /// UTC hour at which this ISP hits its local 21:00 evening peak.
+  double local_peak_utc_hour(AsIndex isp) const;
+
+  /// Share of the ISP's non-hypergiant traffic that rides its IXP ports
+  /// (the rest uses transit).
+  static constexpr double kOtherTrafficIxpShare = 0.15;
+
+ private:
+  const Internet& internet_;
+  const OffnetRegistry& registry_;
+  const DemandModel& demand_;
+  const CapacityModel& capacity_;
+};
+
+}  // namespace repro

@@ -1,0 +1,78 @@
+#include "traffic/timeline.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace repro {
+
+TimelineEvent flash_crowd(Hypergiant hg, double start_hour, double duration,
+                          double magnitude) {
+  require(magnitude >= 1.0, "flash_crowd: magnitude must be >= 1");
+  TimelineEvent event;
+  event.start_hour = start_hour;
+  event.end_hour = start_hour + duration;
+  event.extra_multiplier[static_cast<std::size_t>(hg)] = magnitude;
+  return event;
+}
+
+TimelineEvent facility_failure(FacilityIndex facility, double start_hour,
+                               double duration) {
+  TimelineEvent event;
+  event.start_hour = start_hour;
+  event.end_hour = start_hour + duration;
+  event.failed_facilities.insert(facility);
+  return event;
+}
+
+TimelineSimulator::TimelineSimulator(const SpilloverSimulator& spillover)
+    : spillover_(spillover) {}
+
+std::vector<TimelinePoint> TimelineSimulator::run(
+    AsIndex isp, std::span<const TimelineEvent> events, double hours,
+    double step_hours, double start_utc_hour, SharedLinkPolicy policy) const {
+  require(hours > 0.0 && step_hours > 0.0, "TimelineSimulator: bad horizon");
+  std::vector<TimelinePoint> timeline;
+  timeline.reserve(static_cast<std::size_t>(hours / step_hours) + 1);
+
+  for (double hour = 0.0; hour < hours; hour += step_hours) {
+    SpilloverScenario scenario;
+    scenario.utc_hour = std::fmod(start_utc_hour + hour, 24.0);
+    scenario.policy = policy;
+    for (const TimelineEvent& event : events) {
+      if (hour < event.start_hour || hour >= event.end_hour) continue;
+      for (std::size_t h = 0; h < kHypergiantCount; ++h) {
+        scenario.demand_multiplier[h] *= event.extra_multiplier[h];
+      }
+      scenario.failed_facilities.insert(event.failed_facilities.begin(),
+                                        event.failed_facilities.end());
+    }
+    TimelinePoint point;
+    point.hour = hour;
+    point.utc_hour = scenario.utc_hour;
+    point.state = spillover_.simulate(isp, scenario);
+    timeline.push_back(std::move(point));
+  }
+  return timeline;
+}
+
+double peak_collateral(const std::vector<TimelinePoint>& timeline) noexcept {
+  double peak = 0.0;
+  for (const TimelinePoint& point : timeline) {
+    peak = std::max(peak, point.state.other_traffic_degraded_fraction());
+  }
+  return peak;
+}
+
+double total_degraded_gbps_hours(const std::vector<TimelinePoint>& timeline,
+                                 double step_hours) noexcept {
+  double total = 0.0;
+  for (const TimelinePoint& point : timeline) {
+    for (const Hypergiant hg : all_hypergiants()) {
+      total += point.state.flow(hg).degraded * step_hours;
+    }
+  }
+  return total;
+}
+
+}  // namespace repro

@@ -1,0 +1,63 @@
+// Time-stepped cascade simulation (Section 3.3 / 4.3's "perfect storm"):
+// play events -- flash crowds, facility failures, and their overlap --
+// against an ISP hour by hour and watch the spillover, shared-link
+// congestion and collateral damage evolve.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "traffic/spillover.h"
+
+namespace repro {
+
+/// One event active during [start_hour, end_hour) of the timeline.
+struct TimelineEvent {
+  double start_hour = 0.0;
+  double end_hour = 0.0;
+  /// Extra demand multipliers applied while active (flash crowd, bad
+  /// software update retry storm, DoS-driven load).
+  std::array<double, kHypergiantCount> extra_multiplier{1.0, 1.0, 1.0, 1.0};
+  /// Facilities down while active.
+  std::set<FacilityIndex> failed_facilities;
+};
+
+/// Flash crowd on one hypergiant.
+TimelineEvent flash_crowd(Hypergiant hg, double start_hour, double duration,
+                          double magnitude);
+
+/// Facility outage.
+TimelineEvent facility_failure(FacilityIndex facility, double start_hour,
+                               double duration);
+
+struct TimelinePoint {
+  double hour = 0.0;      // hours since timeline start
+  double utc_hour = 0.0;  // wall-clock UTC hour (mod 24)
+  SpilloverResult state;
+};
+
+/// Hour-by-hour simulation of an ISP under a set of events.
+class TimelineSimulator {
+ public:
+  explicit TimelineSimulator(const SpilloverSimulator& spillover);
+
+  /// Runs `hours` steps of `step_hours` starting at `start_utc_hour`,
+  /// composing all active events at each step.
+  std::vector<TimelinePoint> run(
+      AsIndex isp, std::span<const TimelineEvent> events, double hours = 48.0,
+      double step_hours = 1.0, double start_utc_hour = 0.0,
+      SharedLinkPolicy policy = SharedLinkPolicy::kBestEffort) const;
+
+ private:
+  const SpilloverSimulator& spillover_;
+};
+
+/// Peak collateral damage over a timeline (max over points of the
+/// other-traffic degradation).
+double peak_collateral(const std::vector<TimelinePoint>& timeline) noexcept;
+
+/// Total degraded hypergiant traffic over a timeline (Gbps-hours).
+double total_degraded_gbps_hours(const std::vector<TimelinePoint>& timeline,
+                                 double step_hours = 1.0) noexcept;
+
+}  // namespace repro

@@ -1,0 +1,9 @@
+#include "util/error.h"
+
+namespace repro {
+
+void require(bool condition, const std::string& what) {
+  if (!condition) throw Error(what);
+}
+
+}  // namespace repro

@@ -1,0 +1,58 @@
+#include "util/geo.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+namespace repro {
+
+namespace {
+
+double deg_to_rad(double deg) noexcept { return deg * std::numbers::pi / 180.0; }
+
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg_to_rad(a.latitude_deg);
+  const double lat2 = deg_to_rad(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.longitude_deg - a.longitude_deg);
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_ms(double distance_km) noexcept {
+  return distance_km / kFiberKmPerMs;
+}
+
+double min_rtt_ms(const GeoPoint& a, const GeoPoint& b) noexcept {
+  return 2.0 * propagation_ms(haversine_km(a, b));
+}
+
+bool rtt_physically_possible(const GeoPoint& a, const GeoPoint& b, double rtt_ms,
+                             double tolerance_ms) noexcept {
+  return rtt_ms + tolerance_ms >= min_rtt_ms(a, b);
+}
+
+GeoPoint jitter_point(const GeoPoint& center, double radius_km, double u1,
+                      double u2) noexcept {
+  // Uniform in a disc: radius proportional to sqrt(u).
+  const double r_km = radius_km * std::sqrt(u1);
+  const double angle = 2.0 * std::numbers::pi * u2;
+  const double dlat = (r_km * std::cos(angle)) / 111.0;  // ~111 km per degree
+  const double cos_lat = std::max(0.1, std::cos(deg_to_rad(center.latitude_deg)));
+  const double dlon = (r_km * std::sin(angle)) / (111.0 * cos_lat);
+  return {center.latitude_deg + dlat, center.longitude_deg + dlon};
+}
+
+std::string to_string(const GeoPoint& point) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4f,%.4f", point.latitude_deg,
+                point.longitude_deg);
+  return buffer;
+}
+
+}  // namespace repro

@@ -1,0 +1,47 @@
+// Geographic primitives: coordinates, great-circle distance, and the
+// speed-of-light latency bounds used by the measurement filters.
+#pragma once
+
+#include <string>
+
+namespace repro {
+
+/// A point on the Earth's surface (WGS84-ish sphere approximation).
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+/// Mean Earth radius in kilometers (spherical approximation).
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// Speed of light in fiber, km per millisecond (~2/3 c).
+inline constexpr double kFiberKmPerMs = 200.0;
+
+/// Great-circle distance in kilometers (haversine formula).
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Minimum possible round-trip time in milliseconds between two points,
+/// assuming straight-line fiber: 2 * distance / speed-of-light-in-fiber.
+double min_rtt_ms(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// One-way propagation delay in ms along `distance_km` of fiber.
+double propagation_ms(double distance_km) noexcept;
+
+/// True if an RTT measurement is physically possible between two points
+/// (i.e. rtt >= speed-of-light bound, with `tolerance_ms` slack for
+/// clock/queueing measurement error in the *fast* direction).
+bool rtt_physically_possible(const GeoPoint& a, const GeoPoint& b,
+                             double rtt_ms, double tolerance_ms = 0.0) noexcept;
+
+/// Deterministically jitters a point by up to `radius_km`, used to place
+/// facilities around a metro center. `u1`, `u2` are uniform draws in [0,1).
+GeoPoint jitter_point(const GeoPoint& center, double radius_km, double u1,
+                      double u2) noexcept;
+
+/// Renders "lat,lon" with 4 decimals, for debugging and CSV output.
+std::string to_string(const GeoPoint& point);
+
+}  // namespace repro

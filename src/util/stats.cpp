@@ -1,0 +1,141 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace repro {
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  return total / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - m) * (v - m);
+  return sum_sq / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) noexcept {
+  return std::sqrt(variance(values));
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 50.0);
+}
+
+double percentile(std::span<const double> values, double q) {
+  require(!values.empty(), "percentile: empty input");
+  require(q >= 0.0 && q <= 100.0, "percentile: q outside [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto below = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(below);
+  if (below + 1 >= sorted.size()) return sorted.back();
+  return sorted[below] * (1.0 - frac) + sorted[below + 1] * frac;
+}
+
+std::vector<CcdfPoint> weighted_ccdf(std::span<const double> values,
+                                     std::span<const double> weights) {
+  require(weights.empty() || weights.size() == values.size(),
+          "weighted_ccdf: weights size mismatch");
+  std::vector<std::pair<double, double>> samples;
+  samples.reserve(values.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    require(w >= 0.0, "weighted_ccdf: negative weight");
+    samples.emplace_back(values[i], w);
+    total += w;
+  }
+  std::vector<CcdfPoint> result;
+  if (samples.empty() || total <= 0.0) return result;
+  std::sort(samples.begin(), samples.end());
+  result.reserve(samples.size());
+  // Walk ascending; mass >= x is total minus mass strictly below x.
+  double mass_below = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (!result.empty() && samples[i].first == result.back().x) {
+      mass_below += samples[i].second;
+      continue;
+    }
+    result.push_back({samples[i].first, (total - mass_below) / total});
+    mass_below += samples[i].second;
+  }
+  return result;
+}
+
+double ccdf_at(const std::vector<CcdfPoint>& ccdf, double x) noexcept {
+  // Find the first point with point.x >= x; its fraction is mass >= point.x,
+  // and there is no mass between x and point.x, so that is mass >= x.
+  for (const auto& point : ccdf) {
+    if (point.x >= x) return point.fraction;
+  }
+  return 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  require(hi > lo, "Histogram: hi must exceed lo");
+  require(bins >= 1, "Histogram: need at least one bin");
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double value, double weight) noexcept {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  require(i < counts_.size(), "Histogram::bucket_low: out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_high(std::size_t i) const {
+  require(i < counts_.size(), "Histogram::bucket_high: out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::count(std::size_t i) const {
+  require(i < counts_.size(), "Histogram::count: out of range");
+  return counts_[i];
+}
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ > 0.0 ? count(i) / total_ : 0.0;
+}
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace repro

@@ -1,0 +1,109 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace repro {
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TextTable: need at least one column");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() <= headers_.size(), "TextTable: row wider than header");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  require(column < aligns_.size(), "TextTable::set_align: column out of range");
+  aligns_[column] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_cell = [&](const std::string& cell, std::size_t c) {
+    const std::size_t pad = widths[c] - cell.size();
+    if (aligns_[c] == Align::kLeft) return cell + std::string(pad, ' ');
+    return std::string(pad, ' ') + cell;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += "  ";
+    out += render_cell(headers_[c], c);
+  }
+  out += '\n';
+  std::size_t rule_width = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule_width += widths[c] + (c > 0 ? 2 : 0);
+  out += std::string(rule_width, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += render_cell(row[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += ',';
+    out += csv_escape(headers_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += csv_escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    require(!ec, "write_file: cannot create directories for " + path);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  require(static_cast<bool>(out), "write_file: cannot open " + path);
+  out << content;
+  require(static_cast<bool>(out), "write_file: write failed for " + path);
+}
+
+}  // namespace repro

@@ -1,0 +1,45 @@
+// Plain-text table and CSV rendering for the benchmark harnesses, which
+// print the same rows the paper's tables and figures report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Column alignment inside a rendered text table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, append rows, render aligned columns.
+/// Rows shorter than the header are padded with empty cells.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; it may have at most as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets alignment for one column (default: left for col 0, right otherwise).
+  void set_align(std::size_t column, Align align);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with column separators and a header rule.
+  std::string render() const;
+
+  /// Renders as RFC-4180-style CSV (quotes fields containing , " or newline).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Writes `content` to `path`, creating parent directories when needed.
+/// Throws repro::Error on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace repro

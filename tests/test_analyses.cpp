@@ -1,0 +1,224 @@
+#include "core/analyses.h"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+class AnalysesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { pipeline_ = new Pipeline(Scenario::tiny()); }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static Pipeline* pipeline_;
+};
+
+Pipeline* AnalysesTest::pipeline_ = nullptr;
+
+constexpr double kXis[] = {0.1, 0.9};
+
+TEST_F(AnalysesTest, Table1GrowthSignsMatchPaper) {
+  const Table1Study study = table1_study(*pipeline_);
+  ASSERT_EQ(study.rows.size(), kHypergiantCount);
+  for (const Table1Row& row : study.rows) {
+    switch (row.hg) {
+      case Hypergiant::kGoogle:
+      case Hypergiant::kNetflix:
+      case Hypergiant::kMeta:
+        EXPECT_GT(row.isps_2023, row.isps_2021) << to_string(row.hg);
+        break;
+      case Hypergiant::kAkamai:
+        // Akamai held flat (modulo scan miss noise).
+        EXPECT_NEAR(static_cast<double>(row.isps_2023),
+                    static_cast<double>(row.isps_2021),
+                    row.isps_2021 * 0.05 + 2.0);
+        break;
+    }
+  }
+  EXPECT_GT(study.total_offnet_ips_2023, 0u);
+  EXPECT_GT(study.total_hosting_isps_2023, 0u);
+}
+
+TEST_F(AnalysesTest, Table1OldMethodologyCollapses) {
+  const Table1Study study = table1_study(*pipeline_);
+  for (const Table1Row& row : study.rows) {
+    if (row.hg == Hypergiant::kGoogle || row.hg == Hypergiant::kMeta) {
+      EXPECT_EQ(row.isps_2023_old_method, 0u) << to_string(row.hg);
+    } else {
+      EXPECT_GT(row.isps_2023_old_method, 0u) << to_string(row.hg);
+    }
+  }
+}
+
+TEST_F(AnalysesTest, Figure1FractionsValid) {
+  const Figure1Study study = figure1_study(*pipeline_);
+  EXPECT_GE(study.isps_ge1, study.isps_ge2);
+  EXPECT_GE(study.isps_ge2, study.isps_ge3);
+  EXPECT_GE(study.isps_ge3, study.isps_eq4);
+  ASSERT_FALSE(study.countries.empty());
+  for (const CountryHostingRow& row : study.countries) {
+    EXPECT_GE(row.frac_ge2, row.frac_ge3);
+    EXPECT_GE(row.frac_ge3, row.frac_eq4);
+    EXPECT_GE(row.frac_eq4, 0.0);
+    EXPECT_LE(row.frac_ge2, 1.0);
+  }
+  // Sorted by users descending.
+  for (std::size_t i = 1; i < study.countries.size(); ++i) {
+    EXPECT_GE(study.countries[i - 1].users_m, study.countries[i].users_m);
+  }
+}
+
+TEST_F(AnalysesTest, Table2RowsSumToHundred) {
+  const Table2Study study = table2_study(*pipeline_, kXis);
+  ASSERT_EQ(study.rows.size(), kHypergiantCount * std::size(kXis));
+  for (const Table2Row& row : study.rows) {
+    if (row.isp_count == 0) continue;
+    const double total = row.sole_pct + row.coloc_0_pct + row.coloc_mid_low_pct +
+                         row.coloc_mid_high_pct + row.coloc_full_pct;
+    EXPECT_NEAR(total, 100.0, 0.01) << to_string(row.hg) << " xi=" << row.xi;
+  }
+}
+
+TEST_F(AnalysesTest, Table2CoarseXiShowsMoreColocation) {
+  const Table2Study study = table2_study(*pipeline_, kXis);
+  for (const Hypergiant hg : all_hypergiants()) {
+    double full_fine = -1.0;
+    double full_coarse = -1.0;
+    for (const Table2Row& row : study.rows) {
+      if (row.hg != hg) continue;
+      if (row.xi == 0.1) full_fine = row.coloc_full_pct;
+      if (row.xi == 0.9) full_coarse = row.coloc_full_pct;
+    }
+    ASSERT_GE(full_fine, 0.0);
+    ASSERT_GE(full_coarse, 0.0);
+    EXPECT_GE(full_coarse, full_fine) << to_string(hg);
+  }
+}
+
+TEST_F(AnalysesTest, Figure2CcdfMonotone) {
+  const Figure2Study study = figure2_study(*pipeline_, kXis);
+  ASSERT_EQ(study.series.size(), 2u);
+  for (const Figure2Series& series : study.series) {
+    for (std::size_t i = 1; i < series.ccdf.size(); ++i) {
+      EXPECT_GE(series.ccdf[i - 1].fraction, series.ccdf[i].fraction);
+    }
+    EXPECT_GE(series.users_frac_ge_quarter, 0.0);
+    EXPECT_LE(series.users_frac_ge_quarter, 1.0);
+    EXPECT_LE(series.users_frac_all_four, series.users_frac_ge_quarter + 1e-9);
+  }
+  EXPECT_GT(study.users_in_offnet_isps, 0.0);
+  EXPECT_LE(study.users_in_offnet_isps, 1.0);
+  EXPECT_LE(study.users_analyzable, study.users_in_offnet_isps + 1e-9);
+}
+
+TEST_F(AnalysesTest, BestFacilityFractionBounded) {
+  const OffnetRegistry& registry = pipeline_->registry(Snapshot::k2023);
+  for (const AsIndex isp : pipeline_->hosting_isps_2023()) {
+    const IspClustering* clustering = pipeline_->clustering_of(0.9, isp);
+    if (clustering == nullptr) continue;
+    const double fraction = best_facility_fraction(*clustering, registry);
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 0.52 + 1e-9);
+  }
+}
+
+TEST_F(AnalysesTest, ValidationStudyImprovesWithCorrections) {
+  const ValidationStudy study = validation_study(*pipeline_, 0.1);
+  EXPECT_GE(study.with_corrections.consistent_fraction(),
+            study.without_corrections.consistent_fraction());
+}
+
+TEST_F(AnalysesTest, Section41CovidMatchesPaper) {
+  const Section41Study study = section41_study(*pipeline_, kXis);
+  EXPECT_NEAR(study.covid.offnet_increase_fraction(), 0.20, 0.01);
+  EXPECT_GT(study.covid.interdomain_multiplier(), 2.0);
+  ASSERT_EQ(study.single_site.size(), kHypergiantCount);
+  for (const SingleSiteRow& row : study.single_site) {
+    EXPECT_LE(row.single_site_frac_lo, row.single_site_frac_hi);
+    EXPECT_GE(row.single_site_frac_lo, 0.0);
+    EXPECT_LE(row.single_site_frac_hi, 1.0);
+  }
+  EXPECT_EQ(study.diurnal.size(), 24u);
+}
+
+TEST_F(AnalysesTest, Section421SharesSumToHundred) {
+  const Section421Study study = section421_study(*pipeline_);
+  EXPECT_GT(study.offnet_isps, 0u);
+  EXPECT_NEAR(study.peer_pct + study.possible_pct + study.no_evidence_pct, 100.0,
+              0.01);
+  EXPECT_GE(study.via_ixp_pct, study.ixp_only_pct);
+  EXPECT_GT(study.total_peers, 0u);
+}
+
+TEST_F(AnalysesTest, Section422CoversAllHypergiants) {
+  const Section422Study study = section422_study(*pipeline_);
+  ASSERT_EQ(study.per_hg.size(), kHypergiantCount);
+  for (const PniUtilizationStats& stats : study.per_hg) {
+    EXPECT_GT(stats.isps_with_pni, 0u) << to_string(stats.hg);
+  }
+}
+
+TEST_F(AnalysesTest, Section43StudiesSomething) {
+  const Section43Study study = section43_study(*pipeline_, 50);
+  EXPECT_GT(study.isps_studied, 0u);
+  EXPECT_GE(study.frac_shared_congestion, 0.0);
+  EXPECT_LE(study.frac_shared_congestion, 1.0);
+  EXPECT_GE(study.mean_interdomain_shift_gbps, 0.0);
+}
+
+TEST_F(AnalysesTest, Section33ChokepointsConsistent) {
+  const Section33Study study = section33_study(*pipeline_);
+  ASSERT_FALSE(study.countries.empty());
+  for (const CountryChokepoints& row : study.countries) {
+    EXPECT_GE(row.facilities_for_half, 1);
+    EXPECT_GE(row.facilities_for_ninety, row.facilities_for_half);
+    EXPECT_LE(row.facilities_for_ninety, row.facilities_total);
+    EXPECT_GT(row.top_facility_share, 0.0);
+    EXPECT_LE(row.top_facility_share, 1.0 + 1e-9);
+    // A facility covering the top share bounds how many are needed for 50%.
+    if (row.top_facility_share >= 0.5) {
+      EXPECT_EQ(row.facilities_for_half, 1);
+    }
+    EXPECT_GT(row.offnet_served_traffic_share, 0.0);
+    EXPECT_LE(row.offnet_served_traffic_share, 0.52 + 1e-9);
+  }
+  EXPECT_GE(study.median_facilities_for_half, 1.0);
+}
+
+TEST_F(AnalysesTest, Section6IsolationTradeoff) {
+  const Section6Study study = section6_study(*pipeline_, 60);
+  EXPECT_GT(study.isps_studied, 0u);
+  // Isolation can only reduce collateral damage...
+  EXPECT_LE(study.collateral_isolation, study.collateral_best_effort + 1e-9);
+  // ...and can only increase the hypergiants' own degradation.
+  EXPECT_GE(study.hg_degraded_isolation_gbps,
+            study.hg_degraded_best_effort_gbps - 1e-9);
+}
+
+TEST_F(AnalysesTest, RenderersProduceReports) {
+  EXPECT_NE(render(table1_study(*pipeline_)).find("Table 1"), std::string::npos);
+  EXPECT_NE(render(figure1_study(*pipeline_)).find("Figure 1"), std::string::npos);
+  EXPECT_NE(render(table2_study(*pipeline_, kXis)).find("Table 2"),
+            std::string::npos);
+  EXPECT_NE(render(figure2_study(*pipeline_, kXis)).find("CCDF"),
+            std::string::npos);
+  EXPECT_NE(render(validation_study(*pipeline_, 0.1)).find("Validation"),
+            std::string::npos);
+  EXPECT_NE(render(section41_study(*pipeline_, kXis)).find("Section 4.1"),
+            std::string::npos);
+  EXPECT_NE(render(section421_study(*pipeline_)).find("Section 4.2.1"),
+            std::string::npos);
+  EXPECT_NE(render(section422_study(*pipeline_)).find("Section 4.2.2"),
+            std::string::npos);
+  EXPECT_NE(render(section43_study(*pipeline_, 20)).find("Section 4.3"),
+            std::string::npos);
+  EXPECT_NE(render(section33_study(*pipeline_)).find("choke points"),
+            std::string::npos);
+  EXPECT_NE(render(section6_study(*pipeline_, 20)).find("isolation"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

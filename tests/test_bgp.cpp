@@ -1,0 +1,229 @@
+#include "route/bgp.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+/// Hand-built 6-AS topology:
+///
+///        T1a ---peer--- T1b          (tier-1 mesh)
+///        /  \            |
+///      Tr1  Tr2         Tr3          (transits, customers of tier-1s)
+///      /      \          |
+///    Edge1   Edge2 --- Edge3(peer)   (access ISPs)
+///
+/// Built by hand so every preference rule is checkable.
+class MiniTopology : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto add = [&](AsNumber asn, AsTier tier) {
+      As as;
+      as.asn = asn;
+      as.name = "AS" + std::to_string(asn);
+      as.tier = tier;
+      as.country = 0;
+      Metro metro;
+      metro.name = as.name + "-metro";
+      metro.iata = "zz" + std::string(1, static_cast<char>('a' + asn % 26));
+      metro.country = 0;
+      const MetroIndex mi = net_.add_metro(metro);
+      as.metros = {mi};
+      as.primary_metro = mi;
+      Facility facility;
+      facility.metro = mi;
+      facility.kind = FacilityKind::kColocation;
+      facility.name = as.name + "-colo";
+      const FacilityIndex fi = net_.add_facility(facility);
+      as.facilities = {fi};
+      as.infra = PrefixAllocator(
+          Prefix(Ipv4(0x0a000000u + asn * 0x10000u), 16));
+      const AsIndex index = net_.add_as(std::move(as));
+      net_.announce(index, net_.ases[index].infra.pool());
+      return index;
+    };
+    t1a_ = add(1, AsTier::kTier1);
+    t1b_ = add(2, AsTier::kTier1);
+    tr1_ = add(11, AsTier::kTransit);
+    tr2_ = add(12, AsTier::kTransit);
+    tr3_ = add(13, AsTier::kTransit);
+    e1_ = add(101, AsTier::kAccess);
+    e2_ = add(102, AsTier::kAccess);
+    e3_ = add(103, AsTier::kAccess);
+
+    const auto link = [&](AsIndex a, AsIndex b, LinkKind kind) {
+      InterdomainLink l;
+      l.kind = kind;
+      l.a = a;
+      l.b = b;
+      l.facility = net_.ases[a].facilities.front();
+      return net_.add_link(l);
+    };
+    link(t1a_, t1b_, LinkKind::kPrivatePeering);
+    link(tr1_, t1a_, LinkKind::kTransit);
+    link(tr2_, t1a_, LinkKind::kTransit);
+    link(tr3_, t1b_, LinkKind::kTransit);
+    link(e1_, tr1_, LinkKind::kTransit);
+    link(e2_, tr2_, LinkKind::kTransit);
+    link(e3_, tr3_, LinkKind::kTransit);
+    link(e2_, e3_, LinkKind::kPrivatePeering);
+  }
+
+  Internet net_;
+  AsIndex t1a_{}, t1b_{}, tr1_{}, tr2_{}, tr3_{}, e1_{}, e2_{}, e3_{};
+};
+
+TEST_F(MiniTopology, CustomerRoutePreferredOverPeer) {
+  // From tr3's perspective towards e3: customer route (direct).
+  const RoutingEngine engine(net_);
+  const RoutingTable table = engine.routes_to(e3_);
+  EXPECT_EQ(table.entry(tr3_).kind, RouteKind::kCustomer);
+  EXPECT_EQ(table.entry(tr3_).next_hop, e3_);
+  // e2 reaches e3 via the direct peering, not via transit.
+  EXPECT_EQ(table.entry(e2_).kind, RouteKind::kPeer);
+  EXPECT_EQ(table.entry(e2_).next_hop, e3_);
+}
+
+TEST_F(MiniTopology, ProviderRouteWhenNothingElse) {
+  const RoutingEngine engine(net_);
+  const RoutingTable table = engine.routes_to(e3_);
+  // e1 has no customer or peer path: must go up via tr1.
+  EXPECT_EQ(table.entry(e1_).kind, RouteKind::kProvider);
+  // Full path: e1 -> tr1 -> t1a -(peer)-> t1b -> tr3 -> e3.
+  const auto path = table.as_path(e1_);
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path[0], e1_);
+  EXPECT_EQ(path[1], tr1_);
+  EXPECT_EQ(path[2], t1a_);
+  EXPECT_EQ(path[3], t1b_);
+  EXPECT_EQ(path[4], tr3_);
+  EXPECT_EQ(path[5], e3_);
+}
+
+TEST_F(MiniTopology, PathsAreValleyFree) {
+  const RoutingEngine engine(net_);
+  for (const As& dst : net_.ases) {
+    const RoutingTable table = engine.routes_to(dst.index);
+    for (const As& src : net_.ases) {
+      const auto path = table.as_path(src.index);
+      if (path.empty()) continue;
+      // entry(path[i]).kind says how path[i] reaches path[i+1]:
+      //   kProvider = the edge goes UP, kPeer = flat, kCustomer = DOWN.
+      // Valley-free means: up* peer? down* -- once the path turns flat or
+      // down it never goes up again, with at most one peer edge.
+      int peer_edges = 0;
+      bool descended = false;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const RouteEntry& entry = table.entry(path[i]);
+        switch (entry.kind) {
+          case RouteKind::kProvider:
+            EXPECT_FALSE(descended) << "up edge after down/peer";
+            break;
+          case RouteKind::kPeer:
+            EXPECT_FALSE(descended) << "peer edge after down/peer";
+            ++peer_edges;
+            descended = true;
+            break;
+          case RouteKind::kCustomer:
+            descended = true;
+            break;
+          case RouteKind::kSelf:
+            ADD_FAILURE() << "self entry mid-path";
+        }
+      }
+      EXPECT_LE(peer_edges, 1);
+    }
+  }
+}
+
+TEST_F(MiniTopology, LinkPathMatchesAsPath) {
+  const RoutingEngine engine(net_);
+  const RoutingTable table = engine.routes_to(e3_);
+  const auto as_path = table.as_path(e1_);
+  const auto link_path = table.link_path(e1_);
+  ASSERT_EQ(link_path.size() + 1, as_path.size());
+  for (std::size_t i = 0; i < link_path.size(); ++i) {
+    const InterdomainLink& link = net_.links[link_path[i]];
+    const bool forward = link.a == as_path[i] && link.b == as_path[i + 1];
+    const bool backward = link.b == as_path[i] && link.a == as_path[i + 1];
+    EXPECT_TRUE(forward || backward);
+  }
+}
+
+TEST_F(MiniTopology, DestinationEntryIsSelf) {
+  const RoutingEngine engine(net_);
+  const RoutingTable table = engine.routes_to(e1_);
+  EXPECT_EQ(table.entry(e1_).kind, RouteKind::kSelf);
+  EXPECT_TRUE(table.entry(e1_).reachable);
+  EXPECT_EQ(table.entry(e1_).path_length, 0);
+  const auto path = table.as_path(e1_);
+  ASSERT_EQ(path.size(), 1u);
+}
+
+TEST_F(MiniTopology, PeerRouteNotExportedToProviders) {
+  // tr2 must not reach e3 via e2's peer link (valley-free): its route goes
+  // up through t1a.
+  const RoutingEngine engine(net_);
+  const RoutingTable table = engine.routes_to(e3_);
+  const auto path = table.as_path(tr2_);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path[1], e2_) << "peer-learned route leaked upward";
+}
+
+TEST(GeneratedTopologyRouting, EverybodyReachesHypergiants) {
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  const RoutingEngine engine(net);
+  for (const AsNumber asn : {kGoogleAsn, kNetflixAsn, kMetaAsn, kAkamaiAsn}) {
+    const RoutingTable table = engine.routes_to(net.as_by_asn(asn));
+    for (const As& as : net.ases) {
+      EXPECT_TRUE(table.entry(as.index).reachable) << as.name;
+      EXPECT_FALSE(table.as_path(as.index).empty()) << as.name;
+    }
+  }
+}
+
+TEST(GeneratedTopologyRouting, PathLengthsReasonable) {
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  const RoutingEngine engine(net);
+  const RoutingTable table = engine.routes_to(net.as_by_asn(kGoogleAsn));
+  for (const AsIndex isp : net.access_isps()) {
+    const auto path = table.as_path(isp);
+    ASSERT_FALSE(path.empty());
+    EXPECT_LE(path.size(), 6u);  // access -> transit -> tier1 -> HG at worst
+  }
+}
+
+TEST(GeneratedTopologyRouting, ValleyFreeOnGeneratedGraph) {
+  // Property check at tiny scale across several destinations.
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  const RoutingEngine engine(net);
+  int destinations = 0;
+  for (const AsIndex dst : net.access_isps()) {
+    if (++destinations > 10) break;
+    const RoutingTable table = engine.routes_to(dst);
+    for (const As& src : net.ases) {
+      const auto path = table.as_path(src.index);
+      if (path.empty()) continue;
+      bool descended = false;
+      int peers = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const RouteKind kind = table.entry(path[i]).kind;
+        if (kind == RouteKind::kProvider) {
+          EXPECT_FALSE(descended);  // up edge after the path turned down
+        } else if (kind == RouteKind::kPeer) {
+          EXPECT_FALSE(descended);
+          ++peers;
+          descended = true;
+        } else {
+          descended = true;  // customer edge: downhill from here on
+        }
+      }
+      EXPECT_LE(peers, 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro

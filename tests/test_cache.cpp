@@ -1,0 +1,144 @@
+#include "cache/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace repro {
+namespace {
+
+TEST(LruCache, HitAfterInsert) {
+  LruCache cache(100.0);
+  EXPECT_FALSE(cache.access(1, 10.0));
+  EXPECT_TRUE(cache.access(1, 10.0));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(30.0);
+  cache.access(1, 10.0);
+  cache.access(2, 10.0);
+  cache.access(3, 10.0);
+  cache.access(1, 10.0);  // refresh 1; LRU is now 2
+  cache.access(4, 10.0);  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(LruCache, ByteCapacityRespected) {
+  LruCache cache(25.0);
+  cache.access(1, 10.0);
+  cache.access(2, 10.0);
+  cache.access(3, 10.0);  // evicts 1 (10+10+10 > 25)
+  EXPECT_LE(cache.used_mb(), 25.0);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.object_count(), 2u);
+}
+
+TEST(LruCache, OversizedObjectNeverAdmitted) {
+  LruCache cache(5.0);
+  EXPECT_FALSE(cache.access(1, 10.0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.object_count(), 0u);
+}
+
+TEST(LruCache, ResetClearsEverything) {
+  LruCache cache(100.0);
+  cache.access(1, 10.0);
+  cache.access(1, 10.0);
+  cache.reset();
+  EXPECT_EQ(cache.object_count(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_DOUBLE_EQ(cache.used_mb(), 0.0);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(LruCache, Validation) {
+  EXPECT_THROW(LruCache(0.0), Error);
+  LruCache cache(10.0);
+  EXPECT_THROW(cache.access(1, -1.0), Error);
+}
+
+TEST(RequestStream, RespectsCatalogBounds) {
+  const CatalogProfile& profile = catalog_profile(Hypergiant::kNetflix);
+  RequestStream stream(profile, 1);
+  std::uint64_t ephemeral = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const ObjectId object = stream.next();
+    if (object >= profile.object_count) ++ephemeral;
+  }
+  // Ephemeral ids appear at roughly the uncacheable fraction.
+  EXPECT_NEAR(static_cast<double>(ephemeral) / 20000.0,
+              profile.uncacheable_fraction, 0.01);
+}
+
+TEST(RequestStream, PopularObjectsDominante) {
+  const CatalogProfile& profile = catalog_profile(Hypergiant::kNetflix);
+  RequestStream stream(profile, 2);
+  std::size_t top_hundred = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (stream.next() < 100) ++top_hundred;
+  }
+  // Zipf 1.22 over 60k objects: the top 100 objects draw a large share.
+  EXPECT_GT(static_cast<double>(top_hundred) / n, 0.3);
+}
+
+TEST(CacheSimulator, ReproducesPaperEfficiencies) {
+  // The headline calibration: at the reference deployment size, simulated
+  // steady-state hit rates approximate the paper's Section 2.1 constants.
+  const double expected[] = {0.80, 0.95, 0.86, 0.75};
+  for (const Hypergiant hg : all_hypergiants()) {
+    const CacheSimResult result = simulate_cache(hg, reference_cache_mb(hg));
+    EXPECT_NEAR(result.hit_rate, expected[static_cast<std::size_t>(hg)], 0.035)
+        << to_string(hg);
+  }
+}
+
+TEST(CacheSimulator, EfficiencyOrderingMatchesPaper) {
+  // Netflix > Meta > Google > Akamai.
+  std::array<double, kHypergiantCount> rates{};
+  for (const Hypergiant hg : all_hypergiants()) {
+    rates[static_cast<std::size_t>(hg)] =
+        simulate_cache(hg, reference_cache_mb(hg)).hit_rate;
+  }
+  EXPECT_GT(rates[1], rates[2]);  // Netflix > Meta
+  EXPECT_GT(rates[2], rates[0]);  // Meta > Google
+  EXPECT_GT(rates[0], rates[3]);  // Google > Akamai
+}
+
+TEST(CacheSimulator, HitRateMonotoneInCapacity) {
+  const double capacities[] = {200'000.0, 1'000'000.0, 5'000'000.0};
+  const auto curve = hit_rate_curve(Hypergiant::kGoogle, capacities);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_LT(curve[0].second.hit_rate, curve[1].second.hit_rate);
+  EXPECT_LT(curve[1].second.hit_rate, curve[2].second.hit_rate);
+}
+
+TEST(CacheSimulator, Deterministic) {
+  const CacheSimResult a = simulate_cache(Hypergiant::kMeta, 500'000.0);
+  const CacheSimResult b = simulate_cache(Hypergiant::kMeta, 500'000.0);
+  EXPECT_DOUBLE_EQ(a.hit_rate, b.hit_rate);
+  EXPECT_EQ(a.cached_objects, b.cached_objects);
+}
+
+TEST(CacheSimulator, UncacheableBoundsHitRate) {
+  // Even an infinite cache cannot beat 1 - uncacheable_fraction.
+  const CatalogProfile& profile = catalog_profile(Hypergiant::kMeta);
+  const CacheSimResult result = simulate_cache(Hypergiant::kMeta, 1e12);
+  EXPECT_LT(result.hit_rate, 1.0 - profile.uncacheable_fraction + 0.01);
+}
+
+TEST(CacheSimulator, Validation) {
+  EXPECT_THROW(simulate_cache(Hypergiant::kGoogle, 0.0), Error);
+  CacheSimConfig config;
+  config.measured_requests = 0;
+  EXPECT_THROW(simulate_cache(Hypergiant::kGoogle, 1.0, config), Error);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,136 @@
+#include "traffic/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include <cmath>
+
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+class CapacityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new Internet(InternetGenerator(GeneratorConfig::tiny()).generate());
+    DeploymentConfig config;
+    config.footprint_scale = GeneratorConfig::tiny().scale;
+    registry_ = new OffnetRegistry(
+        DeploymentPolicy(*net_, config).deploy(Snapshot::k2023));
+    demand_ = new DemandModel(*net_);
+    capacity_ = new CapacityModel(*net_, *registry_, *demand_, CapacityConfig{});
+  }
+  static void TearDownTestSuite() {
+    delete capacity_;
+    delete demand_;
+    delete registry_;
+    delete net_;
+  }
+  static Internet* net_;
+  static OffnetRegistry* registry_;
+  static DemandModel* demand_;
+  static CapacityModel* capacity_;
+};
+
+Internet* CapacityTest::net_ = nullptr;
+OffnetRegistry* CapacityTest::registry_ = nullptr;
+DemandModel* CapacityTest::demand_ = nullptr;
+CapacityModel* CapacityTest::capacity_ = nullptr;
+
+TEST_F(CapacityTest, ZeroWithoutDeployment) {
+  for (const AsIndex isp : net_->access_isps()) {
+    for (const Hypergiant hg : all_hypergiants()) {
+      if (registry_->find_deployment(isp, hg) == nullptr) {
+        EXPECT_DOUBLE_EQ(capacity_->offnet_capacity_gbps(isp, hg), 0.0);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "every ISP hosts every hypergiant?";
+}
+
+TEST_F(CapacityTest, PositiveAndNearCacheableForDeployments) {
+  int checked = 0;
+  for (const auto& [key, deployment] : registry_->deployments()) {
+    (void)deployment;
+    const auto [isp, hg] = key;
+    const double capacity = capacity_->offnet_capacity_gbps(isp, hg);
+    const double cacheable = demand_->hypergiant_peak_demand_gbps(isp, hg) *
+                             profile(hg).cache_efficiency;
+    EXPECT_GT(capacity, 0.0);
+    // Headroom median 1.2, sigma 0.12: stay within a loose band.
+    EXPECT_GT(capacity, cacheable * 0.7);
+    EXPECT_LT(capacity, cacheable * 2.2);
+    if (++checked > 100) break;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST_F(CapacityTest, SiteCapacitiesSumToDeploymentCapacity) {
+  int checked = 0;
+  for (const auto& [key, deployment] : registry_->deployments()) {
+    const auto [isp, hg] = key;
+    double site_total = 0.0;
+    std::set<FacilityIndex> sites(deployment.sites.begin(),
+                                  deployment.sites.end());
+    for (const FacilityIndex site : sites) {
+      site_total += capacity_->site_capacity_gbps(isp, hg, site);
+    }
+    EXPECT_NEAR(site_total, capacity_->offnet_capacity_gbps(isp, hg),
+                1e-9 * std::max(1.0, site_total));
+    if (++checked > 50) break;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST_F(CapacityTest, SiteCapacityZeroForForeignFacility) {
+  const auto& [key, deployment] = *registry_->deployments().begin();
+  const auto [isp, hg] = key;
+  // A facility not hosting this deployment contributes nothing.
+  FacilityIndex foreign = 0;
+  while (std::find(deployment.sites.begin(), deployment.sites.end(), foreign) !=
+         deployment.sites.end()) {
+    ++foreign;
+  }
+  EXPECT_DOUBLE_EQ(capacity_->site_capacity_gbps(isp, hg, foreign), 0.0);
+}
+
+TEST_F(CapacityTest, InterdomainCapacityMatchesLinks) {
+  const AsIndex google = net_->as_by_asn(kGoogleAsn);
+  for (const AsIndex isp : net_->access_isps()) {
+    const InterdomainCapacity inter =
+        capacity_->interdomain_capacity(isp, Hypergiant::kGoogle);
+    double pni = 0.0;
+    double ixp = 0.0;
+    for (const LinkIndex li : net_->ases[isp].peer_links) {
+      const InterdomainLink& link = net_->links[li];
+      const AsIndex other = link.a == isp ? link.b : link.a;
+      if (other != google) continue;
+      if (link.kind == LinkKind::kPrivatePeering) pni += link.capacity_gbps;
+      if (link.kind == LinkKind::kIxpPeering) ixp += link.capacity_gbps;
+    }
+    EXPECT_DOUBLE_EQ(inter.pni_gbps, pni);
+    EXPECT_DOUBLE_EQ(inter.ixp_gbps, ixp);
+    EXPECT_DOUBLE_EQ(inter.transit_gbps, capacity_->total_transit_gbps(isp));
+  }
+}
+
+TEST_F(CapacityTest, TransitCapacityPositiveForAccess) {
+  for (const AsIndex isp : net_->access_isps()) {
+    EXPECT_GT(capacity_->total_transit_gbps(isp), 0.0);
+  }
+}
+
+TEST_F(CapacityTest, Deterministic) {
+  const CapacityModel again(*net_, *registry_, *demand_, CapacityConfig{});
+  const auto& [key, deployment] = *registry_->deployments().begin();
+  (void)deployment;
+  const auto [isp, hg] = key;
+  EXPECT_DOUBLE_EQ(again.offnet_capacity_gbps(isp, hg),
+                   capacity_->offnet_capacity_gbps(isp, hg));
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,203 @@
+#include "cluster/colocation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+class ColocationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new Internet(InternetGenerator(GeneratorConfig::tiny()).generate());
+    DeploymentConfig config;
+    config.footprint_scale = GeneratorConfig::tiny().scale;
+    registry_ = new OffnetRegistry(
+        DeploymentPolicy(*net_, config).deploy(Snapshot::k2023));
+    vps_ = new VantagePointSet(*net_, 40, 163163);
+    mesh_ = new PingMesh(*net_, *vps_, PingConfig{});
+    ColocationConfig cluster_config;
+    cluster_config.filter.min_usable_sites = 25;
+    clusterer_ = new ColocationClusterer(*registry_, *mesh_, *vps_, cluster_config);
+  }
+  static void TearDownTestSuite() {
+    delete clusterer_;
+    delete mesh_;
+    delete vps_;
+    delete registry_;
+    delete net_;
+  }
+  static Internet* net_;
+  static OffnetRegistry* registry_;
+  static VantagePointSet* vps_;
+  static PingMesh* mesh_;
+  static ColocationClusterer* clusterer_;
+};
+
+Internet* ColocationTest::net_ = nullptr;
+OffnetRegistry* ColocationTest::registry_ = nullptr;
+VantagePointSet* ColocationTest::vps_ = nullptr;
+PingMesh* ColocationTest::mesh_ = nullptr;
+ColocationClusterer* ColocationTest::clusterer_ = nullptr;
+
+TEST_F(ColocationTest, MostIspsUsable) {
+  std::size_t usable = 0;
+  std::size_t total = 0;
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    ++total;
+    if (clusterer_->cluster_isp(isp).usable) ++usable;
+  }
+  ASSERT_GT(total, 20u);
+  EXPECT_GT(static_cast<double>(usable) / total, 0.8);
+}
+
+TEST_F(ColocationTest, ClustersNeverSpanFacilities) {
+  // Precision of the clustering: two IPs in the same cluster should be in
+  // the same ground-truth facility (at the conservative xi).
+  std::size_t pairs = 0;
+  std::size_t agree = 0;
+  int isps = 0;
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    const IspClustering clustering = clusterer_->cluster_isp(isp);
+    if (!clustering.usable) continue;
+    if (++isps > 25) break;
+    std::map<int, std::set<FacilityIndex>> facilities_by_label;
+    for (std::size_t i = 0; i < clustering.registry_indices.size(); ++i) {
+      if (clustering.labels[i] < 0) continue;
+      facilities_by_label[clustering.labels[i]].insert(
+          registry_->servers()[clustering.registry_indices[i]].facility);
+    }
+    for (const auto& [label, facilities] : facilities_by_label) {
+      (void)label;
+      ++pairs;
+      if (facilities.size() == 1) ++agree;
+    }
+  }
+  ASSERT_GT(pairs, 20u);
+  EXPECT_GT(static_cast<double>(agree) / pairs, 0.9);
+}
+
+TEST_F(ColocationTest, SameRackServersClusterTogether) {
+  // Recall: servers of different hypergiants in the same facility and rack
+  // should mostly land in the same cluster even at xi = 0.1.
+  std::size_t same_rack_pairs = 0;
+  std::size_t clustered_together = 0;
+  int isps = 0;
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    const IspClustering clustering = clusterer_->cluster_isp(isp);
+    if (!clustering.usable) continue;
+    if (++isps > 20) break;
+    for (std::size_t i = 0; i < clustering.registry_indices.size(); ++i) {
+      const OffnetServer& a = registry_->servers()[clustering.registry_indices[i]];
+      for (std::size_t j = i + 1; j < clustering.registry_indices.size(); ++j) {
+        const OffnetServer& b =
+            registry_->servers()[clustering.registry_indices[j]];
+        if (a.facility != b.facility || a.rack != b.rack || a.hg == b.hg) continue;
+        ++same_rack_pairs;
+        if (clustering.labels[i] >= 0 &&
+            clustering.labels[i] == clustering.labels[j]) {
+          ++clustered_together;
+        }
+      }
+    }
+  }
+  ASSERT_GT(same_rack_pairs, 50u);
+  EXPECT_GT(static_cast<double>(clustered_together) / same_rack_pairs, 0.7);
+}
+
+TEST_F(ColocationTest, MultiXiMatchesSingleXi) {
+  const AsIndex isp = registry_->hosting_isps().front();
+  const double xis[] = {0.1, 0.9};
+  const auto multi = clusterer_->cluster_isp_multi(isp, xis);
+  ASSERT_EQ(multi.size(), 2u);
+  ColocationConfig config_01;
+  config_01.xi = 0.1;
+  config_01.filter.min_usable_sites = 25;
+  ColocationConfig config_09;
+  config_09.xi = 0.9;
+  config_09.filter.min_usable_sites = 25;
+  const auto single_01 =
+      ColocationClusterer(*registry_, *mesh_, *vps_, config_01).cluster_isp(isp);
+  const auto single_09 =
+      ColocationClusterer(*registry_, *mesh_, *vps_, config_09).cluster_isp(isp);
+  EXPECT_EQ(multi[0].labels, single_01.labels);
+  EXPECT_EQ(multi[1].labels, single_09.labels);
+}
+
+TEST_F(ColocationTest, HigherXiNeverFindsMoreClusters) {
+  int checked = 0;
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    const double xis[] = {0.1, 0.9};
+    const auto multi = clusterer_->cluster_isp_multi(isp, xis);
+    if (!multi[0].usable) continue;
+    EXPECT_GE(multi[0].cluster_count, multi[1].cluster_count)
+        << net_->ases[isp].name;
+    if (++checked > 30) break;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST_F(ColocationTest, ColocationStatsConsistent) {
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    const IspClustering clustering = clusterer_->cluster_isp(isp);
+    if (!clustering.usable) continue;
+    std::size_t total = 0;
+    for (const Hypergiant hg : all_hypergiants()) {
+      const HgColocation stats = colocation_of(clustering, *registry_, hg);
+      EXPECT_LE(stats.colocated_ips, stats.total_ips);
+      EXPECT_GE(stats.fraction(), 0.0);
+      EXPECT_LE(stats.fraction(), 1.0);
+      total += stats.total_ips;
+    }
+    EXPECT_EQ(total, clustering.registry_indices.size());
+    break;
+  }
+}
+
+TEST_F(ColocationTest, SiteCountsPositiveForHostedHgs) {
+  int checked = 0;
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    const IspClustering clustering = clusterer_->cluster_isp(isp);
+    if (!clustering.usable) continue;
+    for (const Hypergiant hg : surviving_hypergiants(clustering, *registry_)) {
+      EXPECT_GT(inferred_site_count(clustering, *registry_, hg), 0);
+    }
+    if (++checked > 10) break;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST_F(ColocationTest, SingleHgIspHasNoColocation) {
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    if (registry_->hypergiants_at(isp).size() != 1) continue;
+    const IspClustering clustering = clusterer_->cluster_isp(isp);
+    if (!clustering.usable) continue;
+    const Hypergiant hg = registry_->hypergiants_at(isp).front();
+    EXPECT_EQ(colocation_of(clustering, *registry_, hg).colocated_ips, 0u);
+    return;
+  }
+  GTEST_SKIP() << "no single-hypergiant ISP in tiny world";
+}
+
+TEST_F(ColocationTest, UnusableIspReportsEmpty) {
+  // ICMP-limited ISPs fall below the threshold and come back unusable.
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    if (!mesh_->isp_icmp_limited(isp)) continue;
+    const IspClustering clustering = clusterer_->cluster_isp(isp);
+    EXPECT_FALSE(clustering.usable);
+    EXPECT_TRUE(clustering.registry_indices.empty());
+    for (const Hypergiant hg : all_hypergiants()) {
+      EXPECT_EQ(colocation_of(clustering, *registry_, hg).total_ips, 0u);
+      EXPECT_EQ(inferred_site_count(clustering, *registry_, hg), 0);
+    }
+    return;
+  }
+  GTEST_SKIP() << "no ICMP-limited hosting ISP in tiny world";
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,87 @@
+#include "traffic/demand.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace repro {
+namespace {
+
+TEST(Diurnal, BoundsAndShape) {
+  for (double hour = 0.0; hour < 24.0; hour += 0.5) {
+    const double m = diurnal_multiplier(hour);
+    EXPECT_GE(m, 0.35 - 1e-9) << hour;
+    EXPECT_LE(m, 1.0 + 1e-9) << hour;
+  }
+  EXPECT_NEAR(diurnal_multiplier(21.0), 1.0, 1e-9);   // evening peak
+  EXPECT_NEAR(diurnal_multiplier(9.0), 0.35, 1e-9);   // morning trough
+  EXPECT_GT(diurnal_multiplier(20.0), diurnal_multiplier(10.0));
+}
+
+class DiurnalHourSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiurnalHourSweep, SymmetricAroundPeak) {
+  // The curve is a cosine in distance from 21:00: f(21+d) == f(21-d).
+  const int d = GetParam();
+  const double up = diurnal_multiplier(std::fmod(21.0 + d, 24.0));
+  const double down = diurnal_multiplier(std::fmod(21.0 - d + 24.0, 24.0));
+  EXPECT_NEAR(up, down, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hours, DiurnalHourSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 11));
+
+TEST(LocalHour, LongitudeOffsets) {
+  EXPECT_NEAR(local_hour(12.0, 0.0), 12.0, 1e-9);
+  EXPECT_NEAR(local_hour(12.0, 15.0), 13.0, 1e-9);   // UTC+1
+  EXPECT_NEAR(local_hour(12.0, -75.0), 7.0, 1e-9);   // ~New York
+  EXPECT_NEAR(local_hour(23.0, 30.0), 1.0, 1e-9);    // wraps
+  EXPECT_NEAR(local_hour(1.0, -30.0), 23.0, 1e-9);   // wraps negative
+}
+
+TEST(HypergiantShare, SumMatchesPaper) {
+  // 21% + 9% + 15% + 17.5% = 62.5% of Internet traffic.
+  EXPECT_NEAR(total_hypergiant_share(), 0.625, 1e-9);
+}
+
+TEST(DemandModel, SharesAndPeaks) {
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  const DemandModel demand(net);
+  const AsIndex isp = net.access_isps().front();
+
+  const double peak = demand.isp_peak_demand_gbps(isp);
+  EXPECT_GT(peak, 0.0);
+  EXPECT_DOUBLE_EQ(peak, peak_demand_gbps(net.ases[isp].users));
+
+  // Hypergiant + other shares add to the total at any hour.
+  for (const double hour : {0.0, 6.0, 12.0, 20.0}) {
+    const double total = demand.isp_demand_gbps(isp, hour);
+    double parts = demand.other_demand_gbps(isp, hour);
+    for (const Hypergiant hg : all_hypergiants()) {
+      parts += demand.hypergiant_demand_gbps(isp, hg, hour);
+    }
+    EXPECT_NEAR(parts, total, total * 1e-9);
+    EXPECT_LE(total, peak * (1.0 + 1e-9));
+    EXPECT_GE(total, peak * 0.35 * (1.0 - 1e-9));
+  }
+}
+
+TEST(DemandModel, GoogleLargestHypergiantShare) {
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  const DemandModel demand(net);
+  const AsIndex isp = net.access_isps().front();
+  const double google = demand.hypergiant_peak_demand_gbps(isp, Hypergiant::kGoogle);
+  for (const Hypergiant hg :
+       {Hypergiant::kNetflix, Hypergiant::kMeta, Hypergiant::kAkamai}) {
+    EXPECT_GT(google, demand.hypergiant_peak_demand_gbps(isp, hg));
+  }
+}
+
+TEST(DemandModel, ValidatesIndices) {
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  const DemandModel demand(net);
+  EXPECT_THROW(demand.isp_peak_demand_gbps(kInvalidIndex), Error);
+}
+
+}  // namespace
+}  // namespace repro

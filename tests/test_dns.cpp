@@ -1,0 +1,176 @@
+#include "dns/mapping_study.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+class DnsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new Internet(InternetGenerator(GeneratorConfig::tiny()).generate());
+    DeploymentConfig config;
+    config.footprint_scale = GeneratorConfig::tiny().scale;
+    registry_ = new OffnetRegistry(
+        DeploymentPolicy(*net_, config).deploy(Snapshot::k2023));
+    router_ = new RequestRouter(*net_, *registry_);
+  }
+  static void TearDownTestSuite() {
+    delete router_;
+    delete registry_;
+    delete net_;
+  }
+  static Internet* net_;
+  static OffnetRegistry* registry_;
+  static RequestRouter* router_;
+
+  static Ipv4 client_in(AsIndex isp) {
+    return net_->ases[isp].user_prefixes.front().at(7);
+  }
+};
+
+Internet* DnsTest::net_ = nullptr;
+OffnetRegistry* DnsTest::registry_ = nullptr;
+RequestRouter* DnsTest::router_ = nullptr;
+
+TEST_F(DnsTest, HostedClientsServedFromTheirIspOffnet) {
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    for (const Hypergiant hg : registry_->hypergiants_at(isp)) {
+      const Ipv4 serving = router_->serving_ip(hg, client_in(isp));
+      EXPECT_EQ(net_->as_of_ip(serving), isp);
+      EXPECT_TRUE(router_->serves_from_offnet(hg, client_in(isp)));
+    }
+    return;  // one ISP suffices
+  }
+  FAIL() << "no hosting ISP";
+}
+
+TEST_F(DnsTest, UnhostedClientsServedOnnet) {
+  for (const AsIndex isp : net_->access_isps()) {
+    for (const Hypergiant hg : all_hypergiants()) {
+      if (registry_->find_deployment(isp, hg) != nullptr) continue;
+      const Ipv4 serving = router_->serving_ip(hg, client_in(isp));
+      EXPECT_EQ(net_->as_of_ip(serving), net_->as_by_asn(profile(hg).asn));
+      EXPECT_FALSE(router_->serves_from_offnet(hg, client_in(isp)));
+      return;
+    }
+  }
+  GTEST_SKIP() << "every ISP hosts every hypergiant";
+}
+
+TEST_F(DnsTest, EmbeddedHostnamesRoundTrip) {
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    const Hypergiant hg = registry_->hypergiants_at(isp).front();
+    const auto hostname = router_->embedded_hostname(hg, client_in(isp));
+    ASSERT_TRUE(hostname.has_value());
+    const auto ip = router_->ip_of_embedded_hostname(*hostname);
+    ASSERT_TRUE(ip.has_value());
+    EXPECT_EQ(net_->as_of_ip(*ip), isp);
+    return;
+  }
+  FAIL() << "no hosting ISP";
+}
+
+TEST_F(DnsTest, GeoDnsAnswersFollowEcs) {
+  const AuthoritativeDns dns(*router_, Hypergiant::kGoogle,
+                             RedirectionPolicy::kGeoDns2013);
+  for (const AsIndex isp : registry_->isps_hosting(Hypergiant::kGoogle)) {
+    const Prefix ecs = enclosing_slash24(client_in(isp));
+    const auto answer =
+        dns.resolve(dns.canonical_hostname(), Ipv4::parse("8.8.8.8"), ecs);
+    ASSERT_TRUE(answer.has_value());
+    EXPECT_EQ(net_->as_of_ip(answer->ip), isp)
+        << "geo DNS should answer with the client ISP's offnet";
+    return;
+  }
+  FAIL() << "no Google host";
+}
+
+TEST_F(DnsTest, EmbeddedUrlPolicyHidesOffnets) {
+  const AuthoritativeDns dns(*router_, Hypergiant::kGoogle,
+                             RedirectionPolicy::kEmbeddedUrl2023);
+  const AsIndex isp = registry_->isps_hosting(Hypergiant::kGoogle).front();
+  const Prefix ecs = enclosing_slash24(client_in(isp));
+  const auto answer =
+      dns.resolve(dns.canonical_hostname(), Ipv4::parse("8.8.8.8"), ecs);
+  ASSERT_TRUE(answer.has_value());
+  // Canonical name resolves onnet regardless of the client.
+  EXPECT_EQ(net_->as_of_ip(answer->ip), net_->as_by_asn(kGoogleAsn));
+  // ...but the embedded hostname (in-band knowledge) still reaches the
+  // offnet.
+  const auto hostname =
+      router_->embedded_hostname(Hypergiant::kGoogle, client_in(isp));
+  ASSERT_TRUE(hostname.has_value());
+  const auto embedded = dns.resolve(*hostname, Ipv4::parse("8.8.8.8"), ecs);
+  ASSERT_TRUE(embedded.has_value());
+  EXPECT_EQ(net_->as_of_ip(embedded->ip), isp);
+}
+
+TEST_F(DnsTest, AllowlistPolicyDependsOnResolver) {
+  const Ipv4 trusted = Ipv4::parse("9.9.9.9");
+  const AuthoritativeDns dns(*router_, Hypergiant::kAkamai,
+                             RedirectionPolicy::kEcsAllowlist, {trusted});
+  const auto hosts = registry_->isps_hosting(Hypergiant::kAkamai);
+  ASSERT_FALSE(hosts.empty());
+  const AsIndex isp = hosts.front();
+  const Prefix ecs = enclosing_slash24(client_in(isp));
+
+  const auto allowed = dns.resolve(dns.canonical_hostname(), trusted, ecs);
+  ASSERT_TRUE(allowed.has_value());
+  EXPECT_EQ(net_->as_of_ip(allowed->ip), isp);
+
+  const auto denied =
+      dns.resolve(dns.canonical_hostname(), Ipv4::parse("8.8.8.8"), ecs);
+  ASSERT_TRUE(denied.has_value());
+  EXPECT_EQ(net_->as_of_ip(denied->ip), net_->as_by_asn(kAkamaiAsn));
+}
+
+TEST_F(DnsTest, UnknownHostnameGetsNoAnswer) {
+  const AuthoritativeDns dns(*router_, Hypergiant::kGoogle,
+                             RedirectionPolicy::kGeoDns2013);
+  EXPECT_EQ(dns.resolve("nonexistent.example.org", Ipv4::parse("8.8.8.8"),
+                        std::nullopt),
+            std::nullopt);
+}
+
+TEST_F(DnsTest, MappingStudyWorksAgainst2013Policy) {
+  const AuthoritativeDns dns(*router_, Hypergiant::kGoogle,
+                             RedirectionPolicy::kGeoDns2013);
+  const EcsMappingResult result =
+      ecs_mapping_study(*net_, *registry_, *router_, dns);
+  EXPECT_EQ(result.hg, Hypergiant::kGoogle);
+  EXPECT_GT(result.prefixes_mapped_to_offnet, 0u);
+  EXPECT_GT(result.isp_recall, 0.95);
+  EXPECT_GT(result.prefix_recall, 0.95);
+}
+
+TEST_F(DnsTest, MappingStudyCollapsesAgainst2023Policy) {
+  const AuthoritativeDns dns(*router_, Hypergiant::kGoogle,
+                             RedirectionPolicy::kEmbeddedUrl2023);
+  const EcsMappingResult result =
+      ecs_mapping_study(*net_, *registry_, *router_, dns);
+  EXPECT_EQ(result.prefixes_mapped_to_offnet, 0u);
+  EXPECT_DOUBLE_EQ(result.isp_recall, 0.0);
+}
+
+TEST_F(DnsTest, MappingStudyAgainstAllowlistDependsOnVantage) {
+  const Ipv4 trusted = Ipv4::parse("9.9.9.9");
+  const AuthoritativeDns dns(*router_, Hypergiant::kAkamai,
+                             RedirectionPolicy::kEcsAllowlist, {trusted});
+  EcsMappingConfig from_trusted;
+  from_trusted.resolver = trusted;
+  const EcsMappingResult good =
+      ecs_mapping_study(*net_, *registry_, *router_, dns, from_trusted);
+  EXPECT_GT(good.isp_recall, 0.95);
+
+  EcsMappingConfig from_public;
+  from_public.resolver = Ipv4::parse("8.8.8.8");
+  const EcsMappingResult bad =
+      ecs_mapping_study(*net_, *registry_, *router_, dns, from_public);
+  EXPECT_DOUBLE_EQ(bad.isp_recall, 0.0);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,78 @@
+#include "util/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+const GeoPoint kNewYork{40.71, -74.01};
+const GeoPoint kLondon{51.51, -0.13};
+const GeoPoint kSydney{-33.87, 151.21};
+
+TEST(Haversine, KnownDistances) {
+  // NYC <-> London is ~5570 km.
+  EXPECT_NEAR(haversine_km(kNewYork, kLondon), 5570.0, 60.0);
+  // London <-> Sydney is ~17000 km.
+  EXPECT_NEAR(haversine_km(kLondon, kSydney), 16994.0, 170.0);
+}
+
+TEST(Haversine, ZeroAndSymmetry) {
+  EXPECT_DOUBLE_EQ(haversine_km(kNewYork, kNewYork), 0.0);
+  EXPECT_DOUBLE_EQ(haversine_km(kNewYork, kLondon),
+                   haversine_km(kLondon, kNewYork));
+}
+
+TEST(Haversine, AntipodalIsBounded) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  // Half the Earth's circumference, ~20015 km.
+  EXPECT_NEAR(haversine_km(a, b), 20015.0, 30.0);
+}
+
+TEST(Propagation, FiberSpeed) {
+  EXPECT_DOUBLE_EQ(propagation_ms(200.0), 1.0);
+  EXPECT_DOUBLE_EQ(propagation_ms(0.0), 0.0);
+}
+
+TEST(MinRtt, RoundTripOfPropagation) {
+  const double distance = haversine_km(kNewYork, kLondon);
+  EXPECT_DOUBLE_EQ(min_rtt_ms(kNewYork, kLondon),
+                   2.0 * propagation_ms(distance));
+  // NYC-London light bound is ~55.7 ms RTT.
+  EXPECT_NEAR(min_rtt_ms(kNewYork, kLondon), 55.7, 1.0);
+}
+
+TEST(RttPhysicallyPossible, RespectsBound) {
+  const double bound = min_rtt_ms(kNewYork, kLondon);
+  EXPECT_TRUE(rtt_physically_possible(kNewYork, kLondon, bound + 1.0));
+  EXPECT_FALSE(rtt_physically_possible(kNewYork, kLondon, bound - 1.0));
+  EXPECT_TRUE(rtt_physically_possible(kNewYork, kLondon, bound - 1.0, 2.0));
+}
+
+TEST(JitterPoint, StaysWithinRadius) {
+  for (double u1 : {0.0, 0.3, 0.99}) {
+    for (double u2 : {0.0, 0.5, 0.99}) {
+      const GeoPoint jittered = jitter_point(kLondon, 50.0, u1, u2);
+      EXPECT_LE(haversine_km(kLondon, jittered), 51.0);  // 2% slack
+    }
+  }
+}
+
+TEST(JitterPoint, ZeroRadiusIsIdentity) {
+  const GeoPoint p = jitter_point(kSydney, 0.0, 0.7, 0.2);
+  EXPECT_NEAR(p.latitude_deg, kSydney.latitude_deg, 1e-9);
+  EXPECT_NEAR(p.longitude_deg, kSydney.longitude_deg, 1e-9);
+}
+
+TEST(JitterPoint, DeterministicInDraws) {
+  const GeoPoint a = jitter_point(kLondon, 30.0, 0.4, 0.6);
+  const GeoPoint b = jitter_point(kLondon, 30.0, 0.4, 0.6);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeoToString, Format) {
+  EXPECT_EQ(to_string(GeoPoint{1.5, -2.25}), "1.5000,-2.2500");
+}
+
+}  // namespace
+}  // namespace repro

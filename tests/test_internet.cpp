@@ -1,0 +1,184 @@
+#include "topology/internet.h"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+/// Minimal hand-assembled world for container-level tests.
+class InternetContainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Metro metro;
+    metro.name = "test-metro";
+    metro.iata = "tst";
+    metro.country = 0;
+    metro_ = net_.add_metro(metro);
+
+    Facility facility;
+    facility.name = "test-colo";
+    facility.kind = FacilityKind::kColocation;
+    facility.metro = metro_;
+    facility_ = net_.add_facility(facility);
+
+    as_a_ = add_as(65001, AsTier::kAccess);
+    as_b_ = add_as(65002, AsTier::kTransit);
+  }
+
+  AsIndex add_as(AsNumber asn, AsTier tier) {
+    As as;
+    as.asn = asn;
+    as.name = "AS" + std::to_string(asn);
+    as.tier = tier;
+    as.country = 0;
+    as.metros = {metro_};
+    as.primary_metro = metro_;
+    as.infra = PrefixAllocator(Prefix(Ipv4(0x0a000000u + asn * 0x10000u), 16));
+    const AsIndex index = net_.add_as(std::move(as));
+    net_.announce(index, net_.ases[index].infra.pool());
+    return index;
+  }
+
+  Internet net_;
+  MetroIndex metro_{};
+  FacilityIndex facility_{};
+  AsIndex as_a_{};
+  AsIndex as_b_{};
+};
+
+TEST_F(InternetContainerTest, IndicesAssignedSequentially) {
+  EXPECT_EQ(net_.metros[metro_].index, metro_);
+  EXPECT_EQ(net_.facilities[facility_].index, facility_);
+  EXPECT_EQ(net_.ases[as_a_].index, as_a_);
+}
+
+TEST_F(InternetContainerTest, DuplicateAsnRejected) {
+  As duplicate;
+  duplicate.asn = 65001;
+  duplicate.name = "dup";
+  duplicate.country = 0;
+  EXPECT_THROW(net_.add_as(std::move(duplicate)), Error);
+}
+
+TEST_F(InternetContainerTest, ZeroAsnRejected) {
+  As zero;
+  zero.asn = 0;
+  zero.country = 0;
+  EXPECT_THROW(net_.add_as(std::move(zero)), Error);
+}
+
+TEST_F(InternetContainerTest, SelfLinkRejected) {
+  InterdomainLink link;
+  link.a = as_a_;
+  link.b = as_a_;
+  EXPECT_THROW(net_.add_link(link), Error);
+}
+
+TEST_F(InternetContainerTest, DanglingLinkRejected) {
+  InterdomainLink link;
+  link.a = as_a_;
+  link.b = 999;
+  EXPECT_THROW(net_.add_link(link), Error);
+}
+
+TEST_F(InternetContainerTest, TransitLinkWiresRoles) {
+  InterdomainLink link;
+  link.kind = LinkKind::kTransit;
+  link.a = as_a_;  // customer
+  link.b = as_b_;  // provider
+  const LinkIndex li = net_.add_link(link);
+  ASSERT_EQ(net_.ases[as_a_].provider_links.size(), 1u);
+  EXPECT_EQ(net_.ases[as_a_].provider_links.front(), li);
+  ASSERT_EQ(net_.ases[as_b_].customer_links.size(), 1u);
+  EXPECT_TRUE(net_.ases[as_a_].peer_links.empty());
+}
+
+TEST_F(InternetContainerTest, PeerLinkWiresBothSides) {
+  InterdomainLink link;
+  link.kind = LinkKind::kPrivatePeering;
+  link.a = as_a_;
+  link.b = as_b_;
+  net_.add_link(link);
+  EXPECT_TRUE(net_.has_peering(as_a_, as_b_));
+  EXPECT_TRUE(net_.has_peering(as_b_, as_a_));
+  EXPECT_EQ(net_.peers_of(as_a_), std::vector<AsIndex>{as_b_});
+}
+
+TEST_F(InternetContainerTest, PeeringLinksBetweenFindsParallels) {
+  InterdomainLink pni;
+  pni.kind = LinkKind::kPrivatePeering;
+  pni.a = as_a_;
+  pni.b = as_b_;
+  const LinkIndex first = net_.add_link(pni);
+  const LinkIndex second = net_.add_link(pni);
+  const auto parallel = net_.peering_links_between(as_a_, as_b_);
+  ASSERT_EQ(parallel.size(), 2u);
+  EXPECT_EQ(parallel[0], first);
+  EXPECT_EQ(parallel[1], second);
+  EXPECT_TRUE(net_.peering_links_between(as_a_, as_a_).empty());
+}
+
+TEST_F(InternetContainerTest, IpToAsAttribution) {
+  EXPECT_EQ(net_.as_of_ip(net_.ases[as_a_].infra.pool().at(5)), as_a_);
+  EXPECT_EQ(net_.as_of_ip(Ipv4::parse("203.0.113.1")), std::nullopt);
+}
+
+TEST_F(InternetContainerTest, AsnLookup) {
+  EXPECT_EQ(net_.as_by_asn(65001), as_a_);
+  EXPECT_EQ(net_.find_as_by_asn(65001), as_a_);
+  EXPECT_EQ(net_.find_as_by_asn(1), std::nullopt);
+  EXPECT_THROW(net_.as_by_asn(1), NotFoundError);
+}
+
+TEST_F(InternetContainerTest, IxpPortRegistration) {
+  Ixp ixp;
+  ixp.name = "test-ix";
+  ixp.metro = metro_;
+  ixp.facility = facility_;
+  ixp.peering_lan = Prefix::parse("198.32.0.0/22");
+  const IxpIndex ii = net_.add_ixp(ixp);
+  const Ipv4 port = Ipv4::parse("198.32.0.7");
+  net_.register_ixp_port(port, ii, as_a_);
+  const auto info = net_.ixp_port_of_ip(port);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->ixp, ii);
+  EXPECT_EQ(info->member, as_a_);
+  EXPECT_EQ(net_.ixp_port_of_ip(Ipv4::parse("198.32.0.8")), std::nullopt);
+  EXPECT_THROW(net_.register_ixp_port(port, 99, as_a_), Error);
+}
+
+TEST_F(InternetContainerTest, HostingOptionsIncludeOwnAndColo) {
+  Facility own;
+  own.name = "own-pop";
+  own.kind = FacilityKind::kIspOwned;
+  own.metro = metro_;
+  own.owner_asn = 65001;
+  const FacilityIndex fi = net_.add_facility(own);
+  net_.ases[as_a_].facilities.push_back(fi);
+
+  const auto options = net_.hosting_options(as_a_, metro_);
+  ASSERT_EQ(options.size(), 2u);
+  EXPECT_EQ(options[0], facility_);  // colo created first
+  EXPECT_EQ(options[1], fi);
+}
+
+TEST_F(InternetContainerTest, BadIndicesThrow) {
+  EXPECT_THROW(net_.country_of_as(12345), Error);
+  EXPECT_THROW(net_.metro_of_facility(12345), Error);
+  EXPECT_THROW(net_.hosting_options(12345, metro_), Error);
+  EXPECT_THROW(net_.peers_of(12345), Error);
+  Facility bad;
+  bad.metro = 42;
+  EXPECT_THROW(net_.add_facility(bad), Error);
+}
+
+TEST_F(InternetContainerTest, AccessIspEnumeration) {
+  const auto access = net_.access_isps();
+  ASSERT_EQ(access.size(), 1u);
+  EXPECT_EQ(access.front(), as_a_);
+  net_.ases[as_a_].users = 1000.0;
+  EXPECT_DOUBLE_EQ(net_.total_access_users(), 1000.0);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,99 @@
+#include "ip/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace repro {
+namespace {
+
+TEST(Ipv4, ParseFormatsRoundTrip) {
+  for (const char* text : {"0.0.0.0", "192.0.2.1", "255.255.255.255", "10.1.2.3"}) {
+    EXPECT_EQ(Ipv4::parse(text).to_string(), text);
+  }
+}
+
+TEST(Ipv4, ParseValue) {
+  EXPECT_EQ(Ipv4::parse("1.2.3.4").value(), 0x01020304u);
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  for (const char* text : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d",
+                           "1..2.3", "1.2.3.-4", "01x.2.3.4"}) {
+    EXPECT_THROW(Ipv4::parse(text), ParseError) << text;
+  }
+}
+
+TEST(Ipv4, OrderingAndHash) {
+  EXPECT_LT(Ipv4::parse("1.0.0.0"), Ipv4::parse("2.0.0.0"));
+  std::unordered_set<Ipv4> set;
+  set.insert(Ipv4::parse("10.0.0.1"));
+  set.insert(Ipv4::parse("10.0.0.1"));
+  set.insert(Ipv4::parse("10.0.0.2"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Prefix, NormalizesHostBits) {
+  const Prefix p(Ipv4::parse("10.1.2.3"), 24);
+  EXPECT_EQ(p.network().to_string(), "10.1.2.0");
+  EXPECT_EQ(p.to_string(), "10.1.2.0/24");
+}
+
+TEST(Prefix, ParseAndValidation) {
+  const Prefix p = Prefix::parse("192.168.0.0/16");
+  EXPECT_EQ(p.length(), 16);
+  EXPECT_EQ(p.size(), 65536u);
+  EXPECT_THROW(Prefix::parse("192.168.0.0"), ParseError);
+  EXPECT_THROW(Prefix::parse("192.168.0.0/33"), ParseError);
+  EXPECT_THROW(Prefix::parse("192.168.0.0/-1"), ParseError);
+  EXPECT_THROW(Prefix::parse("192.168.0.0/1x"), ParseError);
+  EXPECT_THROW(Prefix(Ipv4{}, 33), Error);
+}
+
+TEST(Prefix, MaskAndBounds) {
+  const Prefix p = Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(p.mask(), 0xff000000u);
+  EXPECT_EQ(p.first().to_string(), "10.0.0.0");
+  EXPECT_EQ(p.last().to_string(), "10.255.255.255");
+  const Prefix all = Prefix::parse("0.0.0.0/0");
+  EXPECT_EQ(all.mask(), 0u);
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = Prefix::parse("192.0.2.0/24");
+  EXPECT_TRUE(p.contains(Ipv4::parse("192.0.2.0")));
+  EXPECT_TRUE(p.contains(Ipv4::parse("192.0.2.255")));
+  EXPECT_FALSE(p.contains(Ipv4::parse("192.0.3.0")));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix outer = Prefix::parse("10.0.0.0/8");
+  const Prefix inner = Prefix::parse("10.5.0.0/16");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Prefix, AtIndexing) {
+  const Prefix p = Prefix::parse("192.0.2.0/30");
+  EXPECT_EQ(p.at(0).to_string(), "192.0.2.0");
+  EXPECT_EQ(p.at(3).to_string(), "192.0.2.3");
+  EXPECT_THROW(p.at(4), Error);
+}
+
+TEST(Prefix, HostRoute) {
+  const Prefix host = Prefix::parse("1.2.3.4/32");
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_TRUE(host.contains(Ipv4::parse("1.2.3.4")));
+  EXPECT_FALSE(host.contains(Ipv4::parse("1.2.3.5")));
+}
+
+TEST(EnclosingSlash24, MasksLowOctet) {
+  EXPECT_EQ(enclosing_slash24(Ipv4::parse("10.9.8.7")).to_string(), "10.9.8.0/24");
+}
+
+}  // namespace
+}  // namespace repro

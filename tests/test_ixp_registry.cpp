@@ -1,0 +1,106 @@
+#include "route/ixp_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+class IxpRegistryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new Internet(InternetGenerator(GeneratorConfig::tiny()).generate());
+    registry_ = new IxpRegistry(IxpRegistry::build(*net_, IxpRegistryConfig{}));
+  }
+  static void TearDownTestSuite() {
+    delete registry_;
+    delete net_;
+  }
+  static Internet* net_;
+  static IxpRegistry* registry_;
+};
+
+Internet* IxpRegistryTest::net_ = nullptr;
+IxpRegistry* IxpRegistryTest::registry_ = nullptr;
+
+TEST_F(IxpRegistryTest, PeeringLansRecognized) {
+  for (const Ixp& ixp : net_->ixps) {
+    EXPECT_TRUE(registry_->is_ixp_lan(ixp.peering_lan.at(0)));
+    EXPECT_TRUE(registry_->is_ixp_lan(ixp.peering_lan.last()));
+  }
+}
+
+TEST_F(IxpRegistryTest, NonLanAddressesRejected) {
+  EXPECT_FALSE(registry_->is_ixp_lan(Ipv4::parse("8.8.8.8")));
+  for (const AsIndex isp : net_->access_isps()) {
+    EXPECT_FALSE(registry_->is_ixp_lan(net_->ases[isp].infra.pool().at(5)));
+    break;
+  }
+}
+
+TEST_F(IxpRegistryTest, PortLookupsMatchGroundTruth) {
+  std::size_t checked = 0;
+  for (const Ixp& ixp : net_->ixps) {
+    for (std::uint64_t offset = 0; offset < ixp.peering_lan.size(); ++offset) {
+      const Ipv4 address = ixp.peering_lan.at(offset);
+      const auto truth = net_->ixp_port_of_ip(address);
+      const auto mapped = registry_->port_lookup(address);
+      if (!truth) {
+        EXPECT_FALSE(mapped.has_value());
+        continue;
+      }
+      if (mapped) {
+        EXPECT_EQ(mapped->ixp, truth->ixp);
+        EXPECT_EQ(mapped->member_asn, net_->ases[truth->member].asn);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+TEST_F(IxpRegistryTest, CoverageBetweenSources) {
+  std::size_t ports = 0;
+  std::size_t known = 0;
+  std::size_t euroix = 0;
+  for (const Ixp& ixp : net_->ixps) {
+    for (std::uint64_t offset = 0; offset < ixp.peering_lan.size(); ++offset) {
+      const Ipv4 address = ixp.peering_lan.at(offset);
+      if (!net_->ixp_port_of_ip(address)) continue;
+      ++ports;
+      const auto mapped = registry_->port_lookup(address);
+      if (!mapped) continue;
+      ++known;
+      if (mapped->source == IxpDataSource::kEuroIx) ++euroix;
+    }
+  }
+  ASSERT_GT(ports, 30u);
+  const double coverage = static_cast<double>(known) / ports;
+  // euroix 0.85 + peeringdb 0.6 of the rest => ~0.94 total.
+  EXPECT_GT(coverage, 0.85);
+  EXPECT_LT(coverage, 1.0);
+  // Euro-IX takes precedence and covers the bulk.
+  EXPECT_GT(static_cast<double>(euroix) / known, 0.7);
+}
+
+TEST_F(IxpRegistryTest, FullCoverageConfig) {
+  IxpRegistryConfig config;
+  config.euroix_coverage = 1.0;
+  const IxpRegistry complete = IxpRegistry::build(*net_, config);
+  for (const Ixp& ixp : net_->ixps) {
+    for (std::uint64_t offset = 0; offset < ixp.peering_lan.size(); ++offset) {
+      const Ipv4 address = ixp.peering_lan.at(offset);
+      if (!net_->ixp_port_of_ip(address)) continue;
+      EXPECT_TRUE(complete.port_lookup(address).has_value());
+    }
+  }
+}
+
+TEST_F(IxpRegistryTest, DeterministicBuild) {
+  const IxpRegistry again = IxpRegistry::build(*net_, IxpRegistryConfig{});
+  EXPECT_EQ(again.known_ports(), registry_->known_ports());
+}
+
+}  // namespace
+}  // namespace repro

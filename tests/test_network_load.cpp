@@ -1,0 +1,114 @@
+#include "traffic/network_load.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace repro {
+namespace {
+
+class NetworkLoadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new Pipeline(Scenario::tiny());
+    model_ = new NetworkLoadModel(
+        pipeline_->internet(), pipeline_->registry(Snapshot::k2023),
+        pipeline_->demand(), pipeline_->capacity(), pipeline_->routing());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete pipeline_;
+  }
+  static Pipeline* pipeline_;
+  static NetworkLoadModel* model_;
+};
+
+Pipeline* NetworkLoadTest::pipeline_ = nullptr;
+NetworkLoadModel* NetworkLoadTest::model_ = nullptr;
+
+TEST_F(NetworkLoadTest, LoadsCoverEveryLinkVector) {
+  const NetworkLoadResult result = model_->evaluate(20.0);
+  EXPECT_EQ(result.link_load.size(), pipeline_->internet().links.size());
+  EXPECT_GT(result.total_interdomain_gbps, 0.0);
+  EXPECT_EQ(result.isps_evaluated, pipeline_->internet().access_isps().size());
+  for (const double load : result.link_load) EXPECT_GE(load, 0.0);
+}
+
+TEST_F(NetworkLoadTest, CongestedLinksAreActuallyOverCapacity) {
+  const NetworkLoadResult result = model_->evaluate(20.0);
+  for (const LinkIndex li : result.congested_links) {
+    EXPECT_GT(result.link_load[li],
+              pipeline_->internet().links[li].capacity_gbps);
+  }
+  EXPECT_LE(result.isps_on_congested_paths, result.isps_evaluated);
+}
+
+TEST_F(NetworkLoadTest, FacilityFailureIncreasesInterdomainLoad) {
+  const auto radii = model_->blast_radii();
+  ASSERT_FALSE(radii.empty());
+  const NetworkLoadResult before = model_->evaluate(20.0);
+  const NetworkLoadResult after =
+      model_->evaluate(20.0, {radii.front().facility});
+  EXPECT_GE(after.total_interdomain_gbps, before.total_interdomain_gbps);
+}
+
+TEST_F(NetworkLoadTest, StrideSamplesFewerIsps) {
+  NetworkLoadConfig config;
+  config.isp_stride = 4;
+  const NetworkLoadModel sampled(
+      pipeline_->internet(), pipeline_->registry(Snapshot::k2023),
+      pipeline_->demand(), pipeline_->capacity(), pipeline_->routing(), config);
+  const NetworkLoadResult full = model_->evaluate(20.0);
+  const NetworkLoadResult sparse = sampled.evaluate(20.0);
+  EXPECT_LT(sparse.isps_evaluated, full.isps_evaluated);
+  EXPECT_LT(sparse.total_interdomain_gbps, full.total_interdomain_gbps);
+}
+
+TEST_F(NetworkLoadTest, BlastRadiiConsistent) {
+  const auto radii = model_->blast_radii();
+  ASSERT_FALSE(radii.empty());
+  const OffnetRegistry& registry = pipeline_->registry(Snapshot::k2023);
+  for (std::size_t i = 1; i < radii.size(); ++i) {
+    EXPECT_GE(radii[i - 1].displaced_gbps, radii[i].displaced_gbps);
+  }
+  for (const FacilityBlastRadius& radius : radii) {
+    EXPECT_GE(radius.isps, 1u);
+    EXPECT_GE(radius.hypergiants, 1u);
+    EXPECT_LE(radius.hypergiants, kHypergiantCount);
+    EXPECT_GT(radius.users, 0.0);
+    EXPECT_GT(radius.displaced_gbps, 0.0);
+  }
+  // Every deployment site appears.
+  std::set<FacilityIndex> seen;
+  for (const FacilityBlastRadius& radius : radii) seen.insert(radius.facility);
+  for (const auto& [key, deployment] : registry.deployments()) {
+    (void)key;
+    for (const FacilityIndex site : deployment.sites) {
+      EXPECT_TRUE(seen.contains(site));
+    }
+  }
+}
+
+TEST_F(NetworkLoadTest, MultiHgFacilitiesExist) {
+  // The colocation thesis at the facility level: a solid share of offnet
+  // facilities host more than one hypergiant.
+  const auto radii = model_->blast_radii();
+  std::size_t multi = 0;
+  for (const FacilityBlastRadius& radius : radii) {
+    if (radius.hypergiants >= 2) ++multi;
+  }
+  EXPECT_GT(static_cast<double>(multi) / radii.size(), 0.3);
+}
+
+TEST_F(NetworkLoadTest, Validation) {
+  NetworkLoadConfig config;
+  config.isp_stride = 0;
+  EXPECT_THROW(NetworkLoadModel(pipeline_->internet(),
+                                pipeline_->registry(Snapshot::k2023),
+                                pipeline_->demand(), pipeline_->capacity(),
+                                pipeline_->routing(), config),
+               Error);
+}
+
+}  // namespace
+}  // namespace repro

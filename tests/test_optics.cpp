@@ -1,0 +1,237 @@
+#include "cluster/optics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+
+namespace repro {
+namespace {
+
+/// Builds a distance matrix from 1-D point positions (Euclidean).
+DistanceMatrix from_positions(const std::vector<double>& positions) {
+  DistanceMatrix matrix(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      matrix.set(i, j, std::fabs(positions[i] - positions[j]));
+    }
+  }
+  return matrix;
+}
+
+/// A "dense" 1-D blob: near-evenly spaced points (spacing 1, tiny jitter),
+/// so that intra-blob nearest-neighbor distances are flat -- the OPTICS-xi
+/// notion of a cluster. (Uniformly random positions are NOT a blob in this
+/// sense: their nearest-neighbor distances fluctuate by orders of magnitude
+/// and legitimately fragment at any xi.)
+void add_blob(std::vector<double>& positions, double start, std::size_t count,
+              Rng& rng, double jitter = 0.02) {
+  for (std::size_t i = 0; i < count; ++i) {
+    positions.push_back(start + static_cast<double>(i) +
+                        rng.uniform(-jitter, jitter));
+  }
+}
+
+/// Two dense 1-D blobs far apart.
+std::vector<double> two_blobs(std::size_t per_blob, double separation, Rng& rng) {
+  std::vector<double> positions;
+  add_blob(positions, 0.0, per_blob, rng);
+  add_blob(positions, separation, per_blob, rng);
+  return positions;
+}
+
+TEST(OpticsOrder, OutputsValidPermutation) {
+  Rng rng(1);
+  const auto positions = two_blobs(10, 100.0, rng);
+  OpticsResult result;
+  optics_order(from_positions(positions), 2, result);
+  ASSERT_EQ(result.ordering.size(), positions.size());
+  std::set<std::size_t> seen(result.ordering.begin(), result.ordering.end());
+  EXPECT_EQ(seen.size(), positions.size());
+  EXPECT_TRUE(std::isinf(result.reachability.front()));
+}
+
+TEST(OpticsOrder, CoreDistanceIsNearestNeighborForMinPts2) {
+  const std::vector<double> positions{0.0, 1.0, 10.0};
+  OpticsResult result;
+  optics_order(from_positions(positions), 2, result);
+  EXPECT_DOUBLE_EQ(result.core_distance[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.core_distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(result.core_distance[2], 9.0);
+}
+
+TEST(OpticsOrder, ReachabilityJumpsAtBlobBoundary) {
+  Rng rng(2);
+  const auto positions = two_blobs(15, 1000.0, rng);
+  OpticsResult result;
+  optics_order(from_positions(positions), 2, result);
+  // Exactly one reachability value (besides the first) should be huge.
+  int jumps = 0;
+  for (std::size_t k = 1; k < result.reachability.size(); ++k) {
+    if (result.reachability[k] > 500.0) ++jumps;
+  }
+  EXPECT_EQ(jumps, 1);
+}
+
+TEST(OpticsXi, TwoBlobsTwoClusters) {
+  Rng rng(3);
+  const auto positions = two_blobs(15, 100.0, rng);
+  for (const double xi : {0.1, 0.5, 0.9}) {
+    const OpticsResult result = optics_xi(from_positions(positions), 2, xi);
+    // Every point of blob 0 shares a label distinct from blob 1's label.
+    std::set<int> blob0;
+    std::set<int> blob1;
+    for (std::size_t i = 0; i < 15; ++i) blob0.insert(result.labels[i]);
+    for (std::size_t i = 15; i < 30; ++i) blob1.insert(result.labels[i]);
+    EXPECT_EQ(blob0.size(), 1u) << "xi=" << xi;
+    EXPECT_EQ(blob1.size(), 1u) << "xi=" << xi;
+    EXPECT_NE(*blob0.begin(), -1) << "xi=" << xi;
+    EXPECT_NE(*blob1.begin(), -1) << "xi=" << xi;
+    EXPECT_NE(*blob0.begin(), *blob1.begin()) << "xi=" << xi;
+  }
+}
+
+TEST(OpticsXi, HierarchyResolvedByXi) {
+  // Two sub-blobs with a 5x gap inside a super-blob; second super-blob far
+  // away. Small xi splits at the 5x gap; xi = 0.9 (needs a 10x drop) merges
+  // the sub-blobs but still splits the huge gap.
+  Rng rng(4);
+  std::vector<double> positions;
+  add_blob(positions, 0.0, 10, rng);
+  add_blob(positions, 15.0, 10, rng);  // gap of ~5x the intra-blob spacing
+  add_blob(positions, 10000.0, 10, rng);
+
+  const OpticsResult fine = optics_xi(from_positions(positions), 2, 0.1);
+  std::set<int> fine_labels;
+  for (int i = 0; i < 30; ++i) fine_labels.insert(fine.labels[i]);
+  fine_labels.erase(-1);
+  EXPECT_GE(fine_labels.size(), 3u);
+
+  const OpticsResult coarse = optics_xi(from_positions(positions), 2, 0.9);
+  // At xi=0.9 the two nearby sub-blobs share a label.
+  std::set<int> super0;
+  for (int i = 0; i < 20; ++i) super0.insert(coarse.labels[i]);
+  std::set<int> super1;
+  for (int i = 20; i < 30; ++i) super1.insert(coarse.labels[i]);
+  EXPECT_EQ(super0.size(), 1u);
+  EXPECT_EQ(super1.size(), 1u);
+  EXPECT_NE(*super0.begin(), *super1.begin());
+}
+
+TEST(OpticsXi, UniformDataOneClusterAtHighXi) {
+  // Grid-spaced points with +-20% jitter: noisy, but no 10x drops, so
+  // xi = 0.9 sees one cluster.
+  Rng rng(5);
+  std::vector<double> positions;
+  add_blob(positions, 0.0, 40, rng, /*jitter=*/0.2);
+  const OpticsResult result = optics_xi(from_positions(positions), 2, 0.9);
+  std::set<int> labels(result.labels.begin(), result.labels.end());
+  labels.erase(-1);
+  EXPECT_EQ(labels.size(), 1u);
+  // And (nearly) all points belong to it.
+  int noise = 0;
+  for (const int label : result.labels) noise += label == -1 ? 1 : 0;
+  EXPECT_LE(noise, 2);
+}
+
+TEST(OpticsXi, IsolatedPointIsNoise) {
+  Rng rng(6);
+  std::vector<double> positions;
+  add_blob(positions, 0.0, 10, rng);
+  positions.push_back(1e6);  // lone outlier
+  const OpticsResult result = optics_xi(from_positions(positions), 2, 0.5);
+  EXPECT_EQ(result.labels.back(), -1);
+  EXPECT_NE(result.labels.front(), -1);
+}
+
+TEST(OpticsXi, PairIsAValidCluster) {
+  // n_min = 2 means two isolated-but-mutually-close IPs form a cluster.
+  const std::vector<double> positions{0.0, 0.5, 1000.0, 1000.5};
+  const OpticsResult result = optics_xi(from_positions(positions), 2, 0.5);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[2], result.labels[3]);
+  EXPECT_NE(result.labels[0], -1);
+  EXPECT_NE(result.labels[2], -1);
+  EXPECT_NE(result.labels[0], result.labels[2]);
+}
+
+TEST(OpticsXi, SinglePoint) {
+  const OpticsResult result = optics_xi(DistanceMatrix(1), 2, 0.5);
+  ASSERT_EQ(result.labels.size(), 1u);
+  EXPECT_EQ(result.labels[0], -1);
+  EXPECT_EQ(result.cluster_count, 0);
+}
+
+TEST(OpticsXi, Deterministic) {
+  Rng rng(8);
+  const auto positions = two_blobs(20, 50.0, rng);
+  const OpticsResult a = optics_xi(from_positions(positions), 2, 0.3);
+  const OpticsResult b = optics_xi(from_positions(positions), 2, 0.3);
+  EXPECT_EQ(a.ordering, b.ordering);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(OpticsXi, Validation) {
+  EXPECT_THROW(optics_xi(DistanceMatrix(3), 1, 0.5), Error);
+  EXPECT_THROW(optics_xi(DistanceMatrix(3), 2, 0.0), Error);
+  EXPECT_THROW(optics_xi(DistanceMatrix(3), 2, 1.0), Error);
+}
+
+TEST(OpticsXi, LabelsConsistentWithClusterCount) {
+  Rng rng(9);
+  const auto positions = two_blobs(12, 30.0, rng);
+  const OpticsResult result = optics_xi(from_positions(positions), 2, 0.2);
+  for (const int label : result.labels) {
+    EXPECT_GE(label, -1);
+    EXPECT_LT(label, result.cluster_count);
+  }
+  // Every label in [0, count) is used by at least min_pts points.
+  std::map<int, int> sizes;
+  for (const int label : result.labels) {
+    if (label >= 0) ++sizes[label];
+  }
+  EXPECT_EQ(static_cast<int>(sizes.size()), result.cluster_count);
+  for (const auto& [label, size] : sizes) {
+    (void)label;
+    EXPECT_GE(size, 2);
+  }
+}
+
+TEST(ReextractXi, MatchesFreshComputation) {
+  Rng rng(10);
+  const auto positions = two_blobs(15, 80.0, rng);
+  const DistanceMatrix matrix = from_positions(positions);
+  OpticsResult shared;
+  optics_order(matrix, 2, shared);
+  for (const double xi : {0.1, 0.5, 0.9}) {
+    reextract_xi(shared, 2, xi);
+    const OpticsResult fresh = optics_xi(matrix, 2, xi);
+    EXPECT_EQ(shared.labels, fresh.labels) << "xi=" << xi;
+    EXPECT_EQ(shared.cluster_count, fresh.cluster_count) << "xi=" << xi;
+  }
+}
+
+class XiSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(XiSweep, ClusterCountNonIncreasingInXiOnNestedData) {
+  // Property: on hierarchical data, a larger xi can only merge clusters.
+  Rng rng(11);
+  std::vector<double> positions;
+  for (int blob = 0; blob < 4; ++blob) {
+    add_blob(positions, blob * 50.0, 8, rng);
+  }
+  const double xi = GetParam();
+  if (xi + 0.2 >= 1.0) return;
+  const OpticsResult fine = optics_xi(from_positions(positions), 2, xi);
+  const OpticsResult coarse = optics_xi(from_positions(positions), 2, xi + 0.2);
+  EXPECT_GE(fine.cluster_count, coarse.cluster_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, XiSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.5, 0.7));
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,110 @@
+#include "ip/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace repro {
+namespace {
+
+TEST(PrefixTrie, LongestPrefixWins) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(Prefix::parse("10.1.0.0/16"), 2);
+  trie.insert(Prefix::parse("10.1.2.0/24"), 3);
+  EXPECT_EQ(trie.lookup(Ipv4::parse("10.1.2.3")), 3);
+  EXPECT_EQ(trie.lookup(Ipv4::parse("10.1.9.9")), 2);
+  EXPECT_EQ(trie.lookup(Ipv4::parse("10.9.9.9")), 1);
+  EXPECT_EQ(trie.lookup(Ipv4::parse("11.0.0.0")), std::nullopt);
+}
+
+TEST(PrefixTrie, DefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("0.0.0.0/0"), 99);
+  EXPECT_EQ(trie.lookup(Ipv4::parse("203.0.113.7")), 99);
+}
+
+TEST(PrefixTrie, OverwriteKeepsSize) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(Prefix::parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.lookup(Ipv4::parse("10.0.0.1")), 2);
+}
+
+TEST(PrefixTrie, ExactMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.exact(Prefix::parse("10.0.0.0/8")), 1);
+  EXPECT_EQ(trie.exact(Prefix::parse("10.0.0.0/9")), std::nullopt);
+  EXPECT_EQ(trie.exact(Prefix::parse("11.0.0.0/8")), std::nullopt);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("1.2.3.4/32"), 7);
+  EXPECT_EQ(trie.lookup(Ipv4::parse("1.2.3.4")), 7);
+  EXPECT_EQ(trie.lookup(Ipv4::parse("1.2.3.5")), std::nullopt);
+}
+
+TEST(PrefixTrie, EntriesSortedAndComplete) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix::parse("192.0.2.0/24"), 1);
+  trie.insert(Prefix::parse("10.0.0.0/8"), 2);
+  trie.insert(Prefix::parse("10.128.0.0/9"), 3);
+  const auto entries = trie.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(entries[1].first.to_string(), "10.128.0.0/9");
+  EXPECT_EQ(entries[2].first.to_string(), "192.0.2.0/24");
+}
+
+TEST(PrefixTrie, EmptyBehaviour) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.lookup(Ipv4::parse("1.1.1.1")), std::nullopt);
+  EXPECT_TRUE(trie.entries().empty());
+}
+
+TEST(PrefixTrie, RandomizedAgainstLinearScan) {
+  // Property test: trie LPM must agree with a brute-force scan.
+  Rng rng(2024);
+  PrefixTrie<std::size_t> trie;
+  std::vector<Prefix> prefixes;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto address = static_cast<std::uint32_t>(rng.next());
+    const int length = static_cast<int>(rng.uniform_int(4, 28));
+    const Prefix prefix(Ipv4(address), length);
+    trie.insert(prefix, i);
+    prefixes.push_back(prefix);
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Ipv4 probe(static_cast<std::uint32_t>(rng.next()));
+    // Brute force: the longest containing prefix, latest insert wins ties.
+    int best_len = -1;
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      if (!prefixes[i].contains(probe)) continue;
+      if (prefixes[i].length() > best_len) {
+        best_len = prefixes[i].length();
+        best = i;
+      } else if (prefixes[i].length() == best_len &&
+                 prefixes[i] == prefixes[*best]) {
+        best = i;  // overwrite: the later duplicate insert replaced the value
+      }
+    }
+    const auto got = trie.lookup(probe);
+    if (!best) {
+      EXPECT_EQ(got, std::nullopt);
+    } else {
+      ASSERT_TRUE(got.has_value());
+      // The trie stores the last-inserted value for duplicate prefixes;
+      // compare prefix identity instead of insert order.
+      EXPECT_EQ(prefixes[*got].length(), best_len);
+      EXPECT_TRUE(prefixes[*got].contains(probe));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro

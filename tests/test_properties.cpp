@@ -1,0 +1,115 @@
+// Seed-parameterized property tests: the structural invariants of the
+// generated world, the routing policy, and the measurement pipeline must
+// hold for *any* seed, not just the default ones.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypergiant/deployment.h"
+#include "route/bgp.h"
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Internet make_world() const {
+    GeneratorConfig config = GeneratorConfig::tiny();
+    config.seed = GetParam();
+    return InternetGenerator(config).generate();
+  }
+};
+
+TEST_P(SeedSweep, AddressPlanIsDisjoint) {
+  const Internet net = make_world();
+  // No two ASes' announced blocks overlap; LPM of any infra address
+  // resolves to its owner.
+  std::vector<std::pair<Prefix, AsIndex>> blocks;
+  for (const As& as : net.ases) {
+    blocks.emplace_back(as.infra.pool(), as.index);
+    for (const Prefix& prefix : as.user_prefixes) {
+      blocks.emplace_back(prefix, as.index);
+    }
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_FALSE(blocks[i].first.contains(blocks[j].first) ||
+                   blocks[j].first.contains(blocks[i].first))
+          << blocks[i].first.to_string() << " vs " << blocks[j].first.to_string();
+    }
+  }
+}
+
+TEST_P(SeedSweep, EveryAccessIspHasUpstreamPath) {
+  const Internet net = make_world();
+  const RoutingEngine engine(net);
+  const RoutingTable table = engine.routes_to(net.as_by_asn(kGoogleAsn));
+  for (const AsIndex isp : net.access_isps()) {
+    EXPECT_TRUE(table.entry(isp).reachable);
+  }
+}
+
+TEST_P(SeedSweep, LinksNeverSelfOrDangling) {
+  const Internet net = make_world();
+  for (const InterdomainLink& link : net.links) {
+    EXPECT_NE(link.a, link.b);
+    EXPECT_LT(link.a, net.ases.size());
+    EXPECT_LT(link.b, net.ases.size());
+    if (link.kind == LinkKind::kIxpPeering) {
+      EXPECT_LT(link.ixp, net.ixps.size());
+    }
+  }
+}
+
+TEST_P(SeedSweep, IxpMembersArePresentInMetro) {
+  const Internet net = make_world();
+  for (const Ixp& ixp : net.ixps) {
+    for (const AsIndex member : ixp.members) {
+      const As& as = net.ases[member];
+      EXPECT_NE(std::find(as.metros.begin(), as.metros.end(), ixp.metro),
+                as.metros.end())
+          << as.name << " member of " << ixp.name;
+    }
+  }
+}
+
+TEST_P(SeedSweep, DeploymentInvariants) {
+  const Internet net = make_world();
+  DeploymentConfig config;
+  config.seed = GetParam() * 3 + 1;
+  config.footprint_scale = GeneratorConfig::tiny().scale;
+  const DeploymentPolicy policy(net, config);
+  const OffnetRegistry registry = policy.deploy(Snapshot::k2023);
+
+  std::set<Ipv4> ips;
+  for (const OffnetServer& server : registry.servers()) {
+    EXPECT_TRUE(ips.insert(server.ip).second);
+    EXPECT_EQ(net.as_of_ip(server.ip), server.isp);
+    EXPECT_LT(server.facility, net.facilities.size());
+    EXPECT_GE(server.rack, 0);
+  }
+  // Akamai never grows.
+  const OffnetRegistry earlier = policy.deploy(Snapshot::k2021);
+  EXPECT_EQ(earlier.isps_hosting(Hypergiant::kAkamai),
+            registry.isps_hosting(Hypergiant::kAkamai));
+}
+
+TEST_P(SeedSweep, RoutingDeterministicPerSeed) {
+  const Internet net = make_world();
+  const RoutingEngine engine(net);
+  const AsIndex dst = net.access_isps().front();
+  const RoutingTable a = engine.routes_to(dst);
+  const RoutingTable b = engine.routes_to(dst);
+  for (const As& as : net.ases) {
+    EXPECT_EQ(a.entry(as.index).next_hop, b.entry(as.index).next_hop);
+    EXPECT_EQ(a.entry(as.index).path_length, b.entry(as.index).path_length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ull, 7ull, 42ull, 1337ull,
+                                           0xdeadbeefull));
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,155 @@
+#include "rdns/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+class RdnsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new Internet(InternetGenerator(GeneratorConfig::tiny()).generate());
+    DeploymentConfig config;
+    config.footprint_scale = GeneratorConfig::tiny().scale;
+    registry_ = new OffnetRegistry(
+        DeploymentPolicy(*net_, config).deploy(Snapshot::k2023));
+    ptr_ = new PtrStore(PtrStore::build(*net_, *registry_, PtrConfig{}));
+  }
+  static void TearDownTestSuite() {
+    delete ptr_;
+    delete registry_;
+    delete net_;
+  }
+  static Internet* net_;
+  static OffnetRegistry* registry_;
+  static PtrStore* ptr_;
+};
+
+Internet* RdnsTest::net_ = nullptr;
+OffnetRegistry* RdnsTest::registry_ = nullptr;
+PtrStore* RdnsTest::ptr_ = nullptr;
+
+TEST_F(RdnsTest, CoverageApproximatesConfig) {
+  std::size_t named = 0;
+  for (const OffnetServer& server : registry_->servers()) {
+    if (ptr_->lookup(server.ip)) ++named;
+  }
+  const double coverage =
+      static_cast<double>(named) / registry_->server_count();
+  EXPECT_NEAR(coverage, PtrConfig{}.coverage, 0.05);
+}
+
+TEST_F(RdnsTest, UnknownIpHasNoRecord) {
+  EXPECT_EQ(ptr_->lookup(Ipv4::parse("203.0.113.200")), std::nullopt);
+}
+
+TEST_F(RdnsTest, HostnamesEmbedHostIspAsn) {
+  int checked = 0;
+  for (const OffnetServer& server : registry_->servers()) {
+    const auto hostname = ptr_->lookup(server.ip);
+    if (!hostname) continue;
+    const std::string expected =
+        "as" + std::to_string(net_->ases[server.isp].asn);
+    EXPECT_NE(hostname->find(expected), std::string::npos) << *hostname;
+    if (++checked > 50) break;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST_F(RdnsTest, LocatedNamesUsuallyCarryTrueMetroCode) {
+  Hoiho hoiho(*net_);
+  hoiho.apply_manual_corrections();
+  std::size_t located = 0;
+  std::size_t correct = 0;
+  for (const OffnetServer& server : registry_->servers()) {
+    const auto hostname = ptr_->lookup(server.ip);
+    if (!hostname) continue;
+    const auto hint = hoiho.extract(*hostname);
+    if (!hint) continue;
+    ++located;
+    const MetroIndex truth = net_->facilities[server.facility].metro;
+    if (hint->metro == truth) ++correct;
+  }
+  ASSERT_GT(located, 100u);
+  EXPECT_GT(static_cast<double>(correct) / located, 0.95);
+}
+
+TEST(Hoiho, ExtractsMetroCodes) {
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  Hoiho hoiho(net);
+  const Metro& metro = net.metros.front();
+  const auto hint =
+      hoiho.extract("cache-ggc-" + metro.iata + "-123.as65000.example.net");
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->metro, metro.index);
+  EXPECT_FALSE(hint->suburb);
+}
+
+TEST(Hoiho, ExtractsAliasAsSuburb) {
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  Hoiho hoiho(net);
+  const Metro& metro = net.metros.front();
+  const auto hint = hoiho.extract("cache-oca-" + metro_alias_code(metro.iata) +
+                                  "-9.as65000.example.net");
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->metro, metro.index);
+  EXPECT_TRUE(hint->suburb);
+  // The suburb location is near, but not at, the metro center.
+  const double distance = haversine_km(hint->location, metro.location);
+  EXPECT_GT(distance, 1.0);
+  EXPECT_LT(distance, 40.0);
+}
+
+TEST(Hoiho, AmbiguousTokenCorrectedAway) {
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  Hoiho hoiho(net);
+  // Before correction, "host" is misread as Hostert, LU.
+  const auto bogus = hoiho.extract("host-442.as65001.example.net");
+  ASSERT_TRUE(bogus.has_value());
+  EXPECT_EQ(bogus->metro, kInvalidIndex);
+  const std::size_t before = hoiho.dictionary_size();
+  hoiho.apply_manual_corrections();
+  EXPECT_LT(hoiho.dictionary_size(), before);
+  EXPECT_EQ(hoiho.extract("host-442.as65001.example.net"), std::nullopt);
+}
+
+TEST(Hoiho, NoFalseExtractionFromPlainNames) {
+  const Internet net = InternetGenerator(GeneratorConfig::tiny()).generate();
+  Hoiho hoiho(net);
+  hoiho.apply_manual_corrections();
+  EXPECT_EQ(hoiho.extract("static-17.as65001.example.net"), std::nullopt);
+  EXPECT_EQ(hoiho.extract(""), std::nullopt);
+}
+
+TEST(MetroAliasCode, DistinctNamespace) {
+  // Aliases are 4 characters; main codes are 3, so they can never collide.
+  EXPECT_EQ(metro_alias_code("usa"), "usa2");
+  EXPECT_NE(metro_alias_code("usa"), "usb");
+}
+
+TEST_F(RdnsTest, ValidationMostlyConsistentAfterCorrections) {
+  // End-to-end validation over real clusterings of the tiny world.
+  VantagePointSet vps(*net_, 40, 163163);
+  PingMesh mesh(*net_, vps, PingConfig{});
+  ColocationConfig config;
+  config.filter.min_usable_sites = 25;
+  ColocationClusterer clusterer(*registry_, mesh, vps, config);
+  std::vector<IspClustering> clusterings;
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    clusterings.push_back(clusterer.cluster_isp(isp));
+  }
+  Hoiho hoiho(*net_);
+  hoiho.apply_manual_corrections();
+  const ValidationSummary summary =
+      validate_clusters(*net_, *registry_, clusterings, *ptr_, hoiho);
+  ASSERT_GT(summary.clusters_with_hints, 20u);
+  EXPECT_GT(summary.consistent_fraction(), 0.8);
+  EXPECT_EQ(summary.single_city + summary.single_metro_area +
+                summary.multi_city_same_country + summary.multi_country,
+            summary.clusters_with_hints);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,241 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace repro {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), Error);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -1);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 50001; ++i) values.push_back(rng.lognormal(std::log(3.0), 0.5));
+  std::nth_element(values.begin(), values.begin() + 25000, values.end());
+  EXPECT_NEAR(values[25000], 3.0, 0.15);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+}
+
+TEST(Rng, ParetoBoundsAndTail) {
+  Rng rng(31);
+  int above_double = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(1.0, 2.0);
+    EXPECT_GE(x, 1.0);
+    if (x > 2.0) ++above_double;
+  }
+  // P(X > 2) = (1/2)^alpha = 0.25 for alpha = 2.
+  EXPECT_NEAR(static_cast<double>(above_double) / n, 0.25, 0.01);
+  EXPECT_THROW(rng.pareto(0.0, 1.0), Error);
+  EXPECT_THROW(rng.pareto(1.0, 0.0), Error);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(37);
+  const double weights[] = {1.0, 3.0, 0.0, 6.0};
+  int counts[4] = {0, 0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsDegenerateInputs) {
+  Rng rng(37);
+  EXPECT_THROW(rng.weighted_index({}), Error);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), Error);
+  const double negative[] = {1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(negative), Error);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(41);
+  const auto sample = rng.sample_indices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const std::size_t index : sample) EXPECT_LT(index, 100u);
+  EXPECT_THROW(rng.sample_indices(3, 4), Error);
+}
+
+TEST(Rng, SampleIndicesFull) {
+  Rng rng(43);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(47);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(values.begin(), values.end(), shuffled.begin()));
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(53);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += child1.next() == child2.next() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Mix64, StatelessAndSpreading) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(ZipfSampler, RankOneMostPopular) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(59);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  ZipfSampler zipf(4, 0.0);
+  Rng rng(61);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (int rank = 1; rank <= 4; ++rank) {
+    EXPECT_NEAR(counts[rank] / static_cast<double>(n), 0.25, 0.01);
+  }
+}
+
+TEST(ZipfSampler, RejectsEmpty) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,211 @@
+#include "traffic/spillover.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+class SpilloverTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new Internet(InternetGenerator(GeneratorConfig::tiny()).generate());
+    DeploymentConfig config;
+    config.footprint_scale = GeneratorConfig::tiny().scale;
+    registry_ = new OffnetRegistry(
+        DeploymentPolicy(*net_, config).deploy(Snapshot::k2023));
+    demand_ = new DemandModel(*net_);
+    capacity_ = new CapacityModel(*net_, *registry_, *demand_, CapacityConfig{});
+    simulator_ = new SpilloverSimulator(*net_, *registry_, *demand_, *capacity_);
+  }
+  static void TearDownTestSuite() {
+    delete simulator_;
+    delete capacity_;
+    delete demand_;
+    delete registry_;
+    delete net_;
+  }
+  static Internet* net_;
+  static OffnetRegistry* registry_;
+  static DemandModel* demand_;
+  static CapacityModel* capacity_;
+  static SpilloverSimulator* simulator_;
+};
+
+Internet* SpilloverTest::net_ = nullptr;
+OffnetRegistry* SpilloverTest::registry_ = nullptr;
+DemandModel* SpilloverTest::demand_ = nullptr;
+CapacityModel* SpilloverTest::capacity_ = nullptr;
+SpilloverSimulator* SpilloverTest::simulator_ = nullptr;
+
+TEST_F(SpilloverTest, FlowConservation) {
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    SpilloverScenario scenario;
+    scenario.utc_hour = simulator_->local_peak_utc_hour(isp);
+    const SpilloverResult result = simulator_->simulate(isp, scenario);
+    for (const Hypergiant hg : all_hypergiants()) {
+      const HgFlow& flow = result.flow(hg);
+      EXPECT_NEAR(flow.offnet + flow.pni + flow.ixp + flow.transit, flow.demand,
+                  1e-9 * std::max(1.0, flow.demand))
+          << net_->ases[isp].name << " " << to_string(hg);
+      EXPECT_GE(flow.offnet, 0.0);
+      EXPECT_GE(flow.pni, 0.0);
+      EXPECT_LE(flow.degraded, flow.ixp + flow.transit + 1e-9);
+    }
+  }
+}
+
+TEST_F(SpilloverTest, OffnetServesMostAtPeakForHostedHgs) {
+  std::size_t checked = 0;
+  double offnet_fraction_sum = 0.0;
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    SpilloverScenario scenario;
+    scenario.utc_hour = simulator_->local_peak_utc_hour(isp);
+    const SpilloverResult result = simulator_->simulate(isp, scenario);
+    for (const Hypergiant hg : registry_->hypergiants_at(isp)) {
+      const HgFlow& flow = result.flow(hg);
+      if (flow.demand <= 0.0) continue;
+      offnet_fraction_sum += flow.offnet / flow.demand;
+      ++checked;
+    }
+  }
+  ASSERT_GT(checked, 20u);
+  // Offnets serve 70-95% of their hypergiant's traffic on average.
+  const double mean_fraction = offnet_fraction_sum / checked;
+  EXPECT_GT(mean_fraction, 0.65);
+  EXPECT_LT(mean_fraction, 1.0);
+}
+
+TEST_F(SpilloverTest, FailingAllSitesZeroesOffnet) {
+  const AsIndex isp = registry_->hosting_isps().front();
+  SpilloverScenario scenario;
+  scenario.utc_hour = simulator_->local_peak_utc_hour(isp);
+  for (const auto& [facility, hgs] : registry_->facility_map(isp)) {
+    (void)hgs;
+    scenario.failed_facilities.insert(facility);
+  }
+  const SpilloverResult result = simulator_->simulate(isp, scenario);
+  for (const Hypergiant hg : all_hypergiants()) {
+    EXPECT_DOUBLE_EQ(result.flow(hg).offnet, 0.0);
+  }
+}
+
+TEST_F(SpilloverTest, SurgeIncreasesInterdomain) {
+  const AsIndex isp = registry_->hosting_isps().front();
+  SpilloverScenario base;
+  base.utc_hour = simulator_->local_peak_utc_hour(isp);
+  SpilloverScenario surge = base;
+  for (auto& multiplier : surge.demand_multiplier) multiplier = 1.6;
+
+  const SpilloverResult before = simulator_->simulate(isp, base);
+  const SpilloverResult after = simulator_->simulate(isp, surge);
+  double inter_before = 0.0;
+  double inter_after = 0.0;
+  double offnet_before = 0.0;
+  double offnet_after = 0.0;
+  for (const Hypergiant hg : all_hypergiants()) {
+    inter_before += before.flow(hg).interdomain();
+    inter_after += after.flow(hg).interdomain();
+    offnet_before += before.flow(hg).offnet;
+    offnet_after += after.flow(hg).offnet;
+  }
+  EXPECT_GT(inter_after, inter_before);
+  // Offnets are capacity-limited: they cannot grow by the full surge.
+  EXPECT_LT(offnet_after, offnet_before * 1.6);
+}
+
+TEST_F(SpilloverTest, DropFractionsWithinBounds) {
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    SpilloverScenario scenario;
+    scenario.utc_hour = simulator_->local_peak_utc_hour(isp);
+    for (auto& multiplier : scenario.demand_multiplier) multiplier = 3.0;
+    const SpilloverResult result = simulator_->simulate(isp, scenario);
+    EXPECT_GE(result.ixp_drop_fraction(), 0.0);
+    EXPECT_LT(result.ixp_drop_fraction(), 1.0);
+    EXPECT_GE(result.transit_drop_fraction(), 0.0);
+    EXPECT_LT(result.transit_drop_fraction(), 1.0);
+    EXPECT_GE(result.other_traffic_degraded_fraction(), 0.0);
+    EXPECT_LE(result.other_traffic_degraded_fraction(), 1.0);
+  }
+}
+
+TEST_F(SpilloverTest, LocalPeakMaximizesDemand) {
+  const AsIndex isp = registry_->hosting_isps().front();
+  const double peak_hour = simulator_->local_peak_utc_hour(isp);
+  const double at_peak = demand_->isp_demand_gbps(isp, peak_hour);
+  for (double offset : {3.0, 6.0, 9.0, 12.0}) {
+    const double other = demand_->isp_demand_gbps(
+        isp, std::fmod(peak_hour + offset, 24.0));
+    EXPECT_GE(at_peak, other - 1e-9);
+  }
+}
+
+TEST_F(SpilloverTest, IsolationProtectsOtherTraffic) {
+  // Under heavy surge, best effort degrades other traffic somewhere;
+  // isolation never does (other demand alone never exceeds the links).
+  double best_effort_collateral = 0.0;
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    SpilloverScenario scenario;
+    scenario.utc_hour = simulator_->local_peak_utc_hour(isp);
+    for (auto& multiplier : scenario.demand_multiplier) multiplier = 4.0;
+
+    scenario.policy = SharedLinkPolicy::kBestEffort;
+    const SpilloverResult be = simulator_->simulate(isp, scenario);
+    best_effort_collateral += be.other_traffic_degraded_fraction();
+
+    scenario.policy = SharedLinkPolicy::kIsolation;
+    const SpilloverResult iso = simulator_->simulate(isp, scenario);
+    EXPECT_DOUBLE_EQ(iso.other_traffic_degraded_fraction(), 0.0)
+        << net_->ases[isp].name;
+    // Isolation makes the hypergiants absorb at least as much degradation.
+    double degraded_be = 0.0;
+    double degraded_iso = 0.0;
+    for (const Hypergiant hg : all_hypergiants()) {
+      degraded_be += be.flow(hg).degraded;
+      degraded_iso += iso.flow(hg).degraded;
+    }
+    EXPECT_GE(degraded_iso, degraded_be - 1e-9) << net_->ases[isp].name;
+  }
+  EXPECT_GT(best_effort_collateral, 0.0)
+      << "a 4x surge should congest something under best effort";
+}
+
+TEST_F(SpilloverTest, PolicyRecordedInResult) {
+  const AsIndex isp = registry_->hosting_isps().front();
+  SpilloverScenario scenario;
+  scenario.policy = SharedLinkPolicy::kIsolation;
+  EXPECT_EQ(simulator_->simulate(isp, scenario).policy,
+            SharedLinkPolicy::kIsolation);
+  EXPECT_EQ(std::string(to_string(SharedLinkPolicy::kBestEffort)),
+            "best-effort");
+}
+
+TEST_F(SpilloverTest, FacilityFailurePushesTrafficInterdomain) {
+  // Find an ISP whose busiest facility hosts at least one hypergiant.
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    const auto facility_map = registry_->facility_map(isp);
+    if (facility_map.empty()) continue;
+    SpilloverScenario base;
+    base.utc_hour = simulator_->local_peak_utc_hour(isp);
+    SpilloverScenario failed = base;
+    failed.failed_facilities.insert(facility_map.begin()->first);
+
+    const SpilloverResult before = simulator_->simulate(isp, base);
+    const SpilloverResult after = simulator_->simulate(isp, failed);
+    double inter_before = 0.0;
+    double inter_after = 0.0;
+    for (const Hypergiant hg : all_hypergiants()) {
+      inter_before += before.flow(hg).interdomain();
+      inter_after += after.flow(hg).interdomain();
+    }
+    EXPECT_GE(inter_after, inter_before);
+    return;
+  }
+  FAIL() << "no hosting ISP with facilities";
+}
+
+}  // namespace
+}  // namespace repro

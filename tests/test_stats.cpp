@@ -1,0 +1,151 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace repro {
+namespace {
+
+TEST(Mean, BasicAndEmpty) {
+  const double values[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Variance, KnownValues) {
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(values), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(values), 2.0);
+}
+
+TEST(Variance, DegenerateInputs) {
+  const double one[] = {5.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  const double odd[] = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const double even[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+  EXPECT_THROW(median({}), Error);
+}
+
+TEST(Percentile, EndpointsAndInterpolation) {
+  const double values[] = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 12.5), 15.0);  // interpolated
+}
+
+TEST(Percentile, Validation) {
+  const double values[] = {1.0};
+  EXPECT_THROW(percentile(values, -1.0), Error);
+  EXPECT_THROW(percentile(values, 101.0), Error);
+  EXPECT_THROW(percentile({}, 50.0), Error);
+}
+
+TEST(WeightedCcdf, UnweightedBasics) {
+  const double values[] = {1.0, 2.0, 3.0, 4.0};
+  const auto ccdf = weighted_ccdf(values, {});
+  ASSERT_EQ(ccdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(ccdf.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(ccdf.front().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(ccdf.back().x, 4.0);
+  EXPECT_DOUBLE_EQ(ccdf.back().fraction, 0.25);
+}
+
+TEST(WeightedCcdf, MonotoneNonIncreasing) {
+  const double values[] = {5.0, 1.0, 3.0, 3.0, 2.0, 8.0};
+  const auto ccdf = weighted_ccdf(values, {});
+  for (std::size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_LT(ccdf[i - 1].x, ccdf[i].x);
+    EXPECT_GE(ccdf[i - 1].fraction, ccdf[i].fraction);
+  }
+}
+
+TEST(WeightedCcdf, WeightsShiftMass) {
+  const double values[] = {1.0, 10.0};
+  const double weights[] = {1.0, 3.0};
+  const auto ccdf = weighted_ccdf(values, weights);
+  ASSERT_EQ(ccdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(ccdf[1].fraction, 0.75);
+}
+
+TEST(WeightedCcdf, DuplicateValuesCollapse) {
+  const double values[] = {2.0, 2.0, 2.0};
+  const auto ccdf = weighted_ccdf(values, {});
+  ASSERT_EQ(ccdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(ccdf[0].fraction, 1.0);
+}
+
+TEST(WeightedCcdf, Validation) {
+  const double values[] = {1.0, 2.0};
+  const double bad_size[] = {1.0};
+  EXPECT_THROW(weighted_ccdf(values, bad_size), Error);
+  const double negative[] = {1.0, -1.0};
+  EXPECT_THROW(weighted_ccdf(values, negative), Error);
+  EXPECT_TRUE(weighted_ccdf({}, {}).empty());
+}
+
+TEST(CcdfAt, EvaluatesBetweenPoints) {
+  const double values[] = {1.0, 2.0, 3.0, 4.0};
+  const auto ccdf = weighted_ccdf(values, {});
+  EXPECT_DOUBLE_EQ(ccdf_at(ccdf, 0.5), 1.0);   // everything >= 0.5
+  EXPECT_DOUBLE_EQ(ccdf_at(ccdf, 2.0), 0.75);  // 2,3,4
+  EXPECT_DOUBLE_EQ(ccdf_at(ccdf, 2.5), 0.5);   // 3,4
+  EXPECT_DOUBLE_EQ(ccdf_at(ccdf, 9.0), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(0.5);
+  hist.add(9.5);
+  hist.add(-3.0);   // clamps into first bucket
+  hist.add(100.0);  // clamps into last bucket
+  EXPECT_DOUBLE_EQ(hist.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(hist.total(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(hist.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bucket_high(1), 4.0);
+}
+
+TEST(Histogram, WeightsAndValidation) {
+  Histogram hist(0.0, 1.0, 2);
+  hist.add(0.25, 3.0);
+  EXPECT_DOUBLE_EQ(hist.count(0), 3.0);
+  EXPECT_THROW(Histogram(1.0, 0.0, 2), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  EXPECT_THROW(hist.count(5), Error);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), mean(values));
+  EXPECT_NEAR(stats.variance(), variance(values), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,83 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace repro {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable table({"name", "count"});
+  table.add_row({"alpha", "10"});
+  table.add_row({"b", "2"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"x"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(TextTable, RejectsWideRows) {
+  TextTable table({"a"});
+  EXPECT_THROW(table.add_row({"1", "2"}), Error);
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, AlignmentRightPadsLeft) {
+  TextTable table({"h", "v"});
+  table.add_row({"x", "1"});
+  table.add_row({"yy", "22"});
+  const std::string out = table.render();
+  // Right-aligned numeric column: " 1" appears (padded on the left).
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(TextTable, SetAlignValidation) {
+  TextTable table({"a"});
+  EXPECT_THROW(table.set_align(1, Align::kLeft), Error);
+  EXPECT_NO_THROW(table.set_align(0, Align::kLeft));
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable table({"name", "note"});
+  table.add_row({"a,b", "say \"hi\""});
+  table.add_row({"plain", "line1\nline2"});
+  const std::string csv = table.render_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(TextTable, CsvHeaderFirstLine) {
+  TextTable table({"x", "y"});
+  const std::string csv = table.render_csv();
+  EXPECT_EQ(csv.substr(0, 4), "x,y\n");
+}
+
+TEST(WriteFile, CreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "repro_table_test";
+  std::filesystem::remove_all(dir);
+  const auto path = dir / "deep" / "out.csv";
+  write_file(path.string(), "hello");
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,179 @@
+#include "traffic/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new Internet(InternetGenerator(GeneratorConfig::tiny()).generate());
+    DeploymentConfig config;
+    config.footprint_scale = GeneratorConfig::tiny().scale;
+    registry_ = new OffnetRegistry(
+        DeploymentPolicy(*net_, config).deploy(Snapshot::k2023));
+    demand_ = new DemandModel(*net_);
+    capacity_ = new CapacityModel(*net_, *registry_, *demand_, CapacityConfig{});
+    simulator_ = new SpilloverSimulator(*net_, *registry_, *demand_, *capacity_);
+    // A multi-hypergiant ISP with a busiest facility.
+    for (const AsIndex isp : registry_->hosting_isps()) {
+      if (registry_->hypergiants_at(isp).size() >= 2) {
+        isp_ = isp;
+        break;
+      }
+    }
+    facility_ = registry_->facility_map(isp_).begin()->first;
+  }
+  static void TearDownTestSuite() {
+    delete simulator_;
+    delete capacity_;
+    delete demand_;
+    delete registry_;
+    delete net_;
+  }
+  static Internet* net_;
+  static OffnetRegistry* registry_;
+  static DemandModel* demand_;
+  static CapacityModel* capacity_;
+  static SpilloverSimulator* simulator_;
+  static AsIndex isp_;
+  static FacilityIndex facility_;
+};
+
+Internet* TimelineTest::net_ = nullptr;
+OffnetRegistry* TimelineTest::registry_ = nullptr;
+DemandModel* TimelineTest::demand_ = nullptr;
+CapacityModel* TimelineTest::capacity_ = nullptr;
+SpilloverSimulator* TimelineTest::simulator_ = nullptr;
+AsIndex TimelineTest::isp_ = kInvalidIndex;
+FacilityIndex TimelineTest::facility_ = kInvalidIndex;
+
+TEST_F(TimelineTest, StepCountAndClock) {
+  const TimelineSimulator timeline(*simulator_);
+  const auto points = timeline.run(isp_, {}, 48.0, 1.0, 5.0);
+  ASSERT_EQ(points.size(), 48u);
+  EXPECT_DOUBLE_EQ(points[0].utc_hour, 5.0);
+  EXPECT_DOUBLE_EQ(points[20].utc_hour, 1.0);  // wraps at 24
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points[i].hour, points[i - 1].hour + 1.0);
+  }
+}
+
+TEST_F(TimelineTest, QuietTimelineHasDiurnalShape) {
+  const TimelineSimulator timeline(*simulator_);
+  const auto points = timeline.run(isp_, {}, 24.0);
+  double low = 1e18;
+  double high = 0.0;
+  for (const TimelinePoint& point : points) {
+    double total = 0.0;
+    for (const Hypergiant hg : all_hypergiants()) {
+      total += point.state.flow(hg).demand;
+    }
+    low = std::min(low, total);
+    high = std::max(high, total);
+  }
+  EXPECT_GT(high, low * 2.0);  // trough is 0.35x of peak
+}
+
+TEST_F(TimelineTest, FlashCrowdRaisesDemandOnlyDuringEvent) {
+  const TimelineSimulator timeline(*simulator_);
+  const auto quiet = timeline.run(isp_, {}, 24.0);
+  const TimelineEvent crowd = flash_crowd(Hypergiant::kGoogle, 10.0, 4.0, 2.0);
+  const auto stormy = timeline.run(isp_, {&crowd, 1}, 24.0);
+  ASSERT_EQ(quiet.size(), stormy.size());
+  for (std::size_t i = 0; i < quiet.size(); ++i) {
+    const double before = quiet[i].state.flow(Hypergiant::kGoogle).demand;
+    const double after = stormy[i].state.flow(Hypergiant::kGoogle).demand;
+    if (quiet[i].hour >= 10.0 && quiet[i].hour < 14.0) {
+      EXPECT_NEAR(after, before * 2.0, before * 1e-9);
+    } else {
+      EXPECT_NEAR(after, before, before * 1e-9);
+    }
+    // Other services untouched.
+    EXPECT_NEAR(stormy[i].state.flow(Hypergiant::kNetflix).demand,
+                quiet[i].state.flow(Hypergiant::kNetflix).demand, 1e-9);
+  }
+}
+
+TEST_F(TimelineTest, FacilityFailureCutsOffnetDuringEvent) {
+  const TimelineSimulator timeline(*simulator_);
+  const TimelineEvent failure = facility_failure(facility_, 6.0, 6.0);
+  const auto quiet = timeline.run(isp_, {}, 24.0);
+  const auto broken = timeline.run(isp_, {&failure, 1}, 24.0);
+  for (std::size_t i = 0; i < quiet.size(); ++i) {
+    double offnet_quiet = 0.0;
+    double offnet_broken = 0.0;
+    for (const Hypergiant hg : all_hypergiants()) {
+      offnet_quiet += quiet[i].state.flow(hg).offnet;
+      offnet_broken += broken[i].state.flow(hg).offnet;
+    }
+    if (quiet[i].hour >= 6.0 && quiet[i].hour < 12.0) {
+      EXPECT_LT(offnet_broken, offnet_quiet);
+    } else {
+      EXPECT_NEAR(offnet_broken, offnet_quiet, 1e-9);
+    }
+  }
+}
+
+TEST_F(TimelineTest, OverlappingEventsCompose) {
+  const TimelineSimulator timeline(*simulator_);
+  const std::vector<TimelineEvent> events{
+      flash_crowd(Hypergiant::kGoogle, 8.0, 4.0, 1.5),
+      flash_crowd(Hypergiant::kGoogle, 10.0, 4.0, 2.0),
+  };
+  const auto points = timeline.run(isp_, events, 16.0);
+  const auto quiet = timeline.run(isp_, {}, 16.0);
+  // In the overlap (hours 10-12) multipliers multiply: 3x.
+  const double at11 = points[11].state.flow(Hypergiant::kGoogle).demand;
+  const double base11 = quiet[11].state.flow(Hypergiant::kGoogle).demand;
+  EXPECT_NEAR(at11, base11 * 3.0, base11 * 1e-9);
+}
+
+TEST_F(TimelineTest, AggregateHelpers) {
+  const TimelineSimulator timeline(*simulator_);
+  const TimelineEvent failure = facility_failure(facility_, 0.0, 24.0);
+  const auto points = timeline.run(isp_, {&failure, 1}, 24.0);
+  EXPECT_GE(peak_collateral(points), 0.0);
+  EXPECT_GE(total_degraded_gbps_hours(points), 0.0);
+  EXPECT_DOUBLE_EQ(peak_collateral({}), 0.0);
+}
+
+TEST_F(TimelineTest, Validation) {
+  const TimelineSimulator timeline(*simulator_);
+  EXPECT_THROW(timeline.run(isp_, {}, 0.0), Error);
+  EXPECT_THROW(timeline.run(isp_, {}, 10.0, 0.0), Error);
+  EXPECT_THROW(flash_crowd(Hypergiant::kGoogle, 0.0, 1.0, 0.5), Error);
+}
+
+TEST_F(TimelineTest, IsolationPolicyNeverHurtsOtherTraffic) {
+  const TimelineSimulator timeline(*simulator_);
+  const std::vector<TimelineEvent> events{
+      flash_crowd(Hypergiant::kGoogle, 0.0, 24.0, 3.0),
+      facility_failure(facility_, 0.0, 24.0),
+  };
+  const auto isolated = timeline.run(isp_, events, 24.0, 1.0, 0.0,
+                                     SharedLinkPolicy::kIsolation);
+  for (const TimelinePoint& point : isolated) {
+    EXPECT_DOUBLE_EQ(point.state.other_traffic_degraded_fraction(), 0.0);
+  }
+}
+
+TEST_F(TimelineTest, IsolationShiftsPainToHypergiants) {
+  const TimelineSimulator timeline(*simulator_);
+  const std::vector<TimelineEvent> events{
+      flash_crowd(Hypergiant::kGoogle, 0.0, 24.0, 4.0),
+      facility_failure(facility_, 0.0, 24.0),
+  };
+  const auto best_effort = timeline.run(isp_, events, 24.0);
+  const auto isolated = timeline.run(isp_, events, 24.0, 1.0, 0.0,
+                                     SharedLinkPolicy::kIsolation);
+  EXPECT_GE(total_degraded_gbps_hours(isolated),
+            total_degraded_gbps_hours(best_effort) - 1e-9);
+  EXPECT_LE(peak_collateral(isolated), peak_collateral(best_effort) + 1e-9);
+}
+
+}  // namespace
+}  // namespace repro

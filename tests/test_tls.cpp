@@ -1,0 +1,92 @@
+#include "tls/cert_store.h"
+
+#include <gtest/gtest.h>
+
+#include "tls/certificate.h"
+
+namespace repro {
+namespace {
+
+TlsCertificate sample_cert() {
+  TlsCertificate cert;
+  cert.subject.common_name = "*.example.com";
+  cert.subject.organization = "Example Org";
+  cert.issuer.common_name = "Example CA";
+  cert.san_dns = {"*.example.com", "example.com"};
+  cert.serial = 42;
+  return cert;
+}
+
+TEST(TlsCertificate, MatchesNameGlobOverCnAndSans) {
+  TlsCertificate cert = sample_cert();
+  EXPECT_TRUE(cert.matches_name_glob("*.example.com"));
+  EXPECT_TRUE(cert.matches_name_glob("example.com"));
+  EXPECT_FALSE(cert.matches_name_glob("*.other.com"));
+}
+
+TEST(TlsCertificate, HasExactNameCaseInsensitive) {
+  TlsCertificate cert = sample_cert();
+  EXPECT_TRUE(cert.has_exact_name("*.EXAMPLE.com"));
+  EXPECT_TRUE(cert.has_exact_name("example.com"));
+  EXPECT_FALSE(cert.has_exact_name("www.example.com"));
+}
+
+TEST(Fingerprint, StableForEqualCerts) {
+  EXPECT_EQ(fingerprint(sample_cert()), fingerprint(sample_cert()));
+}
+
+TEST(Fingerprint, SensitiveToEveryField) {
+  const std::uint64_t base = fingerprint(sample_cert());
+  TlsCertificate cert = sample_cert();
+  cert.subject.common_name = "other";
+  EXPECT_NE(fingerprint(cert), base);
+  cert = sample_cert();
+  cert.subject.organization = "";
+  EXPECT_NE(fingerprint(cert), base);
+  cert = sample_cert();
+  cert.san_dns.push_back("x.example.com");
+  EXPECT_NE(fingerprint(cert), base);
+  cert = sample_cert();
+  cert.serial = 43;
+  EXPECT_NE(fingerprint(cert), base);
+}
+
+TEST(CertStore, InstallLookupRemove) {
+  CertStore store;
+  const Ipv4 ip = Ipv4::parse("10.0.0.1");
+  EXPECT_FALSE(store.contains(ip));
+  EXPECT_EQ(store.lookup(ip), std::nullopt);
+  store.install(ip, sample_cert());
+  EXPECT_TRUE(store.contains(ip));
+  ASSERT_TRUE(store.lookup(ip).has_value());
+  EXPECT_EQ(store.lookup(ip)->subject.common_name, "*.example.com");
+  store.remove(ip);
+  EXPECT_FALSE(store.contains(ip));
+  EXPECT_NO_THROW(store.remove(ip));  // idempotent
+}
+
+TEST(CertStore, InstallReplaces) {
+  CertStore store;
+  const Ipv4 ip = Ipv4::parse("10.0.0.1");
+  store.install(ip, sample_cert());
+  TlsCertificate updated = sample_cert();
+  updated.subject.common_name = "new.example.com";
+  store.install(ip, updated);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.lookup(ip)->subject.common_name, "new.example.com");
+}
+
+TEST(CertStore, AllSortedByIp) {
+  CertStore store;
+  store.install(Ipv4::parse("9.9.9.9"), sample_cert());
+  store.install(Ipv4::parse("1.1.1.1"), sample_cert());
+  store.install(Ipv4::parse("5.5.5.5"), sample_cert());
+  const auto endpoints = store.all_sorted();
+  ASSERT_EQ(endpoints.size(), 3u);
+  EXPECT_EQ(endpoints[0].ip.to_string(), "1.1.1.1");
+  EXPECT_EQ(endpoints[1].ip.to_string(), "5.5.5.5");
+  EXPECT_EQ(endpoints[2].ip.to_string(), "9.9.9.9");
+}
+
+}  // namespace
+}  // namespace repro

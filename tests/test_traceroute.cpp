@@ -1,0 +1,175 @@
+#include "route/traceroute.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+class TracerouteTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new Internet(InternetGenerator(GeneratorConfig::tiny()).generate());
+    engine_ = new RoutingEngine(*net_);
+    TracerouteConfig config;
+    tracer_ = new TracerouteEngine(*net_, config);
+    google_ = net_->as_by_asn(kGoogleAsn);
+  }
+  static void TearDownTestSuite() {
+    delete tracer_;
+    delete engine_;
+    delete net_;
+  }
+  static Internet* net_;
+  static RoutingEngine* engine_;
+  static TracerouteEngine* tracer_;
+  static AsIndex google_;
+};
+
+Internet* TracerouteTest::net_ = nullptr;
+RoutingEngine* TracerouteTest::engine_ = nullptr;
+TracerouteEngine* TracerouteTest::tracer_ = nullptr;
+AsIndex TracerouteTest::google_ = 0;
+
+Ipv4 user_ip(const Internet& net, AsIndex isp) {
+  return net.ases[isp].user_prefixes.front().at(1);
+}
+
+TEST_F(TracerouteTest, HopsFollowAsPathOrder) {
+  const AsIndex target = net_->access_isps().front();
+  const RoutingTable table = engine_->routes_to(target);
+  const Traceroute trace = tracer_->trace(google_, user_ip(*net_, target), table);
+  ASSERT_FALSE(trace.hops.empty());
+
+  // True owners must appear in AS-path order (with repeats for intra-AS).
+  const auto as_path = table.as_path(google_);
+  std::size_t position = 0;
+  for (const TracerouteHop& hop : trace.hops) {
+    while (position < as_path.size() && as_path[position] != hop.true_owner) {
+      ++position;
+    }
+    ASSERT_LT(position, as_path.size())
+        << "hop owner not on (or out of order with) the AS path";
+  }
+}
+
+TEST_F(TracerouteTest, ResponsiveHopsCarryOwnersAddress) {
+  int checked = 0;
+  for (const AsIndex target : net_->access_isps()) {
+    const RoutingTable table = engine_->routes_to(target);
+    const Traceroute trace = tracer_->trace(google_, user_ip(*net_, target), table);
+    for (const TracerouteHop& hop : trace.hops) {
+      if (!hop.ip) continue;
+      const auto ixp = net_->ixp_port_of_ip(*hop.ip);
+      if (ixp) {
+        EXPECT_EQ(ixp->member, hop.true_owner);
+      } else {
+        const auto owner = net_->as_of_ip(*hop.ip);
+        ASSERT_TRUE(owner.has_value());
+        EXPECT_EQ(*owner, hop.true_owner);
+      }
+      ++checked;
+    }
+    if (checked > 100) break;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST_F(TracerouteTest, IxpCrossingsShowPeeringLanAddress) {
+  // Find a target whose best path from Google crosses an IXP link.
+  int found = 0;
+  for (const AsIndex target : net_->access_isps()) {
+    const RoutingTable table = engine_->routes_to(target);
+    const auto links = table.link_path(google_);
+    bool crosses_ixp = false;
+    for (const LinkIndex li : links) {
+      if (net_->links[li].kind == LinkKind::kIxpPeering) crosses_ixp = true;
+    }
+    if (!crosses_ixp) continue;
+    const Traceroute trace = tracer_->trace(google_, user_ip(*net_, target), table);
+    bool saw_lan_address = false;
+    for (const TracerouteHop& hop : trace.hops) {
+      if (hop.ip && net_->ixp_port_of_ip(*hop.ip)) saw_lan_address = true;
+    }
+    // The LAN address only shows if that router responds; count across
+    // multiple targets.
+    found += saw_lan_address ? 1 : 0;
+    if (found >= 3) break;
+  }
+  EXPECT_GE(found, 1) << "no IXP crossing surfaced a peering-LAN address";
+}
+
+TEST_F(TracerouteTest, SilentAsYieldsAllStars) {
+  // Find an AS the engine marks silent that appears on some path.
+  for (const AsIndex target : net_->access_isps()) {
+    const RoutingTable table = engine_->routes_to(target);
+    const auto as_path = table.as_path(google_);
+    for (const AsIndex as : as_path) {
+      if (as == google_ || as == target) continue;
+      if (!tracer_->as_silent(as)) continue;
+      const Traceroute trace =
+          tracer_->trace(google_, user_ip(*net_, target), table);
+      for (const TracerouteHop& hop : trace.hops) {
+        if (hop.true_owner == as) EXPECT_FALSE(hop.ip.has_value());
+      }
+      return;
+    }
+  }
+  GTEST_SKIP() << "no silent AS on probed paths in tiny world";
+}
+
+TEST_F(TracerouteTest, UnreachableDestinationYieldsEmpty) {
+  // A routing table towards an AS gives empty paths only if unreachable;
+  // in the generated world everything is reachable, so simulate by asking
+  // for a path from an AS to itself -- the traceroute is just the host.
+  const AsIndex target = net_->access_isps().front();
+  const RoutingTable table = engine_->routes_to(target);
+  const Traceroute self = tracer_->trace(target, user_ip(*net_, target), table);
+  ASSERT_GE(self.hops.size(), 1u);
+  EXPECT_EQ(self.hops.back().true_owner, target);
+}
+
+TEST_F(TracerouteTest, DestinationRespondsPersistently) {
+  const AsIndex target = net_->access_isps()[1];
+  const RoutingTable table = engine_->routes_to(target);
+  const Ipv4 dst = user_ip(*net_, target);
+  const Traceroute a = tracer_->trace(google_, dst, table, 1);
+  const Traceroute b = tracer_->trace(google_, dst, table, 2);
+  EXPECT_EQ(a.destination_reached, b.destination_reached);
+}
+
+TEST_F(TracerouteTest, FlowsVaryRouterInterfaces) {
+  const AsIndex target = net_->access_isps()[2];
+  const RoutingTable table = engine_->routes_to(target);
+  const Ipv4 dst = user_ip(*net_, target);
+  bool any_difference = false;
+  for (std::uint64_t flow = 1; flow <= 8 && !any_difference; ++flow) {
+    const Traceroute a = tracer_->trace(google_, dst, table, 0);
+    const Traceroute b = tracer_->trace(google_, dst, table, flow);
+    if (a.hops.size() != b.hops.size()) {
+      any_difference = true;
+      break;
+    }
+    for (std::size_t i = 0; i < a.hops.size(); ++i) {
+      if (a.hops[i].ip != b.hops[i].ip) any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(TracerouteTest, RouterIpsComeFromInfraBlock) {
+  const AsIndex as = net_->access_isps().front();
+  for (std::uint64_t slot = 0; slot < 10; ++slot) {
+    EXPECT_TRUE(net_->ases[as].infra.pool().contains(tracer_->router_ip(as, slot)));
+  }
+}
+
+TEST_F(TracerouteTest, RouterSilenceDeterministic) {
+  const AsIndex as = net_->access_isps().front();
+  const Ipv4 router = tracer_->router_ip(as, 3);
+  EXPECT_EQ(tracer_->router_silent(as, router), tracer_->router_silent(as, router));
+}
+
+}  // namespace
+}  // namespace repro
