@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_efficiency.dir/cache_efficiency.cpp.o"
+  "CMakeFiles/cache_efficiency.dir/cache_efficiency.cpp.o.d"
+  "cache_efficiency"
+  "cache_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_blast_radius.dir/facility_blast_radius.cpp.o"
+  "CMakeFiles/facility_blast_radius.dir/facility_blast_radius.cpp.o.d"
+  "facility_blast_radius"
+  "facility_blast_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_blast_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

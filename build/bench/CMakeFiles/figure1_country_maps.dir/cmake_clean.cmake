@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_country_maps.dir/figure1_country_maps.cpp.o"
+  "CMakeFiles/figure1_country_maps.dir/figure1_country_maps.cpp.o.d"
+  "figure1_country_maps"
+  "figure1_country_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_country_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_facility_share.dir/figure2_facility_share.cpp.o"
+  "CMakeFiles/figure2_facility_share.dir/figure2_facility_share.cpp.o.d"
+  "figure2_facility_share"
+  "figure2_facility_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_facility_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longitudinal_growth.dir/longitudinal_growth.cpp.o"
+  "CMakeFiles/longitudinal_growth.dir/longitudinal_growth.cpp.o.d"
+  "longitudinal_growth"
+  "longitudinal_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section32_dns.dir/section32_dns.cpp.o"
+  "CMakeFiles/section32_dns.dir/section32_dns.cpp.o.d"
+  "section32_dns"
+  "section32_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section32_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section33_chokepoints.dir/section33_chokepoints.cpp.o"
+  "CMakeFiles/section33_chokepoints.dir/section33_chokepoints.cpp.o.d"
+  "section33_chokepoints"
+  "section33_chokepoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section33_chokepoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

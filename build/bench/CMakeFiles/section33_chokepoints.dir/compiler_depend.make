@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for section33_chokepoints.
+# This may be replaced when dependencies are built.

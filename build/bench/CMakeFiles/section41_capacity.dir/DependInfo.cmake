@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/section41_capacity.cpp" "bench/CMakeFiles/section41_capacity.dir/section41_capacity.cpp.o" "gcc" "bench/CMakeFiles/section41_capacity.dir/section41_capacity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/repro_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/repro_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/repro_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdns/CMakeFiles/repro_rdns.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/repro_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/repro_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/repro_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlab/CMakeFiles/repro_mlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergiant/CMakeFiles/repro_hypergiant.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/repro_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/repro_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section41_capacity.dir/section41_capacity.cpp.o"
+  "CMakeFiles/section41_capacity.dir/section41_capacity.cpp.o.d"
+  "section41_capacity"
+  "section41_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section41_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

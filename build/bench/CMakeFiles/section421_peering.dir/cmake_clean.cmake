@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section421_peering.dir/section421_peering.cpp.o"
+  "CMakeFiles/section421_peering.dir/section421_peering.cpp.o.d"
+  "section421_peering"
+  "section421_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section421_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

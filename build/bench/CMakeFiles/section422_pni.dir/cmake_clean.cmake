@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section422_pni.dir/section422_pni.cpp.o"
+  "CMakeFiles/section422_pni.dir/section422_pni.cpp.o.d"
+  "section422_pni"
+  "section422_pni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section422_pni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

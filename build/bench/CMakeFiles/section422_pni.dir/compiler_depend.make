@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for section422_pni.
+# This may be replaced when dependencies are built.

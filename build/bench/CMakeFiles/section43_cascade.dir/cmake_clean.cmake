@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section43_cascade.dir/section43_cascade.cpp.o"
+  "CMakeFiles/section43_cascade.dir/section43_cascade.cpp.o.d"
+  "section43_cascade"
+  "section43_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section43_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section6_mitigations.dir/section6_mitigations.cpp.o"
+  "CMakeFiles/section6_mitigations.dir/section6_mitigations.cpp.o.d"
+  "section6_mitigations"
+  "section6_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section6_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

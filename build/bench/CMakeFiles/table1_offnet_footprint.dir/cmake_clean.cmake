@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_offnet_footprint.dir/table1_offnet_footprint.cpp.o"
+  "CMakeFiles/table1_offnet_footprint.dir/table1_offnet_footprint.cpp.o.d"
+  "table1_offnet_footprint"
+  "table1_offnet_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_offnet_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

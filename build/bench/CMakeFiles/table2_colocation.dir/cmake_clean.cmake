@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_colocation.dir/table2_colocation.cpp.o"
+  "CMakeFiles/table2_colocation.dir/table2_colocation.cpp.o.d"
+  "table2_colocation"
+  "table2_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_rdns.dir/validation_rdns.cpp.o"
+  "CMakeFiles/validation_rdns.dir/validation_rdns.cpp.o.d"
+  "validation_rdns"
+  "validation_rdns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_rdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_audit.dir/peering_audit.cpp.o"
+  "CMakeFiles/peering_audit.dir/peering_audit.cpp.o.d"
+  "peering_audit"
+  "peering_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spillover_cascade.dir/spillover_cascade.cpp.o"
+  "CMakeFiles/spillover_cascade.dir/spillover_cascade.cpp.o.d"
+  "spillover_cascade"
+  "spillover_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spillover_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

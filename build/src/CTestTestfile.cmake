@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ip")
+subdirs("topology")
+subdirs("tls")
+subdirs("cache")
+subdirs("dns")
+subdirs("hypergiant")
+subdirs("scan")
+subdirs("mlab")
+subdirs("cluster")
+subdirs("rdns")
+subdirs("route")
+subdirs("traffic")
+subdirs("core")

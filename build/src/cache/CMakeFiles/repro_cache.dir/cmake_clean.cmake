@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cache.dir/catalog.cpp.o"
+  "CMakeFiles/repro_cache.dir/catalog.cpp.o.d"
+  "CMakeFiles/repro_cache.dir/lru.cpp.o"
+  "CMakeFiles/repro_cache.dir/lru.cpp.o.d"
+  "CMakeFiles/repro_cache.dir/simulator.cpp.o"
+  "CMakeFiles/repro_cache.dir/simulator.cpp.o.d"
+  "librepro_cache.a"
+  "librepro_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

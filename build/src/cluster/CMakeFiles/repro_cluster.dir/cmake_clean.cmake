@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cluster.dir/colocation.cpp.o"
+  "CMakeFiles/repro_cluster.dir/colocation.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/distance.cpp.o"
+  "CMakeFiles/repro_cluster.dir/distance.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/optics.cpp.o"
+  "CMakeFiles/repro_cluster.dir/optics.cpp.o.d"
+  "librepro_cluster.a"
+  "librepro_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_dns.dir/authoritative.cpp.o"
+  "CMakeFiles/repro_dns.dir/authoritative.cpp.o.d"
+  "CMakeFiles/repro_dns.dir/mapping_study.cpp.o"
+  "CMakeFiles/repro_dns.dir/mapping_study.cpp.o.d"
+  "CMakeFiles/repro_dns.dir/request_routing.cpp.o"
+  "CMakeFiles/repro_dns.dir/request_routing.cpp.o.d"
+  "librepro_dns.a"
+  "librepro_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypergiant/background.cpp" "src/hypergiant/CMakeFiles/repro_hypergiant.dir/background.cpp.o" "gcc" "src/hypergiant/CMakeFiles/repro_hypergiant.dir/background.cpp.o.d"
+  "/root/repo/src/hypergiant/certs.cpp" "src/hypergiant/CMakeFiles/repro_hypergiant.dir/certs.cpp.o" "gcc" "src/hypergiant/CMakeFiles/repro_hypergiant.dir/certs.cpp.o.d"
+  "/root/repo/src/hypergiant/deployment.cpp" "src/hypergiant/CMakeFiles/repro_hypergiant.dir/deployment.cpp.o" "gcc" "src/hypergiant/CMakeFiles/repro_hypergiant.dir/deployment.cpp.o.d"
+  "/root/repo/src/hypergiant/profile.cpp" "src/hypergiant/CMakeFiles/repro_hypergiant.dir/profile.cpp.o" "gcc" "src/hypergiant/CMakeFiles/repro_hypergiant.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/repro_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/repro_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_hypergiant.dir/background.cpp.o"
+  "CMakeFiles/repro_hypergiant.dir/background.cpp.o.d"
+  "CMakeFiles/repro_hypergiant.dir/certs.cpp.o"
+  "CMakeFiles/repro_hypergiant.dir/certs.cpp.o.d"
+  "CMakeFiles/repro_hypergiant.dir/deployment.cpp.o"
+  "CMakeFiles/repro_hypergiant.dir/deployment.cpp.o.d"
+  "CMakeFiles/repro_hypergiant.dir/profile.cpp.o"
+  "CMakeFiles/repro_hypergiant.dir/profile.cpp.o.d"
+  "librepro_hypergiant.a"
+  "librepro_hypergiant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_hypergiant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/allocator.cpp" "src/ip/CMakeFiles/repro_ip.dir/allocator.cpp.o" "gcc" "src/ip/CMakeFiles/repro_ip.dir/allocator.cpp.o.d"
+  "/root/repo/src/ip/ipv4.cpp" "src/ip/CMakeFiles/repro_ip.dir/ipv4.cpp.o" "gcc" "src/ip/CMakeFiles/repro_ip.dir/ipv4.cpp.o.d"
+  "/root/repo/src/ip/prefix_trie.cpp" "src/ip/CMakeFiles/repro_ip.dir/prefix_trie.cpp.o" "gcc" "src/ip/CMakeFiles/repro_ip.dir/prefix_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ip.dir/allocator.cpp.o"
+  "CMakeFiles/repro_ip.dir/allocator.cpp.o.d"
+  "CMakeFiles/repro_ip.dir/ipv4.cpp.o"
+  "CMakeFiles/repro_ip.dir/ipv4.cpp.o.d"
+  "CMakeFiles/repro_ip.dir/prefix_trie.cpp.o"
+  "CMakeFiles/repro_ip.dir/prefix_trie.cpp.o.d"
+  "librepro_ip.a"
+  "librepro_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_mlab.dir/filters.cpp.o"
+  "CMakeFiles/repro_mlab.dir/filters.cpp.o.d"
+  "CMakeFiles/repro_mlab.dir/ping_mesh.cpp.o"
+  "CMakeFiles/repro_mlab.dir/ping_mesh.cpp.o.d"
+  "CMakeFiles/repro_mlab.dir/vantage_points.cpp.o"
+  "CMakeFiles/repro_mlab.dir/vantage_points.cpp.o.d"
+  "librepro_mlab.a"
+  "librepro_mlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_mlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_rdns.dir/hoiho.cpp.o"
+  "CMakeFiles/repro_rdns.dir/hoiho.cpp.o.d"
+  "CMakeFiles/repro_rdns.dir/ptr_store.cpp.o"
+  "CMakeFiles/repro_rdns.dir/ptr_store.cpp.o.d"
+  "CMakeFiles/repro_rdns.dir/validation.cpp.o"
+  "CMakeFiles/repro_rdns.dir/validation.cpp.o.d"
+  "librepro_rdns.a"
+  "librepro_rdns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_rdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

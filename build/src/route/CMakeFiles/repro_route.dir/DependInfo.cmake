@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/bgp.cpp" "src/route/CMakeFiles/repro_route.dir/bgp.cpp.o" "gcc" "src/route/CMakeFiles/repro_route.dir/bgp.cpp.o.d"
+  "/root/repo/src/route/ixp_registry.cpp" "src/route/CMakeFiles/repro_route.dir/ixp_registry.cpp.o" "gcc" "src/route/CMakeFiles/repro_route.dir/ixp_registry.cpp.o.d"
+  "/root/repo/src/route/peering_inference.cpp" "src/route/CMakeFiles/repro_route.dir/peering_inference.cpp.o" "gcc" "src/route/CMakeFiles/repro_route.dir/peering_inference.cpp.o.d"
+  "/root/repo/src/route/traceroute.cpp" "src/route/CMakeFiles/repro_route.dir/traceroute.cpp.o" "gcc" "src/route/CMakeFiles/repro_route.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/repro_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_route.dir/bgp.cpp.o"
+  "CMakeFiles/repro_route.dir/bgp.cpp.o.d"
+  "CMakeFiles/repro_route.dir/ixp_registry.cpp.o"
+  "CMakeFiles/repro_route.dir/ixp_registry.cpp.o.d"
+  "CMakeFiles/repro_route.dir/peering_inference.cpp.o"
+  "CMakeFiles/repro_route.dir/peering_inference.cpp.o.d"
+  "CMakeFiles/repro_route.dir/traceroute.cpp.o"
+  "CMakeFiles/repro_route.dir/traceroute.cpp.o.d"
+  "librepro_route.a"
+  "librepro_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

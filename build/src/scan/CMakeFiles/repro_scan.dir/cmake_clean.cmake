@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_scan.dir/classifier.cpp.o"
+  "CMakeFiles/repro_scan.dir/classifier.cpp.o.d"
+  "CMakeFiles/repro_scan.dir/fingerprint.cpp.o"
+  "CMakeFiles/repro_scan.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/repro_scan.dir/scanner.cpp.o"
+  "CMakeFiles/repro_scan.dir/scanner.cpp.o.d"
+  "librepro_scan.a"
+  "librepro_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/cert_store.cpp" "src/tls/CMakeFiles/repro_tls.dir/cert_store.cpp.o" "gcc" "src/tls/CMakeFiles/repro_tls.dir/cert_store.cpp.o.d"
+  "/root/repo/src/tls/certificate.cpp" "src/tls/CMakeFiles/repro_tls.dir/certificate.cpp.o" "gcc" "src/tls/CMakeFiles/repro_tls.dir/certificate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/repro_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

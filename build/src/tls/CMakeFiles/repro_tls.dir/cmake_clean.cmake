@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_tls.dir/cert_store.cpp.o"
+  "CMakeFiles/repro_tls.dir/cert_store.cpp.o.d"
+  "CMakeFiles/repro_tls.dir/certificate.cpp.o"
+  "CMakeFiles/repro_tls.dir/certificate.cpp.o.d"
+  "librepro_tls.a"
+  "librepro_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/country.cpp" "src/topology/CMakeFiles/repro_topology.dir/country.cpp.o" "gcc" "src/topology/CMakeFiles/repro_topology.dir/country.cpp.o.d"
+  "/root/repo/src/topology/entities.cpp" "src/topology/CMakeFiles/repro_topology.dir/entities.cpp.o" "gcc" "src/topology/CMakeFiles/repro_topology.dir/entities.cpp.o.d"
+  "/root/repo/src/topology/generator.cpp" "src/topology/CMakeFiles/repro_topology.dir/generator.cpp.o" "gcc" "src/topology/CMakeFiles/repro_topology.dir/generator.cpp.o.d"
+  "/root/repo/src/topology/internet.cpp" "src/topology/CMakeFiles/repro_topology.dir/internet.cpp.o" "gcc" "src/topology/CMakeFiles/repro_topology.dir/internet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/repro_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_topology.dir/country.cpp.o"
+  "CMakeFiles/repro_topology.dir/country.cpp.o.d"
+  "CMakeFiles/repro_topology.dir/entities.cpp.o"
+  "CMakeFiles/repro_topology.dir/entities.cpp.o.d"
+  "CMakeFiles/repro_topology.dir/generator.cpp.o"
+  "CMakeFiles/repro_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/repro_topology.dir/internet.cpp.o"
+  "CMakeFiles/repro_topology.dir/internet.cpp.o.d"
+  "librepro_topology.a"
+  "librepro_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/capacity.cpp" "src/traffic/CMakeFiles/repro_traffic.dir/capacity.cpp.o" "gcc" "src/traffic/CMakeFiles/repro_traffic.dir/capacity.cpp.o.d"
+  "/root/repo/src/traffic/demand.cpp" "src/traffic/CMakeFiles/repro_traffic.dir/demand.cpp.o" "gcc" "src/traffic/CMakeFiles/repro_traffic.dir/demand.cpp.o.d"
+  "/root/repo/src/traffic/network_load.cpp" "src/traffic/CMakeFiles/repro_traffic.dir/network_load.cpp.o" "gcc" "src/traffic/CMakeFiles/repro_traffic.dir/network_load.cpp.o.d"
+  "/root/repo/src/traffic/scenarios.cpp" "src/traffic/CMakeFiles/repro_traffic.dir/scenarios.cpp.o" "gcc" "src/traffic/CMakeFiles/repro_traffic.dir/scenarios.cpp.o.d"
+  "/root/repo/src/traffic/spillover.cpp" "src/traffic/CMakeFiles/repro_traffic.dir/spillover.cpp.o" "gcc" "src/traffic/CMakeFiles/repro_traffic.dir/spillover.cpp.o.d"
+  "/root/repo/src/traffic/timeline.cpp" "src/traffic/CMakeFiles/repro_traffic.dir/timeline.cpp.o" "gcc" "src/traffic/CMakeFiles/repro_traffic.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypergiant/CMakeFiles/repro_hypergiant.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/repro_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/repro_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/repro_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_traffic.dir/capacity.cpp.o"
+  "CMakeFiles/repro_traffic.dir/capacity.cpp.o.d"
+  "CMakeFiles/repro_traffic.dir/demand.cpp.o"
+  "CMakeFiles/repro_traffic.dir/demand.cpp.o.d"
+  "CMakeFiles/repro_traffic.dir/network_load.cpp.o"
+  "CMakeFiles/repro_traffic.dir/network_load.cpp.o.d"
+  "CMakeFiles/repro_traffic.dir/scenarios.cpp.o"
+  "CMakeFiles/repro_traffic.dir/scenarios.cpp.o.d"
+  "CMakeFiles/repro_traffic.dir/spillover.cpp.o"
+  "CMakeFiles/repro_traffic.dir/spillover.cpp.o.d"
+  "CMakeFiles/repro_traffic.dir/timeline.cpp.o"
+  "CMakeFiles/repro_traffic.dir/timeline.cpp.o.d"
+  "librepro_traffic.a"
+  "librepro_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analyses.dir/test_analyses.cpp.o"
+  "CMakeFiles/test_analyses.dir/test_analyses.cpp.o.d"
+  "test_analyses"
+  "test_analyses.pdb"
+  "test_analyses[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

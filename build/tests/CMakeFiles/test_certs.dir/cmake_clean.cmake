@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_certs.dir/test_certs.cpp.o"
+  "CMakeFiles/test_certs.dir/test_certs.cpp.o.d"
+  "test_certs"
+  "test_certs.pdb"
+  "test_certs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_certs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

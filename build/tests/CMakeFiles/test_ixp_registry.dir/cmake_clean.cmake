@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ixp_registry.dir/test_ixp_registry.cpp.o"
+  "CMakeFiles/test_ixp_registry.dir/test_ixp_registry.cpp.o.d"
+  "test_ixp_registry"
+  "test_ixp_registry.pdb"
+  "test_ixp_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ixp_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

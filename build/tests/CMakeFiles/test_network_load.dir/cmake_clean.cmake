@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_load.dir/test_network_load.cpp.o"
+  "CMakeFiles/test_network_load.dir/test_network_load.cpp.o.d"
+  "test_network_load"
+  "test_network_load.pdb"
+  "test_network_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

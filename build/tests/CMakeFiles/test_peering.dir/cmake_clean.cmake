@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peering.dir/test_peering.cpp.o"
+  "CMakeFiles/test_peering.dir/test_peering.cpp.o.d"
+  "test_peering"
+  "test_peering.pdb"
+  "test_peering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

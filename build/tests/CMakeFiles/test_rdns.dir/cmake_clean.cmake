@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdns.dir/test_rdns.cpp.o"
+  "CMakeFiles/test_rdns.dir/test_rdns.cpp.o.d"
+  "test_rdns"
+  "test_rdns.pdb"
+  "test_rdns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

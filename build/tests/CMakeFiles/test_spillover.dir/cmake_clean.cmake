@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spillover.dir/test_spillover.cpp.o"
+  "CMakeFiles/test_spillover.dir/test_spillover.cpp.o.d"
+  "test_spillover"
+  "test_spillover.pdb"
+  "test_spillover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spillover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
