@@ -215,6 +215,6 @@ int main() {
   sweep_vantage_points(scenario);
   sweep_silent_routers(pipeline);
   sweep_headroom();
-  print_footer(watch);
+  print_footer("ablation_sweeps", watch);
   return 0;
 }

@@ -1,6 +1,13 @@
 // Shared plumbing for the table/figure harnesses: scenario selection (the
-// paper scale by default, overridable for quick runs via REPRO_SCALE) and a
-// stopwatch for stage reporting.
+// paper scale by default, overridable for quick runs via REPRO_SCALE), a
+// monotonic stopwatch for stage reporting, and the machine-readable run
+// artifacts every harness emits:
+//   * bench_output/BENCH_<name>.json -- one JSON line per run (steady-clock
+//     seconds, scale), consumable by trend tooling; directory overridable
+//     via REPRO_BENCH_OUT.
+//   * run_report.json -- the span tree + metrics registry, written when
+//     REPRO_TRACE=1 (path overridable via REPRO_TRACE_OUT); the per-stage
+//     timing table is also printed to stdout.
 #pragma once
 
 #include <chrono>
@@ -10,6 +17,8 @@
 
 #include "core/analyses.h"
 #include "core/pipeline.h"
+#include "obs/report.h"
+#include "util/table.h"
 
 namespace repro::bench {
 
@@ -32,6 +41,8 @@ inline const char* scale_name() {
   return scale == nullptr ? "paper" : scale;
 }
 
+/// Monotonic stopwatch (steady_clock: immune to NTP steps and wall-clock
+/// adjustments mid-benchmark).
 class Stopwatch {
  public:
   Stopwatch() : start_(std::chrono::steady_clock::now()) {}
@@ -51,8 +62,37 @@ inline void print_header(const char* title) {
   std::printf("==============================================================\n\n");
 }
 
-inline void print_footer(const Stopwatch& watch) {
+/// One JSON line describing a finished benchmark run.
+inline std::string bench_json_line(const char* bench, double seconds) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"%s\",\"scale\":\"%s\",\"seconds\":%.6f,"
+                "\"clock\":\"steady\"}\n",
+                bench, scale_name(), seconds);
+  return line;
+}
+
+/// Prints the footer and emits the machine-readable artifacts described in
+/// the header comment. `bench` names the BENCH_<bench>.json file.
+inline void print_footer(const char* bench, const Stopwatch& watch) {
   std::printf("\n[completed in %.1f s]\n", watch.seconds());
+
+  const char* dir = std::getenv("REPRO_BENCH_OUT");
+  const std::string path = std::string(dir == nullptr ? "bench_output" : dir) +
+                           "/BENCH_" + bench + ".json";
+  try {
+    write_file(path, bench_json_line(bench, watch.seconds()));
+  } catch (const Error& error) {
+    std::fprintf(stderr, "bench json not written: %s\n", error.what());
+  }
+
+  if (obs::tracing_enabled()) {
+    std::printf("\nPer-stage timing (REPRO_TRACE=1):\n%s\n",
+                obs::span_table().c_str());
+    if (obs::maybe_write_run_report()) {
+      std::printf("[trace: wrote %s]\n", obs::default_report_path().c_str());
+    }
+  }
 }
 
 inline constexpr double kPaperXis[] = {0.1, 0.9};

@@ -46,6 +46,6 @@ int main() {
   }
   write_file("bench_output/cache_hit_curves.csv", csv.render_csv());
   std::printf("capacity sweep written to bench_output/cache_hit_curves.csv\n");
-  print_footer(watch);
+  print_footer("cache_efficiency", watch);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cluster/optics.h"
+#include "obs/report.h"
 #include "hypergiant/background.h"
 #include "mlab/ping_mesh.h"
 #include "route/peering_inference.h"
@@ -160,4 +161,13 @@ BENCHMARK(BM_PingIspMeasurement);
 }  // namespace
 }  // namespace repro
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  // With REPRO_TRACE=1 the kernels above populate span/metric state; dump it
+  // like the table harnesses do.
+  repro::obs::maybe_write_run_report();
+  return 0;
+}

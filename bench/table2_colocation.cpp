@@ -22,6 +22,6 @@ int main() {
       "  Netflix xi=0.1: 12/21/10/11/46   xi=0.9: 12/ 8/ 2/ 7/71\n"
       "Shape to hold: colocation widespread for every hypergiant; xi=0.9\n"
       "shows far more full colocation; Akamai the most partial deployments.\n");
-  print_footer(watch);
+  print_footer("table2_colocation", watch);
   return 0;
 }

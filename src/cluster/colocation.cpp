@@ -1,10 +1,25 @@
 #include "cluster/colocation.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace repro {
+
+namespace {
+
+/// Counter name for a per-xi statistic, e.g. "cluster.clusters.xi0.1".
+std::string xi_counter_name(const char* prefix, double xi) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s.xi%g", prefix, xi);
+  return buffer;
+}
+
+}  // namespace
 
 ColocationClusterer::ColocationClusterer(const OffnetRegistry& registry,
                                          const PingMesh& mesh,
@@ -52,18 +67,29 @@ std::vector<IspClustering> ColocationClusterer::cluster_isp_multi(
     return out;
   }
 
-  const DistanceMatrix distances =
-      pairwise_distances(cleaned.rtt, cleaned.row_count(), cleaned.col_count(),
-                         config_.trim_fraction);
+  const DistanceMatrix distances = [&] {
+    obs::ScopedTimer timer("cluster.distance_ms");
+    return pairwise_distances(cleaned.rtt, cleaned.row_count(),
+                              cleaned.col_count(), config_.trim_fraction);
+  }();
   OpticsResult optics;
-  optics_order(distances, config_.min_pts, optics);
+  {
+    obs::ScopedTimer timer("cluster.optics_order_ms");
+    optics_order(distances, config_.min_pts, optics);
+  }
   out.reserve(xis.size());
   for (const double xi : xis) {
     require(xi > 0.0 && xi < 1.0, "cluster_isp_multi: xi outside (0, 1)");
-    reextract_xi(optics, config_.min_pts, xi);
+    {
+      obs::ScopedTimer timer("cluster.xi_extract_ms");
+      reextract_xi(optics, config_.min_pts, xi);
+    }
     IspClustering clustering = base;
     clustering.labels = optics.labels;
     clustering.cluster_count = optics.cluster_count;
+    obs::metrics()
+        .counter(xi_counter_name("cluster.clusters", xi))
+        .add(static_cast<std::uint64_t>(std::max(0, optics.cluster_count)));
     out.push_back(std::move(clustering));
   }
   return out;

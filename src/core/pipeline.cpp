@@ -1,7 +1,10 @@
 #include "core/pipeline.h"
 
 #include <cmath>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace repro {
@@ -15,18 +18,35 @@ std::uint64_t xi_key(double xi) {
   return static_cast<std::uint64_t>(std::llround(xi * 1e6));
 }
 
+std::string hg_counter_name(std::string_view prefix, Hypergiant hg) {
+  return std::string(prefix) + "." + std::string(to_string(hg));
+}
+
 }  // namespace
 
 Pipeline::Pipeline(Scenario scenario) : scenario_(std::move(scenario)) {
+  obs::ScopedSpan span("pipeline.generate_internet");
   InternetGenerator generator(scenario_.topology);
   internet_ = generator.generate();
+  obs::metrics().gauge("topology.metros").set(
+      static_cast<double>(internet_.metros.size()));
+  obs::metrics().gauge("topology.facilities").set(
+      static_cast<double>(internet_.facilities.size()));
+  obs::metrics().gauge("topology.ases").set(
+      static_cast<double>(internet_.ases.size()));
+  obs::metrics().gauge("topology.links").set(
+      static_cast<double>(internet_.links.size()));
 }
 
 const OffnetRegistry& Pipeline::registry(Snapshot snapshot) const {
   const auto it = registries_.find(snapshot);
   if (it != registries_.end()) return it->second;
+  obs::ScopedSpan span("pipeline.deploy_registry");
   const DeploymentPolicy policy(internet_, scenario_.deployment);
-  return registries_.emplace(snapshot, policy.deploy(snapshot)).first->second;
+  const OffnetRegistry& reg =
+      registries_.emplace(snapshot, policy.deploy(snapshot)).first->second;
+  obs::metrics().counter("deploy.offnet_servers").add(reg.servers().size());
+  return reg;
 }
 
 const DiscoveryReport& Pipeline::discovery(Snapshot snapshot,
@@ -35,24 +55,41 @@ const DiscoveryReport& Pipeline::discovery(Snapshot snapshot,
   const auto it = reports_.find(key);
   if (it != reports_.end()) return it->second;
 
+  obs::ScopedSpan span("pipeline.discovery");
   const CertStore population = build_tls_population(
       internet_, registry(snapshot), snapshot, scenario_.population);
   const Scanner scanner(scenario_.scanner);
   const auto records = scanner.scan(population);
   const OffnetClassifier classifier(internet_, methodology);
-  return reports_.emplace(key, classifier.classify(records)).first->second;
+  const DiscoveryReport& report =
+      reports_.emplace(key, classifier.classify(records)).first->second;
+
+  for (const auto& footprint : report.footprints) {
+    obs::metrics()
+        .counter(hg_counter_name("discovery.offnet_ips", footprint.hg))
+        .add(footprint.ip_count());
+  }
+  obs::metrics().counter("discovery.offnet_ips_total")
+      .add(report.total_offnet_ips());
+  obs::metrics().gauge("discovery.hosting_isps").set(
+      static_cast<double>(report.isps_hosting_at_least(1).size()));
+  return report;
 }
 
 const VantagePointSet& Pipeline::vantage_points() const {
   if (!vps_) {
+    obs::ScopedSpan span("pipeline.vantage_points");
     vps_ = std::make_unique<VantagePointSet>(internet_, scenario_.vantage_points,
                                              scenario_.vantage_seed);
+    obs::metrics().gauge("mlab.vantage_points").set(
+        static_cast<double>(vps_->size()));
   }
   return *vps_;
 }
 
 const PingMesh& Pipeline::ping_mesh() const {
   if (!mesh_) {
+    obs::ScopedSpan span("pipeline.ping_mesh");
     mesh_ = std::make_unique<PingMesh>(internet_, vantage_points(),
                                        scenario_.ping);
   }
@@ -68,6 +105,8 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
   const auto it = clusterings_.find(key);
   if (it != clusterings_.end()) return it->second;
 
+  obs::ScopedSpan span("pipeline.clustering");
+
   // The ordering phase dominates and is xi-independent, so compute the
   // paper's two standard settings together; an unusual xi is computed alone.
   std::vector<double> xis{xi};
@@ -80,11 +119,13 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
   std::vector<std::vector<IspClustering>> results(xis.size());
   std::map<AsIndex, std::size_t> index;
   for (const AsIndex isp : hosting_isps_2023()) {
+    obs::ScopedTimer timer("cluster.isp_wall_ms");
     index.emplace(isp, results.front().size());
     auto per_xi = clusterer.cluster_isp_multi(isp, xis);
     for (std::size_t x = 0; x < xis.size(); ++x) {
       results[x].push_back(std::move(per_xi[x]));
     }
+    obs::metrics().counter("cluster.isps_clustered").add(1);
   }
   for (std::size_t x = 0; x < xis.size(); ++x) {
     cluster_index_[xi_key(xis[x])] = index;
@@ -102,17 +143,24 @@ const IspClustering* Pipeline::clustering_of(double xi, AsIndex isp) const {
 }
 
 const RoutingEngine& Pipeline::routing() const {
-  if (!routing_) routing_ = std::make_unique<RoutingEngine>(internet_);
+  if (!routing_) {
+    obs::ScopedSpan span("pipeline.routing");
+    routing_ = std::make_unique<RoutingEngine>(internet_);
+  }
   return *routing_;
 }
 
 const DemandModel& Pipeline::demand() const {
-  if (!demand_) demand_ = std::make_unique<DemandModel>(internet_);
+  if (!demand_) {
+    obs::ScopedSpan span("pipeline.demand");
+    demand_ = std::make_unique<DemandModel>(internet_);
+  }
   return *demand_;
 }
 
 const CapacityModel& Pipeline::capacity() const {
   if (!capacity_) {
+    obs::ScopedSpan span("pipeline.capacity");
     capacity_ = std::make_unique<CapacityModel>(internet_, registry(Snapshot::k2023),
                                                 demand(), scenario_.capacity);
   }

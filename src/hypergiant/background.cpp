@@ -3,6 +3,8 @@
 #include <string>
 
 #include "hypergiant/certs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -64,6 +66,7 @@ TlsCertificate make_decoy_certificate(int ordinal, Snapshot snapshot, Rng& rng) 
 CertStore build_tls_population(const Internet& internet,
                                const OffnetRegistry& registry, Snapshot snapshot,
                                const PopulationConfig& config) {
+  obs::ScopedSpan span("tls.build_population");
   CertStore store;
   Rng rng(config.seed ^ mix64(static_cast<std::uint64_t>(snapshot)));
 
@@ -111,6 +114,7 @@ CertStore build_tls_population(const Internet& internet,
     store.install(infra.at(offset), make_decoy_certificate(i, snapshot, rng));
   }
 
+  obs::metrics().counter("tls.population_endpoints").add(store.size());
   return store;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace repro {
 
 namespace {
@@ -83,6 +85,16 @@ FilteredMatrix clean_matrix(const LatencyMatrix& matrix,
       out.rtt.push_back(matrix.at(row, col));
     }
   }
+
+  obs::metrics().counter("filters.ips_dropped_unresponsive")
+      .add(out.dropped_unresponsive);
+  obs::metrics().counter("filters.ips_dropped_speed_of_light")
+      .add(out.dropped_impossible);
+  obs::metrics().counter("filters.ips_kept").add(out.kept_rows.size());
+  obs::metrics().counter("filters.vps_discarded")
+      .add(matrix.vp_count - out.kept_cols.size());
+  obs::metrics().counter("filters.vps_kept").add(out.kept_cols.size());
+  if (!out.usable) obs::metrics().counter("filters.isps_below_min_sites").add(1);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -122,6 +123,7 @@ double PingMesh::measure_once(const VantagePoint& vp,
 
 LatencyMatrix PingMesh::measure_isp(const OffnetRegistry& registry,
                                     AsIndex isp) const {
+  obs::ScopedTimer timer("mlab.measure_isp_ms");
   LatencyMatrix matrix;
   matrix.server_indices = registry.servers_at(isp);
   matrix.vp_count = vps_.size();
@@ -137,6 +139,9 @@ LatencyMatrix PingMesh::measure_isp(const OffnetRegistry& registry,
           measure_once(vps_[col], server);
     }
   }
+  obs::metrics().counter("mlab.ips_pinged").add(matrix.ips.size());
+  obs::metrics().counter("mlab.measurements").add(matrix.ips.size() *
+                                                  matrix.vp_count);
   return matrix;
 }
 

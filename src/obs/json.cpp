@@ -1,0 +1,273 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace repro::obs {
+
+bool JsonValue::boolean() const {
+  require(is_bool(), "JsonValue: not a bool");
+  return std::get<bool>(value_);
+}
+
+double JsonValue::number() const {
+  require(is_number(), "JsonValue: not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::str() const {
+  require(is_string(), "JsonValue: not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonValue::Array& JsonValue::array() const {
+  require(is_array(), "JsonValue: not an array");
+  return std::get<Array>(value_);
+}
+
+const JsonValue::Object& JsonValue::object() const {
+  require(is_object(), "JsonValue: not an object");
+  return std::get<Object>(value_);
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const Object& members = object();
+  const auto it = members.find(std::string(key));
+  if (it == members.end()) {
+    throw NotFoundError("JSON key '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+bool JsonValue::contains(std::string_view key) const noexcept {
+  if (!is_object()) return false;
+  return std::get<Object>(value_).contains(std::string(key));
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  const Array& elements = array();
+  require(index < elements.size(), "JsonValue: array index out of range");
+  return elements[index];
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  if (is_object()) return std::get<Object>(value_).size();
+  require(false, "JsonValue: size() on a scalar");
+  return 0;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("JSON at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object members;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      members.emplace(std::move(key), parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return JsonValue(std::move(members));
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array elements;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(elements));
+    }
+    while (true) {
+      elements.push_back(parse_value());
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return JsonValue(std::move(elements));
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // UTF-8 encode the code point (no surrogate-pair handling).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (std::isnan(value)) return "0";
+  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,67 @@
+// Minimal JSON document model and recursive-descent parser, sized for the
+// run_report.json schema: objects, arrays, strings, finite numbers, bools,
+// null. Used by the report round-trip tests and by tooling that consumes
+// run reports; not a general-purpose JSON library (no surrogate-pair
+// decoding, numbers parsed as double).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace repro::obs {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw repro::Error on kind mismatch.
+  bool boolean() const;
+  double number() const;
+  const std::string& str() const;
+  const Array& array() const;
+  const Object& object() const;
+
+  /// Object member access; throws repro::NotFoundError for a missing key.
+  const JsonValue& at(std::string_view key) const;
+  /// True if this is an object containing `key`.
+  bool contains(std::string_view key) const noexcept;
+  /// Array element access; throws repro::Error when out of range.
+  const JsonValue& at(std::size_t index) const;
+  std::size_t size() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Parses a complete JSON document; throws repro::ParseError on malformed
+/// input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view text);
+
+/// Formats a finite double as a JSON number; NaN and infinities (which JSON
+/// cannot represent) become 0 and +/-1e308 respectively.
+std::string json_number(double value);
+
+}  // namespace repro::obs

@@ -1,0 +1,248 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace repro::obs {
+
+namespace {
+
+void atomic_update_min(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_update_max(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  require(!bounds_.empty(), "Histogram: need at least one bucket bound");
+  require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+              std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                  bounds_.end(),
+          "Histogram: bounds must be strictly increasing");
+}
+
+std::vector<double> Histogram::default_latency_bounds_ms() {
+  std::vector<double> bounds;
+  for (double decade = 1e-3; decade < 1e5 * 0.5; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;  // 0.001 ms .. 50,000 ms; +inf overflow above
+}
+
+void Histogram::record(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // value <= bound
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_update_min(min_, value);
+  atomic_update_max(max_, value);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  // Snapshot the bucket counts (relaxed; percentile is a statistical read).
+  std::vector<std::uint64_t> counts(counts_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double min = min_.load(std::memory_order_relaxed);
+  const double max = max_.load(std::memory_order_relaxed);
+
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate inside bucket b, clamped to the observed extremes.
+    double lo = b == 0 ? min : std::max(min, bounds_[b - 1]);
+    double hi = b == bounds_.size() ? max : std::min(max, bounds_[b]);
+    if (hi < lo) hi = lo;
+    const double frac =
+        counts[b] == 0
+            ? 0.0
+            : (rank - before) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.count = count();
+  out.sum = sum();
+  if (out.count > 0) {
+    out.min = min_.load(std::memory_order_relaxed);
+    out.max = max_.load(std::memory_order_relaxed);
+  }
+  out.p50 = p50();
+  out.p90 = p90();
+  out.p99 = p99();
+  out.buckets.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double bound = i < bounds_.size()
+                             ? bounds_[i]
+                             : std::numeric_limits<double>::infinity();
+    out.buckets.emplace_back(bound,
+                             counts_[i].load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // less<> enables heterogeneous (string_view) lookup without allocating.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  // Bumped by reset() so cached handles know to re-resolve.
+  std::atomic<std::uint64_t> generation{0};
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->counters.find(name);
+  if (it != impl_->counters.end()) return *it->second;
+  return *impl_->counters.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->gauges.find(name);
+  if (it != impl_->gauges.end()) return *it->second;
+  return *impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, Histogram::default_latency_bounds_ms());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->histograms.find(name);
+  if (it != impl_->histograms.end()) return *it->second;
+  return *impl_->histograms
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MetricsSnapshot out;
+  out.counters.reserve(impl_->counters.size());
+  for (const auto& [name, counter] : impl_->counters) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  out.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, gauge] : impl_->gauges) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  out.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, histogram] : impl_->histograms) {
+    out.histograms.emplace_back(name, histogram->snapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->counters.clear();
+  impl_->gauges.clear();
+  impl_->histograms.clear();
+  // Release so a handle that observes the new generation also observes the
+  // cleared maps when it re-resolves (the lookup takes the mutex anyway).
+  impl_->generation.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t MetricsRegistry::generation() const noexcept {
+  return impl_->generation.load(std::memory_order_acquire);
+}
+
+Counter& CachedCounter::resolve() {
+  const std::uint64_t gen = metrics().generation();
+  if (generation_.load(std::memory_order_acquire) == gen) {
+    // The acquire above pairs with the release below, so the pointer read
+    // here is at least as new as the generation just observed.
+    Counter* cached = counter_.load(std::memory_order_relaxed);
+    if (cached != nullptr) return *cached;
+  }
+  // Stale (or first use): take the slow path once. The pointer is published
+  // before the generation so a reader that sees the new generation also sees
+  // the new pointer.
+  Counter& fresh = metrics().counter(name_);
+  counter_.store(&fresh, std::memory_order_relaxed);
+  generation_.store(gen, std::memory_order_release);
+  return fresh;
+}
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(std::string_view histogram_name) {
+  if (!tracing_enabled()) return;
+  histogram_ = &metrics().histogram(histogram_name);
+  start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr) return;
+  histogram_->record(static_cast<double>(now_ns() - start_ns_) / 1e6);
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,188 @@
+// Process-global metrics for the reproduction pipeline: named counters,
+// gauges, and fixed-bucket histograms with percentile accessors.
+//
+// Counters are always on (stage code does cheap bulk adds at stage
+// boundaries), so a run's domain numbers -- IPs scanned, certs matched per
+// hypergiant, vantage points dropped by the Appendix-A filters, clusters per
+// xi -- are available whether or not tracing is enabled. Timing helpers
+// (ScopedTimer) are gated on the tracing toggle so the disabled path never
+// reads a clock.
+//
+// All metric objects are thread-safe and live for the process lifetime;
+// references returned by the registry stay valid forever, so hot paths can
+// look a metric up once and keep the reference.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace repro::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of a histogram for export.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when empty
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// (upper bound, count) per bucket; the final bucket's bound is +infinity.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at construction; an
+/// implicit overflow bucket catches everything above the last bound.
+/// Percentiles are estimated by linear interpolation inside the containing
+/// bucket, clamped to the observed min/max, so they are exact at the
+/// extremes and within one bucket width elsewhere.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Log-spaced 1-2-5 bounds from 1 microsecond to 100 seconds, in ms.
+  /// The default for latency histograms (including the span.* family).
+  static std::vector<double> default_latency_bounds_ms();
+
+  void record(double value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated value at percentile `p` in [0, 100]; 0 when empty.
+  double percentile(double p) const noexcept;
+  double p50() const noexcept { return percentile(50.0); }
+  double p90() const noexcept { return percentile(90.0); }
+  double p99() const noexcept { return percentile(99.0); }
+
+  HistogramSnapshot snapshot() const;
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Everything the registry holds, copied for export.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Thread-safe name -> metric registry. Lookup is a mutex-guarded map find
+/// (heterogeneous, so string_view keys do not allocate); creation happens on
+/// first use. Returned references are stable for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Histogram with the default latency bounds.
+  Histogram& histogram(std::string_view name);
+  /// Histogram with explicit bounds; the bounds of an existing histogram
+  /// with this name are left unchanged.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Drops every metric (tests). Outstanding references go stale; a
+  /// CachedCounter notices via generation() and re-resolves.
+  void reset();
+
+  /// Bumped by every reset(); lets cached handles detect staleness.
+  std::uint64_t generation() const noexcept;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Shorthand for the global registry.
+inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+
+/// Counter handle that caches the registry lookup, for per-call hot paths
+/// (e.g. one count per routing-table computation) where a mutex-guarded map
+/// find per event would show up in benchmarks. Typically a function-local
+/// static. Stays correct across MetricsRegistry::reset(): the handle
+/// re-resolves when the registry generation changes.
+class CachedCounter {
+ public:
+  explicit CachedCounter(std::string_view name) : name_(name) {}
+
+  void add(std::uint64_t n = 1) { resolve().add(n); }
+
+  CachedCounter(const CachedCounter&) = delete;
+  CachedCounter& operator=(const CachedCounter&) = delete;
+
+ private:
+  Counter& resolve();
+
+  std::string name_;
+  std::atomic<Counter*> counter_{nullptr};
+  // ~0 never matches a real generation, so first use takes the slow path.
+  std::atomic<std::uint64_t> generation_{~std::uint64_t{0}};
+};
+
+/// Records the elapsed milliseconds of its scope into a histogram, but only
+/// when tracing is enabled -- the disabled path is one atomic load.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view histogram_name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_ = nullptr;  // null when tracing is disabled
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace repro::obs

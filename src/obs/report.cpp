@@ -1,0 +1,157 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "obs/json.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace repro::obs {
+
+namespace {
+
+void append_span_json(std::string& out, const Span& span) {
+  out += "{\"id\":" + std::to_string(span.id);
+  out += ",\"parent\":";
+  out += span.parent == kNoSpan ? "-1" : std::to_string(span.parent);
+  out += ",\"depth\":" + std::to_string(span.depth);
+  out += ",\"name\":\"" + json_escape(span.name) + "\"";
+  out += ",\"start_ms\":" + json_number(span.start_ms);
+  out += ",\"wall_ms\":" + json_number(span.wall_ms);
+  out += ",\"rss_delta_kb\":" + std::to_string(span.rss_delta_kb);
+  out += "}";
+}
+
+void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
+  out += "{\"count\":" + std::to_string(h.count);
+  out += ",\"sum\":" + json_number(h.sum);
+  out += ",\"min\":" + json_number(h.min);
+  out += ",\"max\":" + json_number(h.max);
+  out += ",\"p50\":" + json_number(h.p50);
+  out += ",\"p90\":" + json_number(h.p90);
+  out += ",\"p99\":" + json_number(h.p99);
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [bound, count] : h.buckets) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"le\":" + json_number(bound) +
+           ",\"count\":" + std::to_string(count) + "}";
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string run_report_json(const std::vector<Span>& spans,
+                            const MetricsSnapshot& metrics) {
+  std::string out = "{\"schema\":\"repro.run_report.v1\",\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ",";
+    append_span_json(out, spans[i]);
+  }
+  out += "],\"counters\":{";
+  for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(metrics.counters[i].first) +
+           "\":" + std::to_string(metrics.counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < metrics.gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(metrics.gauges[i].first) +
+           "\":" + json_number(metrics.gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + json_escape(metrics.histograms[i].first) + "\":";
+    append_histogram_json(out, metrics.histograms[i].second);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string run_report_json() {
+  return run_report_json(tracer().spans(),
+                         MetricsRegistry::instance().snapshot());
+}
+
+std::string span_table(const std::vector<Span>& spans) {
+  TextTable table({"span", "wall ms", "% of root", "rss delta kb"});
+  table.set_align(1, Align::kRight);
+  table.set_align(2, Align::kRight);
+  table.set_align(3, Align::kRight);
+
+  // Wall time of the root each span belongs to, for the share column.
+  std::vector<double> root_wall(spans.size(), 0.0);
+  for (const Span& span : spans) {
+    root_wall[span.id] = span.parent == kNoSpan ? span.wall_ms
+                                                : root_wall[span.parent];
+  }
+  for (const Span& span : spans) {
+    std::string share = "-";
+    if (span.closed && root_wall[span.id] > 0.0) {
+      share = format_percent(span.wall_ms / root_wall[span.id], 1);
+    }
+    table.add_row({std::string(2 * static_cast<std::size_t>(span.depth), ' ') +
+                       span.name,
+                   span.closed ? format_fixed(span.wall_ms, 2) : "(open)",
+                   share, std::to_string(span.rss_delta_kb)});
+  }
+  return table.render();
+}
+
+std::string span_table() { return span_table(tracer().spans()); }
+
+std::string metrics_table(const MetricsSnapshot& metrics) {
+  TextTable table({"metric", "kind", "value", "p50 ms", "p90 ms", "p99 ms"});
+  for (std::size_t column = 2; column < 6; ++column) {
+    table.set_align(column, Align::kRight);
+  }
+  for (const auto& [name, value] : metrics.counters) {
+    table.add_row({name, "counter", with_commas(static_cast<long long>(value)),
+                   "", "", ""});
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    table.add_row({name, "gauge", format_fixed(value, 2), "", "", ""});
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    table.add_row({name, "histogram",
+                   with_commas(static_cast<long long>(h.count)) + " obs",
+                   format_fixed(h.p50, 3), format_fixed(h.p90, 3),
+                   format_fixed(h.p99, 3)});
+  }
+  return table.render();
+}
+
+std::string metrics_table() {
+  return metrics_table(MetricsRegistry::instance().snapshot());
+}
+
+std::string default_report_path() {
+  const char* path = std::getenv("REPRO_TRACE_OUT");
+  return path == nullptr || *path == '\0' ? "run_report.json" : path;
+}
+
+void write_run_report(const std::string& path) {
+  write_file(path, run_report_json() + "\n");
+}
+
+bool maybe_write_run_report() {
+  if (!tracing_enabled()) return false;
+  // Best effort: a bad REPRO_TRACE_OUT must not abort a harness that has
+  // already finished its real work.
+  try {
+    write_run_report(default_report_path());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[trace: failed to write %s: %s]\n",
+                 default_report_path().c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace repro::obs

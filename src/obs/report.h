@@ -1,0 +1,53 @@
+// Run-report export: serializes the global span tree and metrics registry
+// to the stable `run_report.json` schema (documented in
+// docs/OBSERVABILITY.md) and to human-readable text tables.
+//
+// Schema sketch (repro.run_report.v1):
+//   {
+//     "schema": "repro.run_report.v1",
+//     "spans": [ { "id", "parent" (-1 for roots), "depth", "name",
+//                  "start_ms", "wall_ms", "rss_delta_kb" } ],
+//     "counters":   { "<name>": <integer>, ... },
+//     "gauges":     { "<name>": <number>, ... },
+//     "histograms": { "<name>": { "count", "sum", "min", "max",
+//                                 "p50", "p90", "p99",
+//                                 "buckets": [ { "le", "count" } ] } }
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace repro::obs {
+
+/// JSON run report from explicit snapshots.
+std::string run_report_json(const std::vector<Span>& spans,
+                            const MetricsSnapshot& metrics);
+
+/// JSON run report of the global tracer + registry.
+std::string run_report_json();
+
+/// Per-stage timing table: one row per span, indented by tree depth, with
+/// wall time, share of the enclosing root span, and RSS delta.
+std::string span_table(const std::vector<Span>& spans);
+std::string span_table();
+
+/// Counter/gauge/histogram summary table (histograms show count and
+/// p50/p90/p99).
+std::string metrics_table(const MetricsSnapshot& metrics);
+std::string metrics_table();
+
+/// REPRO_TRACE_OUT when set, else "run_report.json".
+std::string default_report_path();
+
+/// Writes the global run report to `path` (parent directories created).
+void write_run_report(const std::string& path);
+
+/// Writes the global run report to default_report_path() when tracing is
+/// enabled. Returns true if a report was written.
+bool maybe_write_run_report();
+
+}  // namespace repro::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace repro::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool env_trace_enabled() {
+  const char* value = std::getenv("REPRO_TRACE");
+  if (value == nullptr) return false;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "") != 0 &&
+         std::strcmp(value, "false") != 0 && std::strcmp(value, "off") != 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{env_trace_enabled()};
+  return enabled;
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+long current_rss_kb() noexcept {
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  long rss = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      rss = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(file);
+  return rss;
+#else
+  return 0;
+#endif
+}
+
+struct Tracer::Impl {
+  mutable std::mutex mutex;
+  std::vector<Span> spans;
+  std::vector<long> start_rss_kb;  // parallel to spans
+  Clock::time_point epoch = Clock::now();
+  std::uint64_t generation = 0;  // bumped on reset to invalidate open spans
+};
+
+namespace {
+
+/// Per-thread stack of (generation, span id) for nesting.
+struct OpenSpan {
+  std::uint64_t generation;
+  std::size_t id;
+};
+
+thread_local std::vector<OpenSpan> t_open_spans;
+
+}  // namespace
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+namespace {
+
+/// Span ids handed to ScopedSpan encode the tracer generation so a span
+/// opened before a reset() cannot close an unrelated span after it.
+constexpr std::size_t kGenStride = std::size_t{1} << 40;
+
+}  // namespace
+
+std::size_t Tracer::begin_span(std::string_view name) {
+  if (!tracing_enabled()) return kNoSpan;
+  const long rss = current_rss_kb();
+
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Span span;
+  span.id = impl_->spans.size();
+  // Parent: the innermost span this thread opened in the current generation.
+  while (!t_open_spans.empty() &&
+         t_open_spans.back().generation != impl_->generation) {
+    t_open_spans.pop_back();
+  }
+  if (!t_open_spans.empty()) {
+    span.parent = t_open_spans.back().id;
+    span.depth = impl_->spans[span.parent].depth + 1;
+  }
+  span.name = std::string(name);
+  span.start_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - impl_->epoch)
+          .count();
+  impl_->spans.push_back(span);
+  impl_->start_rss_kb.push_back(rss);
+  t_open_spans.push_back({impl_->generation, span.id});
+  return impl_->generation * kGenStride + span.id;
+}
+
+void Tracer::end_span(std::size_t id) {
+  if (id == kNoSpan) return;
+  const long rss = current_rss_kb();
+  double wall_ms = 0.0;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (id / kGenStride != impl_->generation) return;  // reset since begin
+    id %= kGenStride;
+    if (id >= impl_->spans.size()) return;
+    while (!t_open_spans.empty() &&
+           (t_open_spans.back().generation != impl_->generation ||
+            t_open_spans.back().id >= id)) {
+      t_open_spans.pop_back();
+    }
+    Span& span = impl_->spans[id];
+    if (span.closed) return;
+    const double end_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - impl_->epoch)
+            .count();
+    span.wall_ms = end_ms - span.start_ms;
+    if (rss != 0 && impl_->start_rss_kb[id] != 0) {
+      span.rss_delta_kb = rss - impl_->start_rss_kb[id];
+    }
+    span.closed = true;
+    wall_ms = span.wall_ms;
+    name = span.name;
+  }
+  // Span durations feed the histogram API so per-span p50/p99 are queryable.
+  metrics().histogram("span." + name).record(wall_ms);
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->spans;
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->spans.clear();
+  impl_->start_rss_kb.clear();
+  impl_->epoch = Clock::now();
+  ++impl_->generation;
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,93 @@
+// Lightweight tracing for the reproduction pipeline: RAII spans that record
+// a tree of (name, wall time, RSS delta) into a process-global Tracer.
+//
+// Tracing is off by default so tests and library users pay (almost) nothing:
+// a disabled ScopedSpan is one relaxed atomic load. It is enabled either by
+// the REPRO_TRACE=1 environment variable (read once at first use) or
+// programmatically with set_tracing(true). Span nesting follows lexical
+// scope per thread; spans opened on different threads become roots of their
+// own subtrees unless their thread inherited an open parent.
+//
+// Every closed span also records its duration into the global
+// MetricsRegistry histogram "span.<name>" (milliseconds), so per-span
+// p50/p90/p99 are available through the histogram API.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::obs {
+
+/// Sentinel for "no parent" / "no span".
+inline constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+/// One node of the span tree. Times are milliseconds; start_ms is the
+/// offset from the tracer's epoch (its construction or last reset).
+struct Span {
+  std::size_t id = kNoSpan;
+  std::size_t parent = kNoSpan;  // kNoSpan for roots
+  int depth = 0;
+  std::string name;
+  double start_ms = 0.0;
+  double wall_ms = -1.0;        // -1 while the span is still open
+  long rss_delta_kb = 0;        // VmRSS end - start (0 when unavailable)
+  bool closed = false;
+};
+
+/// True when tracing is enabled (REPRO_TRACE=1 or set_tracing(true)).
+bool tracing_enabled() noexcept;
+
+/// Programmatic override of the REPRO_TRACE toggle (tests, examples).
+void set_tracing(bool on) noexcept;
+
+/// Resident set size of this process in kB; 0 where /proc is unavailable.
+long current_rss_kb() noexcept;
+
+/// Thread-safe global recorder of the span tree.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Opens a span under the calling thread's innermost open span.
+  /// Returns kNoSpan (and records nothing) when tracing is disabled.
+  std::size_t begin_span(std::string_view name);
+
+  /// Closes a span opened by this thread. No-op for kNoSpan.
+  void end_span(std::size_t id);
+
+  /// Copy of all spans recorded so far (closed and still open).
+  std::vector<Span> spans() const;
+
+  /// Drops all recorded spans and restarts the epoch. Open ScopedSpans
+  /// from before a reset are ignored when they close.
+  void reset();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  Tracer();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII span: opens on construction, closes on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name)
+      : id_(Tracer::instance().begin_span(name)) {}
+  ~ScopedSpan() { Tracer::instance().end_span(id_); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::size_t id_;
+};
+
+/// Shorthand for the global tracer.
+inline Tracer& tracer() { return Tracer::instance(); }
+
+}  // namespace repro::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace repro {
@@ -54,6 +55,11 @@ std::vector<LinkIndex> RoutingTable::link_path(AsIndex source) const {
 RoutingEngine::RoutingEngine(const Internet& internet) : internet_(internet) {}
 
 RoutingTable RoutingEngine::routes_to(AsIndex destination) const {
+  obs::ScopedTimer timer("route.routes_to_ms");
+  // routes_to is called once per destination across whole-mesh studies, so
+  // skip the registry map lookup on every call.
+  static obs::CachedCounter tables_computed("route.tables_computed");
+  tables_computed.add(1);
   const auto& ases = internet_.ases;
   const auto& links = internet_.links;
   require(destination < ases.size(), "routes_to: bad destination");

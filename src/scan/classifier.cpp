@@ -1,6 +1,11 @@
 #include "scan/classifier.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace repro {
 
@@ -49,11 +54,15 @@ OffnetClassifier::OffnetClassifier(const Internet& internet,
 
 DiscoveryReport OffnetClassifier::classify(
     const std::vector<ScanRecord>& records) const {
+  obs::ScopedSpan span("scan.classify");
   DiscoveryReport report;
   report.methodology = methodology_;
   for (std::size_t i = 0; i < kHypergiantCount; ++i) {
     report.footprints[i].hg = static_cast<Hypergiant>(i);
   }
+  std::array<std::uint64_t, kHypergiantCount> matched{};
+  std::uint64_t unrouted = 0;
+  std::uint64_t in_hg_as_count = 0;
 
   // Any hypergiant's own AS disqualifies an IP from being an offnet of any
   // hypergiant (the methodology looks for certs in *other* networks).
@@ -64,16 +73,31 @@ DiscoveryReport OffnetClassifier::classify(
 
   for (const ScanRecord& record : records) {
     const auto owner = internet_.as_of_ip(record.ip);
-    if (!owner) continue;  // unrouted space
+    if (!owner) {  // unrouted space
+      ++unrouted;
+      continue;
+    }
     const bool in_hypergiant_as =
         std::find(hg_as.begin(), hg_as.end(), *owner) != hg_as.end();
-    if (in_hypergiant_as) continue;
+    if (in_hypergiant_as) {
+      ++in_hg_as_count;
+      continue;
+    }
     for (const Hypergiant hg : all_hypergiants()) {
       if (!certificate_matches(record.cert, hg, methodology_)) continue;
+      ++matched[static_cast<std::size_t>(hg)];
       report.footprints[static_cast<std::size_t>(hg)].by_isp[*owner].push_back(
           record.ip);
     }
   }
+  for (const Hypergiant hg : all_hypergiants()) {
+    obs::metrics()
+        .counter("certs.matched." + std::string(to_string(hg)))
+        .add(matched[static_cast<std::size_t>(hg)]);
+  }
+  obs::metrics().counter("classify.records_unrouted").add(unrouted);
+  obs::metrics().counter("classify.records_in_hypergiant_as")
+      .add(in_hg_as_count);
   return report;
 }
 

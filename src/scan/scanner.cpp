@@ -1,5 +1,7 @@
 #include "scan/scanner.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace repro {
@@ -10,6 +12,7 @@ Scanner::Scanner(ScannerConfig config) : config_(config) {
 }
 
 std::vector<ScanRecord> Scanner::scan(const CertStore& population) const {
+  obs::ScopedSpan span("scan.scan");
   Rng rng(config_.seed);
   std::vector<ScanRecord> records;
   records.reserve(population.size());
@@ -17,6 +20,9 @@ std::vector<ScanRecord> Scanner::scan(const CertStore& population) const {
     if (rng.chance(config_.miss_rate)) continue;
     records.push_back({endpoint.ip, endpoint.cert});
   }
+  obs::metrics().counter("scan.endpoints_total").add(population.size());
+  obs::metrics().counter("scan.records_total").add(records.size());
+  obs::metrics().counter("scan.missed").add(population.size() - records.size());
   return records;
 }
 

@@ -1,0 +1,306 @@
+// Tests for the observability layer: span nesting/ordering, histogram
+// percentile correctness on known distributions, counter thread-safety
+// under a std::thread fan-out, and the run_report.json round-trip through
+// the bundled JSON parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace repro::obs {
+namespace {
+
+/// Enables tracing and clears global state around each test.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing(true);
+    tracer().reset();
+    metrics().reset();
+  }
+  void TearDown() override {
+    set_tracing(false);
+    tracer().reset();
+    metrics().reset();
+  }
+};
+
+TEST_F(ObsTest, SpanNestingAndOrdering) {
+  {
+    ScopedSpan outer("outer");
+    {
+      ScopedSpan first("first-child");
+      ScopedSpan grandchild("grandchild");
+    }
+    ScopedSpan second("second-child");
+  }
+  ScopedSpan root2("second-root");
+
+  const std::vector<Span> spans = tracer().spans();
+  ASSERT_EQ(spans.size(), 5u);
+
+  // Ids are assigned in open order and parents always precede children.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, kNoSpan);
+  EXPECT_EQ(spans[0].depth, 0);
+
+  EXPECT_EQ(spans[1].name, "first-child");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].depth, 1);
+
+  EXPECT_EQ(spans[2].name, "grandchild");
+  EXPECT_EQ(spans[2].parent, 1u);
+  EXPECT_EQ(spans[2].depth, 2);
+
+  EXPECT_EQ(spans[3].name, "second-child");
+  EXPECT_EQ(spans[3].parent, 0u);
+  EXPECT_EQ(spans[3].depth, 1);
+
+  EXPECT_EQ(spans[4].name, "second-root");
+  EXPECT_EQ(spans[4].parent, kNoSpan);
+
+  // The first four spans are closed with sane timings; the fifth is open.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(spans[i].closed) << i;
+    EXPECT_GE(spans[i].wall_ms, 0.0) << i;
+  }
+  EXPECT_FALSE(spans[4].closed);
+  // A child cannot outlast its parent.
+  EXPECT_LE(spans[1].wall_ms, spans[0].wall_ms + 1e-6);
+  EXPECT_LE(spans[2].wall_ms, spans[1].wall_ms + 1e-6);
+  // Siblings are ordered in time.
+  EXPECT_LE(spans[1].start_ms, spans[3].start_ms);
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  set_tracing(false);
+  {
+    ScopedSpan span("invisible");
+    ScopedTimer timer("invisible_ms");
+  }
+  EXPECT_TRUE(tracer().spans().empty());
+  EXPECT_EQ(metrics().snapshot().histograms.size(), 0u);
+}
+
+TEST_F(ObsTest, SpanDurationsFeedHistogramApi) {
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("repeated-stage");
+  }
+  Histogram& h = metrics().histogram("span.repeated-stage");
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_GE(h.p50(), 0.0);
+  EXPECT_GE(h.p99(), h.p50());
+}
+
+TEST_F(ObsTest, HistogramPercentilesUniform) {
+  // 1..1000 with unit-width buckets: percentiles must be near-exact.
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 1000.0; b += 1.0) bounds.push_back(b);
+  Histogram h(bounds);
+  for (int v = 1; v <= 1000; ++v) h.record(static_cast<double>(v));
+
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1000.0 * 1001.0 / 2.0);
+  EXPECT_NEAR(h.percentile(50.0), 500.0, 2.0);
+  EXPECT_NEAR(h.percentile(90.0), 900.0, 2.0);
+  EXPECT_NEAR(h.percentile(99.0), 990.0, 2.0);
+  // The extremes are exact (clamped to observed min/max).
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+}
+
+TEST_F(ObsTest, HistogramPercentilesConstantAndEmpty) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.percentile(50.0), 0.0);  // empty
+
+  for (int i = 0; i < 50; ++i) h.record(42.0);
+  // All mass in one bucket, min == max == 42: every percentile is exact.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 42.0);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndOverflow) {
+  Histogram h({1.0, 2.0});
+  h.record(0.5);   // bucket 0 (<= 1)
+  h.record(1.5);   // bucket 1 (<= 2)
+  h.record(99.0);  // overflow bucket
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 3u);
+  EXPECT_EQ(snap.buckets[0].second, 1u);
+  EXPECT_EQ(snap.buckets[1].second, 1u);
+  EXPECT_EQ(snap.buckets[2].second, 1u);
+  EXPECT_TRUE(std::isinf(snap.buckets[2].first));
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 99.0);
+}
+
+TEST_F(ObsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST_F(ObsTest, CountersAndHistogramsAreThreadSafe) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Lookup through the registry on purpose: the lookup path must be
+        // thread-safe too, not just the increment.
+        metrics().counter("threads.ops").add(1);
+        metrics().histogram("threads.latency_ms").record(0.5);
+      }
+      metrics().gauge("threads.done").set(1.0);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(metrics().counter("threads.ops").value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(metrics().histogram("threads.latency_ms").count(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_DOUBLE_EQ(metrics().gauge("threads.done").value(), 1.0);
+}
+
+TEST_F(ObsTest, CachedCounterSurvivesResetAndThreads) {
+  CachedCounter cached("cached.hits");
+  cached.add(2);
+  EXPECT_EQ(metrics().counter("cached.hits").value(), 2u);
+
+  // reset() drops the underlying counter; the handle must re-resolve into
+  // the new one instead of writing through the stale pointer.
+  metrics().reset();
+  cached.add(3);
+  EXPECT_EQ(metrics().counter("cached.hits").value(), 3u);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cached] {
+      for (int i = 0; i < kOpsPerThread; ++i) cached.add(1);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(metrics().counter("cached.hits").value(),
+            3u + static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST_F(ObsTest, SpansAcrossThreadsBecomeRoots) {
+  {
+    ScopedSpan main_span("main-thread");
+    std::thread([] { ScopedSpan worker("worker-thread"); }).join();
+  }
+  const std::vector<Span> spans = tracer().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // The worker did not inherit the main thread's open span.
+  EXPECT_EQ(spans[1].name, "worker-thread");
+  EXPECT_EQ(spans[1].parent, kNoSpan);
+}
+
+TEST_F(ObsTest, JsonParserHandlesTheBasics) {
+  const JsonValue doc = parse_json(
+      R"({"a": [1, 2.5, -3e2], "b": {"nested": "va\"l\nue"}, "t": true,
+          "f": false, "n": null})");
+  EXPECT_EQ(doc.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("a").at(1).number(), 2.5);
+  EXPECT_DOUBLE_EQ(doc.at("a").at(2).number(), -300.0);
+  EXPECT_EQ(doc.at("b").at("nested").str(), "va\"l\nue");
+  EXPECT_TRUE(doc.at("t").boolean());
+  EXPECT_FALSE(doc.at("f").boolean());
+  EXPECT_TRUE(doc.at("n").is_null());
+  EXPECT_FALSE(doc.contains("missing"));
+
+  EXPECT_THROW(parse_json("{"), ParseError);
+  EXPECT_THROW(parse_json("[1,]"), ParseError);
+  EXPECT_THROW(parse_json("{} trailing"), ParseError);
+  EXPECT_THROW(parse_json("nul"), ParseError);
+
+  // Escape round-trip through our own emitter.
+  const std::string ugly = "quote\" slash\\ newline\n tab\t ctrl\x01";
+  const JsonValue echoed =
+      parse_json("{\"s\": \"" + json_escape(ugly) + "\"}");
+  EXPECT_EQ(echoed.at("s").str(), ugly);
+}
+
+TEST_F(ObsTest, RunReportJsonRoundTrip) {
+  {
+    ScopedSpan stage("report-stage");
+    ScopedSpan inner("report-inner");
+  }
+  metrics().counter("report.widgets").add(7);
+  metrics().gauge("report.level").set(2.5);
+  Histogram& h = metrics().histogram("report.latency_ms", {1.0, 10.0, 100.0});
+  h.record(5.0);
+  h.record(50.0);
+
+  const std::string json = run_report_json();
+  const JsonValue doc = parse_json(json);
+
+  EXPECT_EQ(doc.at("schema").str(), "repro.run_report.v1");
+
+  ASSERT_EQ(doc.at("spans").size(), 2u);
+  EXPECT_EQ(doc.at("spans").at(0).at("name").str(), "report-stage");
+  EXPECT_DOUBLE_EQ(doc.at("spans").at(0).at("parent").number(), -1.0);
+  EXPECT_EQ(doc.at("spans").at(1).at("name").str(), "report-inner");
+  EXPECT_DOUBLE_EQ(doc.at("spans").at(1).at("parent").number(), 0.0);
+  EXPECT_GE(doc.at("spans").at(0).at("wall_ms").number(), 0.0);
+
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("report.widgets").number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("report.level").number(), 2.5);
+
+  const JsonValue& hist = doc.at("histograms").at("report.latency_ms");
+  EXPECT_DOUBLE_EQ(hist.at("count").number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number(), 55.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number(), 5.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").number(), 50.0);
+  EXPECT_GT(hist.at("p99").number(), hist.at("p50").number());
+  ASSERT_EQ(hist.at("buckets").size(), 4u);  // 3 bounds + overflow
+  EXPECT_DOUBLE_EQ(hist.at("buckets").at(1).at("count").number(), 1.0);
+
+  // The span histograms written by end_span are also in the report.
+  EXPECT_TRUE(doc.at("histograms").contains("span.report-stage"));
+}
+
+TEST_F(ObsTest, TablesRenderEveryEntry) {
+  {
+    ScopedSpan outer("table-stage");
+    ScopedSpan inner("table-inner");
+  }
+  metrics().counter("table.count").add(3);
+  const std::string spans = span_table();
+  EXPECT_NE(spans.find("table-stage"), std::string::npos);
+  EXPECT_NE(spans.find("  table-inner"), std::string::npos);  // indented
+  const std::string table = metrics_table();
+  EXPECT_NE(table.find("table.count"), std::string::npos);
+  EXPECT_NE(table.find("span.table-inner"), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetInvalidatesOpenSpans) {
+  auto orphan = std::make_unique<ScopedSpan>("pre-reset");
+  tracer().reset();
+  {
+    ScopedSpan fresh("post-reset");
+  }
+  orphan.reset();  // closes a span from a dead generation: must be ignored
+  const std::vector<Span> spans = tracer().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "post-reset");
+  EXPECT_TRUE(spans[0].closed);
+}
+
+}  // namespace
+}  // namespace repro::obs
