@@ -1,0 +1,186 @@
+// Fault-sensitivity sweep: how hard can a measurement campaign degrade
+// before the paper's headline conclusions move?
+//
+// Sweeps FaultPlan::chaos() scaled to several intensities (0 = clean
+// baseline) and, at each point, recomputes the three headline results --
+// Table 1 per-hypergiant ISP counts, the Figure 1 user fraction in >= 2-HG
+// ISPs, and the Table 2 colocation buckets -- then reports their drift from
+// the clean run. The intensity-0 row is bit-identical to the seed pipeline,
+// so any nonzero drift there is a regression.
+//
+// Artifacts: bench_output/fault_sweeps.csv (one row per intensity) plus the
+// standard BENCH_fault_sweeps.json; run with REPRO_TRACE=1 for the span
+// table and run_report.json (whose "fault" section reflects the last,
+// harshest sweep point).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "fault/stage_health.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace repro;
+
+struct SweepPoint {
+  double intensity = 0.0;
+  fault::StageStatus status = fault::StageStatus::kOk;
+  Table1Study table1;
+  Figure1Study figure1;
+  Table2Study table2;
+  double seconds = 0.0;
+};
+
+/// User-weighted fraction of users inside >= 2-hypergiant ISPs (the
+/// headline Figure 1 number, aggregated over countries).
+double users_frac_ge2(const Figure1Study& study) {
+  double users = 0.0;
+  double weighted = 0.0;
+  for (const auto& row : study.countries) {
+    users += row.users_m;
+    weighted += row.users_m * row.frac_ge2;
+  }
+  return users == 0.0 ? 0.0 : weighted / users;
+}
+
+/// Largest relative drift (percent) of any per-hypergiant 2023 ISP count.
+double table1_max_drift_pct(const Table1Study& clean, const Table1Study& now) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < clean.rows.size() && i < now.rows.size(); ++i) {
+    const double base = static_cast<double>(clean.rows[i].isps_2023);
+    if (base == 0.0) continue;
+    const double drift =
+        std::abs(static_cast<double>(now.rows[i].isps_2023) - base) / base;
+    worst = std::max(worst, drift * 100.0);
+  }
+  return worst;
+}
+
+const Table2Row* find_row(const Table2Study& study, Hypergiant hg, double xi) {
+  for (const auto& row : study.rows) {
+    if (row.hg == hg && row.xi == xi) return &row;
+  }
+  return nullptr;
+}
+
+/// Mean absolute drift (percentage points) across all Table 2 colocation
+/// buckets, matched by (hypergiant, xi).
+double table2_bucket_drift_pts(const Table2Study& clean,
+                               const Table2Study& now) {
+  double sum = 0.0;
+  std::size_t buckets = 0;
+  for (const auto& row : clean.rows) {
+    const Table2Row* other = find_row(now, row.hg, row.xi);
+    if (other == nullptr) continue;
+    const double pairs[][2] = {
+        {row.sole_pct, other->sole_pct},
+        {row.coloc_0_pct, other->coloc_0_pct},
+        {row.coloc_mid_low_pct, other->coloc_mid_low_pct},
+        {row.coloc_mid_high_pct, other->coloc_mid_high_pct},
+        {row.coloc_full_pct, other->coloc_full_pct},
+    };
+    for (const auto& pair : pairs) {
+      sum += std::abs(pair[0] - pair[1]);
+      ++buckets;
+    }
+  }
+  return buckets == 0 ? 0.0 : sum / static_cast<double>(buckets);
+}
+
+std::size_t table2_isp_count(const Table2Study& study, double xi) {
+  std::size_t count = 0;
+  for (const auto& row : study.rows) {
+    if (row.xi == xi) count = std::max(count, row.isp_count);
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  using namespace repro;
+  bench::Stopwatch total;
+  bench::print_header("Fault sweeps: conclusion drift vs. fault intensity");
+
+  const Scenario scenario = bench::scenario_from_env();
+  const double intensities[] = {0.0, 0.1, 0.25, 0.5, 1.0};
+  const double xis[] = {0.1, 0.9};
+
+  std::vector<SweepPoint> points;
+  for (const double intensity : intensities) {
+    bench::Stopwatch watch;
+    const fault::FaultPlan plan = fault::FaultPlan::chaos().scaled_by(intensity);
+    Pipeline pipeline(scenario, plan);
+    SweepPoint point;
+    point.intensity = intensity;
+    point.table1 = table1_study(pipeline);
+    point.figure1 = figure1_study(pipeline);
+    point.table2 = table2_study(pipeline, xis);
+    point.status = pipeline.overall_status();
+    point.seconds = watch.seconds();
+    std::printf("intensity %.2f: status=%s, %zu hosting ISPs, %.1f s\n",
+                intensity, std::string(to_string(point.status)).c_str(),
+                point.table1.total_hosting_isps_2023, point.seconds);
+    for (const auto& [stage, health] : pipeline.stage_health()) {
+      if (health.status == fault::StageStatus::kOk) continue;
+      std::printf("  %-16s %-8s dropped %llu/%llu\n", stage.c_str(),
+                  std::string(to_string(health.status)).c_str(),
+                  static_cast<unsigned long long>(health.dropped),
+                  static_cast<unsigned long long>(health.total));
+    }
+    points.push_back(std::move(point));
+  }
+
+  const SweepPoint& clean = points.front();
+
+  std::printf("\n");
+  TextTable table({"intensity", "status", "hosting ISPs", "T1 max HG drift",
+                   "F1 users >=2HG", "F1 drift", "T2 ISPs (xi=0.1)",
+                   "T2 bucket drift"});
+  for (std::size_t column = 2; column < 8; ++column) {
+    table.set_align(column, Align::kRight);
+  }
+  std::string csv =
+      "intensity,status,hosting_isps,t1_max_hg_drift_pct,f1_users_frac_ge2,"
+      "f1_drift_pts,t2_isps_xi01,t2_bucket_drift_pts,seconds\n";
+  for (const SweepPoint& point : points) {
+    const double t1_drift = table1_max_drift_pct(clean.table1, point.table1);
+    const double f1 = users_frac_ge2(point.figure1);
+    const double f1_drift = (f1 - users_frac_ge2(clean.figure1)) * 100.0;
+    const double t2_drift = table2_bucket_drift_pts(clean.table2, point.table2);
+    table.add_row({format_fixed(point.intensity, 2),
+                   std::string(to_string(point.status)),
+                   std::to_string(point.table1.total_hosting_isps_2023),
+                   format_fixed(t1_drift, 1) + "%", format_percent(f1, 1),
+                   format_fixed(f1_drift, 1) + " pts",
+                   std::to_string(table2_isp_count(point.table2, 0.1)),
+                   format_fixed(t2_drift, 1) + " pts"});
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%.2f,%s,%zu,%.3f,%.5f,%.3f,%zu,%.3f,%.3f\n",
+                  point.intensity,
+                  std::string(to_string(point.status)).c_str(),
+                  point.table1.total_hosting_isps_2023, t1_drift, f1, f1_drift,
+                  table2_isp_count(point.table2, 0.1), t2_drift, point.seconds);
+    csv += line;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const char* dir = std::getenv("REPRO_BENCH_OUT");
+  const std::string csv_path =
+      std::string(dir == nullptr ? "bench_output" : dir) + "/fault_sweeps.csv";
+  try {
+    write_file(csv_path, csv);
+    std::printf("wrote %s\n", csv_path.c_str());
+  } catch (const Error& error) {
+    std::fprintf(stderr, "csv not written: %s\n", error.what());
+  }
+
+  bench::print_footer("fault_sweeps", total);
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an AddressSanitizer pass over the fault tests.
+#
+#   ./scripts/check.sh             tier-1 build + full ctest, then an
+#                                  ASan build of test_fault (label `fault`)
+#   SKIP_ASAN=1 ./scripts/check.sh tier-1 only
+#
+# Exits nonzero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== asan: fault tests =="
+  cmake -B build-asan -S . -DREPRO_SANITIZE=address >/dev/null
+  cmake --build build-asan -j"$(nproc)" --target test_fault
+  (cd build-asan && ctest -L fault --output-on-failure -j"$(nproc)")
+fi
+
+echo "== all checks passed =="

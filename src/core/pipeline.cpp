@@ -3,7 +3,9 @@
 #include <cmath>
 #include <string>
 
+#include "fault/injector.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -22,9 +24,23 @@ std::string hg_counter_name(std::string_view prefix, Hypergiant hg) {
   return std::string(prefix) + "." + std::string(to_string(hg));
 }
 
+std::string count_reason(const char* what, std::uint64_t dropped,
+                         std::uint64_t total) {
+  return std::string(what) + ": " + std::to_string(dropped) + "/" +
+         std::to_string(total);
+}
+
 }  // namespace
 
-Pipeline::Pipeline(Scenario scenario) : scenario_(std::move(scenario)) {
+Pipeline::Pipeline(Scenario scenario)
+    : Pipeline(std::move(scenario), fault::FaultPlan::none()) {}
+
+Pipeline::Pipeline(Scenario scenario, fault::FaultPlan plan)
+    : scenario_(std::move(scenario)), plan_(plan) {
+  // Ping-campaign faults live in the measurement model itself, so fold them
+  // into the config before the mesh is ever built.
+  fault::apply_ping_faults(scenario_.ping, plan_);
+
   obs::ScopedSpan span("pipeline.generate_internet");
   InternetGenerator generator(scenario_.topology);
   internet_ = generator.generate();
@@ -38,6 +54,17 @@ Pipeline::Pipeline(Scenario scenario) : scenario_(std::move(scenario)) {
       static_cast<double>(internet_.links.size()));
 }
 
+void Pipeline::record_health(const std::string& stage,
+                             fault::StageHealth health) const {
+  if (health.status == fault::StageStatus::kFailed) {
+    obs::metrics().counter("fault.stage_failures").add(1);
+  }
+  const auto [it, inserted] = health_.try_emplace(stage, health);
+  if (!inserted) it->second.merge(health);
+  obs::set_report_section(
+      "fault", fault::fault_section_json(plan_.to_json(), health_));
+}
+
 const OffnetRegistry& Pipeline::registry(Snapshot snapshot) const {
   const auto it = registries_.find(snapshot);
   if (it != registries_.end()) return it->second;
@@ -49,6 +76,75 @@ const OffnetRegistry& Pipeline::registry(Snapshot snapshot) const {
   return reg;
 }
 
+const CertStore& Pipeline::population(Snapshot snapshot) const {
+  const auto it = populations_.find(snapshot);
+  if (it != populations_.end()) return it->second;
+
+  obs::ScopedSpan span("pipeline.tls_population");
+  fault::StageHealth health;
+  CertStore store;
+  try {
+    store = build_tls_population(internet_, registry(snapshot), snapshot,
+                                 scenario_.population);
+    health.total = store.size();
+    if (plan_.active()) {
+      fault::CertFaultOutcome outcome;
+      fault::inject_cert_faults(store, plan_, &outcome);
+      obs::metrics().counter("fault.cert_churned").add(outcome.churned);
+      obs::metrics().counter("fault.cert_garbled").add(outcome.garbled);
+      health.dropped = outcome.garbled;
+      if (outcome.churned + outcome.garbled > 0) {
+        health.status = fault::StageStatus::kDegraded;
+        health.reasons.push_back(count_reason("certs garbled", outcome.garbled,
+                                              health.total));
+        health.reasons.push_back(count_reason("certs churned", outcome.churned,
+                                              health.total));
+      }
+    }
+  } catch (const Error& error) {
+    health.status = fault::StageStatus::kFailed;
+    health.reasons.push_back(std::string("tls_population: ") + error.what());
+    store = CertStore();
+  }
+  record_health("tls_population", health);
+  return populations_.emplace(snapshot, std::move(store)).first->second;
+}
+
+const std::vector<ScanRecord>& Pipeline::scan_records(Snapshot snapshot) const {
+  const auto it = scans_.find(snapshot);
+  if (it != scans_.end()) return it->second;
+
+  obs::ScopedSpan span("pipeline.scan");
+  fault::StageHealth health;
+  std::vector<ScanRecord> records;
+  try {
+    const CertStore& store = population(snapshot);
+    health.total = store.size();
+    const Scanner scanner(scenario_.scanner);
+    records = scanner.scan(store);
+    if (plan_.active()) {
+      fault::ScanFaultOutcome outcome;
+      records = fault::inject_scan_faults(std::move(records), plan_, &outcome);
+      obs::metrics().counter("fault.scan_truncated").add(outcome.truncated);
+      obs::metrics().counter("fault.scan_burst_missed").add(outcome.burst_missed);
+      health.dropped = outcome.dropped();
+      if (outcome.dropped() > 0) {
+        health.status = fault::StageStatus::kDegraded;
+        health.reasons.push_back(count_reason(
+            "records lost to shard truncation", outcome.truncated, health.total));
+        health.reasons.push_back(count_reason(
+            "records lost to miss bursts", outcome.burst_missed, health.total));
+      }
+    }
+  } catch (const Error& error) {
+    health.status = fault::StageStatus::kFailed;
+    health.reasons.push_back(std::string("scan: ") + error.what());
+    records.clear();
+  }
+  record_health("scan", health);
+  return scans_.emplace(snapshot, std::move(records)).first->second;
+}
+
 const DiscoveryReport& Pipeline::discovery(Snapshot snapshot,
                                            Methodology methodology) const {
   const auto key = std::make_pair(snapshot, methodology);
@@ -56,13 +152,28 @@ const DiscoveryReport& Pipeline::discovery(Snapshot snapshot,
   if (it != reports_.end()) return it->second;
 
   obs::ScopedSpan span("pipeline.discovery");
-  const CertStore population = build_tls_population(
-      internet_, registry(snapshot), snapshot, scenario_.population);
-  const Scanner scanner(scenario_.scanner);
-  const auto records = scanner.scan(population);
-  const OffnetClassifier classifier(internet_, methodology);
+  fault::StageHealth health;
+  DiscoveryReport result;
+  try {
+    const std::vector<ScanRecord>& records = scan_records(snapshot);
+    health.total = records.size();
+    const OffnetClassifier classifier(internet_, methodology);
+    result = classifier.classify(records);
+    if (result.total_offnet_ips() == 0 &&
+        registry(snapshot).server_count() > 0) {
+      // Quality gate: the ground truth deployed offnets but discovery came
+      // back empty -- downstream studies would silently report nothing.
+      health.status = fault::StageStatus::kFailed;
+      health.reasons.push_back("no offnet IPs discovered");
+    }
+  } catch (const Error& error) {
+    health.status = fault::StageStatus::kFailed;
+    health.reasons.push_back(std::string("discovery: ") + error.what());
+    result = DiscoveryReport();
+    result.methodology = methodology;
+  }
   const DiscoveryReport& report =
-      reports_.emplace(key, classifier.classify(records)).first->second;
+      reports_.emplace(key, std::move(result)).first->second;
 
   for (const auto& footprint : report.footprints) {
     obs::metrics()
@@ -73,6 +184,7 @@ const DiscoveryReport& Pipeline::discovery(Snapshot snapshot,
       .add(report.total_offnet_ips());
   obs::metrics().gauge("discovery.hosting_isps").set(
       static_cast<double>(report.isps_hosting_at_least(1).size()));
+  record_health("discovery", health);
   return report;
 }
 
@@ -92,6 +204,31 @@ const PingMesh& Pipeline::ping_mesh() const {
     obs::ScopedSpan span("pipeline.ping_mesh");
     mesh_ = std::make_unique<PingMesh>(internet_, vantage_points(),
                                        scenario_.ping);
+
+    fault::StageHealth health;
+    health.total = vantage_points().size();
+    for (std::size_t vp = 0; vp < vantage_points().size(); ++vp) {
+      if (mesh_->vp_dark(vp)) ++health.dropped;
+    }
+    obs::metrics().counter("fault.vps_dark").add(health.dropped);
+    if (health.dropped > 0) {
+      health.status = fault::StageStatus::kDegraded;
+      health.reasons.push_back(
+          count_reason("vantage points dark", health.dropped, health.total));
+    }
+    if (scenario_.ping.icmp_storm_isp_rate > 0.0) {
+      std::uint64_t storming = 0;
+      for (const AsIndex isp : registry(Snapshot::k2023).hosting_isps()) {
+        if (mesh_->isp_storm_limited(isp)) ++storming;
+      }
+      if (storming > 0) {
+        health.status = std::max(health.status, fault::StageStatus::kDegraded);
+        health.reasons.push_back(
+            std::to_string(storming) +
+            " hosting ISPs under ICMP rate-limit storms");
+      }
+    }
+    record_health("ping_mesh", health);
   }
   return *mesh_;
 }
@@ -116,17 +253,49 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
   config.filter = scenario_.filter;
   const ColocationClusterer clusterer(registry(Snapshot::k2023), ping_mesh(),
                                       vantage_points(), config);
+  fault::StageHealth health;
+  std::uint64_t failed_isps = 0;
   std::vector<std::vector<IspClustering>> results(xis.size());
   std::map<AsIndex, std::size_t> index;
   for (const AsIndex isp : hosting_isps_2023()) {
     obs::ScopedTimer timer("cluster.isp_wall_ms");
     index.emplace(isp, results.front().size());
-    auto per_xi = clusterer.cluster_isp_multi(isp, xis);
+    ++health.total;
+    std::vector<IspClustering> per_xi;
+    try {
+      per_xi = clusterer.cluster_isp_multi(isp, xis);
+    } catch (const Error& error) {
+      // Quality gate: one pathological ISP matrix must not abort the other
+      // few thousand -- keep an unusable placeholder and move on.
+      ++failed_isps;
+      IspClustering placeholder;
+      placeholder.isp = isp;
+      per_xi.assign(xis.size(), placeholder);
+      if (health.reasons.empty() ||
+          health.reasons.back().find("clustering error") == std::string::npos) {
+        health.reasons.push_back(std::string("clustering error: ") +
+                                 error.what());
+      }
+    }
+    if (!per_xi.front().usable) ++health.dropped;
     for (std::size_t x = 0; x < xis.size(); ++x) {
       results[x].push_back(std::move(per_xi[x]));
     }
     obs::metrics().counter("cluster.isps_clustered").add(1);
   }
+
+  if (health.total > 0 && health.dropped == health.total) {
+    health.status = fault::StageStatus::kFailed;
+    health.reasons.push_back("no ISP passed the usable-sites filter");
+  } else if (failed_isps > 0 || (plan_.active() && health.dropped > 0)) {
+    health.status = fault::StageStatus::kDegraded;
+    if (health.dropped > 0) {
+      health.reasons.push_back(count_reason(
+          "ISPs below the usable-sites filter", health.dropped, health.total));
+    }
+  }
+  record_health("clustering", health);
+
   for (std::size_t x = 0; x < xis.size(); ++x) {
     cluster_index_[xi_key(xis[x])] = index;
     clusterings_[xi_key(xis[x])] = std::move(results[x]);

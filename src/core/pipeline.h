@@ -1,20 +1,35 @@
 // The end-to-end reproduction pipeline. Owns the generated world and lazily
 // builds (and caches) each stage: ground-truth deployments per snapshot,
-// TLS populations and scans, discovery reports, the ping mesh, per-ISP
-// clusterings per xi, routing, and the traffic models.
+// TLS populations and scans (cached per snapshot, shared across
+// methodologies), discovery reports, the ping mesh, per-ISP clusterings per
+// xi, routing, and the traffic models.
+//
+// Degraded-mode execution: a Pipeline can carry a fault::FaultPlan. The
+// plan's pathologies are injected at each stage boundary, every stage
+// records a fault::StageHealth (ok / degraded / failed with drop counts and
+// reasons) instead of aborting the run, and the accumulated health map is
+// published as the "fault" section of run_report.json. With an inactive
+// plan every stage output is bit-identical to a Pipeline built without one.
 //
 // Typical use:
 //   Pipeline pipeline(Scenario::paper());
 //   auto table1 = table1_study(pipeline);            // analyses.h
 //   auto table2 = table2_study(pipeline, 0.1);
+//
+//   Pipeline chaos(Scenario::paper(), fault::FaultPlan::chaos());
+//   auto degraded = table1_study(chaos);             // never throws
+//   chaos.overall_status();                          // kDegraded
 #pragma once
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/colocation.h"
 #include "core/scenario.h"
+#include "fault/fault_plan.h"
+#include "fault/stage_health.h"
 #include "route/bgp.h"
 #include "scan/classifier.h"
 #include "traffic/spillover.h"
@@ -24,12 +39,34 @@ namespace repro {
 class Pipeline {
  public:
   explicit Pipeline(Scenario scenario);
+  Pipeline(Scenario scenario, fault::FaultPlan plan);
 
   const Scenario& scenario() const noexcept { return scenario_; }
   const Internet& internet() const noexcept { return internet_; }
 
+  /// The fault plan this pipeline runs under (inactive by default).
+  const fault::FaultPlan& fault_plan() const noexcept { return plan_; }
+
+  /// Health of every stage executed so far, keyed by stage name
+  /// ("tls_population", "scan", "discovery", "ping_mesh", "clustering").
+  const std::map<std::string, fault::StageHealth>& stage_health() const noexcept {
+    return health_;
+  }
+
+  /// Worst status across all executed stages (kOk before any stage ran).
+  fault::StageStatus overall_status() const noexcept {
+    return fault::overall_status(health_);
+  }
+
   /// Ground truth (what the measurements must rediscover).
   const OffnetRegistry& registry(Snapshot snapshot) const;
+
+  /// TLS population for a snapshot (cached; cert faults applied once).
+  const CertStore& population(Snapshot snapshot) const;
+
+  /// Scan records for a snapshot (cached; the scan and its faults run once
+  /// per snapshot, not once per (snapshot, methodology) pair).
+  const std::vector<ScanRecord>& scan_records(Snapshot snapshot) const;
 
   /// Scan + classify with a methodology (cached per pair).
   const DiscoveryReport& discovery(Snapshot snapshot,
@@ -58,10 +95,18 @@ class Pipeline {
   std::vector<AsIndex> hosting_isps_2023() const;
 
  private:
+  /// Folds a stage's health record into the map, bumps the fault counters,
+  /// and republishes the run-report "fault" section.
+  void record_health(const std::string& stage, fault::StageHealth health) const;
+
   Scenario scenario_;
+  fault::FaultPlan plan_;
   Internet internet_;
 
+  mutable std::map<std::string, fault::StageHealth> health_;
   mutable std::map<Snapshot, OffnetRegistry> registries_;
+  mutable std::map<Snapshot, CertStore> populations_;
+  mutable std::map<Snapshot, std::vector<ScanRecord>> scans_;
   mutable std::map<std::pair<Snapshot, Methodology>, DiscoveryReport> reports_;
   mutable std::unique_ptr<VantagePointSet> vps_;
   mutable std::unique_ptr<PingMesh> mesh_;

@@ -1,0 +1,114 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.h"
+
+namespace repro::fault {
+
+namespace {
+
+double clamp_rate(double rate) noexcept {
+  return std::clamp(rate, 0.0, 0.95);
+}
+
+void append_field(std::string& out, const char* name, double value,
+                  bool* first) {
+  if (!*first) out += ",";
+  *first = false;
+  out += "\"";
+  out += name;
+  out += "\":" + obs::json_number(value);
+}
+
+}  // namespace
+
+bool FaultPlan::active() const noexcept {
+  return scan.shard_truncation > 0.0 ||
+         (scan.burst_coverage > 0.0 && scan.burst_miss_rate > 0.0) ||
+         ping.vp_outage_rate > 0.0 || ping.icmp_storm_rate > 0.0 ||
+         ping.extra_unresponsive_rate > 0.0 || cert.churn_rate > 0.0 ||
+         cert.garbled_cn_rate > 0.0 || anycast.impossible_ip_rate > 0.0;
+}
+
+FaultPlan FaultPlan::chaos() noexcept {
+  FaultPlan plan;
+  plan.scan.shard_truncation = 0.04;
+  plan.scan.burst_coverage = 0.10;
+  plan.scan.burst_miss_rate = 0.50;
+  plan.ping.vp_outage_rate = 0.06;
+  plan.ping.icmp_storm_rate = 0.05;
+  plan.ping.icmp_storm_failure = 0.90;
+  plan.ping.extra_unresponsive_rate = 0.03;
+  plan.cert.churn_rate = 0.05;
+  plan.cert.garbled_cn_rate = 0.02;
+  plan.anycast.impossible_ip_rate = 0.01;
+  return plan;
+}
+
+FaultPlan FaultPlan::scaled_by(double factor) const noexcept {
+  const double f = std::max(0.0, factor);
+  FaultPlan out = *this;
+  out.scan.shard_truncation = clamp_rate(scan.shard_truncation * f);
+  out.scan.burst_coverage = clamp_rate(scan.burst_coverage * f);
+  out.scan.burst_miss_rate = clamp_rate(scan.burst_miss_rate * f);
+  out.ping.vp_outage_rate = clamp_rate(ping.vp_outage_rate * f);
+  out.ping.icmp_storm_rate = clamp_rate(ping.icmp_storm_rate * f);
+  out.ping.extra_unresponsive_rate =
+      clamp_rate(ping.extra_unresponsive_rate * f);
+  out.cert.churn_rate = clamp_rate(cert.churn_rate * f);
+  out.cert.garbled_cn_rate = clamp_rate(cert.garbled_cn_rate * f);
+  out.anycast.impossible_ip_rate = clamp_rate(anycast.impossible_ip_rate * f);
+  return out;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* toggle = std::getenv("REPRO_FAULT");
+  FaultPlan plan = none();
+  if (toggle != nullptr && *toggle != '\0') {
+    const std::string value = toggle;
+    if (value == "1" || value == "chaos" || value == "default") {
+      plan = chaos();
+    } else if (value != "0" && value != "none") {
+      char* end = nullptr;
+      const double factor = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() && factor > 0.0) {
+        plan = chaos().scaled_by(factor);
+      }
+    }
+  }
+  if (const char* intensity = std::getenv("REPRO_FAULT_INTENSITY")) {
+    char* end = nullptr;
+    const double factor = std::strtod(intensity, &end);
+    if (end != intensity && factor >= 0.0) plan = plan.scaled_by(factor);
+  }
+  if (const char* seed = std::getenv("REPRO_FAULT_SEED")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(seed, &end, 10);
+    if (end != seed) plan.seed = value;
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_json() const {
+  std::string out = "{\"seed\":" + std::to_string(seed);
+  bool first = false;
+  append_field(out, "scan.shard_truncation", scan.shard_truncation, &first);
+  append_field(out, "scan.burst_coverage", scan.burst_coverage, &first);
+  append_field(out, "scan.burst_miss_rate", scan.burst_miss_rate, &first);
+  append_field(out, "ping.vp_outage_rate", ping.vp_outage_rate, &first);
+  append_field(out, "ping.icmp_storm_rate", ping.icmp_storm_rate, &first);
+  append_field(out, "ping.icmp_storm_failure", ping.icmp_storm_failure, &first);
+  append_field(out, "ping.extra_unresponsive_rate",
+               ping.extra_unresponsive_rate, &first);
+  append_field(out, "cert.churn_rate", cert.churn_rate, &first);
+  append_field(out, "cert.garbled_cn_rate", cert.garbled_cn_rate, &first);
+  append_field(out, "anycast.impossible_ip_rate", anycast.impossible_ip_rate,
+               &first);
+  out += "}";
+  return out;
+}
+
+}  // namespace repro::fault

@@ -1,0 +1,107 @@
+// Deterministic, seedable fault injection for the measurement pipeline.
+//
+// The paper's methodology is itself a stack of robustness defenses: it
+// discards 12K unresponsive IPs, drops 1.9K speed-of-light violators, and
+// keeps only ISPs with >= 100 fully-responsive vantage points (S2.2,
+// Appendix A). A FaultPlan injects the measurement pathologies those
+// defenses exist for -- scan shard loss, miss-rate bursts, vantage-point
+// outages, ICMP rate-limit storms, certificate churn and corruption,
+// anycast "impossible IP" artifacts -- so the defenses are exercised
+// instead of assumed. Every pathology is driven by stateless hashing from
+// one seed: the same plan over the same world is bit-for-bit reproducible,
+// and a plan with every rate at zero is a no-op.
+//
+// See docs/ROBUSTNESS.md for the fault taxonomy and the REPRO_FAULT_* env
+// toggles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace repro::fault {
+
+/// Faults in the Censys-style port-443 scan (S2.2 input).
+struct ScanFaults {
+  /// Fraction of /8 scan shards whose records are lost wholesale (a shard
+  /// worker crashing or its output truncated mid-campaign).
+  double shard_truncation = 0.0;
+
+  /// Fraction of /16 regions under an elevated-miss burst (transient
+  /// firewalling or rate limiting near the target), and the extra
+  /// per-record miss probability inside a bursty region.
+  double burst_coverage = 0.0;
+  double burst_miss_rate = 0.0;
+};
+
+/// Faults in the M-Lab-style ping campaign (Appendix A input).
+struct PingFaults {
+  /// Fraction of vantage points that are completely dark (site outage for
+  /// the whole campaign). Exercises the >= min_usable_sites ISP filter.
+  double vp_outage_rate = 0.0;
+
+  /// Extra fraction of ISPs under an ICMP rate-limit storm, and the
+  /// per-probe failure probability while storming. Harsher than the
+  /// baseline icmp_limited_* pathology; the retry budget claws some of
+  /// these measurements back.
+  double icmp_storm_rate = 0.0;
+  double icmp_storm_failure = 0.9;
+
+  /// Extra fraction of offnet IPs that never answer pings (on top of the
+  /// scenario's baseline unresponsive_ip_rate).
+  double extra_unresponsive_rate = 0.0;
+};
+
+/// Faults in the TLS certificate population (discovery input).
+struct CertFaults {
+  /// Fraction of endpoints re-keyed mid-scan: new serial and validity
+  /// window, names unchanged. Benign churn the fingerprints must absorb.
+  double churn_rate = 0.0;
+
+  /// Fraction of endpoints whose record is garbled in transit: CN replaced
+  /// with junk, SANs lost. These IPs become invisible to classification.
+  double garbled_cn_rate = 0.0;
+};
+
+/// Anycast/NAT measurement artifacts.
+struct AnycastFaults {
+  /// Extra fraction of offnet IPs whose probes answer from two locations
+  /// (on top of the scenario's baseline split_personality_rate). Exercises
+  /// the speed-of-light filter.
+  double impossible_ip_rate = 0.0;
+};
+
+/// One composable, reproducible fault configuration.
+struct FaultPlan {
+  std::uint64_t seed = 4242;
+  ScanFaults scan;
+  PingFaults ping;
+  CertFaults cert;
+  AnycastFaults anycast;
+
+  /// True when any fault rate is nonzero.
+  bool active() const noexcept;
+
+  /// Every rate at zero: guaranteed no-op, bit-identical to no plan.
+  static FaultPlan none() noexcept { return FaultPlan{}; }
+
+  /// The default degraded-campaign plan: every pathology at a level a real
+  /// Censys/M-Lab campaign plausibly sees, severe enough that stages report
+  /// degraded but the run completes end to end.
+  static FaultPlan chaos() noexcept;
+
+  /// This plan with every rate multiplied by `factor` (clamped to
+  /// [0, 0.95]; failure severities and the seed are left alone). factor 0
+  /// yields an inactive plan.
+  FaultPlan scaled_by(double factor) const noexcept;
+
+  /// Plan from the environment: REPRO_FAULT unset/"0" -> none();
+  /// "1"/"chaos" -> chaos(); a number -> chaos().scaled_by(value).
+  /// REPRO_FAULT_INTENSITY scales whatever REPRO_FAULT selected and
+  /// REPRO_FAULT_SEED overrides the seed.
+  static FaultPlan from_env();
+
+  /// Compact JSON object of the plan parameters (for run_report.json).
+  std::string to_json() const;
+};
+
+}  // namespace repro::fault

@@ -1,0 +1,121 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace repro::fault {
+
+namespace {
+
+// Salts keep the per-pathology hash streams independent of each other and
+// of the measurement-noise streams inside PingMesh.
+constexpr std::uint64_t kShardSalt = 0x5C5C;
+constexpr std::uint64_t kBurstRegionSalt = 0xB0B0;
+constexpr std::uint64_t kBurstRecordSalt = 0xB1B1;
+constexpr std::uint64_t kCertGarbleSalt = 0x6A6A;
+constexpr std::uint64_t kCertChurnSalt = 0xC4C4;
+
+/// Deterministic uniform in [0,1) from a key (same construction as the
+/// PingMesh pathology draws).
+double hash_uniform(std::uint64_t key) noexcept {
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t ip_key(Ipv4 ip, std::uint64_t seed, std::uint64_t salt) noexcept {
+  return mix64((std::uint64_t{ip.value()} << 8) ^ seed ^ salt);
+}
+
+}  // namespace
+
+std::vector<ScanRecord> inject_scan_faults(std::vector<ScanRecord> records,
+                                           const FaultPlan& plan,
+                                           ScanFaultOutcome* outcome) {
+  const ScanFaults& faults = plan.scan;
+  const bool truncating = faults.shard_truncation > 0.0;
+  const bool bursting =
+      faults.burst_coverage > 0.0 && faults.burst_miss_rate > 0.0;
+  if (!truncating && !bursting) return records;
+
+  std::vector<ScanRecord> kept;
+  kept.reserve(records.size());
+  for (ScanRecord& record : records) {
+    const std::uint32_t ip = record.ip.value();
+    if (truncating) {
+      const std::uint64_t shard = ip >> 24;
+      if (hash_uniform(mix64(plan.seed ^ kShardSalt) ^ mix64(shard)) <
+          faults.shard_truncation) {
+        if (outcome != nullptr) ++outcome->truncated;
+        continue;
+      }
+    }
+    if (bursting) {
+      const std::uint64_t region = ip >> 16;
+      if (hash_uniform(mix64(plan.seed ^ kBurstRegionSalt) ^ mix64(region)) <
+              faults.burst_coverage &&
+          hash_uniform(ip_key(record.ip, plan.seed, kBurstRecordSalt)) <
+              faults.burst_miss_rate) {
+        if (outcome != nullptr) ++outcome->burst_missed;
+        continue;
+      }
+    }
+    kept.push_back(std::move(record));
+  }
+  return kept;
+}
+
+void inject_cert_faults(CertStore& store, const FaultPlan& plan,
+                        CertFaultOutcome* outcome) {
+  const CertFaults& faults = plan.cert;
+  if (faults.churn_rate <= 0.0 && faults.garbled_cn_rate <= 0.0) return;
+
+  for (const TlsEndpoint& endpoint : store.all_sorted()) {
+    if (faults.garbled_cn_rate > 0.0 &&
+        hash_uniform(ip_key(endpoint.ip, plan.seed, kCertGarbleSalt)) <
+            faults.garbled_cn_rate) {
+      TlsCertificate cert = endpoint.cert;
+      char junk[32];
+      std::snprintf(junk, sizeof(junk), "garbled-%016llx",
+                    static_cast<unsigned long long>(
+                        mix64(endpoint.ip.value() ^ plan.seed)));
+      cert.subject.common_name = junk;
+      cert.subject.organization.clear();
+      cert.san_dns.clear();
+      store.install(endpoint.ip, std::move(cert));
+      if (outcome != nullptr) ++outcome->garbled;
+      continue;
+    }
+    if (faults.churn_rate > 0.0 &&
+        hash_uniform(ip_key(endpoint.ip, plan.seed, kCertChurnSalt)) <
+            faults.churn_rate) {
+      TlsCertificate cert = endpoint.cert;
+      cert.serial = mix64(cert.serial + 1);
+      cert.not_before_year = 2023;
+      cert.not_after_year = 2026;
+      store.install(endpoint.ip, std::move(cert));
+      if (outcome != nullptr) ++outcome->churned;
+    }
+  }
+}
+
+void apply_ping_faults(PingConfig& config, const FaultPlan& plan) {
+  if (!plan.active()) return;
+  const auto add_rate = [](double base, double extra) {
+    return std::clamp(base + extra, 0.0, 0.95);
+  };
+  config.fault_seed = plan.seed;
+  config.vp_outage_rate = add_rate(config.vp_outage_rate,
+                                   plan.ping.vp_outage_rate);
+  config.icmp_storm_isp_rate = add_rate(config.icmp_storm_isp_rate,
+                                        plan.ping.icmp_storm_rate);
+  if (plan.ping.icmp_storm_rate > 0.0) {
+    config.icmp_storm_failure = plan.ping.icmp_storm_failure;
+  }
+  config.unresponsive_ip_rate = add_rate(config.unresponsive_ip_rate,
+                                         plan.ping.extra_unresponsive_rate);
+  config.split_personality_rate = add_rate(config.split_personality_rate,
+                                           plan.anycast.impossible_ip_rate);
+}
+
+}  // namespace repro::fault

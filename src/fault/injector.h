@@ -1,0 +1,46 @@
+// Applies a FaultPlan to concrete pipeline artifacts: scan record streams,
+// TLS cert populations, and ping-campaign configuration. All injections are
+// stateless-hash driven from the plan seed, so replaying the same plan over
+// the same input is bit-for-bit identical, and an inactive plan never
+// mutates anything.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "mlab/ping_mesh.h"
+#include "scan/scanner.h"
+#include "tls/cert_store.h"
+
+namespace repro::fault {
+
+/// What inject_scan_faults removed.
+struct ScanFaultOutcome {
+  std::size_t truncated = 0;     // lost with their whole /8 shard
+  std::size_t burst_missed = 0;  // lost to an elevated-miss burst
+  std::size_t dropped() const noexcept { return truncated + burst_missed; }
+};
+
+/// Drops records per the plan's ScanFaults. Preserves order; returns the
+/// input unchanged when those faults are inactive.
+std::vector<ScanRecord> inject_scan_faults(std::vector<ScanRecord> records,
+                                           const FaultPlan& plan,
+                                           ScanFaultOutcome* outcome = nullptr);
+
+/// What inject_cert_faults rewrote.
+struct CertFaultOutcome {
+  std::size_t churned = 0;  // re-keyed, names intact
+  std::size_t garbled = 0;  // names destroyed -> invisible to classification
+};
+
+/// Rewrites certificates in place per the plan's CertFaults.
+void inject_cert_faults(CertStore& store, const FaultPlan& plan,
+                        CertFaultOutcome* outcome = nullptr);
+
+/// Folds the plan's ping + anycast faults into a PingConfig: vantage-point
+/// outages, ICMP storms, extra unresponsive IPs, and extra impossible-IP
+/// (split-personality) artifacts. No-op for an inactive plan.
+void apply_ping_faults(PingConfig& config, const FaultPlan& plan);
+
+}  // namespace repro::fault

@@ -1,0 +1,69 @@
+#include "fault/stage_health.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace repro::fault {
+
+std::string_view to_string(StageStatus status) noexcept {
+  switch (status) {
+    case StageStatus::kOk: return "ok";
+    case StageStatus::kDegraded: return "degraded";
+    case StageStatus::kFailed: return "failed";
+  }
+  return "ok";
+}
+
+void StageHealth::merge(const StageHealth& other) {
+  status = std::max(status, other.status);
+  dropped += other.dropped;
+  total += other.total;
+  for (const std::string& reason : other.reasons) {
+    if (std::find(reasons.begin(), reasons.end(), reason) == reasons.end()) {
+      reasons.push_back(reason);
+    }
+  }
+}
+
+std::string to_json(const StageHealth& health) {
+  std::string out = "{\"status\":\"";
+  out += to_string(health.status);
+  out += "\",\"dropped\":" + std::to_string(health.dropped);
+  out += ",\"total\":" + std::to_string(health.total);
+  out += ",\"reasons\":[";
+  for (std::size_t i = 0; i < health.reasons.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + obs::json_escape(health.reasons[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+StageStatus overall_status(
+    const std::map<std::string, StageHealth>& stages) noexcept {
+  StageStatus worst = StageStatus::kOk;
+  for (const auto& [name, health] : stages) {
+    (void)name;
+    worst = std::max(worst, health.status);
+  }
+  return worst;
+}
+
+std::string fault_section_json(const std::string& plan_json,
+                               const std::map<std::string, StageHealth>& stages) {
+  std::string out = "{\"plan\":" + plan_json;
+  out += ",\"overall\":\"";
+  out += to_string(overall_status(stages));
+  out += "\",\"stages\":{";
+  bool first = true;
+  for (const auto& [name, health] : stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json_escape(name) + "\":" + to_json(health);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace repro::fault

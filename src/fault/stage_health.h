@@ -1,0 +1,53 @@
+// Per-stage health verdicts for degraded-mode pipeline execution.
+//
+// Instead of a stage failure aborting the whole run with a repro::Error,
+// each pipeline stage reports a StageHealth: ok (clean), degraded (faults
+// cost it data but it produced a usable result), or failed (it produced an
+// empty fallback). Health records are merged across repeated invocations of
+// the same stage (e.g. discovery over several snapshots) and exported into
+// run_report.json's "fault" section.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::fault {
+
+enum class StageStatus { kOk = 0, kDegraded = 1, kFailed = 2 };
+
+std::string_view to_string(StageStatus status) noexcept;
+
+struct StageHealth {
+  StageStatus status = StageStatus::kOk;
+  /// Records/measurements lost to faults (not baseline noise), out of
+  /// `total` opportunities the stage saw.
+  std::uint64_t dropped = 0;
+  std::uint64_t total = 0;
+  /// Human-readable reasons ("3/163 vantage points dark", ...).
+  std::vector<std::string> reasons;
+
+  double drop_fraction() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(dropped) / static_cast<double>(total);
+  }
+
+  /// Folds another record of the same stage in: worst status wins, counts
+  /// add, reasons append (duplicates skipped).
+  void merge(const StageHealth& other);
+};
+
+/// JSON object for one stage record.
+std::string to_json(const StageHealth& health);
+
+/// Worst status across a stage-health map (kOk when empty).
+StageStatus overall_status(const std::map<std::string, StageHealth>& stages) noexcept;
+
+/// JSON for the run_report "fault" section: `plan_json` is the FaultPlan's
+/// own JSON (passed as a string so this header stays independent of it).
+std::string fault_section_json(const std::string& plan_json,
+                               const std::map<std::string, StageHealth>& stages);
+
+}  // namespace repro::fault

@@ -78,14 +78,18 @@ FilteredMatrix clean_matrix(const LatencyMatrix& matrix,
   out.usable = out.kept_cols.size() >= config.min_usable_sites &&
                !out.kept_rows.empty();
 
-  // Pass 3: compact matrix.
+  // Pass 3: compact matrix, counting any failed measurement that slips
+  // through (it would otherwise reach trimmed_manhattan as a silent NaN).
   out.rtt.reserve(out.kept_rows.size() * out.kept_cols.size());
   for (const std::size_t row : out.kept_rows) {
     for (const std::size_t col : out.kept_cols) {
-      out.rtt.push_back(matrix.at(row, col));
+      const double value = matrix.at(row, col);
+      if (!finite(value)) ++out.nonfinite_leaked;
+      out.rtt.push_back(value);
     }
   }
 
+  obs::metrics().counter("filters.nonfinite_leaked").add(out.nonfinite_leaked);
   obs::metrics().counter("filters.ips_dropped_unresponsive")
       .add(out.dropped_unresponsive);
   obs::metrics().counter("filters.ips_dropped_speed_of_light")

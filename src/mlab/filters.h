@@ -38,6 +38,13 @@ struct FilteredMatrix {
   std::size_t dropped_unresponsive = 0;
   std::size_t dropped_impossible = 0;
 
+  /// Failed measurements (kNoMeasurement) that made it into the compact
+  /// matrix anyway. By construction of kept_cols this must stay 0; a
+  /// nonzero value means a filter invariant broke and NaNs would have
+  /// silently poisoned trimmed_manhattan. Also exported as the
+  /// `filters.nonfinite_leaked` obs counter.
+  std::size_t nonfinite_leaked = 0;
+
   /// False when kept_cols.size() < min_usable_sites (ISP excluded).
   bool usable = false;
 

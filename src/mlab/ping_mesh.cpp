@@ -54,6 +54,18 @@ bool PingMesh::isp_icmp_limited(AsIndex isp) const noexcept {
          config_.icmp_limited_isp_rate;
 }
 
+bool PingMesh::vp_dark(std::size_t vp_index) const noexcept {
+  if (config_.vp_outage_rate <= 0.0) return false;
+  return hash_uniform(mix64(config_.seed ^ config_.fault_seed ^ 0xDA1) ^
+                      mix64(vp_index)) < config_.vp_outage_rate;
+}
+
+bool PingMesh::isp_storm_limited(AsIndex isp) const noexcept {
+  if (config_.icmp_storm_isp_rate <= 0.0) return false;
+  return hash_uniform(mix64(config_.seed ^ config_.fault_seed ^ 0x570) ^
+                      mix64(isp)) < config_.icmp_storm_isp_rate;
+}
+
 double PingMesh::base_rtt_ms(const VantagePoint& vp, const OffnetServer& server,
                              FacilityIndex facility) const {
   const GeoPoint& server_location = internet_.facilities[facility].location;
@@ -81,10 +93,16 @@ double PingMesh::base_rtt_ms(const VantagePoint& vp, const OffnetServer& server,
 
 double PingMesh::measure_once(const VantagePoint& vp,
                               const OffnetServer& server) const {
+  // Deterministic outages: no probe ever leaves a dark VP and an
+  // unresponsive IP never answers, so the retry budget does not apply.
+  if (vp_dark(vp.index)) return kNoMeasurement;
   if (ip_unresponsive(server.ip)) return kNoMeasurement;
 
   double loss = config_.probe_loss;
   if (isp_icmp_limited(server.isp)) loss = config_.icmp_limited_failure;
+  if (isp_storm_limited(server.isp)) {
+    loss = std::max(loss, config_.icmp_storm_failure);
+  }
 
   // Split-personality IPs answer from their real facility or from a distant
   // "twin" facility depending on the probe -- we model the per-VP outcome:
@@ -101,24 +119,46 @@ double PingMesh::measure_once(const VantagePoint& vp,
     }
   }
 
-  // Per-measurement RNG (deterministic for the (vp, ip) pair).
-  Rng rng(mix64(config_.seed ^ 0x99) ^ ip_key(server.ip, vp.index));
+  const int rounds = 1 + std::max(0, config_.retry_budget);
+  for (int round = 0; round < rounds; ++round) {
+    // Per-measurement RNG (deterministic for the (vp, ip, round) triple).
+    // Round 0 draws from exactly the original stream, so retry_budget = 0 --
+    // and any measurement that succeeds on the first round -- is
+    // bit-identical to the paper behaviour.
+    const std::uint64_t round_salt =
+        round == 0 ? 0
+                   : mix64(config_.fault_seed ^
+                           (0xEE00 + static_cast<std::uint64_t>(round)));
+    Rng rng(mix64(config_.seed ^ 0x99) ^ ip_key(server.ip, vp.index) ^
+            round_salt);
 
-  // Number of responsive probes ~ Binomial(probes, 1 - loss).
-  int responsive = 0;
-  for (int i = 0; i < config_.probes; ++i) {
-    if (!rng.chance(loss)) ++responsive;
+    // Number of responsive probes ~ Binomial(probes, 1 - loss).
+    int responsive = 0;
+    for (int i = 0; i < config_.probes; ++i) {
+      if (!rng.chance(loss)) ++responsive;
+    }
+    if (responsive < 2) {
+      if (round + 1 < rounds) {
+        static obs::CachedCounter reprobes("mlab.reprobe_rounds");
+        reprobes.add(1);
+      }
+      continue;
+    }
+    if (round > 0) {
+      static obs::CachedCounter recovered("mlab.reprobe_recovered");
+      recovered.add(1);
+    }
+
+    // Second-smallest of `responsive` iid exponential jitters, via the order-
+    // statistic representation X(k) = sum_{i<=k} E_i / (n - i + 1).
+    const double n = static_cast<double>(responsive);
+    const double jitter_second =
+        rng.exponential(1.0) * config_.jitter_mean_ms / n +
+        rng.exponential(1.0) * config_.jitter_mean_ms / (n - 1.0);
+
+    return base_rtt_ms(vp, server, facility) + jitter_second;
   }
-  if (responsive < 2) return kNoMeasurement;
-
-  // Second-smallest of `responsive` iid exponential jitters, via the order-
-  // statistic representation X(k) = sum_{i<=k} E_i / (n - i + 1).
-  const double n = static_cast<double>(responsive);
-  const double jitter_second =
-      rng.exponential(1.0) * config_.jitter_mean_ms / n +
-      rng.exponential(1.0) * config_.jitter_mean_ms / (n - 1.0);
-
-  return base_rtt_ms(vp, server, facility) + jitter_second;
+  return kNoMeasurement;
 }
 
 LatencyMatrix PingMesh::measure_isp(const OffnetRegistry& registry,

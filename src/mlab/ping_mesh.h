@@ -72,6 +72,29 @@ struct PingConfig {
   /// measurements fail (these ISPs fall below the 100-VP threshold).
   double icmp_limited_isp_rate = 0.06;
   double icmp_limited_failure = 0.65;
+
+  // --- degraded-mode knobs (all off by default, so the paper behaviour is
+  // --- bit-identical; a FaultPlan fills them in via fault::apply_ping_faults,
+  // --- see docs/ROBUSTNESS.md) ---
+
+  /// Extra salt for the fault pathologies below, so two fault plans over
+  /// the same measurement seed draw independent outage/storm sets.
+  std::uint64_t fault_seed = 0;
+
+  /// Fraction of vantage points that are completely dark (site outage for
+  /// the whole campaign).
+  double vp_outage_rate = 0.0;
+
+  /// Extra fraction of ISPs under an ICMP rate-limit storm, and the
+  /// per-probe failure probability while storming.
+  double icmp_storm_isp_rate = 0.0;
+  double icmp_storm_failure = 0.9;
+
+  /// Re-probe rounds for a (VP, IP) measurement whose probes failed
+  /// transiently (fewer than 2 of `probes` answered). 0 reproduces the
+  /// paper's single 8-probe round. Unresponsive IPs and dark VPs are
+  /// deterministic outages and are never retried.
+  int retry_budget = 0;
 };
 
 /// Row-major latency matrix for one ISP: rows = offnet IPs, cols = VPs.
@@ -104,6 +127,10 @@ class PingMesh {
   bool ip_unresponsive(Ipv4 ip) const noexcept;
   bool ip_split_personality(Ipv4 ip) const noexcept;
   bool isp_icmp_limited(AsIndex isp) const noexcept;
+
+  /// Injected-fault queries (false whenever the matching rate is zero).
+  bool vp_dark(std::size_t vp_index) const noexcept;
+  bool isp_storm_limited(AsIndex isp) const noexcept;
 
   const PingConfig& config() const noexcept { return config_; }
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 
 #include "obs/json.h"
 #include "util/strings.h"
@@ -11,6 +12,16 @@
 namespace repro::obs {
 
 namespace {
+
+std::mutex& section_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<std::pair<std::string, std::string>>& section_store() {
+  static std::vector<std::pair<std::string, std::string>> sections;
+  return sections;
+}
 
 void append_span_json(std::string& out, const Span& span) {
   out += "{\"id\":" + std::to_string(span.id);
@@ -45,6 +56,27 @@ void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
 
 }  // namespace
 
+void set_report_section(const std::string& key, std::string json) {
+  const std::lock_guard<std::mutex> lock(section_mutex());
+  for (auto& [existing, value] : section_store()) {
+    if (existing == key) {
+      value = std::move(json);
+      return;
+    }
+  }
+  section_store().emplace_back(key, std::move(json));
+}
+
+std::vector<std::pair<std::string, std::string>> report_sections() {
+  const std::lock_guard<std::mutex> lock(section_mutex());
+  return section_store();
+}
+
+void clear_report_sections() {
+  const std::lock_guard<std::mutex> lock(section_mutex());
+  section_store().clear();
+}
+
 std::string run_report_json(const std::vector<Span>& spans,
                             const MetricsSnapshot& metrics) {
   std::string out = "{\"schema\":\"repro.run_report.v1\",\"spans\":[";
@@ -70,7 +102,11 @@ std::string run_report_json(const std::vector<Span>& spans,
     out += "\"" + json_escape(metrics.histograms[i].first) + "\":";
     append_histogram_json(out, metrics.histograms[i].second);
   }
-  out += "}}";
+  out += "}";
+  for (const auto& [key, json] : report_sections()) {
+    out += ",\"" + json_escape(key) + "\":" + json;
+  }
+  out += "}";
   return out;
 }
 

@@ -11,7 +11,10 @@
 //     "gauges":     { "<name>": <number>, ... },
 //     "histograms": { "<name>": { "count", "sum", "min", "max",
 //                                 "p50", "p90", "p99",
-//                                 "buckets": [ { "le", "count" } ] } }
+//                                 "buckets": [ { "le", "count" } ] } },
+//     ... plus one top-level key per registered report section (e.g. the
+//     pipeline's "fault" stage-health section); additive, so v1 consumers
+//     that ignore unknown keys keep working
 //   }
 #pragma once
 
@@ -22,6 +25,18 @@
 #include "obs/trace.h"
 
 namespace repro::obs {
+
+/// Registers (or replaces) an extra top-level run-report section. `json`
+/// must be a complete JSON value; it is emitted verbatim under `key`.
+/// Thread-safe. Used by the pipeline to publish its fault/stage-health
+/// section without obs depending on it.
+void set_report_section(const std::string& key, std::string json);
+
+/// Snapshot of the registered sections (key, json), insertion-ordered.
+std::vector<std::pair<std::string, std::string>> report_sections();
+
+/// Drops all registered sections (tests).
+void clear_report_sections();
 
 /// JSON run report from explicit snapshots.
 std::string run_report_json(const std::vector<Span>& spans,

@@ -1,0 +1,498 @@
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/analyses.h"
+#include "core/pipeline.h"
+#include "fault/fault_plan.h"
+#include "fault/stage_health.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "scan/scanner.h"
+#include "topology/generator.h"
+
+namespace repro {
+namespace {
+
+// ------------------------------------------------------------ FaultPlan --
+
+TEST(FaultPlan, NoneIsInactiveAndChaosIsActive) {
+  EXPECT_FALSE(fault::FaultPlan::none().active());
+  EXPECT_FALSE(fault::FaultPlan{}.active());
+  EXPECT_TRUE(fault::FaultPlan::chaos().active());
+  EXPECT_FALSE(fault::FaultPlan::chaos().scaled_by(0.0).active());
+}
+
+TEST(FaultPlan, ScaledByClampsRatesAndKeepsSeed) {
+  const fault::FaultPlan huge = fault::FaultPlan::chaos().scaled_by(1000.0);
+  EXPECT_LE(huge.scan.burst_miss_rate, 0.95);
+  EXPECT_LE(huge.ping.vp_outage_rate, 0.95);
+  EXPECT_LE(huge.cert.garbled_cn_rate, 0.95);
+  EXPECT_EQ(huge.seed, fault::FaultPlan::chaos().seed);
+  // Severities are not rates and must not scale.
+  EXPECT_DOUBLE_EQ(huge.ping.icmp_storm_failure,
+                   fault::FaultPlan::chaos().ping.icmp_storm_failure);
+
+  const fault::FaultPlan half = fault::FaultPlan::chaos().scaled_by(0.5);
+  EXPECT_DOUBLE_EQ(half.scan.burst_coverage,
+                   fault::FaultPlan::chaos().scan.burst_coverage * 0.5);
+}
+
+TEST(FaultPlan, ToJsonParses) {
+  const obs::JsonValue parsed =
+      obs::parse_json(fault::FaultPlan::chaos().to_json());
+  EXPECT_EQ(parsed.at("seed").number(), 4242.0);
+  EXPECT_GT(parsed.at("ping.vp_outage_rate").number(), 0.0);
+}
+
+// ---------------------------------------------------------- StageHealth --
+
+TEST(StageHealth, MergeTakesWorstStatusAndAddsCounts) {
+  fault::StageHealth a;
+  a.status = fault::StageStatus::kDegraded;
+  a.dropped = 3;
+  a.total = 10;
+  a.reasons = {"x"};
+  fault::StageHealth b;
+  b.status = fault::StageStatus::kOk;
+  b.dropped = 0;
+  b.total = 5;
+  b.reasons = {"x", "y"};
+  a.merge(b);
+  EXPECT_EQ(a.status, fault::StageStatus::kDegraded);
+  EXPECT_EQ(a.dropped, 3u);
+  EXPECT_EQ(a.total, 15u);
+  EXPECT_EQ(a.reasons, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(StageHealth, OverallStatusIsWorstAcrossStages) {
+  std::map<std::string, fault::StageHealth> stages;
+  EXPECT_EQ(fault::overall_status(stages), fault::StageStatus::kOk);
+  stages["a"].status = fault::StageStatus::kOk;
+  stages["b"].status = fault::StageStatus::kFailed;
+  stages["c"].status = fault::StageStatus::kDegraded;
+  EXPECT_EQ(fault::overall_status(stages), fault::StageStatus::kFailed);
+}
+
+TEST(StageHealth, SectionJsonParses) {
+  std::map<std::string, fault::StageHealth> stages;
+  stages["scan"].status = fault::StageStatus::kDegraded;
+  stages["scan"].dropped = 7;
+  stages["scan"].total = 100;
+  stages["scan"].reasons = {"lost \"shard\" 3"};
+  const obs::JsonValue parsed = obs::parse_json(
+      fault::fault_section_json(fault::FaultPlan::chaos().to_json(), stages));
+  EXPECT_EQ(parsed.at("overall").str(), "degraded");
+  EXPECT_EQ(parsed.at("stages").at("scan").at("dropped").number(), 7.0);
+  EXPECT_EQ(parsed.at("plan").at("seed").number(), 4242.0);
+}
+
+// -------------------------------------------------------- Scan injection --
+
+/// A synthetic population spread over many /8 shards and /16 regions.
+CertStore synthetic_population(std::size_t count) {
+  CertStore store;
+  for (std::size_t i = 0; i < count; ++i) {
+    TlsCertificate cert;
+    cert.subject.common_name = "host-" + std::to_string(i) + ".example.net";
+    cert.san_dns = {cert.subject.common_name};
+    cert.serial = 1000 + i;
+    // Spread across 64 /8s and 16 /16s within each.
+    const std::uint32_t ip = static_cast<std::uint32_t>(
+        ((i % 64) << 24) | ((i % 16) << 16) | (i & 0xFFFF));
+    store.install(Ipv4(ip), std::move(cert));
+  }
+  return store;
+}
+
+std::vector<ScanRecord> synthetic_records(std::size_t count) {
+  std::vector<ScanRecord> records;
+  for (const TlsEndpoint& endpoint : synthetic_population(count).all_sorted()) {
+    records.push_back({endpoint.ip, endpoint.cert});
+  }
+  return records;
+}
+
+TEST(ScanFaults, InactivePlanIsIdentity) {
+  const auto records = synthetic_records(500);
+  fault::ScanFaultOutcome outcome;
+  const auto out =
+      fault::inject_scan_faults(records, fault::FaultPlan::none(), &outcome);
+  EXPECT_EQ(out.size(), records.size());
+  EXPECT_EQ(outcome.dropped(), 0u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].ip, records[i].ip);
+  }
+}
+
+TEST(ScanFaults, ShardTruncationDropsWholeShards) {
+  const auto records = synthetic_records(2000);
+  fault::FaultPlan plan;
+  plan.scan.shard_truncation = 0.4;
+  fault::ScanFaultOutcome outcome;
+  const auto out = fault::inject_scan_faults(records, plan, &outcome);
+  EXPECT_GT(outcome.truncated, 0u);
+  EXPECT_EQ(outcome.burst_missed, 0u);
+  EXPECT_EQ(out.size() + outcome.truncated, records.size());
+
+  // All-or-nothing per /8: every surviving shard must be complete.
+  std::map<std::uint32_t, std::size_t> before, after;
+  for (const auto& record : records) ++before[record.ip.value() >> 24];
+  for (const auto& record : out) ++after[record.ip.value() >> 24];
+  for (const auto& [shard, count] : after) {
+    EXPECT_EQ(count, before.at(shard)) << "shard " << shard << " truncated "
+                                       << "partially, not wholesale";
+  }
+
+  // Deterministic replay.
+  const auto again = fault::inject_scan_faults(records, plan);
+  ASSERT_EQ(again.size(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(again[i].ip, out[i].ip);
+  }
+}
+
+TEST(ScanFaults, MissBurstsConfinedToBurstRegions) {
+  const auto records = synthetic_records(2000);
+  fault::FaultPlan plan;
+  plan.scan.burst_coverage = 0.5;
+  plan.scan.burst_miss_rate = 1.0;  // every record in a bursty /16 is lost
+  fault::ScanFaultOutcome outcome;
+  const auto out = fault::inject_scan_faults(records, plan, &outcome);
+  EXPECT_GT(outcome.burst_missed, 0u);
+  EXPECT_EQ(outcome.truncated, 0u);
+
+  // With miss rate 1.0 a /16 region is either untouched or emptied.
+  std::map<std::uint32_t, std::size_t> before, after;
+  for (const auto& record : records) ++before[record.ip.value() >> 16];
+  for (const auto& record : out) ++after[record.ip.value() >> 16];
+  for (const auto& [region, count] : after) {
+    EXPECT_EQ(count, before.at(region));
+  }
+  EXPECT_LT(after.size(), before.size());
+}
+
+// -------------------------------------------------------- Cert injection --
+
+TEST(CertFaults, GarbledCertsLoseNamesAndChurnedKeepThem) {
+  CertStore store = synthetic_population(1000);
+  const CertStore original = store;
+  fault::FaultPlan plan;
+  plan.cert.churn_rate = 0.3;
+  plan.cert.garbled_cn_rate = 0.2;
+  fault::CertFaultOutcome outcome;
+  fault::inject_cert_faults(store, plan, &outcome);
+  EXPECT_GT(outcome.churned, 0u);
+  EXPECT_GT(outcome.garbled, 0u);
+  EXPECT_EQ(store.size(), original.size());  // rewritten, never removed
+
+  std::size_t garbled = 0;
+  std::size_t churned = 0;
+  for (const TlsEndpoint& endpoint : original.all_sorted()) {
+    const TlsCertificate mutated = *store.lookup(endpoint.ip);
+    if (mutated == endpoint.cert) continue;
+    if (mutated.subject.common_name.starts_with("garbled-")) {
+      ++garbled;
+      EXPECT_TRUE(mutated.san_dns.empty());
+      EXPECT_TRUE(mutated.subject.organization.empty());
+    } else {
+      // Churn: new serial/validity, names intact.
+      ++churned;
+      EXPECT_EQ(mutated.subject.common_name, endpoint.cert.subject.common_name);
+      EXPECT_EQ(mutated.san_dns, endpoint.cert.san_dns);
+      EXPECT_NE(mutated.serial, endpoint.cert.serial);
+    }
+  }
+  EXPECT_EQ(garbled, outcome.garbled);
+  EXPECT_EQ(churned, outcome.churned);
+}
+
+TEST(CertFaults, InactivePlanNeverMutates) {
+  CertStore store = synthetic_population(200);
+  const CertStore original = store;
+  fault::inject_cert_faults(store, fault::FaultPlan::none());
+  for (const TlsEndpoint& endpoint : original.all_sorted()) {
+    EXPECT_EQ(*store.lookup(endpoint.ip), endpoint.cert);
+  }
+}
+
+// ------------------------------------------------------- Scanner replay --
+
+TEST(ScannerReplay, NonzeroMissRateIsDeterministic) {
+  const CertStore population = synthetic_population(3000);
+  ScannerConfig config;
+  config.seed = 77;
+  config.miss_rate = 0.3;
+  const Scanner scanner(config);
+  const auto a = scanner.scan(population);
+  const auto b = scanner.scan(population);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_LT(a.size(), population.size());  // misses actually happened
+  EXPECT_GT(a.size(), population.size() / 2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ip, b[i].ip);
+    EXPECT_EQ(a[i].cert, b[i].cert);
+  }
+  // A different seed must miss a different subset.
+  config.seed = 78;
+  const auto c = Scanner(config).scan(population);
+  std::set<std::uint32_t> ips_a, ips_c;
+  for (const auto& record : a) ips_a.insert(record.ip.value());
+  for (const auto& record : c) ips_c.insert(record.ip.value());
+  EXPECT_NE(ips_a, ips_c);
+}
+
+// ----------------------------------------------------------- Ping faults --
+
+class PingFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new Internet(InternetGenerator(GeneratorConfig::tiny()).generate());
+    DeploymentConfig config;
+    config.footprint_scale = GeneratorConfig::tiny().scale;
+    registry_ = new OffnetRegistry(
+        DeploymentPolicy(*net_, config).deploy(Snapshot::k2023));
+    vps_ = new VantagePointSet(*net_, 40, 163163);
+  }
+  static void TearDownTestSuite() {
+    delete vps_;
+    delete registry_;
+    delete net_;
+  }
+  static Internet* net_;
+  static OffnetRegistry* registry_;
+  static VantagePointSet* vps_;
+};
+
+Internet* PingFaultTest::net_ = nullptr;
+OffnetRegistry* PingFaultTest::registry_ = nullptr;
+VantagePointSet* PingFaultTest::vps_ = nullptr;
+
+TEST_F(PingFaultTest, ZeroRatesNeverDarkOrStorming) {
+  const PingMesh mesh(*net_, *vps_, PingConfig{});
+  for (std::size_t vp = 0; vp < vps_->size(); ++vp) {
+    EXPECT_FALSE(mesh.vp_dark(vp));
+  }
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    EXPECT_FALSE(mesh.isp_storm_limited(isp));
+  }
+}
+
+TEST_F(PingFaultTest, DarkVantagePointsAnswerNothing) {
+  PingConfig config;
+  fault::FaultPlan plan;
+  plan.ping.vp_outage_rate = 0.3;
+  fault::apply_ping_faults(config, plan);
+  const PingMesh mesh(*net_, *vps_, config);
+  std::size_t dark = 0;
+  for (std::size_t vp = 0; vp < vps_->size(); ++vp) {
+    if (!mesh.vp_dark(vp)) continue;
+    ++dark;
+    for (std::size_t s = 0; s < 5; ++s) {
+      EXPECT_TRUE(std::isnan(
+          mesh.measure_once((*vps_)[vp], registry_->servers()[s])));
+    }
+  }
+  EXPECT_GT(dark, 0u);
+  EXPECT_LT(dark, vps_->size());
+}
+
+TEST_F(PingFaultTest, StormRaisesFailureRateForStormIsps) {
+  PingConfig config;
+  fault::FaultPlan plan;
+  plan.ping.icmp_storm_rate = 0.5;
+  plan.ping.icmp_storm_failure = 0.97;
+  fault::apply_ping_faults(config, plan);
+  const PingMesh mesh(*net_, *vps_, config);
+  const PingMesh clean(*net_, *vps_, PingConfig{});
+
+  std::size_t storm_nan = 0, storm_all = 0, calm_nan = 0, calm_all = 0;
+  for (const AsIndex isp : registry_->hosting_isps()) {
+    // Skip ISPs with baseline pathologies so the storm effect is isolated.
+    if (clean.isp_icmp_limited(isp)) continue;
+    for (const std::size_t si : registry_->servers_at(isp)) {
+      const OffnetServer& server = registry_->servers()[si];
+      if (clean.ip_unresponsive(server.ip)) continue;
+      for (std::size_t vp = 0; vp < 10; ++vp) {
+        const bool failed =
+            std::isnan(mesh.measure_once((*vps_)[vp], server));
+        if (mesh.isp_storm_limited(isp)) {
+          ++storm_all;
+          storm_nan += failed ? 1 : 0;
+        } else {
+          ++calm_all;
+          calm_nan += failed ? 1 : 0;
+        }
+      }
+    }
+  }
+  ASSERT_GT(storm_all, 100u);
+  ASSERT_GT(calm_all, 100u);
+  const double storm_rate = static_cast<double>(storm_nan) / storm_all;
+  const double calm_rate = static_cast<double>(calm_nan) / calm_all;
+  EXPECT_GT(storm_rate, 0.5);
+  EXPECT_LT(calm_rate, 0.2);
+}
+
+TEST_F(PingFaultTest, RetryBudgetRecoversTransientFailuresOnly) {
+  PingConfig flaky;
+  flaky.probe_loss = 0.75;  // most single rounds fail to get 2 responses
+  const PingMesh once(*net_, *vps_, flaky);
+  PingConfig retrying = flaky;
+  retrying.retry_budget = 4;
+  retrying.fault_seed = 4242;
+  const PingMesh retried(*net_, *vps_, retrying);
+
+  std::size_t recovered = 0;
+  std::size_t checked = 0;
+  for (std::size_t s = 0; s < 40 && s < registry_->server_count(); ++s) {
+    const OffnetServer& server = registry_->servers()[s];
+    for (std::size_t vp = 0; vp < 10; ++vp) {
+      const double single = once.measure_once((*vps_)[vp], server);
+      const double multi = retried.measure_once((*vps_)[vp], server);
+      ++checked;
+      if (!std::isnan(single)) {
+        // A first-round success must be bit-identical with retries enabled.
+        EXPECT_DOUBLE_EQ(single, multi);
+      } else if (!std::isnan(multi)) {
+        ++recovered;
+      }
+      if (once.ip_unresponsive(server.ip)) {
+        // Deterministic outages are never retried back to life.
+        EXPECT_TRUE(std::isnan(multi));
+      }
+    }
+  }
+  ASSERT_GT(checked, 100u);
+  EXPECT_GT(recovered, 0u);
+}
+
+TEST_F(PingFaultTest, ExtraUnresponsiveAndImpossibleRatesRaiseBaseline) {
+  PingConfig config;
+  fault::FaultPlan plan;
+  plan.ping.extra_unresponsive_rate = 0.2;
+  plan.anycast.impossible_ip_rate = 0.05;
+  fault::apply_ping_faults(config, plan);
+  const PingMesh faulted(*net_, *vps_, config);
+  const PingMesh clean(*net_, *vps_, PingConfig{});
+
+  std::size_t clean_unresponsive = 0, faulted_unresponsive = 0;
+  std::size_t clean_split = 0, faulted_split = 0;
+  for (const OffnetServer& server : registry_->servers()) {
+    clean_unresponsive += clean.ip_unresponsive(server.ip) ? 1 : 0;
+    faulted_unresponsive += faulted.ip_unresponsive(server.ip) ? 1 : 0;
+    clean_split += clean.ip_split_personality(server.ip) ? 1 : 0;
+    faulted_split += faulted.ip_split_personality(server.ip) ? 1 : 0;
+    // Threshold raising is monotone: baseline pathologies are preserved.
+    if (clean.ip_unresponsive(server.ip)) {
+      EXPECT_TRUE(faulted.ip_unresponsive(server.ip));
+    }
+  }
+  EXPECT_GT(faulted_unresponsive, clean_unresponsive);
+  EXPECT_GT(faulted_split, clean_split);
+}
+
+// ------------------------------------------------- Degraded pipeline ------
+
+TEST(FaultPipeline, ZeroFaultPlanIsBitIdenticalToNoPlan) {
+  const Pipeline bare(Scenario::tiny());
+  const Pipeline with_plan(Scenario::tiny(), fault::FaultPlan::none());
+
+  const auto& records_a = bare.scan_records(Snapshot::k2023);
+  const auto& records_b = with_plan.scan_records(Snapshot::k2023);
+  ASSERT_EQ(records_a.size(), records_b.size());
+  for (std::size_t i = 0; i < records_a.size(); ++i) {
+    ASSERT_EQ(records_a[i].ip, records_b[i].ip);
+    ASSERT_EQ(records_a[i].cert, records_b[i].cert);
+  }
+
+  const Table1Study t1_a = table1_study(bare);
+  const Table1Study t1_b = table1_study(with_plan);
+  EXPECT_EQ(t1_a.total_offnet_ips_2023, t1_b.total_offnet_ips_2023);
+  EXPECT_EQ(t1_a.total_hosting_isps_2023, t1_b.total_hosting_isps_2023);
+  ASSERT_EQ(t1_a.rows.size(), t1_b.rows.size());
+  for (std::size_t i = 0; i < t1_a.rows.size(); ++i) {
+    EXPECT_EQ(t1_a.rows[i].isps_2021, t1_b.rows[i].isps_2021);
+    EXPECT_EQ(t1_a.rows[i].isps_2023, t1_b.rows[i].isps_2023);
+    EXPECT_EQ(t1_a.rows[i].isps_2023_old_method,
+              t1_b.rows[i].isps_2023_old_method);
+  }
+
+  const Figure1Study f1_a = figure1_study(bare);
+  const Figure1Study f1_b = figure1_study(with_plan);
+  EXPECT_EQ(f1_a.isps_ge2, f1_b.isps_ge2);
+  ASSERT_EQ(f1_a.countries.size(), f1_b.countries.size());
+  for (std::size_t i = 0; i < f1_a.countries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(f1_a.countries[i].frac_ge2, f1_b.countries[i].frac_ge2);
+  }
+
+  // Ping campaign: identical measurements, and every stage reports ok.
+  const OffnetRegistry& registry = bare.registry(Snapshot::k2023);
+  for (std::size_t s = 0; s < 30 && s < registry.server_count(); ++s) {
+    const double a = bare.ping_mesh().measure_once(
+        bare.vantage_points()[0], registry.servers()[s]);
+    const double b = with_plan.ping_mesh().measure_once(
+        with_plan.vantage_points()[0], registry.servers()[s]);
+    if (std::isnan(a)) {
+      EXPECT_TRUE(std::isnan(b));
+    } else {
+      EXPECT_DOUBLE_EQ(a, b);
+    }
+  }
+  EXPECT_EQ(with_plan.overall_status(), fault::StageStatus::kOk);
+  for (const auto& [stage, health] : with_plan.stage_health()) {
+    EXPECT_EQ(health.status, fault::StageStatus::kOk) << stage;
+    EXPECT_EQ(health.dropped, 0u) << stage;
+  }
+}
+
+TEST(FaultPipeline, ChaosPlanDegradesButCompletes) {
+  const Pipeline pipeline(Scenario::tiny(), fault::FaultPlan::chaos());
+  const Table1Study t1 = table1_study(pipeline);
+  EXPECT_GT(t1.total_offnet_ips_2023, 0u);
+  const Figure1Study f1 = figure1_study(pipeline);
+  EXPECT_GT(f1.isps_ge2, 0u);
+  pipeline.ping_mesh();
+
+  EXPECT_EQ(pipeline.overall_status(), fault::StageStatus::kDegraded);
+  const auto& health = pipeline.stage_health();
+  ASSERT_TRUE(health.contains("scan"));
+  EXPECT_EQ(health.at("scan").status, fault::StageStatus::kDegraded);
+  EXPECT_GT(health.at("scan").dropped, 0u);
+  ASSERT_TRUE(health.contains("tls_population"));
+  EXPECT_GT(health.at("tls_population").total, 0u);
+  ASSERT_TRUE(health.contains("ping_mesh"));
+  EXPECT_FALSE(health.at("ping_mesh").reasons.empty());
+
+  // The degraded run publishes a parseable "fault" report section.
+  bool found = false;
+  for (const auto& [key, json] : obs::report_sections()) {
+    if (key != "fault") continue;
+    found = true;
+    const obs::JsonValue parsed = obs::parse_json(json);
+    EXPECT_EQ(parsed.at("overall").str(), "degraded");
+    EXPECT_TRUE(parsed.at("stages").contains("scan"));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FaultPipeline, PopulationAndScanCachedAcrossMethodologies) {
+  const Pipeline pipeline(Scenario::tiny());
+  const CertStore& population = pipeline.population(Snapshot::k2023);
+  const auto& records = pipeline.scan_records(Snapshot::k2023);
+  pipeline.discovery(Snapshot::k2023, Methodology::k2023);
+  pipeline.discovery(Snapshot::k2023, Methodology::k2021);
+  // Both methodologies classified the same cached scan of the same cached
+  // population -- no rebuild per (snapshot, methodology) pair.
+  EXPECT_EQ(&population, &pipeline.population(Snapshot::k2023));
+  EXPECT_EQ(&records, &pipeline.scan_records(Snapshot::k2023));
+  // A different snapshot is a different campaign.
+  EXPECT_NE(&population, &pipeline.population(Snapshot::k2021));
+}
+
+}  // namespace
+}  // namespace repro

@@ -275,6 +275,24 @@ TEST_F(ObsTest, RunReportJsonRoundTrip) {
   EXPECT_TRUE(doc.at("histograms").contains("span.report-stage"));
 }
 
+TEST_F(ObsTest, ReportSectionsAppearAsTopLevelKeys) {
+  clear_report_sections();
+  set_report_section("fault", "{\"overall\":\"degraded\"}");
+  set_report_section("extra", "[1,2,3]");
+  set_report_section("fault", "{\"overall\":\"ok\"}");  // replaces, not appends
+
+  const JsonValue doc = parse_json(run_report_json());
+  EXPECT_EQ(doc.at("schema").str(), "repro.run_report.v1");
+  EXPECT_EQ(doc.at("fault").at("overall").str(), "ok");
+  ASSERT_EQ(doc.at("extra").size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("extra").at(2).number(), 3.0);
+
+  clear_report_sections();
+  const JsonValue clean = parse_json(run_report_json());
+  EXPECT_FALSE(clean.contains("fault"));
+  EXPECT_FALSE(clean.contains("extra"));
+}
+
 TEST_F(ObsTest, TablesRenderEveryEntry) {
   {
     ScopedSpan outer("table-stage");
