@@ -215,6 +215,6 @@ int main() {
   sweep_vantage_points(scenario);
   sweep_silent_routers(pipeline);
   sweep_headroom();
-  print_footer("ablation_sweeps", watch);
+  print_footer("ablation_sweeps", watch, pipeline);
   return 0;
 }

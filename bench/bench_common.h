@@ -62,26 +62,64 @@ inline void print_header(const char* title) {
   std::printf("==============================================================\n\n");
 }
 
-/// One JSON line describing a finished benchmark run.
-inline std::string bench_json_line(const char* bench, double seconds) {
-  char line[256];
-  std::snprintf(line, sizeof(line),
+/// One JSON line describing a finished benchmark run. `extra_fields`, when
+/// non-empty, is spliced verbatim before the closing brace (it must be a
+/// comma-separated list of already-escaped `"key":value` pairs).
+inline std::string bench_json_line(const char* bench, double seconds,
+                                   const std::string& extra_fields = {}) {
+  char prefix[256];
+  std::snprintf(prefix, sizeof(prefix),
                 "{\"bench\":\"%s\",\"scale\":\"%s\",\"seconds\":%.6f,"
-                "\"clock\":\"steady\"}\n",
+                "\"clock\":\"steady\"",
                 bench, scale_name(), seconds);
+  std::string line = prefix;
+  if (!extra_fields.empty()) {
+    line += ",";
+    line += extra_fields;
+  }
+  line += "}\n";
   return line;
 }
 
+/// `"health":"<overall>","stages":{"<stage>":"<status>",...}` fields for a
+/// BENCH json line, from a pipeline's stage-health map. An empty map (no
+/// pipeline, or no stage executed) reads as a clean run.
+inline std::string health_json_fields(
+    const std::map<std::string, fault::StageHealth>& stages) {
+  std::string out = "\"health\":\"";
+  out += fault::to_string(fault::overall_status(stages));
+  out += "\",\"stages\":{";
+  bool first = true;
+  for (const auto& [stage, health] : stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + stage + "\":\"";
+    out += fault::to_string(health.status);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
 /// Prints the footer and emits the machine-readable artifacts described in
-/// the header comment. `bench` names the BENCH_<bench>.json file.
-inline void print_footer(const char* bench, const Stopwatch& watch) {
+/// the header comment. `bench` names the BENCH_<bench>.json file; `stages`
+/// (typically pipeline.stage_health()) becomes the line's health verdict and
+/// `extra_fields` extends the line (see bench_json_line).
+inline void print_footer(const char* bench, const Stopwatch& watch,
+                         const std::map<std::string, fault::StageHealth>& stages = {},
+                         const std::string& extra_fields = {}) {
   std::printf("\n[completed in %.1f s]\n", watch.seconds());
 
+  std::string fields = health_json_fields(stages);
+  if (!extra_fields.empty()) {
+    fields += ",";
+    fields += extra_fields;
+  }
   const char* dir = std::getenv("REPRO_BENCH_OUT");
   const std::string path = std::string(dir == nullptr ? "bench_output" : dir) +
                            "/BENCH_" + bench + ".json";
   try {
-    write_file(path, bench_json_line(bench, watch.seconds()));
+    write_file(path, bench_json_line(bench, watch.seconds(), fields));
   } catch (const Error& error) {
     std::fprintf(stderr, "bench json not written: %s\n", error.what());
   }
@@ -93,6 +131,14 @@ inline void print_footer(const char* bench, const Stopwatch& watch) {
       std::printf("[trace: wrote %s]\n", obs::default_report_path().c_str());
     }
   }
+}
+
+/// Footer for a harness built around one Pipeline: surfaces its per-stage
+/// StageHealth verdicts in the BENCH json line.
+inline void print_footer(const char* bench, const Stopwatch& watch,
+                         const Pipeline& pipeline,
+                         const std::string& extra_fields = {}) {
+  print_footer(bench, watch, pipeline.stage_health(), extra_fields);
 }
 
 inline constexpr double kPaperXis[] = {0.1, 0.9};

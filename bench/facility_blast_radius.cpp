@@ -80,6 +80,6 @@ int main() {
       "Paper claim to hold: one building concentrates many ISPs' and several\n"
       "hypergiants' serving capacity; its loss pushes traffic onto shared\n"
       "interdomain links and congests paths well beyond the facility itself.\n");
-  print_footer("facility_blast_radius", watch);
+  print_footer("facility_blast_radius", watch, pipeline);
   return 0;
 }

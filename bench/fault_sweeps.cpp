@@ -14,6 +14,7 @@
 // harshest sweep point).
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,7 @@ struct SweepPoint {
   Table1Study table1;
   Figure1Study figure1;
   Table2Study table2;
+  std::map<std::string, fault::StageHealth> stages;
   double seconds = 0.0;
 };
 
@@ -122,6 +124,7 @@ int main() {
     point.figure1 = figure1_study(pipeline);
     point.table2 = table2_study(pipeline, xis);
     point.status = pipeline.overall_status();
+    point.stages = pipeline.stage_health();
     point.seconds = watch.seconds();
     std::printf("intensity %.2f: status=%s, %zu hosting ISPs, %.1f s\n",
                 intensity, std::string(to_string(point.status)).c_str(),
@@ -181,6 +184,8 @@ int main() {
     std::fprintf(stderr, "csv not written: %s\n", error.what());
   }
 
-  bench::print_footer("fault_sweeps", total);
+  // The BENCH line carries the harshest sweep point's health verdicts; the
+  // clean baseline is by construction all-ok.
+  bench::print_footer("fault_sweeps", total, points.back().stages);
   return 0;
 }

@@ -31,6 +31,6 @@ int main() {
       "Paper reference: of 5516 hosting ISPs, 3382 host >=2 hypergiants,\n"
       "1880 host >=3 and 505 host all four; in many countries the majority\n"
       "of users sit in ISPs hosting offnets of >=2 hypergiants.\n");
-  print_footer("figure1_country_maps", watch);
+  print_footer("figure1_country_maps", watch, pipeline);
   return 0;
 }

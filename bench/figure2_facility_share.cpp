@@ -32,6 +32,6 @@ int main() {
       "Paper reference: 76%% of users are in ISPs with offnets; 56%% in\n"
       "analyzable ISPs; of those, 71-82%% can fetch >=25%% of their traffic\n"
       "from one facility and 18-31%% have an all-four facility (52%%).\n");
-  print_footer("figure2_facility_share", watch);
+  print_footer("figure2_facility_share", watch, pipeline);
   return 0;
 }

@@ -19,6 +19,6 @@ int main() {
       "hosting >=2, ~1690 >=3, ~430 all four; 2023 -- 3382 >=2, 1880 >=3,\n"
       "505 all four. The trend to hold: every cohosting series increases\n"
       "monotonically year over year.\n");
-  print_footer("longitudinal_growth", watch);
+  print_footer("longitudinal_growth", watch, pipeline);
   return 0;
 }

@@ -4,6 +4,7 @@
 // scan classification, and the deterministic RNG.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "cluster/optics.h"
 #include "obs/report.h"
 #include "hypergiant/background.h"
@@ -12,6 +13,7 @@
 #include "scan/classifier.h"
 #include "topology/generator.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace repro {
 namespace {
@@ -71,6 +73,23 @@ void BM_PairwiseDistances(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_PairwiseDistances)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+// Same kernel pinned to one thread, for a serial-vs-pool comparison against
+// BM_PairwiseDistances (which uses the REPRO_THREADS / hardware default).
+void BM_PairwiseDistancesSerial(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t cols = 163;
+  Rng rng(3);
+  std::vector<double> table(rows * cols);
+  for (auto& value : table) value = rng.uniform(10.0, 200.0);
+  set_default_thread_count(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairwise_distances(table, rows, cols, 0.2));
+  }
+  set_default_thread_count(0);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PairwiseDistancesSerial)->Arg(64)->Arg(256)->Complexity();
 
 DistanceMatrix random_blobs(std::size_t n, std::size_t blobs) {
   Rng rng(4);
@@ -158,14 +177,63 @@ void BM_PingIspMeasurement(benchmark::State& state) {
 }
 BENCHMARK(BM_PingIspMeasurement);
 
+// Best-of-3 wall time for one pairwise_distances call at a fixed thread
+// count (0 restores the REPRO_THREADS / hardware default afterwards).
+double time_pairwise(const std::vector<double>& table, std::size_t rows,
+                     std::size_t cols, std::size_t threads) {
+  set_default_thread_count(threads);
+  double best = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    const bench::Stopwatch watch;
+    benchmark::DoNotOptimize(pairwise_distances(table, rows, cols, 0.2));
+    const double seconds = watch.seconds();
+    if (run == 0 || seconds < best) best = seconds;
+  }
+  set_default_thread_count(0);
+  return best;
+}
+
 }  // namespace
 }  // namespace repro
 
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const repro::bench::Stopwatch total;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+
+  // Headline serial-vs-parallel speedup of the dominant kernel (the per-ISP
+  // distance matrix), recorded in BENCH_perf_micro.json for trend tooling.
+  // 8 threads matches the determinism test tier; on smaller machines the
+  // pool still runs 8 workers, so the number reflects real oversubscription.
+  {
+    using namespace repro;
+    const std::size_t rows = 256;
+    const std::size_t cols = 163;
+    const std::size_t threads = 8;
+    Rng rng(3);
+    std::vector<double> table(rows * cols);
+    for (auto& value : table) value = rng.uniform(10.0, 200.0);
+    const double serial = time_pairwise(table, rows, cols, 1);
+    const double parallel = time_pairwise(table, rows, cols, threads);
+    const double speedup = parallel > 0.0 ? serial / parallel : 0.0;
+    std::printf(
+        "\npairwise_distances %zux%zu: serial %.4f s, %zu threads %.4f s "
+        "(speedup %.2fx, %zu hardware threads)\n",
+        rows, cols, serial, threads, parallel, speedup,
+        hardware_thread_count());
+    char fields[256];
+    std::snprintf(fields, sizeof(fields),
+                  "\"pairwise_serial_seconds\":%.6f,"
+                  "\"pairwise_parallel_seconds\":%.6f,"
+                  "\"pairwise_threads\":%zu,\"pairwise_speedup\":%.3f,"
+                  "\"hardware_threads\":%zu",
+                  serial, parallel, threads, speedup,
+                  hardware_thread_count());
+    bench::print_footer("perf_micro", total, {}, fields);
+  }
+
   // With REPRO_TRACE=1 the kernels above populate span/metric state; dump it
   // like the table harnesses do.
   repro::obs::maybe_write_run_report();

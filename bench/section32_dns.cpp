@@ -58,6 +58,6 @@ int main() {
       "infrastructure via DNS; Google/Netflix/Meta now direct users with\n"
       "URLs embedded in returned pages (DNS reveals nothing), and Akamai\n"
       "only answers ECS from allow-listed resolvers.\n");
-  print_footer("section32_dns", watch);
+  print_footer("section32_dns", watch, pipeline);
   return 0;
 }

@@ -17,6 +17,6 @@ int main() {
       "Paper claim to hold: in countries where most users sit in ISPs with\n"
       "colocated offnets, a handful of facilities carries most offnet-served\n"
       "traffic -- a small set of local choke points.\n");
-  print_footer("section33_chokepoints", watch);
+  print_footer("section33_chokepoints", watch, pipeline);
   return 0;
 }

@@ -20,6 +20,6 @@ int main() {
       "37.8-64.3%% single Meta, 34.3-78.4%% single Google, 34.6-75.1%%\n"
       "single Akamai; lockdown: offnets +20%% vs demand +58%%, interdomain\n"
       "more than doubled; at peak, distant servers carry a larger share.\n");
-  print_footer("section41_capacity", watch);
+  print_footer("section41_capacity", watch, pipeline);
   return 0;
 }

@@ -19,6 +19,6 @@ int main() {
       "Google, 13.3%% possibly peer (unresponsive hops), 48.4%% show no\n"
       "evidence; of 9207 inferred peers, 62.2%% peer via an IXP in >=1\n"
       "traceroute and 42.5%% only via IXPs.\n");
-  print_footer("section421_peering", watch);
+  print_footer("section421_peering", watch, pipeline);
   return 0;
 }

@@ -12,6 +12,6 @@ int main() {
 
   Pipeline pipeline(scenario_from_env());
   std::printf("%s\n", render(section422_study(pipeline)).c_str());
-  print_footer("section422_pni", watch);
+  print_footer("section422_pni", watch, pipeline);
   return 0;
 }

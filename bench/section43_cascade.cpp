@@ -20,6 +20,6 @@ int main() {
       "multiple hypergiants push far more traffic onto shared routes than\n"
       "single-hypergiant facilities, congesting IXPs/transit and damaging\n"
       "unrelated services.\n");
-  print_footer("section43_cascade", watch);
+  print_footer("section43_cascade", watch, pipeline);
   return 0;
 }

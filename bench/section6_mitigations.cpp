@@ -89,6 +89,6 @@ int main() {
     }
   }
   std::printf("%s\n", table.render().c_str());
-  print_footer("section6_mitigations", watch);
+  print_footer("section6_mitigations", watch, pipeline);
   return 0;
 }

@@ -18,6 +18,6 @@ int main() {
       "Paper reference: Google 3810 -> 4697 (+23.2%%), Netflix 2115 -> 2906\n"
       "(+37.4%%), Meta 2214 -> 2588 (+16.9%%), Akamai 1094 -> 1094 (+0.0%%);\n"
       "261K offnet IPs across 5516 ISPs in 2023.\n");
-  print_footer("table1_offnet_footprint", watch);
+  print_footer("table1_offnet_footprint", watch, pipeline);
   return 0;
 }

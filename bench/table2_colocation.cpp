@@ -3,7 +3,14 @@
 // with another hypergiant's offnets, bucketed {sole, 0%, (0,50)%, [50,100)%,
 // 100%}. Runs the full measurement pipeline: ping mesh from the vantage
 // points, Appendix-A filters, per-ISP OPTICS clustering.
+//
+// The BENCH json line records the clustering stage's wall time and thread
+// count. With REPRO_SPEEDUP=1 a second, serial (threads = 1) pipeline is run
+// as a baseline and the line gains clustering_serial_seconds /
+// clustering_speedup -- off by default because the extra run doubles the
+// harness cost and re-executes every stage counter.
 #include "bench_common.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace repro;
@@ -12,6 +19,15 @@ int main() {
   print_header("Table 2 -- colocation of offnets across hypergiants");
 
   Pipeline pipeline(scenario_from_env());
+  // Materialize everything upstream of clustering so the stage timer below
+  // sees clustering alone, not discovery or the ping mesh.
+  pipeline.hosting_isps_2023();
+  pipeline.ping_mesh();
+  const Stopwatch cluster_watch;
+  pipeline.clusterings(0.1);
+  const double cluster_seconds = cluster_watch.seconds();
+  const std::size_t cluster_threads = default_thread_count();
+
   std::printf("%s\n", render(table2_study(pipeline, kPaperXis)).c_str());
 
   std::printf(
@@ -22,6 +38,37 @@ int main() {
       "  Netflix xi=0.1: 12/21/10/11/46   xi=0.9: 12/ 8/ 2/ 7/71\n"
       "Shape to hold: colocation widespread for every hypergiant; xi=0.9\n"
       "shows far more full colocation; Akamai the most partial deployments.\n");
-  print_footer("table2_colocation", watch);
+  std::printf("\nclustering: %.1f s on %zu threads\n", cluster_seconds,
+              cluster_threads);
+
+  char fields[256];
+  std::snprintf(fields, sizeof(fields),
+                "\"clustering_seconds\":%.6f,\"clustering_threads\":%zu",
+                cluster_seconds, cluster_threads);
+  std::string extra = fields;
+
+  const char* speedup_env = std::getenv("REPRO_SPEEDUP");
+  if (speedup_env != nullptr && std::string(speedup_env) == "1" &&
+      cluster_threads > 1) {
+    set_default_thread_count(1);
+    Pipeline serial(scenario_from_env());
+    serial.hosting_isps_2023();
+    serial.ping_mesh();
+    const Stopwatch serial_watch;
+    serial.clusterings(0.1);
+    const double serial_seconds = serial_watch.seconds();
+    set_default_thread_count(0);
+    const double speedup =
+        cluster_seconds > 0.0 ? serial_seconds / cluster_seconds : 0.0;
+    std::printf("serial baseline: %.1f s (speedup %.2fx)\n", serial_seconds,
+                speedup);
+    std::snprintf(fields, sizeof(fields),
+                  ",\"clustering_serial_seconds\":%.6f,"
+                  "\"clustering_speedup\":%.3f",
+                  serial_seconds, speedup);
+    extra += fields;
+  }
+
+  print_footer("table2_colocation", watch, pipeline, extra);
   return 0;
 }

@@ -20,6 +20,6 @@ int main() {
       "55 single-city + 3 single-metro + 2 multi-city; xi=0.9 -- 34 clusters,\n"
       "30 + 2 + 2. Shape to hold: the overwhelming majority of clusters are\n"
       "geographically consistent once HOIHO misreads are corrected.\n");
-  print_footer("validation_rdns", watch);
+  print_footer("validation_rdns", watch, pipeline);
   return 0;
 }

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an AddressSanitizer pass over the fault tests.
+# Tier-1 verification plus sanitizer passes: AddressSanitizer over the fault
+# tests and ThreadSanitizer over the concurrency-sensitive tiers (the
+# parallel clustering engine, the obs registry, and degraded-mode runs).
 #
 #   ./scripts/check.sh             tier-1 build + full ctest, then an
 #                                  ASan build of test_fault (label `fault`)
-#   SKIP_ASAN=1 ./scripts/check.sh tier-1 only
+#                                  and a TSan build of the `parallel`, `obs`
+#                                  and `fault` labels
+#   SKIP_ASAN=1 ./scripts/check.sh skip the ASan pass
+#   SKIP_TSAN=1 ./scripts/check.sh skip the TSan pass
 #
 # Exits nonzero on the first failure.
 set -euo pipefail
@@ -21,6 +26,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DREPRO_SANITIZE=address >/dev/null
   cmake --build build-asan -j"$(nproc)" --target test_fault
   (cd build-asan && ctest -L fault --output-on-failure -j"$(nproc)")
+fi
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== tsan: parallel + obs + fault tests =="
+  cmake -B build-tsan -S . -DREPRO_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$(nproc)" --target test_parallel test_obs test_fault
+  (cd build-tsan && ctest -L 'parallel|obs|fault' --output-on-failure -j"$(nproc)")
 fi
 
 echo "== all checks passed =="

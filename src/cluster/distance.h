@@ -19,6 +19,14 @@ namespace repro {
 double trimmed_manhattan(std::span<const double> a, std::span<const double> b,
                          double trim_fraction = 0.2);
 
+/// Scratch-buffer variant for hot loops: identical result bit-for-bit, but
+/// the per-pair difference buffer lives in `scratch` (resized as needed), so
+/// a caller that reuses one scratch vector per thread pays no allocation per
+/// pair. The inner kernel is branch-light (no per-element conditionals) so
+/// the compiler can vectorize the |a_i - b_i| pass and the partial sums.
+double trimmed_manhattan(std::span<const double> a, std::span<const double> b,
+                         double trim_fraction, std::vector<double>& scratch);
+
 /// Dense symmetric distance matrix.
 class DistanceMatrix {
  public:
@@ -37,6 +45,13 @@ class DistanceMatrix {
 
 /// Builds the pairwise trimmed-Manhattan matrix over row vectors of a
 /// row-major `rows x cols` latency table.
+///
+/// The upper triangle is sharded into row blocks and fanned across the
+/// shared thread pool (default_thread_count() workers; REPRO_THREADS /
+/// set_default_thread_count override, serial at 1 thread or when already
+/// inside a parallel region). Each worker reuses one scratch buffer for the
+/// whole shard. Every cell is computed independently and written to its own
+/// slot, so the result is bit-identical for every thread count.
 DistanceMatrix pairwise_distances(std::span<const double> table,
                                   std::size_t rows, std::size_t cols,
                                   double trim_fraction = 0.2);

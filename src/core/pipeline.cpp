@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -8,6 +9,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace repro {
 
@@ -59,6 +61,9 @@ void Pipeline::record_health(const std::string& stage,
   if (health.status == fault::StageStatus::kFailed) {
     obs::metrics().counter("fault.stage_failures").add(1);
   }
+  // Guarded: a stage running on pool workers may record health while
+  // another stage (or a concurrent pipeline user) does the same.
+  std::lock_guard<std::mutex> lock(health_mutex_);
   const auto [it, inserted] = health_.try_emplace(stage, health);
   if (!inserted) it->second.merge(health);
   obs::set_report_section(
@@ -253,35 +258,69 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
   config.filter = scenario_.filter;
   const ColocationClusterer clusterer(registry(Snapshot::k2023), ping_mesh(),
                                       vantage_points(), config);
+
+  // Fan the per-ISP clustering across the thread pool. Each ISP's outcome
+  // lands in its own preallocated slot, and the health/result merge below
+  // walks the slots in ISP order on this thread, so results, health records
+  // and counters are bit-identical to the serial loop for any thread count.
+  const std::vector<AsIndex> isps = hosting_isps_2023();
+  struct IspOutcome {
+    std::vector<IspClustering> per_xi;
+    bool failed = false;
+    std::string error;
+  };
+  std::vector<IspOutcome> outcomes(isps.size());
+  const std::size_t threads =
+      std::min(default_thread_count(), std::max<std::size_t>(isps.size(), 1));
+  obs::metrics().gauge("cluster.threads").set(static_cast<double>(threads));
+  obs::metrics().gauge("cluster.tasks").set(static_cast<double>(isps.size()));
+  const std::size_t block =
+      std::max<std::size_t>(1, isps.size() / (threads * 4));
+  parallel_for_blocks(
+      isps.size(), block,
+      [&clusterer, &isps, &outcomes, &xis](std::size_t begin, std::size_t end) {
+        // Shard-level aggregation: each worker's contiguous run of ISPs is
+        // one sample of cluster.shard_ms, next to the per-ISP wall times.
+        obs::ScopedTimer shard_timer("cluster.shard_ms");
+        for (std::size_t i = begin; i < end; ++i) {
+          obs::ScopedTimer timer("cluster.isp_wall_ms");
+          IspOutcome& out = outcomes[i];
+          try {
+            out.per_xi = clusterer.cluster_isp_multi(isps[i], xis);
+          } catch (const Error& error) {
+            // Quality gate: one pathological ISP matrix must not abort the
+            // other few thousand -- keep an unusable placeholder, move on.
+            out.failed = true;
+            out.error = error.what();
+            IspClustering placeholder;
+            placeholder.isp = isps[i];
+            out.per_xi.assign(xis.size(), placeholder);
+          }
+          obs::metrics().counter("cluster.isps_clustered").add(1);
+        }
+      },
+      threads);
+
+  // Deterministic, ISP-ordered merge on the calling thread.
   fault::StageHealth health;
   std::uint64_t failed_isps = 0;
   std::vector<std::vector<IspClustering>> results(xis.size());
   std::map<AsIndex, std::size_t> index;
-  for (const AsIndex isp : hosting_isps_2023()) {
-    obs::ScopedTimer timer("cluster.isp_wall_ms");
-    index.emplace(isp, results.front().size());
+  for (std::size_t i = 0; i < isps.size(); ++i) {
+    index.emplace(isps[i], results.front().size());
     ++health.total;
-    std::vector<IspClustering> per_xi;
-    try {
-      per_xi = clusterer.cluster_isp_multi(isp, xis);
-    } catch (const Error& error) {
-      // Quality gate: one pathological ISP matrix must not abort the other
-      // few thousand -- keep an unusable placeholder and move on.
+    IspOutcome& out = outcomes[i];
+    if (out.failed) {
       ++failed_isps;
-      IspClustering placeholder;
-      placeholder.isp = isp;
-      per_xi.assign(xis.size(), placeholder);
       if (health.reasons.empty() ||
           health.reasons.back().find("clustering error") == std::string::npos) {
-        health.reasons.push_back(std::string("clustering error: ") +
-                                 error.what());
+        health.reasons.push_back(std::string("clustering error: ") + out.error);
       }
     }
-    if (!per_xi.front().usable) ++health.dropped;
+    if (!out.per_xi.front().usable) ++health.dropped;
     for (std::size_t x = 0; x < xis.size(); ++x) {
-      results[x].push_back(std::move(per_xi[x]));
+      results[x].push_back(std::move(out.per_xi[x]));
     }
-    obs::metrics().counter("cluster.isps_clustered").add(1);
   }
 
   if (health.total > 0 && health.dropped == health.total) {

@@ -23,6 +23,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -96,13 +97,15 @@ class Pipeline {
 
  private:
   /// Folds a stage's health record into the map, bumps the fault counters,
-  /// and republishes the run-report "fault" section.
+  /// and republishes the run-report "fault" section. Thread-safe: stages
+  /// that fan work across the thread pool may record health concurrently.
   void record_health(const std::string& stage, fault::StageHealth health) const;
 
   Scenario scenario_;
   fault::FaultPlan plan_;
   Internet internet_;
 
+  mutable std::mutex health_mutex_;
   mutable std::map<std::string, fault::StageHealth> health_;
   mutable std::map<Snapshot, OffnetRegistry> registries_;
   mutable std::map<Snapshot, CertStore> populations_;

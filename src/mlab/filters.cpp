@@ -89,16 +89,27 @@ FilteredMatrix clean_matrix(const LatencyMatrix& matrix,
     }
   }
 
-  obs::metrics().counter("filters.nonfinite_leaked").add(out.nonfinite_leaked);
-  obs::metrics().counter("filters.ips_dropped_unresponsive")
-      .add(out.dropped_unresponsive);
-  obs::metrics().counter("filters.ips_dropped_speed_of_light")
-      .add(out.dropped_impossible);
-  obs::metrics().counter("filters.ips_kept").add(out.kept_rows.size());
-  obs::metrics().counter("filters.vps_discarded")
-      .add(matrix.vp_count - out.kept_cols.size());
-  obs::metrics().counter("filters.vps_kept").add(out.kept_cols.size());
-  if (!out.usable) obs::metrics().counter("filters.isps_below_min_sites").add(1);
+  // clean_matrix runs once per ISP on thread-pool workers (the clustering
+  // fan-out), so these bumps must be safe under concurrent increments:
+  // CachedCounter resolves the registry entry once and then does lock-free
+  // atomic adds, and the totals are sums of per-ISP contributions, so they
+  // are invariant under any interleaving (enforced by tests/test_parallel).
+  static obs::CachedCounter nonfinite_leaked("filters.nonfinite_leaked");
+  static obs::CachedCounter dropped_unresponsive(
+      "filters.ips_dropped_unresponsive");
+  static obs::CachedCounter dropped_speed_of_light(
+      "filters.ips_dropped_speed_of_light");
+  static obs::CachedCounter ips_kept("filters.ips_kept");
+  static obs::CachedCounter vps_discarded("filters.vps_discarded");
+  static obs::CachedCounter vps_kept("filters.vps_kept");
+  static obs::CachedCounter below_min_sites("filters.isps_below_min_sites");
+  nonfinite_leaked.add(out.nonfinite_leaked);
+  dropped_unresponsive.add(out.dropped_unresponsive);
+  dropped_speed_of_light.add(out.dropped_impossible);
+  ips_kept.add(out.kept_rows.size());
+  vps_discarded.add(matrix.vp_count - out.kept_cols.size());
+  vps_kept.add(out.kept_cols.size());
+  if (!out.usable) below_min_sites.add(1);
   return out;
 }
 

@@ -179,9 +179,13 @@ LatencyMatrix PingMesh::measure_isp(const OffnetRegistry& registry,
           measure_once(vps_[col], server);
     }
   }
-  obs::metrics().counter("mlab.ips_pinged").add(matrix.ips.size());
-  obs::metrics().counter("mlab.measurements").add(matrix.ips.size() *
-                                                  matrix.vp_count);
+  // measure_isp runs on thread-pool workers during the clustering fan-out;
+  // like the mlab.reprobe_* counters above, these use lock-free cached
+  // handles so concurrent per-ISP increments stay exact.
+  static obs::CachedCounter ips_pinged("mlab.ips_pinged");
+  static obs::CachedCounter measurements("mlab.measurements");
+  ips_pinged.add(matrix.ips.size());
+  measurements.add(matrix.ips.size() * matrix.vp_count);
   return matrix;
 }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "util/rng.h"
+
 namespace repro {
 namespace {
 
@@ -54,6 +58,57 @@ TEST_P(TrimSweep, MoreTrimNeverIncreasesDistance) {
 INSTANTIATE_TEST_SUITE_P(Fractions, TrimSweep,
                          ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
                                            0.7, 0.8));
+
+// Randomized property tests: the distance must behave like a (pseudo-)metric
+// on arbitrary latency-like vectors, not just the hand-picked cases above.
+TEST(TrimmedManhattan, RandomizedProperties) {
+  Rng rng(20230711);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.next() % 64);
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.uniform(0.0, 300.0);
+      b[i] = rng.uniform(0.0, 300.0);
+    }
+    const double trim = rng.uniform(0.0, 0.9);
+
+    const double d = trimmed_manhattan(a, b, trim);
+    // Non-negativity, symmetry (bit-exact: same diffs, same order), and
+    // identity of indiscernibles.
+    EXPECT_GE(d, 0.0);
+    EXPECT_EQ(d, trimmed_manhattan(b, a, trim));
+    EXPECT_EQ(trimmed_manhattan(a, a, trim), 0.0);
+
+    // Monotone non-increasing in the trim fraction: more trimming can only
+    // remove the largest coordinate discrepancies.
+    double previous = trimmed_manhattan(a, b, 0.0);
+    for (double t = 0.1; t < 0.95; t += 0.1) {
+      const double current = trimmed_manhattan(a, b, t);
+      EXPECT_LE(current, previous + 1e-12) << "trim " << t;
+      previous = current;
+    }
+  }
+}
+
+TEST(TrimmedManhattan, ScratchVariantBitIdenticalToAllocating) {
+  Rng rng(4242);
+  std::vector<double> scratch;  // reused across calls, like the hot path
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.next() % 96);
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.uniform(0.0, 300.0);
+      b[i] = rng.uniform(0.0, 300.0);
+    }
+    const double trim = rng.uniform(0.0, 0.9);
+    // Exact equality, not near: the allocating overload is specified to be
+    // bit-identical to the scratch one (it delegates to the same kernel).
+    EXPECT_EQ(trimmed_manhattan(a, b, trim),
+              trimmed_manhattan(a, b, trim, scratch));
+  }
+}
 
 TEST(DistanceMatrix, SymmetricStorage) {
   DistanceMatrix matrix(4);

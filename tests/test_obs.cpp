@@ -9,11 +9,13 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace repro::obs {
 namespace {
@@ -197,6 +199,64 @@ TEST_F(ObsTest, CachedCounterSurvivesResetAndThreads) {
   for (std::thread& worker : workers) worker.join();
   EXPECT_EQ(metrics().counter("cached.hits").value(),
             3u + static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST_F(ObsTest, ProductionCountersExactUnderParallelFor) {
+  // Regression test for the counters bumped on thread-pool workers during
+  // the clustering fan-out (mlab/filters and the ping-mesh reprobe path):
+  // concurrent increments through CachedCounter handles must never lose an
+  // add, so the totals are invariant under any interleaving.
+  CachedCounter nonfinite("filters.nonfinite_leaked");
+  CachedCounter reprobe_rounds("mlab.reprobe_rounds");
+  CachedCounter reprobe_recovered("mlab.reprobe_recovered");
+
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kOpsPerTask = 5000;
+  parallel_for(
+      kTasks,
+      [&](std::size_t) {
+        for (std::uint64_t i = 0; i < kOpsPerTask; ++i) {
+          nonfinite.add(1);
+          reprobe_rounds.add(2);
+        }
+        reprobe_recovered.add(1);
+      },
+      8);
+
+  EXPECT_EQ(metrics().counter("filters.nonfinite_leaked").value(),
+            kTasks * kOpsPerTask);
+  EXPECT_EQ(metrics().counter("mlab.reprobe_rounds").value(),
+            2 * kTasks * kOpsPerTask);
+  EXPECT_EQ(metrics().counter("mlab.reprobe_recovered").value(), kTasks);
+}
+
+TEST_F(ObsTest, BenchJsonLineCarriesHealthVerdicts) {
+  // The bench harness footer splices StageHealth verdicts into every
+  // BENCH_<name>.json line; the line must stay parseable and the fields
+  // must reflect the worst stage.
+  std::map<std::string, fault::StageHealth> stages;
+  stages["ping_mesh"] = fault::StageHealth{};
+  fault::StageHealth degraded;
+  degraded.status = fault::StageStatus::kDegraded;
+  degraded.dropped = 3;
+  degraded.total = 10;
+  stages["clustering"] = degraded;
+
+  const std::string line =
+      bench::bench_json_line("smoke", 1.25, bench::health_json_fields(stages));
+  const JsonValue doc = parse_json(line);
+  EXPECT_EQ(doc.at("bench").str(), "smoke");
+  ASSERT_TRUE(doc.contains("health"));
+  EXPECT_EQ(doc.at("health").str(), "degraded");
+  ASSERT_TRUE(doc.contains("stages"));
+  EXPECT_EQ(doc.at("stages").at("ping_mesh").str(), "ok");
+  EXPECT_EQ(doc.at("stages").at("clustering").str(), "degraded");
+
+  // An empty map (harness without a pipeline) reads as a clean run.
+  const JsonValue clean =
+      parse_json(bench::bench_json_line("smoke", 0.5, bench::health_json_fields({})));
+  EXPECT_EQ(clean.at("health").str(), "ok");
+  EXPECT_EQ(clean.at("stages").size(), 0u);
 }
 
 TEST_F(ObsTest, SpansAcrossThreadsBecomeRoots) {
