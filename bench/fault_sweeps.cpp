@@ -8,10 +8,20 @@
 // the clean run. The intensity-0 row is bit-identical to the seed pipeline,
 // so any nonzero drift there is a regression.
 //
-// Artifacts: bench_output/fault_sweeps.csv (one row per intensity) plus the
-// standard BENCH_fault_sweeps.json; run with REPRO_TRACE=1 for the span
-// table and run_report.json (whose "fault" section reflects the last,
-// harshest sweep point).
+// Two sweep modes:
+//   * combined (default): FaultPlan::chaos() -- every pathology at once --
+//     scaled across the intensity grid. The worst case.
+//   * per-pathology (--per-pathology, or REPRO_SWEEP=pathology): one knob at
+//     a time -- scan shard truncation, vantage-point outages, ICMP
+//     rate-limit storms, certificate churn -- each at chaos() strength
+//     scaled across intensities, everything else zeroed. Attributes drift
+//     to the pathology that causes it.
+//
+// Artifacts: bench_output/fault_sweeps.csv (one row per sweep point, with a
+// `pathology` column: "combined" or the knob name) plus the standard
+// BENCH_fault_sweeps.json; run with REPRO_TRACE=1 for the span table and
+// run_report.json (whose "fault" section reflects the last, harshest sweep
+// point).
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -29,6 +39,7 @@ namespace {
 using namespace repro;
 
 struct SweepPoint {
+  std::string pathology = "combined";
   double intensity = 0.0;
   fault::StageStatus status = fault::StageStatus::kOk;
   Table1Study table1;
@@ -37,6 +48,40 @@ struct SweepPoint {
   std::map<std::string, fault::StageHealth> stages;
   double seconds = 0.0;
 };
+
+/// One sweep dimension: a named base plan whose rates get scaled across the
+/// intensity grid.
+struct SweepDimension {
+  std::string name;
+  fault::FaultPlan base;
+};
+
+/// The per-pathology dimensions: each takes exactly one knob from chaos()
+/// and zeroes everything else, so conclusion drift is attributable. (The
+/// miss-burst and anycast knobs are only exercised by the combined sweep.)
+std::vector<SweepDimension> pathology_dimensions() {
+  const fault::FaultPlan chaos = fault::FaultPlan::chaos();
+  std::vector<SweepDimension> out;
+
+  fault::FaultPlan scan = fault::FaultPlan::none();
+  scan.scan.shard_truncation = chaos.scan.shard_truncation;
+  out.push_back({"scan_truncation", scan});
+
+  fault::FaultPlan vps = fault::FaultPlan::none();
+  vps.ping.vp_outage_rate = chaos.ping.vp_outage_rate;
+  out.push_back({"vp_outage", vps});
+
+  fault::FaultPlan storm = fault::FaultPlan::none();
+  storm.ping.icmp_storm_rate = chaos.ping.icmp_storm_rate;
+  storm.ping.icmp_storm_failure = chaos.ping.icmp_storm_failure;
+  out.push_back({"icmp_storm", storm});
+
+  fault::FaultPlan churn = fault::FaultPlan::none();
+  churn.cert.churn_rate = chaos.cert.churn_rate;
+  out.push_back({"cert_churn", churn});
+
+  return out;
+}
 
 /// User-weighted fraction of users inside >= 2-hypergiant ISPs (the
 /// headline Figure 1 number, aggregated over countries).
@@ -104,21 +149,44 @@ std::size_t table2_isp_count(const Table2Study& study, double xi) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
   bench::Stopwatch total;
-  bench::print_header("Fault sweeps: conclusion drift vs. fault intensity");
+
+  bool per_pathology = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--per-pathology") per_pathology = true;
+  }
+  if (const char* mode = std::getenv("REPRO_SWEEP")) {
+    if (std::string(mode) == "pathology") per_pathology = true;
+  }
+
+  bench::print_header(per_pathology
+                          ? "Fault sweeps: conclusion drift per pathology"
+                          : "Fault sweeps: conclusion drift vs. fault intensity");
 
   const Scenario scenario = bench::scenario_from_env();
-  const double intensities[] = {0.0, 0.1, 0.25, 0.5, 1.0};
   const double xis[] = {0.1, 0.9};
 
-  std::vector<SweepPoint> points;
-  for (const double intensity : intensities) {
+  // The clean baseline is shared by every dimension (intensity 0 of any
+  // pathology is the same run), so it is computed once, first.
+  std::vector<SweepDimension> dimensions;
+  std::vector<double> intensities;
+  if (per_pathology) {
+    dimensions = pathology_dimensions();
+    intensities = {0.25, 1.0};
+  } else {
+    dimensions = {{"combined", fault::FaultPlan::chaos()}};
+    intensities = {0.1, 0.25, 0.5, 1.0};
+  }
+
+  const auto run_point = [&](const std::string& pathology,
+                             const fault::FaultPlan& base,
+                             double intensity) {
     bench::Stopwatch watch;
-    const fault::FaultPlan plan = fault::FaultPlan::chaos().scaled_by(intensity);
-    Pipeline pipeline(scenario, plan);
+    Pipeline pipeline(scenario, base.scaled_by(intensity));
     SweepPoint point;
+    point.pathology = pathology;
     point.intensity = intensity;
     point.table1 = table1_study(pipeline);
     point.figure1 = figure1_study(pipeline);
@@ -126,47 +194,57 @@ int main() {
     point.status = pipeline.overall_status();
     point.stages = pipeline.stage_health();
     point.seconds = watch.seconds();
-    std::printf("intensity %.2f: status=%s, %zu hosting ISPs, %.1f s\n",
-                intensity, std::string(to_string(point.status)).c_str(),
+    std::printf("%-16s intensity %.2f: status=%s, %zu hosting ISPs, %.1f s\n",
+                pathology.c_str(), intensity,
+                std::string(to_string(point.status)).c_str(),
                 point.table1.total_hosting_isps_2023, point.seconds);
-    for (const auto& [stage, health] : pipeline.stage_health()) {
+    for (const auto& [stage, health] : point.stages) {
       if (health.status == fault::StageStatus::kOk) continue;
       std::printf("  %-16s %-8s dropped %llu/%llu\n", stage.c_str(),
                   std::string(to_string(health.status)).c_str(),
                   static_cast<unsigned long long>(health.dropped),
                   static_cast<unsigned long long>(health.total));
     }
-    points.push_back(std::move(point));
+    return point;
+  };
+
+  std::vector<SweepPoint> points;
+  points.push_back(run_point("clean", fault::FaultPlan::none(), 0.0));
+  for (const SweepDimension& dimension : dimensions) {
+    for (const double intensity : intensities) {
+      points.push_back(run_point(dimension.name, dimension.base, intensity));
+    }
   }
 
   const SweepPoint& clean = points.front();
 
   std::printf("\n");
-  TextTable table({"intensity", "status", "hosting ISPs", "T1 max HG drift",
-                   "F1 users >=2HG", "F1 drift", "T2 ISPs (xi=0.1)",
-                   "T2 bucket drift"});
-  for (std::size_t column = 2; column < 8; ++column) {
+  TextTable table({"pathology", "intensity", "status", "hosting ISPs",
+                   "T1 max HG drift", "F1 users >=2HG", "F1 drift",
+                   "T2 ISPs (xi=0.1)", "T2 bucket drift"});
+  for (std::size_t column = 3; column < 9; ++column) {
     table.set_align(column, Align::kRight);
   }
   std::string csv =
-      "intensity,status,hosting_isps,t1_max_hg_drift_pct,f1_users_frac_ge2,"
-      "f1_drift_pts,t2_isps_xi01,t2_bucket_drift_pts,seconds\n";
+      "pathology,intensity,status,hosting_isps,t1_max_hg_drift_pct,"
+      "f1_users_frac_ge2,f1_drift_pts,t2_isps_xi01,t2_bucket_drift_pts,"
+      "seconds\n";
   for (const SweepPoint& point : points) {
     const double t1_drift = table1_max_drift_pct(clean.table1, point.table1);
     const double f1 = users_frac_ge2(point.figure1);
     const double f1_drift = (f1 - users_frac_ge2(clean.figure1)) * 100.0;
     const double t2_drift = table2_bucket_drift_pts(clean.table2, point.table2);
-    table.add_row({format_fixed(point.intensity, 2),
+    table.add_row({point.pathology, format_fixed(point.intensity, 2),
                    std::string(to_string(point.status)),
                    std::to_string(point.table1.total_hosting_isps_2023),
                    format_fixed(t1_drift, 1) + "%", format_percent(f1, 1),
                    format_fixed(f1_drift, 1) + " pts",
                    std::to_string(table2_isp_count(point.table2, 0.1)),
                    format_fixed(t2_drift, 1) + " pts"});
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
-                  "%.2f,%s,%zu,%.3f,%.5f,%.3f,%zu,%.3f,%.3f\n",
-                  point.intensity,
+                  "%s,%.2f,%s,%zu,%.3f,%.5f,%.3f,%zu,%.3f,%.3f\n",
+                  point.pathology.c_str(), point.intensity,
                   std::string(to_string(point.status)).c_str(),
                   point.table1.total_hosting_isps_2023, t1_drift, f1, f1_drift,
                   table2_isp_count(point.table2, 0.1), t2_drift, point.seconds);

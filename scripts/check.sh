@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus sanitizer passes: AddressSanitizer over the fault
-# tests and ThreadSanitizer over the concurrency-sensitive tiers (the
-# parallel clustering engine, the obs registry, and degraded-mode runs).
+# and store tests, ThreadSanitizer over the concurrency-sensitive tiers (the
+# parallel clustering engine, the obs registry, degraded-mode runs, and
+# concurrent artifact-store access from the clustering fan-out), and a
+# warm-equals-cold smoke test of the persistent store.
 #
 #   ./scripts/check.sh             tier-1 build + full ctest, then an
-#                                  ASan build of test_fault (label `fault`)
-#                                  and a TSan build of the `parallel`, `obs`
-#                                  and `fault` labels
+#                                  ASan build of the `fault` and `store`
+#                                  labels, a TSan build of the `parallel`,
+#                                  `obs`, `fault` and `store` labels, and
+#                                  the warm-start smoke
 #   SKIP_ASAN=1 ./scripts/check.sh skip the ASan pass
 #   SKIP_TSAN=1 ./scripts/check.sh skip the TSan pass
+#   SKIP_WARM=1 ./scripts/check.sh skip the warm-equals-cold smoke
 #
 # Exits nonzero on the first failure.
 set -euo pipefail
@@ -22,17 +26,32 @@ echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== asan: fault tests =="
+  echo "== asan: fault + store tests =="
   cmake -B build-asan -S . -DREPRO_SANITIZE=address >/dev/null
-  cmake --build build-asan -j"$(nproc)" --target test_fault
-  (cd build-asan && ctest -L fault --output-on-failure -j"$(nproc)")
+  cmake --build build-asan -j"$(nproc)" --target test_fault test_store
+  (cd build-asan && ctest -L 'fault|store' --output-on-failure -j"$(nproc)")
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== tsan: parallel + obs + fault tests =="
+  echo "== tsan: parallel + obs + fault + store tests =="
   cmake -B build-tsan -S . -DREPRO_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j"$(nproc)" --target test_parallel test_obs test_fault
-  (cd build-tsan && ctest -L 'parallel|obs|fault' --output-on-failure -j"$(nproc)")
+  cmake --build build-tsan -j"$(nproc)" --target test_parallel test_obs test_fault test_store
+  (cd build-tsan && ctest -L 'parallel|obs|fault|store' --output-on-failure -j"$(nproc)")
+fi
+
+if [[ "${SKIP_WARM:-0}" != "1" ]]; then
+  echo "== warm-equals-cold smoke (tiny scale) =="
+  # Two full_report runs over one artifact store: the second starts warm and
+  # must produce a byte-identical report (REPRO_TRACE=0 keeps timing tables
+  # out of the output, which legitimately differ between runs).
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "$smoke_dir"' EXIT
+  REPRO_SCALE=tiny REPRO_TRACE=0 REPRO_STORE="$smoke_dir/store" \
+    ./build/examples/full_report "$smoke_dir/cold.md" >/dev/null
+  REPRO_SCALE=tiny REPRO_TRACE=0 REPRO_STORE="$smoke_dir/store" \
+    ./build/examples/full_report "$smoke_dir/warm.md" >/dev/null
+  diff "$smoke_dir/cold.md" "$smoke_dir/warm.md"
+  echo "warm report byte-identical to cold"
 fi
 
 echo "== all checks passed =="

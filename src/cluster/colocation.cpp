@@ -37,11 +37,16 @@ IspClustering ColocationClusterer::cluster_isp(AsIndex isp) const {
 
 std::vector<IspClustering> ColocationClusterer::cluster_isp_multi(
     AsIndex isp, std::span<const double> xis) const {
+  return cluster_isp_multi(isp, xis, mesh_.measure_isp(registry_, isp));
+}
+
+std::vector<IspClustering> ColocationClusterer::cluster_isp_multi(
+    AsIndex isp, std::span<const double> xis, LatencyMatrix premeasured) const {
   require(!xis.empty(), "cluster_isp_multi: need at least one xi");
   IspClustering base;
   base.isp = isp;
 
-  const LatencyMatrix raw = mesh_.measure_isp(registry_, isp);
+  const LatencyMatrix raw = std::move(premeasured);
   bool done = raw.row_count() == 0;
 
   FilteredMatrix cleaned;

@@ -65,6 +65,14 @@ class ColocationClusterer {
   std::vector<IspClustering> cluster_isp_multi(AsIndex isp,
                                                std::span<const double> xis) const;
 
+  /// Same, but from an already-measured latency matrix for `isp` (the
+  /// pipeline's warm path feeds store-loaded matrices here). Because the
+  /// measurement is deterministic and the store round-trip preserves every
+  /// bit (including NaN markers), the result is bit-identical to measuring.
+  std::vector<IspClustering> cluster_isp_multi(AsIndex isp,
+                                               std::span<const double> xis,
+                                               LatencyMatrix premeasured) const;
+
   const ColocationConfig& config() const noexcept { return config_; }
 
  private:

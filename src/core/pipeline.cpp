@@ -4,10 +4,14 @@
 #include <cmath>
 #include <string>
 
+#include <atomic>
+
 #include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "store/artifact_store.h"
+#include "store/serde.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -32,16 +36,50 @@ std::string count_reason(const char* what, std::uint64_t dropped,
          std::to_string(total);
 }
 
+/// Content-addressed key for one artifact: the world digest (measurement
+/// config + fault plan) refined by the artifact type, its schema version
+/// and per-artifact parameters (snapshot ordinal, ISP, xi key).
+store::ArtifactKey make_key(const char* type, std::uint32_t schema,
+                            std::uint64_t world,
+                            std::initializer_list<std::uint64_t> params) {
+  store::Fnv1a h;
+  h.mix(world).mix(std::string_view(type)).mix(schema);
+  for (const std::uint64_t param : params) h.mix(param);
+  return store::ArtifactKey{type, schema, h.digest()};
+}
+
+/// Folds a corrupt-artifact event into a stage's health: the output is
+/// recomputed and correct, but the run is flagged degraded so the operator
+/// knows persistence failed it (docs/PERSISTENCE.md).
+void note_store_corruption(fault::StageHealth& health, const std::string& detail) {
+  health.status = std::max(health.status, fault::StageStatus::kDegraded);
+  health.reasons.push_back("store: " + detail);
+}
+
 }  // namespace
 
 Pipeline::Pipeline(Scenario scenario)
     : Pipeline(std::move(scenario), fault::FaultPlan::none()) {}
 
 Pipeline::Pipeline(Scenario scenario, fault::FaultPlan plan)
-    : scenario_(std::move(scenario)), plan_(plan) {
+    : Pipeline(std::move(scenario), plan, store::ArtifactStore::from_env()) {}
+
+Pipeline::Pipeline(Scenario scenario, fault::FaultPlan plan,
+                   std::shared_ptr<store::ArtifactStore> artifacts)
+    : scenario_(std::move(scenario)),
+      plan_(plan),
+      artifacts_(std::move(artifacts)) {
   // Ping-campaign faults live in the measurement model itself, so fold them
   // into the config before the mesh is ever built.
   fault::apply_ping_faults(scenario_.ping, plan_);
+
+  // The plan JSON covers every fault rate and the fault seed, so two
+  // pipelines share artifacts exactly when both the measurement config and
+  // the injected pathologies agree.
+  world_digest_ = store::Fnv1a()
+                      .mix(measurement_digest(scenario_))
+                      .mix(plan_.to_json())
+                      .digest();
 
   obs::ScopedSpan span("pipeline.generate_internet");
   InternetGenerator generator(scenario_.topology);
@@ -83,9 +121,35 @@ const OffnetRegistry& Pipeline::registry(Snapshot snapshot) const {
 
 const CertStore& Pipeline::population(Snapshot snapshot) const {
   const auto it = populations_.find(snapshot);
-  if (it != populations_.end()) return it->second;
+  if (it != populations_.end()) {
+    // In-process memoization, distinct from a store warm hit (store.hit).
+    obs::metrics().counter("pipeline.population_cache_hit").add(1);
+    return it->second;
+  }
 
   obs::ScopedSpan span("pipeline.tls_population");
+  const store::ArtifactKey key =
+      make_key("population", store::kPopulationSchema, world_digest_,
+               {static_cast<std::uint64_t>(snapshot)});
+  std::string corruption;
+  if (artifacts_ != nullptr) {
+    store::LoadResult loaded = artifacts_->load(key);
+    if (loaded.hit()) {
+      try {
+        store::ByteReader reader(loaded.payload);
+        fault::StageHealth health = store::decode_stage_health(reader);
+        CertStore population = store::decode_population(reader);
+        record_health("tls_population", std::move(health));
+        return populations_.emplace(snapshot, std::move(population))
+            .first->second;
+      } catch (const Error& error) {
+        corruption = key.filename() + ": " + error.what();
+      }
+    } else if (loaded.corrupt()) {
+      corruption = loaded.detail;
+    }
+  }
+
   fault::StageHealth health;
   CertStore store;
   try {
@@ -111,15 +175,49 @@ const CertStore& Pipeline::population(Snapshot snapshot) const {
     health.reasons.push_back(std::string("tls_population: ") + error.what());
     store = CertStore();
   }
+  // Publish before folding in any corruption note: the replacement artifact
+  // must carry the health a clean cold run earns, not this run's stigma.
+  if (artifacts_ != nullptr && health.status != fault::StageStatus::kFailed) {
+    store::ByteWriter writer;
+    store::encode(writer, health);
+    store::encode(writer, store);
+    artifacts_->save(key, writer.bytes());
+  }
+  if (!corruption.empty()) note_store_corruption(health, corruption);
   record_health("tls_population", health);
   return populations_.emplace(snapshot, std::move(store)).first->second;
 }
 
 const std::vector<ScanRecord>& Pipeline::scan_records(Snapshot snapshot) const {
   const auto it = scans_.find(snapshot);
-  if (it != scans_.end()) return it->second;
+  if (it != scans_.end()) {
+    // In-process memoization, distinct from a store warm hit (store.hit).
+    obs::metrics().counter("pipeline.scan_cache_hit").add(1);
+    return it->second;
+  }
 
   obs::ScopedSpan span("pipeline.scan");
+  const store::ArtifactKey key =
+      make_key("scan", store::kScanRecordsSchema, world_digest_,
+               {static_cast<std::uint64_t>(snapshot)});
+  std::string corruption;
+  if (artifacts_ != nullptr) {
+    store::LoadResult loaded = artifacts_->load(key);
+    if (loaded.hit()) {
+      try {
+        store::ByteReader reader(loaded.payload);
+        fault::StageHealth health = store::decode_stage_health(reader);
+        std::vector<ScanRecord> records = store::decode_scan_records(reader);
+        record_health("scan", std::move(health));
+        return scans_.emplace(snapshot, std::move(records)).first->second;
+      } catch (const Error& error) {
+        corruption = key.filename() + ": " + error.what();
+      }
+    } else if (loaded.corrupt()) {
+      corruption = loaded.detail;
+    }
+  }
+
   fault::StageHealth health;
   std::vector<ScanRecord> records;
   try {
@@ -146,6 +244,14 @@ const std::vector<ScanRecord>& Pipeline::scan_records(Snapshot snapshot) const {
     health.reasons.push_back(std::string("scan: ") + error.what());
     records.clear();
   }
+  // Publish before folding in any corruption note (see population()).
+  if (artifacts_ != nullptr && health.status != fault::StageStatus::kFailed) {
+    store::ByteWriter writer;
+    store::encode(writer, health);
+    store::encode(writer, records);
+    artifacts_->save(key, writer.bytes());
+  }
+  if (!corruption.empty()) note_store_corruption(health, corruption);
   record_health("scan", health);
   return scans_.emplace(snapshot, std::move(records)).first->second;
 }
@@ -254,10 +360,58 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
   std::vector<double> xis{xi};
   if (xi == 0.1 || xi == 0.9) xis = {0.1, 0.9};
 
+  // Warm path: the whole xi batch must hit, else recompute everything (one
+  // OPTICS ordering serves every xi, so partial reuse saves nothing).
+  std::string corruption;
+  if (artifacts_ != nullptr) {
+    std::vector<store::LoadResult> loads;
+    bool all_hit = true;
+    for (const double x : xis) {
+      loads.push_back(artifacts_->load(
+          make_key("clustering", store::kClusteringSchema, world_digest_,
+                   {xi_key(x)})));
+      if (!loads.back().hit()) all_hit = false;
+      if (loads.back().corrupt() && corruption.empty()) {
+        corruption = loads.back().detail;
+      }
+    }
+    if (all_hit) {
+      try {
+        fault::StageHealth health;
+        std::vector<std::vector<IspClustering>> decoded;
+        for (std::size_t x = 0; x < xis.size(); ++x) {
+          store::ByteReader reader(loads[x].payload);
+          // Every xi artifact of the batch embeds the same stage health;
+          // record it once.
+          fault::StageHealth h = store::decode_stage_health(reader);
+          if (x == 0) health = std::move(h);
+          decoded.push_back(store::decode_clusterings(reader));
+        }
+        record_health("clustering", std::move(health));
+        for (std::size_t x = 0; x < xis.size(); ++x) {
+          // The merge below stores clusterings in hosting-ISP order, so the
+          // ISP -> position index rebuilds exactly from the decoded order.
+          std::map<AsIndex, std::size_t> index;
+          for (std::size_t i = 0; i < decoded[x].size(); ++i) {
+            index.emplace(decoded[x][i].isp, i);
+          }
+          cluster_index_[xi_key(xis[x])] = std::move(index);
+          clusterings_[xi_key(xis[x])] = std::move(decoded[x]);
+        }
+        return clusterings_.at(key);
+      } catch (const Error& error) {
+        if (corruption.empty()) {
+          corruption = std::string("clustering artifact: ") + error.what();
+        }
+      }
+    }
+  }
+
   ColocationConfig config;
   config.filter = scenario_.filter;
-  const ColocationClusterer clusterer(registry(Snapshot::k2023), ping_mesh(),
-                                      vantage_points(), config);
+  const OffnetRegistry& reg = registry(Snapshot::k2023);
+  const PingMesh& mesh = ping_mesh();
+  const ColocationClusterer clusterer(reg, mesh, vantage_points(), config);
 
   // Fan the per-ISP clustering across the thread pool. Each ISP's outcome
   // lands in its own preallocated slot, and the health/result merge below
@@ -276,9 +430,14 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
   obs::metrics().gauge("cluster.tasks").set(static_cast<double>(isps.size()));
   const std::size_t block =
       std::max<std::size_t>(1, isps.size() / (threads * 4));
+  // Per-ISP latency matrices are the expensive xi-independent half of the
+  // clustering stage, so workers consult/publish them individually; the
+  // store serializes internally, keeping the fan-out data-race free (the
+  // TSan tier of scripts/check.sh covers this path).
+  std::atomic<std::uint64_t> corrupt_matrices{0};
   parallel_for_blocks(
       isps.size(), block,
-      [&clusterer, &isps, &outcomes, &xis](std::size_t begin, std::size_t end) {
+      [&, this](std::size_t begin, std::size_t end) {
         // Shard-level aggregation: each worker's contiguous run of ISPs is
         // one sample of cluster.shard_ms, next to the per-ISP wall times.
         obs::ScopedTimer shard_timer("cluster.shard_ms");
@@ -286,7 +445,35 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
           obs::ScopedTimer timer("cluster.isp_wall_ms");
           IspOutcome& out = outcomes[i];
           try {
-            out.per_xi = clusterer.cluster_isp_multi(isps[i], xis);
+            if (artifacts_ == nullptr) {
+              out.per_xi = clusterer.cluster_isp_multi(isps[i], xis);
+            } else {
+              const store::ArtifactKey mkey =
+                  make_key("matrix", store::kLatencyMatrixSchema, world_digest_,
+                           {static_cast<std::uint64_t>(isps[i])});
+              LatencyMatrix matrix;
+              bool have = false;
+              store::LoadResult loaded = artifacts_->load(mkey);
+              if (loaded.hit()) {
+                try {
+                  store::ByteReader reader(loaded.payload);
+                  matrix = store::decode_latency_matrix(reader);
+                  have = true;
+                } catch (const Error&) {
+                  corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
+                }
+              } else if (loaded.corrupt()) {
+                corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (!have) {
+                matrix = mesh.measure_isp(reg, isps[i]);
+                store::ByteWriter writer;
+                store::encode(writer, matrix);
+                artifacts_->save(mkey, writer.bytes());
+              }
+              out.per_xi =
+                  clusterer.cluster_isp_multi(isps[i], xis, std::move(matrix));
+            }
           } catch (const Error& error) {
             // Quality gate: one pathological ISP matrix must not abort the
             // other few thousand -- keep an unusable placeholder, move on.
@@ -333,6 +520,25 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
           "ISPs below the usable-sites filter", health.dropped, health.total));
     }
   }
+  // Publish each xi's artifact before folding in corruption notes (the
+  // recomputed outputs are correct; only this run is flagged degraded).
+  if (artifacts_ != nullptr && health.status != fault::StageStatus::kFailed) {
+    for (std::size_t x = 0; x < xis.size(); ++x) {
+      store::ByteWriter writer;
+      store::encode(writer, health);
+      store::encode(writer, results[x]);
+      artifacts_->save(make_key("clustering", store::kClusteringSchema,
+                                world_digest_, {xi_key(xis[x])}),
+                       writer.bytes());
+    }
+  }
+  const std::uint64_t corrupt_count = corrupt_matrices.load();
+  if (corrupt_count > 0) {
+    note_store_corruption(health,
+                          std::to_string(corrupt_count) +
+                              " corrupt latency matrices recomputed");
+  }
+  if (!corruption.empty()) note_store_corruption(health, corruption);
   record_health("clustering", health);
 
   for (std::size_t x = 0; x < xis.size(); ++x) {

@@ -11,6 +11,17 @@
 // published as the "fault" section of run_report.json. With an inactive
 // plan every stage output is bit-identical to a Pipeline built without one.
 //
+// Warm starts: with an artifact store attached (REPRO_STORE=/path, or the
+// explicit constructor), the heavy stages -- TLS population, scan records,
+// per-ISP latency matrices, clusterings -- consult the store before
+// computing and publish after. Artifacts are keyed by a digest over the
+// measurement-relevant scenario config, the fault plan, and the per-stage
+// parameters, so a warm hit is bit-identical to the cold compute (enforced
+// by tests/test_store.cpp). A corrupt or stale artifact falls back to
+// recompute and records a degraded StageHealth instead of throwing. With no
+// store attached (the default) behaviour is bit-identical to before the
+// store existed. See docs/PERSISTENCE.md.
+//
 // Typical use:
 //   Pipeline pipeline(Scenario::paper());
 //   auto table1 = table1_study(pipeline);            // analyses.h
@@ -35,18 +46,32 @@
 #include "scan/classifier.h"
 #include "traffic/spillover.h"
 
+namespace repro::store {
+class ArtifactStore;
+}  // namespace repro::store
+
 namespace repro {
 
 class Pipeline {
  public:
   explicit Pipeline(Scenario scenario);
   Pipeline(Scenario scenario, fault::FaultPlan plan);
+  /// Pipeline over an explicit artifact store (tests and benchmarks; the
+  /// two-argument constructors use store::ArtifactStore::from_env(), i.e.
+  /// the REPRO_STORE environment toggles). `artifacts` may be nullptr.
+  Pipeline(Scenario scenario, fault::FaultPlan plan,
+           std::shared_ptr<store::ArtifactStore> artifacts);
 
   const Scenario& scenario() const noexcept { return scenario_; }
   const Internet& internet() const noexcept { return internet_; }
 
   /// The fault plan this pipeline runs under (inactive by default).
   const fault::FaultPlan& fault_plan() const noexcept { return plan_; }
+
+  /// The attached artifact store; nullptr when persistence is off.
+  store::ArtifactStore* artifact_store() const noexcept {
+    return artifacts_.get();
+  }
 
   /// Health of every stage executed so far, keyed by stage name
   /// ("tls_population", "scan", "discovery", "ping_mesh", "clustering").
@@ -104,6 +129,10 @@ class Pipeline {
   Scenario scenario_;
   fault::FaultPlan plan_;
   Internet internet_;
+  std::shared_ptr<store::ArtifactStore> artifacts_;
+  /// Digest over (measurement config, fault plan); every artifact key
+  /// derives from it.
+  std::uint64_t world_digest_ = 0;
 
   mutable std::mutex health_mutex_;
   mutable std::map<std::string, fault::StageHealth> health_;

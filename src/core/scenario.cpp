@@ -1,5 +1,7 @@
 #include "core/scenario.h"
 
+#include "store/serde.h"
+
 namespace repro {
 
 namespace {
@@ -35,6 +37,74 @@ Scenario Scenario::small() {
 
 Scenario Scenario::paper() {
   return with_scale(GeneratorConfig::paper(), 163, 100);
+}
+
+std::uint64_t measurement_digest(const Scenario& scenario) {
+  store::Fnv1a h;
+  // Field-order matters: append-only, and bump the artifact schema versions
+  // in store/serde.h when an encoding (not just a key input) changes.
+  const GeneratorConfig& topo = scenario.topology;
+  h.mix("topology")
+      .mix(topo.seed)
+      .mix(topo.scale)
+      .mix(topo.access_per_million_users)
+      .mix(topo.max_access_per_country)
+      .mix(topo.tier1_count)
+      .mix(topo.ixp_metro_users_m)
+      .mix(topo.users_per_slash24)
+      .mix(topo.ixp_join_access)
+      .mix(topo.ixp_join_transit)
+      .mix(topo.ixp_join_tier1)
+      .mix(topo.hg_ixp_peer_probability)
+      .mix(topo.hg_pni_giant_isp)
+      .mix(topo.hg_pni_large_isp)
+      .mix(topo.hg_pni_medium_isp)
+      .mix(topo.hg_pni_small_isp);
+  const DeploymentConfig& deploy = scenario.deployment;
+  h.mix("deployment")
+      .mix(deploy.seed)
+      .mix(deploy.footprint_scale)
+      .mix(deploy.colocate_all_probability)
+      .mix(deploy.akamai_legacy_probability)
+      .mix(deploy.server_count_multiplier)
+      .mix(deploy.same_rack_probability);
+  const PopulationConfig& population = scenario.population;
+  h.mix("population")
+      .mix(population.seed)
+      .mix(population.background_per_isp)
+      .mix(population.onnet_servers_per_hg)
+      .mix(population.decoy_count);
+  const ScannerConfig& scanner = scenario.scanner;
+  h.mix("scanner").mix(scanner.seed).mix(scanner.miss_rate);
+  const PingConfig& ping = scenario.ping;
+  h.mix("ping")
+      .mix(ping.seed)
+      .mix(ping.probes)
+      .mix(ping.inflation_min)
+      .mix(ping.inflation_max)
+      .mix(ping.facility_offset_mean_ms)
+      .mix(ping.rack_offset_mean_ms)
+      .mix(ping.per_ip_offset_ms)
+      .mix(ping.jitter_mean_ms)
+      .mix(ping.probe_loss)
+      .mix(ping.unresponsive_ip_rate)
+      .mix(ping.split_personality_rate)
+      .mix(ping.icmp_limited_isp_rate)
+      .mix(ping.icmp_limited_failure)
+      .mix(ping.fault_seed)
+      .mix(ping.vp_outage_rate)
+      .mix(ping.icmp_storm_isp_rate)
+      .mix(ping.icmp_storm_failure)
+      .mix(ping.retry_budget);
+  const FilterConfig& filter = scenario.filter;
+  h.mix("filter")
+      .mix(static_cast<std::uint64_t>(filter.min_usable_sites))
+      .mix(static_cast<std::uint64_t>(filter.sol_check_candidates))
+      .mix(filter.sol_tolerance_ms);
+  h.mix("vantage")
+      .mix(static_cast<std::uint64_t>(scenario.vantage_points))
+      .mix(scenario.vantage_seed);
+  return h.digest();
 }
 
 }  // namespace repro

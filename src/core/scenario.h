@@ -42,4 +42,15 @@ struct Scenario {
   static Scenario paper();
 };
 
+/// 64-bit digest over every scenario field that determines the persistent
+/// pipeline artifacts (topology, deployment, population, scanner, ping and
+/// filter configs plus the vantage-point campaign). Two scenarios with the
+/// same digest produce bit-identical scan records, TLS populations, latency
+/// matrices and clusterings, so the artifact store keys on it. When you add
+/// a field to one of these configs, mix it in here (and see the versioning
+/// rules in docs/PERSISTENCE.md). Thread counts are deliberately excluded:
+/// parallel execution is bit-identical to serial (docs/PARALLELISM.md), so
+/// a warm start is valid across any REPRO_THREADS setting.
+std::uint64_t measurement_digest(const Scenario& scenario);
+
 }  // namespace repro

@@ -1,0 +1,300 @@
+#include "store/artifact_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "obs/metrics.h"
+
+namespace repro::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4f525052;  // "RPRO"
+constexpr std::uint32_t kContainerVersion = 1;
+
+std::uint64_t fnv1a_bytes(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t state = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    state ^= b;
+    state *= 0x100000001b3ULL;
+  }
+  return state;
+}
+
+std::string hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+std::string ArtifactKey::filename() const {
+  return type + "-v" + std::to_string(schema) + "-" + hex16(digest) + ".bin";
+}
+
+ArtifactStore::ArtifactStore(StoreConfig config) : config_(std::move(config)) {
+  require(!config_.root.empty(), "ArtifactStore: empty root path");
+  if (config_.budget_mb > 0.0) {
+    budget_bytes_ = static_cast<std::uint64_t>(config_.budget_mb * 1e6);
+  }
+
+  std::error_code ec;
+  if (!config_.read_only) {
+    fs::create_directories(config_.root, ec);
+    require(!ec, "ArtifactStore: cannot create root " + config_.root);
+  }
+
+  // Index the existing artifacts, oldest mtime first, so the in-memory
+  // recency list continues the order previous processes left on disk.
+  struct Found {
+    std::string filename;
+    std::uint64_t bytes;
+    fs::file_time_type mtime;
+  };
+  std::vector<Found> found;
+  if (fs::is_directory(config_.root, ec)) {
+    for (const auto& entry : fs::directory_iterator(config_.root, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      const std::string name = entry.path().filename().string();
+      if (!name.ends_with(".bin")) continue;  // skip temp files and strays
+      found.push_back({name, static_cast<std::uint64_t>(entry.file_size(ec)),
+                       entry.last_write_time(ec)});
+    }
+  }
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.filename < b.filename;
+  });
+  for (const Found& file : found) {
+    recency_.push_front({file.filename, file.bytes});  // newest ends up front
+    index_[file.filename] = recency_.begin();
+    used_bytes_ += file.bytes;
+  }
+}
+
+std::shared_ptr<ArtifactStore> ArtifactStore::from_env() {
+  const char* root = std::getenv("REPRO_STORE");
+  if (root == nullptr || root[0] == '\0') return nullptr;
+  StoreConfig config;
+  config.root = root;
+  const char* read_only = std::getenv("REPRO_STORE_READONLY");
+  config.read_only = read_only != nullptr && std::string(read_only) == "1";
+  if (const char* budget = std::getenv("REPRO_STORE_BUDGET_MB")) {
+    config.budget_mb = std::atof(budget);
+  }
+  return std::make_shared<ArtifactStore>(std::move(config));
+}
+
+void ArtifactStore::touch(
+    std::unordered_map<std::string, std::list<Entry>::iterator>::iterator it) {
+  recency_.splice(recency_.begin(), recency_, it->second);
+  it->second = recency_.begin();
+}
+
+void ArtifactStore::drop_entry(const std::string& filename) {
+  const auto it = index_.find(filename);
+  if (it == index_.end()) return;
+  used_bytes_ -= it->second->bytes;
+  recency_.erase(it->second);
+  index_.erase(it);
+}
+
+void ArtifactStore::evict_to_fit(std::uint64_t incoming,
+                                 const std::string& keep) {
+  if (budget_bytes_ == 0) return;
+  while (used_bytes_ + incoming > budget_bytes_ && !recency_.empty()) {
+    const Entry victim = recency_.back();
+    if (victim.filename == keep) break;  // never evict the incoming artifact
+    std::error_code ec;
+    fs::remove(fs::path(config_.root) / victim.filename, ec);
+    drop_entry(victim.filename);
+    ++stats_.evicted;
+    obs::metrics().counter("store.evicted").add(1);
+  }
+}
+
+LoadResult ArtifactStore::load(const ArtifactKey& key) {
+  obs::ScopedTimer timer("store.load_ms");
+  const std::string filename = key.filename();
+  const fs::path path = fs::path(config_.root) / filename;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  LoadResult result;
+
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      ++stats_.misses;
+      obs::metrics().counter("store.miss").add(1);
+      return result;  // kMiss
+    }
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    in.seekg(0, std::ios::beg);
+    bytes.resize(static_cast<std::size_t>(std::max<std::streamoff>(size, 0)));
+    if (!bytes.empty()) {
+      in.read(reinterpret_cast<char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    }
+    if (!in) {
+      result.status = LoadStatus::kCorrupt;
+      result.detail = filename + ": short read";
+    }
+  }
+
+  if (!result.corrupt()) {
+    try {
+      ByteReader reader(bytes);
+      if (reader.u32() != kMagic) {
+        throw SerdeError("bad magic");
+      }
+      if (const std::uint32_t container = reader.u32();
+          container != kContainerVersion) {
+        throw SerdeError("unknown container version " +
+                         std::to_string(container));
+      }
+      if (const std::string type = reader.str(); type != key.type) {
+        throw SerdeError("artifact type mismatch: file says '" + type + "'");
+      }
+      if (const std::uint32_t schema = reader.u32(); schema != key.schema) {
+        throw SerdeError("stale schema version " + std::to_string(schema) +
+                         " (want " + std::to_string(key.schema) + ")");
+      }
+      const std::uint64_t payload_size = reader.u64();
+      if (payload_size != reader.remaining() - sizeof(std::uint64_t)) {
+        throw SerdeError("payload size mismatch");
+      }
+      std::vector<std::uint8_t> payload(bytes.end() - reader.remaining(),
+                                        bytes.end() - sizeof(std::uint64_t));
+      ByteReader tail(std::span<const std::uint8_t>(
+          bytes.data() + bytes.size() - sizeof(std::uint64_t),
+          sizeof(std::uint64_t)));
+      if (tail.u64() != fnv1a_bytes(payload)) {
+        throw SerdeError("checksum mismatch");
+      }
+      result.status = LoadStatus::kHit;
+      result.payload = std::move(payload);
+    } catch (const Error& error) {
+      result.status = LoadStatus::kCorrupt;
+      result.detail = filename + ": " + error.what();
+      result.payload.clear();
+    }
+  }
+
+  if (result.corrupt()) {
+    ++stats_.corrupt;
+    obs::metrics().counter("store.corrupt").add(1);
+    if (!config_.read_only) {
+      // Quarantine by deletion: the next run takes a clean miss instead of
+      // tripping over the same corrupt bytes forever.
+      std::error_code ec;
+      fs::remove(path, ec);
+      drop_entry(filename);
+    }
+    return result;
+  }
+
+  ++stats_.hits;
+  obs::metrics().counter("store.hit").add(1);
+  const auto it = index_.find(filename);
+  if (it != index_.end()) {
+    touch(it);
+  } else {
+    // Present on disk but unknown to this instance (written by another
+    // process since startup): adopt it.
+    recency_.push_front({filename, static_cast<std::uint64_t>(bytes.size())});
+    index_[filename] = recency_.begin();
+    used_bytes_ += bytes.size();
+  }
+  if (!config_.read_only) {
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  }
+  return result;
+}
+
+bool ArtifactStore::save(const ArtifactKey& key,
+                         const std::vector<std::uint8_t>& payload) {
+  if (config_.read_only) return false;
+  obs::ScopedTimer timer("store.save_ms");
+
+  ByteWriter header;
+  header.u32(kMagic);
+  header.u32(kContainerVersion);
+  header.str(key.type);
+  header.u32(key.schema);
+  header.u64(payload.size());
+
+  const std::string filename = key.filename();
+  const std::uint64_t total_bytes =
+      header.bytes().size() + payload.size() + sizeof(std::uint64_t);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (budget_bytes_ != 0 && total_bytes > budget_bytes_) {
+    return false;  // would evict the entire store and still not fit
+  }
+
+  const fs::path dir(config_.root);
+  const fs::path temp =
+      dir / (".tmp-" + std::to_string(++temp_counter_) + "-" + filename);
+  const fs::path target = dir / filename;
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(header.bytes().data()),
+              static_cast<std::streamsize>(header.bytes().size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    ByteWriter checksum;
+    checksum.u64(fnv1a_bytes(payload));
+    out.write(reinterpret_cast<const char*>(checksum.bytes().data()),
+              static_cast<std::streamsize>(checksum.bytes().size()));
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      fs::remove(temp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp, target, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return false;
+  }
+
+  drop_entry(filename);  // replaced in place: refresh the accounting
+  recency_.push_front({filename, total_bytes});
+  index_[filename] = recency_.begin();
+  used_bytes_ += total_bytes;
+  evict_to_fit(0, filename);
+
+  ++stats_.saved;
+  obs::metrics().counter("store.saved").add(1);
+  return true;
+}
+
+StoreStats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ArtifactStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+double ArtifactStore::used_mb() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<double>(used_bytes_) / 1e6;
+}
+
+}  // namespace repro::store

@@ -1,0 +1,149 @@
+// Content-addressed persistent artifact store.
+//
+// Artifacts are flat files under one root directory, named
+// `<type>-v<schema>-<digest>.bin` where the digest is an FNV-1a 64-bit hash
+// over everything that determines the artifact's content: the per-type
+// schema version, the scenario's measurement-relevant config fields, the
+// fault plan (seed + every rate), and per-artifact parameters (snapshot,
+// ISP, xi). Change any input and the key changes, so a stale artifact can
+// never be served -- there is no invalidation protocol, only different
+// names.
+//
+// Durability contract:
+//   * writes are atomic: payload goes to a temp file in the root, then one
+//     rename() publishes it -- readers never see a half-written artifact;
+//   * every file carries a header (magic, container version, type, schema,
+//     payload size) and a trailing FNV-1a checksum over the payload;
+//     truncation, bit flips and stale schema versions are all detected at
+//     load time and reported as kCorrupt, which callers treat as "recompute
+//     and record a degraded StageHealth" -- never a crash;
+//   * a disk budget (REPRO_STORE_BUDGET_MB) is enforced with LRU eviction
+//     over file recency (same policy shape as cache/lru.h, with file mtimes
+//     persisting the recency order across processes).
+//
+// All operations are thread-safe: the clustering fan-out loads and saves
+// per-ISP matrices from pool workers concurrently.
+//
+// Env toggles (read by from_env(); all default off so the pipeline is
+// bit-identical to a storeless build):
+//   REPRO_STORE=/path        enable, rooted at /path (created if missing)
+//   REPRO_STORE_READONLY=1   consult but never write, touch or evict
+//   REPRO_STORE_BUDGET_MB=N  LRU-evict beyond N megabytes (0 = unlimited)
+//
+// See docs/PERSISTENCE.md.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "store/serde.h"
+
+namespace repro::store {
+
+/// Identity of one stored artifact. The digest must cover every input that
+/// can change the payload (build it with Fnv1a).
+struct ArtifactKey {
+  std::string type;           // "scan", "population", "matrix", "clustering"
+  std::uint32_t schema = 1;   // the per-type schema constant from serde.h
+  std::uint64_t digest = 0;
+
+  /// "<type>-v<schema>-<16 hex digits>.bin"
+  std::string filename() const;
+};
+
+enum class LoadStatus {
+  kHit,      // payload returned, checksum and schema verified
+  kMiss,     // no such artifact
+  kCorrupt,  // artifact present but unreadable (recompute; record degraded)
+};
+
+struct LoadResult {
+  LoadStatus status = LoadStatus::kMiss;
+  std::vector<std::uint8_t> payload;
+  /// Human-readable corruption reason (empty unless kCorrupt).
+  std::string detail;
+
+  bool hit() const noexcept { return status == LoadStatus::kHit; }
+  bool corrupt() const noexcept { return status == LoadStatus::kCorrupt; }
+};
+
+struct StoreConfig {
+  std::string root;
+  bool read_only = false;
+  /// LRU disk budget in megabytes; <= 0 means unlimited.
+  double budget_mb = 0.0;
+};
+
+/// Cumulative per-instance statistics (process-global mirrors live in the
+/// metrics registry as store.hit / store.miss / store.corrupt /
+/// store.evicted / store.saved).
+struct StoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t saved = 0;
+};
+
+class ArtifactStore {
+ public:
+  /// Opens (and creates, unless read-only) the store root, then indexes the
+  /// existing artifacts by file recency. Throws repro::Error when the root
+  /// cannot be created.
+  explicit ArtifactStore(StoreConfig config);
+
+  /// Store described by the REPRO_STORE* environment variables; nullptr
+  /// when REPRO_STORE is unset or empty (the default: no persistence).
+  static std::shared_ptr<ArtifactStore> from_env();
+
+  /// Loads an artifact. A hit refreshes its LRU recency (and file mtime,
+  /// unless read-only). Corrupt artifacts are deleted (unless read-only) so
+  /// the next run takes a clean miss.
+  LoadResult load(const ArtifactKey& key);
+
+  /// Publishes an artifact atomically (write temp + rename), then enforces
+  /// the disk budget by evicting least-recently-used files. Returns false
+  /// when the store is read-only, the payload alone exceeds the budget, or
+  /// the write fails (a full disk degrades to "no persistence", it never
+  /// aborts the run).
+  bool save(const ArtifactKey& key, const std::vector<std::uint8_t>& payload);
+
+  const StoreConfig& config() const noexcept { return config_; }
+  StoreStats stats() const;
+  std::size_t object_count() const;
+  double used_mb() const;
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+ private:
+  struct Entry {
+    std::string filename;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Moves `it` to the recency front (most recent). Caller holds the lock.
+  void touch(std::unordered_map<std::string,
+                                std::list<Entry>::iterator>::iterator it);
+  /// Evicts from the recency back until `incoming` more bytes fit the
+  /// budget. Never evicts `keep`. Caller holds the lock.
+  void evict_to_fit(std::uint64_t incoming, const std::string& keep);
+  void drop_entry(const std::string& filename);
+
+  StoreConfig config_;
+  std::uint64_t budget_bytes_ = 0;  // 0 = unlimited
+
+  mutable std::mutex mutex_;
+  std::list<Entry> recency_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t used_bytes_ = 0;
+  StoreStats stats_;
+  std::uint64_t temp_counter_ = 0;
+};
+
+}  // namespace repro::store

@@ -1,0 +1,734 @@
+// The persistent artifact store's contract (ctest -L store):
+//   * serde round trips are lossless for every artifact family, including
+//     NaN markers and exact double bit patterns (randomized property tests);
+//   * corruption -- truncation, bit flips, stale schema versions, type
+//     mismatches -- is detected at load time and reported as kCorrupt, and
+//     the pipeline responds by recomputing with a degraded StageHealth,
+//     never by crashing or serving garbage;
+//   * a warm start is bit-identical to a cold (storeless) run, clean and
+//     under a chaos fault plan;
+//   * the disk budget is enforced with LRU eviction that survives process
+//     restarts via file mtimes;
+//   * concurrent loads and saves are data-race free (the clustering fan-out
+//     hits the store from pool workers; TSan tier of scripts/check.sh).
+#include "store/artifact_store.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "store/serde.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace repro {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh store root per test, removed on teardown.
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The PID keeps concurrent runs of this binary (e.g. a sanitizer build
+    // alongside the plain one) from sharing roots and racing remove_all.
+    root_ = fs::temp_directory_path() /
+            ("repro-store-test-" + std::to_string(::getpid()) + "-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(root_);
+  }
+  void TearDown() override {
+    fs::remove_all(root_);
+    set_default_thread_count(0);
+  }
+
+  store::StoreConfig config(double budget_mb = 0.0) const {
+    store::StoreConfig config;
+    config.root = root_.string();
+    config.budget_mb = budget_mb;
+    return config;
+  }
+
+  fs::path root_;
+};
+
+// --- randomized serde round trips -----------------------------------------
+
+std::string random_name(Rng& rng) {
+  static const char* kParts[] = {"edge", "cdn", "static", "media", "www",
+                                 "example", "net", "org", "com", "io"};
+  std::string out;
+  const int parts = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < parts; ++i) {
+    if (i > 0) out += '.';
+    out += kParts[rng.uniform_int(0, 9)];
+  }
+  if (rng.chance(0.2)) out = "*." + out;
+  return out;
+}
+
+TlsCertificate random_cert(Rng& rng) {
+  TlsCertificate cert;
+  cert.subject.common_name = random_name(rng);
+  if (rng.chance(0.7)) cert.subject.organization = random_name(rng);
+  cert.subject.country = rng.chance(0.5) ? "US" : "DE";
+  cert.issuer.common_name = random_name(rng);
+  cert.issuer.organization = random_name(rng);
+  const int sans = static_cast<int>(rng.uniform_int(0, 6));
+  for (int i = 0; i < sans; ++i) cert.san_dns.push_back(random_name(rng));
+  cert.not_before_year = static_cast<int>(rng.uniform_int(2015, 2023));
+  cert.not_after_year = cert.not_before_year + 2;
+  cert.serial = rng.next();
+  return cert;
+}
+
+TEST_F(StoreTest, ScanRecordsRoundTripRandomized) {
+  Rng rng(20230707);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<ScanRecord> records;
+    const int count = static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < count; ++i) {
+      ScanRecord record;
+      record.ip = Ipv4(static_cast<std::uint32_t>(rng.next()));
+      record.cert = random_cert(rng);
+      records.push_back(std::move(record));
+    }
+    store::ByteWriter writer;
+    store::encode(writer, records);
+    store::ByteReader reader(writer.bytes());
+    const std::vector<ScanRecord> decoded = store::decode_scan_records(reader);
+    EXPECT_TRUE(reader.exhausted());
+    ASSERT_EQ(decoded.size(), records.size()) << "round " << round;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(decoded[i].ip, records[i].ip);
+      EXPECT_EQ(decoded[i].cert, records[i].cert);
+    }
+  }
+}
+
+TEST_F(StoreTest, PopulationRoundTripRandomized) {
+  Rng rng(424242);
+  for (int round = 0; round < 10; ++round) {
+    CertStore population;
+    const int count = static_cast<int>(rng.uniform_int(0, 60));
+    for (int i = 0; i < count; ++i) {
+      population.install(Ipv4(static_cast<std::uint32_t>(rng.next())),
+                         random_cert(rng));
+    }
+    store::ByteWriter writer;
+    store::encode(writer, population);
+    store::ByteReader reader(writer.bytes());
+    const CertStore decoded = store::decode_population(reader);
+    EXPECT_TRUE(reader.exhausted());
+    ASSERT_EQ(decoded.size(), population.size()) << "round " << round;
+    for (const TlsEndpoint& endpoint : population.all_sorted()) {
+      const auto cert = decoded.lookup(endpoint.ip);
+      ASSERT_TRUE(cert.has_value());
+      EXPECT_EQ(*cert, endpoint.cert);
+    }
+  }
+}
+
+TEST_F(StoreTest, LatencyMatrixRoundTripPreservesEveryBit) {
+  Rng rng(1611);
+  for (int round = 0; round < 10; ++round) {
+    LatencyMatrix matrix;
+    const std::size_t rows = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    matrix.vp_count = static_cast<std::size_t>(rng.uniform_int(0, 8));
+    for (std::size_t i = 0; i < rows; ++i) {
+      matrix.ips.push_back(Ipv4(static_cast<std::uint32_t>(rng.next())));
+      matrix.server_indices.push_back(rng.next() % 100000);
+    }
+    for (std::size_t i = 0; i < rows * matrix.vp_count; ++i) {
+      // Mix plain RTTs, NaN failure markers, infinities and denormals: the
+      // wire format must preserve the exact bit pattern of each.
+      const int kind = static_cast<int>(rng.uniform_int(0, 3));
+      double value = rng.uniform(0.1, 300.0);
+      if (kind == 1) value = std::numeric_limits<double>::quiet_NaN();
+      if (kind == 2) value = std::numeric_limits<double>::infinity();
+      if (kind == 3) value = std::numeric_limits<double>::denorm_min();
+      matrix.rtt.push_back(value);
+    }
+    store::ByteWriter writer;
+    store::encode(writer, matrix);
+    store::ByteReader reader(writer.bytes());
+    const LatencyMatrix decoded = store::decode_latency_matrix(reader);
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_EQ(decoded.ips, matrix.ips);
+    EXPECT_EQ(decoded.server_indices, matrix.server_indices);
+    EXPECT_EQ(decoded.vp_count, matrix.vp_count);
+    ASSERT_EQ(decoded.rtt.size(), matrix.rtt.size());
+    for (std::size_t i = 0; i < matrix.rtt.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.rtt[i]),
+                std::bit_cast<std::uint64_t>(matrix.rtt[i]))
+          << "cell " << i;
+    }
+  }
+}
+
+TEST_F(StoreTest, ClusteringsAndHealthRoundTripRandomized) {
+  Rng rng(90210);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<IspClustering> clusterings;
+    const int count = static_cast<int>(rng.uniform_int(0, 10));
+    for (int i = 0; i < count; ++i) {
+      IspClustering clustering;
+      clustering.isp = static_cast<AsIndex>(rng.next());
+      clustering.usable = rng.chance(0.8);
+      const int ips = static_cast<int>(rng.uniform_int(0, 30));
+      for (int j = 0; j < ips; ++j) {
+        clustering.registry_indices.push_back(rng.next() % 100000);
+        clustering.labels.push_back(
+            static_cast<int>(rng.uniform_int(-1, 5)));
+      }
+      clustering.cluster_count = static_cast<int>(rng.uniform_int(0, 6));
+      clustering.dropped_unresponsive = rng.next() % 1000;
+      clustering.dropped_impossible = rng.next() % 1000;
+      clustering.usable_sites = rng.next() % 200;
+      clusterings.push_back(std::move(clustering));
+    }
+    fault::StageHealth health;
+    health.status = static_cast<fault::StageStatus>(rng.uniform_int(0, 2));
+    health.dropped = rng.next() % 500;
+    health.total = health.dropped + rng.next() % 500;
+    const int reasons = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < reasons; ++i) health.reasons.push_back(random_name(rng));
+
+    store::ByteWriter writer;
+    store::encode(writer, health);
+    store::encode(writer, clusterings);
+    store::ByteReader reader(writer.bytes());
+    const fault::StageHealth decoded_health = store::decode_stage_health(reader);
+    const std::vector<IspClustering> decoded = store::decode_clusterings(reader);
+    EXPECT_TRUE(reader.exhausted());
+
+    EXPECT_EQ(decoded_health.status, health.status);
+    EXPECT_EQ(decoded_health.dropped, health.dropped);
+    EXPECT_EQ(decoded_health.total, health.total);
+    EXPECT_EQ(decoded_health.reasons, health.reasons);
+    ASSERT_EQ(decoded.size(), clusterings.size());
+    for (std::size_t i = 0; i < clusterings.size(); ++i) {
+      EXPECT_EQ(decoded[i].isp, clusterings[i].isp);
+      EXPECT_EQ(decoded[i].usable, clusterings[i].usable);
+      EXPECT_EQ(decoded[i].registry_indices, clusterings[i].registry_indices);
+      EXPECT_EQ(decoded[i].labels, clusterings[i].labels);
+      EXPECT_EQ(decoded[i].cluster_count, clusterings[i].cluster_count);
+      EXPECT_EQ(decoded[i].dropped_unresponsive,
+                clusterings[i].dropped_unresponsive);
+      EXPECT_EQ(decoded[i].dropped_impossible,
+                clusterings[i].dropped_impossible);
+      EXPECT_EQ(decoded[i].usable_sites, clusterings[i].usable_sites);
+    }
+  }
+}
+
+TEST_F(StoreTest, TruncatedInputThrowsSerdeErrorAtEveryLength) {
+  Rng rng(777);
+  std::vector<ScanRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    ScanRecord record;
+    record.ip = Ipv4(static_cast<std::uint32_t>(rng.next()));
+    record.cert = random_cert(rng);
+    records.push_back(std::move(record));
+  }
+  store::ByteWriter writer;
+  store::encode(writer, records);
+  const std::vector<std::uint8_t>& bytes = writer.bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    store::ByteReader reader(prefix);
+    // Either the decode notices mid-way (SerdeError) or a length prefix
+    // happens to terminate early -- it must never read out of bounds, and
+    // it must never return the full input from a strict prefix.
+    try {
+      const auto decoded = store::decode_scan_records(reader);
+      EXPECT_LT(decoded.size(), records.size()) << "cut " << cut;
+    } catch (const store::SerdeError&) {
+      // expected for most cut points
+    }
+  }
+}
+
+TEST_F(StoreTest, ImplausibleElementCountRejectedBeforeAllocating) {
+  store::ByteWriter writer;
+  writer.u64(std::numeric_limits<std::uint64_t>::max());  // records "count"
+  store::ByteReader reader(writer.bytes());
+  EXPECT_THROW(store::decode_scan_records(reader), store::SerdeError);
+}
+
+// --- artifact store basics -------------------------------------------------
+
+store::ArtifactKey test_key(const char* type, std::uint32_t schema,
+                            std::uint64_t salt) {
+  return store::ArtifactKey{
+      type, schema,
+      store::Fnv1a().mix(std::string_view(type)).mix(schema).mix(salt).digest()};
+}
+
+std::vector<std::uint8_t> test_payload(std::size_t size, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(size, fill);
+}
+
+TEST_F(StoreTest, SaveThenLoadRoundTrips) {
+  store::ArtifactStore artifacts(config());
+  const store::ArtifactKey key = test_key("scan", 1, 1);
+  EXPECT_FALSE(artifacts.load(key).hit());  // cold miss
+
+  const std::vector<std::uint8_t> payload = test_payload(1000, 0xab);
+  EXPECT_TRUE(artifacts.save(key, payload));
+  const store::LoadResult result = artifacts.load(key);
+  EXPECT_TRUE(result.hit());
+  EXPECT_EQ(result.payload, payload);
+
+  EXPECT_EQ(artifacts.stats().misses, 1u);
+  EXPECT_EQ(artifacts.stats().saved, 1u);
+  EXPECT_EQ(artifacts.stats().hits, 1u);
+  EXPECT_EQ(artifacts.object_count(), 1u);
+  EXPECT_TRUE(fs::exists(root_ / key.filename()));
+  EXPECT_EQ(key.filename().find("scan-v1-"), 0u);
+}
+
+TEST_F(StoreTest, PersistsAcrossInstances) {
+  const store::ArtifactKey key = test_key("population", 1, 7);
+  const std::vector<std::uint8_t> payload = test_payload(512, 0x5a);
+  {
+    store::ArtifactStore first(config());
+    EXPECT_TRUE(first.save(key, payload));
+  }
+  store::ArtifactStore second(config());
+  EXPECT_EQ(second.object_count(), 1u);
+  const store::LoadResult result = second.load(key);
+  EXPECT_TRUE(result.hit());
+  EXPECT_EQ(result.payload, payload);
+}
+
+TEST_F(StoreTest, FromEnvHonorsToggles) {
+  ASSERT_EQ(::unsetenv("REPRO_STORE"), 0);
+  EXPECT_EQ(store::ArtifactStore::from_env(), nullptr);
+
+  ASSERT_EQ(::setenv("REPRO_STORE", root_.string().c_str(), 1), 0);
+  ASSERT_EQ(::setenv("REPRO_STORE_READONLY", "1", 1), 0);
+  ASSERT_EQ(::setenv("REPRO_STORE_BUDGET_MB", "12.5", 1), 0);
+  const std::shared_ptr<store::ArtifactStore> artifacts =
+      store::ArtifactStore::from_env();
+  ASSERT_NE(artifacts, nullptr);
+  EXPECT_EQ(artifacts->config().root, root_.string());
+  EXPECT_TRUE(artifacts->config().read_only);
+  EXPECT_DOUBLE_EQ(artifacts->config().budget_mb, 12.5);
+  ASSERT_EQ(::unsetenv("REPRO_STORE"), 0);
+  ASSERT_EQ(::unsetenv("REPRO_STORE_READONLY"), 0);
+  ASSERT_EQ(::unsetenv("REPRO_STORE_BUDGET_MB"), 0);
+}
+
+// --- corruption corpus -----------------------------------------------------
+
+void corrupt_file(const fs::path& path, std::size_t offset,
+                  std::uint8_t xor_mask) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ xor_mask);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+TEST_F(StoreTest, TruncatedFileIsCorruptThenQuarantined) {
+  store::ArtifactStore artifacts(config());
+  const store::ArtifactKey key = test_key("scan", 1, 2);
+  ASSERT_TRUE(artifacts.save(key, test_payload(4096, 0x11)));
+
+  fs::resize_file(root_ / key.filename(), 100);
+  const store::LoadResult result = artifacts.load(key);
+  EXPECT_TRUE(result.corrupt());
+  EXPECT_FALSE(result.detail.empty());
+  // Quarantined by deletion: next load is a clean miss, not corrupt again.
+  EXPECT_FALSE(fs::exists(root_ / key.filename()));
+  EXPECT_FALSE(artifacts.load(key).hit());
+  EXPECT_EQ(artifacts.stats().corrupt, 1u);
+  EXPECT_EQ(artifacts.stats().misses, 1u);
+}
+
+TEST_F(StoreTest, FlippedPayloadByteFailsChecksum) {
+  store::ArtifactStore artifacts(config());
+  const store::ArtifactKey key = test_key("matrix", 1, 3);
+  ASSERT_TRUE(artifacts.save(key, test_payload(2048, 0x42)));
+
+  const std::uint64_t size = fs::file_size(root_ / key.filename());
+  corrupt_file(root_ / key.filename(), size / 2, 0x01);
+  const store::LoadResult result = artifacts.load(key);
+  EXPECT_TRUE(result.corrupt());
+  EXPECT_NE(result.detail.find("checksum"), std::string::npos) << result.detail;
+}
+
+TEST_F(StoreTest, FlippedHeaderByteFailsMagic) {
+  store::ArtifactStore artifacts(config());
+  const store::ArtifactKey key = test_key("clustering", 1, 4);
+  ASSERT_TRUE(artifacts.save(key, test_payload(64, 0x99)));
+  corrupt_file(root_ / key.filename(), 0, 0xff);
+  EXPECT_TRUE(artifacts.load(key).corrupt());
+}
+
+TEST_F(StoreTest, StaleSchemaVersionIsCorruptNotServed) {
+  store::ArtifactStore artifacts(config());
+  const store::ArtifactKey old_key = test_key("scan", 1, 5);
+  ASSERT_TRUE(artifacts.save(old_key, test_payload(128, 0x21)));
+
+  // Simulate a leftover v1 file sitting where a v2 reader looks (e.g. a
+  // hand-renamed or mangled store): the header schema must be checked, not
+  // just the filename.
+  store::ArtifactKey new_key = old_key;
+  new_key.schema = 2;
+  fs::rename(root_ / old_key.filename(), root_ / new_key.filename());
+  const store::LoadResult result = artifacts.load(new_key);
+  EXPECT_TRUE(result.corrupt());
+  EXPECT_NE(result.detail.find("stale schema"), std::string::npos)
+      << result.detail;
+}
+
+TEST_F(StoreTest, TypeMismatchIsCorruptNotServed) {
+  store::ArtifactStore artifacts(config());
+  const store::ArtifactKey scan_key = test_key("scan", 1, 6);
+  ASSERT_TRUE(artifacts.save(scan_key, test_payload(128, 0x22)));
+  store::ArtifactKey population_key = scan_key;
+  population_key.type = "population";
+  fs::rename(root_ / scan_key.filename(),
+             root_ / population_key.filename());
+  const store::LoadResult result = artifacts.load(population_key);
+  EXPECT_TRUE(result.corrupt());
+  EXPECT_NE(result.detail.find("type mismatch"), std::string::npos)
+      << result.detail;
+}
+
+TEST_F(StoreTest, ReadOnlyStoreNeverWritesNorDeletes) {
+  const store::ArtifactKey key = test_key("scan", 1, 8);
+  {
+    store::ArtifactStore writable(config());
+    ASSERT_TRUE(writable.save(key, test_payload(256, 0x77)));
+  }
+  store::StoreConfig ro = config();
+  ro.read_only = true;
+  store::ArtifactStore artifacts(ro);
+  EXPECT_TRUE(artifacts.load(key).hit());
+  EXPECT_FALSE(artifacts.save(test_key("scan", 1, 9), test_payload(16, 0)));
+  EXPECT_EQ(artifacts.stats().saved, 0u);
+
+  // A corrupt artifact is reported but NOT quarantined in read-only mode.
+  corrupt_file(root_ / key.filename(), fs::file_size(root_ / key.filename()) - 1,
+               0x01);
+  EXPECT_TRUE(artifacts.load(key).corrupt());
+  EXPECT_TRUE(fs::exists(root_ / key.filename()));
+}
+
+// --- LRU disk budget -------------------------------------------------------
+
+TEST_F(StoreTest, BudgetEvictsLeastRecentlyUsed) {
+  // ~1100 bytes per artifact (header + payload + checksum); budget of
+  // 0.004 MB = 4000 bytes holds three.
+  store::ArtifactStore artifacts(config(0.004));
+  const store::ArtifactKey a = test_key("scan", 1, 10);
+  const store::ArtifactKey b = test_key("scan", 1, 11);
+  const store::ArtifactKey c = test_key("scan", 1, 12);
+  const store::ArtifactKey d = test_key("scan", 1, 13);
+  ASSERT_TRUE(artifacts.save(a, test_payload(1000, 1)));
+  ASSERT_TRUE(artifacts.save(b, test_payload(1000, 2)));
+  ASSERT_TRUE(artifacts.save(c, test_payload(1000, 3)));
+  EXPECT_EQ(artifacts.object_count(), 3u);
+
+  // Touch `a` so `b` becomes the LRU victim when `d` arrives.
+  EXPECT_TRUE(artifacts.load(a).hit());
+  ASSERT_TRUE(artifacts.save(d, test_payload(1000, 4)));
+
+  EXPECT_EQ(artifacts.stats().evicted, 1u);
+  EXPECT_EQ(artifacts.object_count(), 3u);
+  EXPECT_TRUE(artifacts.load(a).hit());
+  EXPECT_FALSE(artifacts.load(b).hit()) << "LRU victim must be b";
+  EXPECT_TRUE(artifacts.load(c).hit());
+  EXPECT_TRUE(artifacts.load(d).hit());
+  EXPECT_LE(artifacts.used_mb(), 0.004);
+}
+
+TEST_F(StoreTest, OversizedPayloadRefusedWithoutFlushingStore) {
+  store::ArtifactStore artifacts(config(0.004));
+  const store::ArtifactKey small = test_key("scan", 1, 14);
+  ASSERT_TRUE(artifacts.save(small, test_payload(1000, 1)));
+  // A payload that alone exceeds the budget must be refused up front, not
+  // evict everything else first.
+  EXPECT_FALSE(artifacts.save(test_key("scan", 1, 15), test_payload(8000, 2)));
+  EXPECT_TRUE(artifacts.load(small).hit());
+  EXPECT_EQ(artifacts.stats().evicted, 0u);
+}
+
+TEST_F(StoreTest, ConcurrentLoadsAndSavesAreSafe) {
+  store::ArtifactStore artifacts(config(0.02));
+  constexpr std::size_t kOps = 200;
+  parallel_for(
+      kOps,
+      [&](std::size_t i) {
+        const store::ArtifactKey key = test_key("matrix", 1, i % 16);
+        if (i % 3 == 0) {
+          artifacts.save(key, test_payload(500 + i % 7, static_cast<std::uint8_t>(i)));
+        } else {
+          const store::LoadResult result = artifacts.load(key);
+          if (result.hit()) EXPECT_GE(result.payload.size(), 500u);
+          EXPECT_FALSE(result.corrupt());
+        }
+      },
+      8);
+  const store::StoreStats stats = artifacts.stats();
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_GT(stats.saved, 0u);
+}
+
+// --- warm start == cold start (the tentpole contract) ----------------------
+
+void expect_identical(const IspClustering& a, const IspClustering& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.isp, b.isp) << context;
+  EXPECT_EQ(a.usable, b.usable) << context;
+  EXPECT_EQ(a.registry_indices, b.registry_indices) << context;
+  EXPECT_EQ(a.labels, b.labels) << context;
+  EXPECT_EQ(a.cluster_count, b.cluster_count) << context;
+  EXPECT_EQ(a.dropped_unresponsive, b.dropped_unresponsive) << context;
+  EXPECT_EQ(a.dropped_impossible, b.dropped_impossible) << context;
+  EXPECT_EQ(a.usable_sites, b.usable_sites) << context;
+}
+
+struct PipelineOutputs {
+  std::vector<ScanRecord> scan;
+  std::vector<IspClustering> xi01;
+  std::vector<IspClustering> xi09;
+  std::map<std::string, fault::StageHealth> health;
+};
+
+PipelineOutputs run_pipeline(const fault::FaultPlan& plan,
+                             std::shared_ptr<store::ArtifactStore> artifacts) {
+  Pipeline pipeline(Scenario::tiny(), plan, std::move(artifacts));
+  PipelineOutputs out;
+  out.scan = pipeline.scan_records(Snapshot::k2023);
+  out.xi01 = pipeline.clusterings(0.1);
+  out.xi09 = pipeline.clusterings(0.9);
+  out.health = pipeline.stage_health();
+  return out;
+}
+
+void expect_identical_outputs(const PipelineOutputs& cold,
+                              const PipelineOutputs& warm,
+                              const std::string& context) {
+  ASSERT_EQ(warm.scan.size(), cold.scan.size()) << context;
+  for (std::size_t i = 0; i < cold.scan.size(); ++i) {
+    ASSERT_EQ(warm.scan[i].ip, cold.scan[i].ip) << context << " record " << i;
+    ASSERT_EQ(warm.scan[i].cert, cold.scan[i].cert) << context << " record " << i;
+  }
+  ASSERT_EQ(warm.xi01.size(), cold.xi01.size()) << context;
+  ASSERT_EQ(warm.xi09.size(), cold.xi09.size()) << context;
+  for (std::size_t i = 0; i < cold.xi01.size(); ++i) {
+    expect_identical(warm.xi01[i], cold.xi01[i],
+                     context + " xi=0.1 #" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < cold.xi09.size(); ++i) {
+    expect_identical(warm.xi09[i], cold.xi09[i],
+                     context + " xi=0.9 #" + std::to_string(i));
+  }
+}
+
+TEST_F(StoreTest, WarmStartBitIdenticalClean) {
+  obs::metrics().reset();
+  const fault::FaultPlan plan = fault::FaultPlan::none();
+  // Reference: no store at all (the pre-persistence pipeline).
+  const PipelineOutputs reference = run_pipeline(plan, nullptr);
+
+  auto artifacts = std::make_shared<store::ArtifactStore>(config());
+  const PipelineOutputs cold = run_pipeline(plan, artifacts);
+  expect_identical_outputs(reference, cold, "cold-with-store vs storeless");
+  EXPECT_GT(artifacts->stats().saved, 0u);
+
+  // Fresh pipeline, same store root: everything heavy comes from disk.
+  auto warm_store = std::make_shared<store::ArtifactStore>(config());
+  const PipelineOutputs warm = run_pipeline(plan, warm_store);
+  expect_identical_outputs(reference, warm, "warm vs storeless");
+  EXPECT_GT(warm_store->stats().hits, 0u);
+  EXPECT_EQ(warm_store->stats().corrupt, 0u);
+  // The warm clustering stage reports the health verdict the cold run earned.
+  ASSERT_TRUE(warm.health.count("clustering"));
+  EXPECT_EQ(warm.health.at("clustering").status,
+            cold.health.at("clustering").status);
+}
+
+TEST_F(StoreTest, WarmStartBitIdenticalUnderChaos) {
+  obs::metrics().reset();
+  const fault::FaultPlan plan = fault::FaultPlan::chaos().scaled_by(0.5);
+  const PipelineOutputs reference = run_pipeline(plan, nullptr);
+
+  auto artifacts = std::make_shared<store::ArtifactStore>(config());
+  const PipelineOutputs cold = run_pipeline(plan, artifacts);
+  expect_identical_outputs(reference, cold, "chaos cold vs storeless");
+
+  auto warm_store = std::make_shared<store::ArtifactStore>(config());
+  const PipelineOutputs warm = run_pipeline(plan, warm_store);
+  expect_identical_outputs(reference, warm, "chaos warm vs storeless");
+  EXPECT_GT(warm_store->stats().hits, 0u);
+  // Degraded verdicts ride along with the artifacts.
+  ASSERT_TRUE(warm.health.count("scan"));
+  EXPECT_EQ(warm.health.at("scan").status, cold.health.at("scan").status);
+  EXPECT_EQ(warm.health.at("scan").dropped, cold.health.at("scan").dropped);
+  EXPECT_EQ(warm.health.at("scan").reasons, cold.health.at("scan").reasons);
+}
+
+TEST_F(StoreTest, DifferentFaultPlansNeverShareArtifacts) {
+  const fault::FaultPlan clean = fault::FaultPlan::none();
+  const fault::FaultPlan chaos = fault::FaultPlan::chaos().scaled_by(0.5);
+  auto artifacts = std::make_shared<store::ArtifactStore>(config());
+  const PipelineOutputs clean_cold = run_pipeline(clean, artifacts);
+
+  // A chaos run over the same store must MISS every clean artifact (its
+  // world digest differs) and reproduce the storeless chaos outputs.
+  auto chaos_store = std::make_shared<store::ArtifactStore>(config());
+  const PipelineOutputs chaos_warm = run_pipeline(chaos, chaos_store);
+  EXPECT_EQ(chaos_store->stats().hits, 0u);
+  const PipelineOutputs chaos_reference = run_pipeline(chaos, nullptr);
+  expect_identical_outputs(chaos_reference, chaos_warm,
+                           "chaos over clean-populated store");
+  (void)clean_cold;
+}
+
+TEST_F(StoreTest, CorruptArtifactRecomputedWithDegradedHealth) {
+  obs::metrics().reset();
+  const fault::FaultPlan plan = fault::FaultPlan::none();
+  const PipelineOutputs reference = run_pipeline(plan, nullptr);
+  {
+    auto artifacts = std::make_shared<store::ArtifactStore>(config());
+    run_pipeline(plan, artifacts);
+  }
+
+  // Flip one byte in the scan artifact's payload region.
+  bool corrupted = false;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("scan-v1-")) {
+      corrupt_file(entry.path(), fs::file_size(entry.path()) / 2, 0x80);
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no scan artifact found to corrupt";
+
+  auto warm_store = std::make_shared<store::ArtifactStore>(config());
+  Pipeline pipeline(Scenario::tiny(), plan, warm_store);
+  PipelineOutputs warm;
+  warm.scan = pipeline.scan_records(Snapshot::k2023);
+  warm.xi01 = pipeline.clusterings(0.1);
+  warm.xi09 = pipeline.clusterings(0.9);
+  warm.health = pipeline.stage_health();
+
+  // The output is recomputed and correct...
+  expect_identical_outputs(reference, warm, "recompute after corruption");
+  EXPECT_EQ(warm_store->stats().corrupt, 1u);
+  // ...but the run is flagged degraded, with the store named as the cause.
+  EXPECT_EQ(pipeline.overall_status(), fault::StageStatus::kDegraded);
+  ASSERT_TRUE(warm.health.count("scan"));
+  bool noted = false;
+  for (const std::string& reason : warm.health.at("scan").reasons) {
+    if (reason.find("store:") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted) << "degraded reason must name the store";
+
+  // The corrupt file was quarantined and republished: a third run hits.
+  auto healed_store = std::make_shared<store::ArtifactStore>(config());
+  const PipelineOutputs healed = run_pipeline(plan, healed_store);
+  expect_identical_outputs(reference, healed, "healed store");
+  EXPECT_EQ(healed_store->stats().corrupt, 0u);
+  EXPECT_GT(healed_store->stats().hits, 0u);
+}
+
+TEST_F(StoreTest, CorruptMatrixArtifactDegradesClusteringOnly) {
+  const fault::FaultPlan plan = fault::FaultPlan::none();
+  const PipelineOutputs reference = run_pipeline(plan, nullptr);
+  {
+    auto artifacts = std::make_shared<store::ArtifactStore>(config());
+    run_pipeline(plan, artifacts);
+  }
+
+  // Corrupt one per-ISP matrix and delete the clustering artifacts so the
+  // clustering stage recomputes and actually consults the matrices.
+  bool corrupted = false;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    const std::string name = entry.path().filename().string();
+    if (!corrupted && name.starts_with("matrix-v1-")) {
+      corrupt_file(entry.path(), fs::file_size(entry.path()) - 3, 0x40);
+      corrupted = true;
+    }
+    if (name.starts_with("clustering-v1-")) fs::remove(entry.path());
+  }
+  ASSERT_TRUE(corrupted) << "no matrix artifact found to corrupt";
+
+  auto warm_store = std::make_shared<store::ArtifactStore>(config());
+  Pipeline pipeline(Scenario::tiny(), plan, warm_store);
+  PipelineOutputs warm;
+  warm.scan = pipeline.scan_records(Snapshot::k2023);
+  warm.xi01 = pipeline.clusterings(0.1);
+  warm.xi09 = pipeline.clusterings(0.9);
+  warm.health = pipeline.stage_health();
+
+  expect_identical_outputs(reference, warm, "recompute after matrix corruption");
+  EXPECT_EQ(warm_store->stats().corrupt, 1u);
+  ASSERT_TRUE(warm.health.count("clustering"));
+  EXPECT_EQ(warm.health.at("clustering").status, fault::StageStatus::kDegraded);
+}
+
+TEST_F(StoreTest, ReadOnlyWarmStartHitsWithoutWriting) {
+  const fault::FaultPlan plan = fault::FaultPlan::none();
+  {
+    auto artifacts = std::make_shared<store::ArtifactStore>(config());
+    run_pipeline(plan, artifacts);
+  }
+  const std::size_t files_before =
+      static_cast<std::size_t>(std::distance(fs::directory_iterator(root_),
+                                             fs::directory_iterator()));
+
+  store::StoreConfig ro = config();
+  ro.read_only = true;
+  auto ro_store = std::make_shared<store::ArtifactStore>(ro);
+  const PipelineOutputs warm = run_pipeline(plan, ro_store);
+  const PipelineOutputs reference = run_pipeline(plan, nullptr);
+  expect_identical_outputs(reference, warm, "read-only warm");
+  EXPECT_GT(ro_store->stats().hits, 0u);
+  EXPECT_EQ(ro_store->stats().saved, 0u);
+  const std::size_t files_after =
+      static_cast<std::size_t>(std::distance(fs::directory_iterator(root_),
+                                             fs::directory_iterator()));
+  EXPECT_EQ(files_after, files_before);
+}
+
+TEST_F(StoreTest, InMemoryCacheCountersDistinctFromStoreHits) {
+  obs::metrics().reset();
+  Pipeline pipeline(Scenario::tiny(), fault::FaultPlan::none(), nullptr);
+  pipeline.scan_records(Snapshot::k2023);  // computes (and builds population)
+  pipeline.scan_records(Snapshot::k2023);  // memo hit
+  pipeline.population(Snapshot::k2023);    // memo hit (built during the scan)
+  std::uint64_t scan_hits = 0, population_hits = 0, store_hits = 0;
+  for (const auto& [name, value] : obs::metrics().snapshot().counters) {
+    if (name == "pipeline.scan_cache_hit") scan_hits = value;
+    if (name == "pipeline.population_cache_hit") population_hits = value;
+    if (name == "store.hit") store_hits = value;
+  }
+  EXPECT_GE(scan_hits, 1u);
+  EXPECT_GE(population_hits, 1u);
+  EXPECT_EQ(store_hits, 0u) << "no store attached: store.hit must stay 0";
+}
+
+}  // namespace
+}  // namespace repro
