@@ -207,6 +207,9 @@ int main(int argc, char** argv) {
   // distance matrix), recorded in BENCH_perf_micro.json for trend tooling.
   // 8 threads matches the determinism test tier; on smaller machines the
   // pool still runs 8 workers, so the number reflects real oversubscription.
+  // On a single-hardware-thread host the serial/parallel ratio measures
+  // only pool overhead, so the line flags it as not meaningful
+  // (pairwise_speedup_meaningful:false) rather than implying a regression.
   {
     using namespace repro;
     const std::size_t rows = 256;
@@ -218,19 +221,37 @@ int main(int argc, char** argv) {
     const double serial = time_pairwise(table, rows, cols, 1);
     const double parallel = time_pairwise(table, rows, cols, threads);
     const double speedup = parallel > 0.0 ? serial / parallel : 0.0;
+    const bool speedup_meaningful = hardware_thread_count() > 1;
+    // Per-phase cost of the SIMD kernel at the paper's vector length (163
+    // vantage points, 20% trim): |a-b| fill vs sorting-network select vs
+    // ascending-sum reduce, ns per pair at the dispatched level.
+    const KernelPhaseProfile phases = profile_kernel_phases(cols, 0.2, 2000);
     std::printf(
         "\npairwise_distances %zux%zu: serial %.4f s, %zu threads %.4f s "
-        "(speedup %.2fx, %zu hardware threads)\n",
+        "(speedup %.2fx%s, %zu hardware threads)\n",
         rows, cols, serial, threads, parallel, speedup,
+        speedup_meaningful ? "" : ", not meaningful on 1 hw thread",
         hardware_thread_count());
-    char fields[256];
+    std::printf(
+        "kernel phases (simd %s, cols %zu): diff %.1f ns/pair, select %.1f "
+        "ns/pair, sum %.1f ns/pair\n",
+        phases.simd_level.c_str(), cols, phases.diff_ns_op,
+        phases.select_ns_op, phases.sum_ns_op);
+    char fields[512];
     std::snprintf(fields, sizeof(fields),
                   "\"pairwise_serial_seconds\":%.6f,"
                   "\"pairwise_parallel_seconds\":%.6f,"
                   "\"pairwise_threads\":%zu,\"pairwise_speedup\":%.3f,"
-                  "\"hardware_threads\":%zu",
+                  "\"pairwise_speedup_meaningful\":%s,"
+                  "\"hardware_threads\":%zu,"
+                  "\"simd_level\":\"%s\","
+                  "\"kernel_diff_ns_op\":%.1f,"
+                  "\"kernel_select_ns_op\":%.1f,"
+                  "\"kernel_sum_ns_op\":%.1f",
                   serial, parallel, threads, speedup,
-                  hardware_thread_count());
+                  speedup_meaningful ? "true" : "false",
+                  hardware_thread_count(), phases.simd_level.c_str(),
+                  phases.diff_ns_op, phases.select_ns_op, phases.sum_ns_op);
     bench::print_footer("perf_micro", total, {}, fields);
   }
 

@@ -8,11 +8,15 @@
 #   ./scripts/check.sh             tier-1 build + full ctest, then an
 #                                  ASan build of the `fault` and `store`
 #                                  labels, a TSan build of the `parallel`,
-#                                  `obs`, `fault` and `store` labels, and
-#                                  the warm-start smoke
-#   SKIP_ASAN=1 ./scripts/check.sh skip the ASan pass
-#   SKIP_TSAN=1 ./scripts/check.sh skip the TSan pass
-#   SKIP_WARM=1 ./scripts/check.sh skip the warm-equals-cold smoke
+#                                  `obs`, `fault` and `store` labels, a
+#                                  UBSan build of the `perf` label (the
+#                                  SIMD kernels), the warm-start smoke,
+#                                  and a perf-regression gate
+#   SKIP_ASAN=1 ./scripts/check.sh  skip the ASan pass
+#   SKIP_TSAN=1 ./scripts/check.sh  skip the TSan pass
+#   SKIP_UBSAN=1 ./scripts/check.sh skip the UBSan pass
+#   SKIP_WARM=1 ./scripts/check.sh  skip the warm-equals-cold smoke
+#   SKIP_PERF=1 ./scripts/check.sh  skip the perf-regression gate
 #
 # Exits nonzero on the first failure.
 set -euo pipefail
@@ -39,19 +43,59 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   (cd build-tsan && ctest -L 'parallel|obs|fault|store' --output-on-failure -j"$(nproc)")
 fi
 
+if [[ "${SKIP_UBSAN:-0}" != "1" ]]; then
+  echo "== ubsan: perf tests (SIMD kernels) =="
+  cmake -B build-ubsan -S . -DREPRO_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j"$(nproc)" --target test_perf_kernel
+  (cd build-ubsan && ctest -L 'perf' --output-on-failure -j"$(nproc)")
+fi
+
 if [[ "${SKIP_WARM:-0}" != "1" ]]; then
   echo "== warm-equals-cold smoke (tiny scale) =="
   # Two full_report runs over one artifact store: the second starts warm and
   # must produce a byte-identical report (REPRO_TRACE=0 keeps timing tables
   # out of the output, which legitimately differ between runs).
   smoke_dir="$(mktemp -d)"
-  trap 'rm -rf "$smoke_dir"' EXIT
+  trap 'rm -rf "${smoke_dir:-}" "${perf_dir:-}"' EXIT
   REPRO_SCALE=tiny REPRO_TRACE=0 REPRO_STORE="$smoke_dir/store" \
     ./build/examples/full_report "$smoke_dir/cold.md" >/dev/null
   REPRO_SCALE=tiny REPRO_TRACE=0 REPRO_STORE="$smoke_dir/store" \
     ./build/examples/full_report "$smoke_dir/warm.md" >/dev/null
   diff "$smoke_dir/cold.md" "$smoke_dir/warm.md"
   echo "warm report byte-identical to cold"
+fi
+
+if [[ "${SKIP_PERF:-0}" != "1" ]]; then
+  echo "== perf-regression gate: pairwise_distances vs committed baseline =="
+  # Rerun the perf_micro headline measurement (the google-benchmark suite is
+  # filtered out for speed; the pairwise timing is hand-rolled in main) into
+  # a scratch dir, then compare the serial pairwise time to the committed
+  # bench_output/BENCH_perf_micro.json. Throughput regressing more than 20%
+  # (time > 1.25x baseline) fails the check. Shared CI hosts are noisy, so
+  # the gate takes the best of up to three attempts before failing.
+  perf_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir:-}" "${perf_dir:-}"' EXIT
+  perf_ok=0
+  for attempt in 1 2 3; do
+    REPRO_SCALE=tiny REPRO_BENCH_OUT="$perf_dir" \
+      ./build/bench/perf_micro --benchmark_filter='NONE' >/dev/null
+    if python3 - "$perf_dir/BENCH_perf_micro.json" \
+        bench_output/BENCH_perf_micro.json <<'EOF'
+import json, sys
+current = json.load(open(sys.argv[1]))["pairwise_serial_seconds"]
+baseline = json.load(open(sys.argv[2]))["pairwise_serial_seconds"]
+ratio = current / baseline if baseline > 0 else float("inf")
+print(f"pairwise serial: {current:.4f} s vs baseline {baseline:.4f} s "
+      f"({ratio:.2f}x, gate 1.25x)")
+sys.exit(0 if ratio <= 1.25 else 1)
+EOF
+    then perf_ok=1; break; fi
+    echo "attempt $attempt over gate; retrying"
+  done
+  if [[ "$perf_ok" != "1" ]]; then
+    echo "FAIL: pairwise throughput regressed more than 20% vs baseline"
+    exit 1
+  fi
 fi
 
 echo "== all checks passed =="

@@ -1,8 +1,13 @@
 #include "cluster/distance.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "cluster/distance_kernel.h"
+#include "cluster/sort_network.h"
+#include "util/rng.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace repro {
@@ -12,36 +17,23 @@ namespace {
 /// Shared kernel of both trimmed_manhattan variants. `diffs` is the caller's
 /// scratch buffer; the two entry points only differ in who owns it, so the
 /// allocating and scratch variants are bit-identical by construction.
+/// partial_sort leaves the kept prefix in ascending order, so the sequential
+/// sum below is the canonical ascending-order sum (bit-identical to the full
+/// std::sort of the oracle: the sorted value sequence is unique, ties carry
+/// identical bit patterns).
 double trimmed_manhattan_kernel(const double* a, const double* b,
                                 std::size_t n, double trim_fraction,
                                 std::vector<double>& diffs) {
   diffs.resize(n);
   double* d = diffs.data();
-  // Branch-light pass the compiler can vectorize: no per-element control
-  // flow, just |a_i - b_i| into a dense buffer.
   for (std::size_t i = 0; i < n; ++i) d[i] = std::fabs(a[i] - b[i]);
 
-  const auto keep = std::max<std::size_t>(
-      1, n - static_cast<std::size_t>(
-                 std::floor(trim_fraction * static_cast<double>(n))));
-  if (keep < n) {
-    std::nth_element(diffs.begin(),
-                     diffs.begin() + static_cast<std::ptrdiff_t>(keep) - 1,
-                     diffs.end());
-  }
-  // Partial sums over four independent accumulators: breaks the loop-carried
-  // dependence so the sum vectorizes too. The accumulation order is fixed,
-  // so the result is deterministic for a given input.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= keep; i += 4) {
-    s0 += d[i];
-    s1 += d[i + 1];
-    s2 += d[i + 2];
-    s3 += d[i + 3];
-  }
-  double total = (s0 + s1) + (s2 + s3);
-  for (; i < keep; ++i) total += d[i];
+  const std::size_t keep = trim_keep_count(n, trim_fraction);
+  std::partial_sort(diffs.begin(),
+                    diffs.begin() + static_cast<std::ptrdiff_t>(keep),
+                    diffs.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) total += d[i];
   return total / static_cast<double>(keep);
 }
 
@@ -56,6 +48,12 @@ void check_trimmed_manhattan_args(std::span<const double> a,
 
 }  // namespace
 
+std::size_t trim_keep_count(std::size_t n, double trim_fraction) noexcept {
+  return std::max<std::size_t>(
+      1, n - static_cast<std::size_t>(
+                 std::floor(trim_fraction * static_cast<double>(n))));
+}
+
 double trimmed_manhattan(std::span<const double> a, std::span<const double> b,
                          double trim_fraction) {
   std::vector<double> diffs;
@@ -69,16 +67,36 @@ double trimmed_manhattan(std::span<const double> a, std::span<const double> b,
                                   scratch);
 }
 
+double trimmed_manhattan_oracle(std::span<const double> a,
+                                std::span<const double> b,
+                                double trim_fraction) {
+  check_trimmed_manhattan_args(a, b, trim_fraction);
+  std::vector<double> diffs(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diffs[i] = std::fabs(a[i] - b[i]);
+  }
+  std::sort(diffs.begin(), diffs.end());
+  const std::size_t keep = trim_keep_count(a.size(), trim_fraction);
+  double total = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) total += diffs[i];
+  return total / static_cast<double>(keep);
+}
+
 DistanceMatrix::DistanceMatrix(std::size_t n) : n_(n) {
   require(n >= 1, "DistanceMatrix: need at least one point");
   values_.assign(n * (n - 1) / 2, 0.0);
 }
 
-std::size_t DistanceMatrix::offset(std::size_t i, std::size_t j) const {
-  require(i < n_ && j < n_ && i != j, "DistanceMatrix: bad indices");
+std::size_t DistanceMatrix::packed_offset(std::size_t n, std::size_t i,
+                                          std::size_t j) {
+  require(i < n && j < n && i != j, "DistanceMatrix: bad indices");
   if (i > j) std::swap(i, j);
   // Upper-triangle packed index for (i, j), i < j.
-  return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+  return i * n - i * (i + 1) / 2 + (j - i - 1);
+}
+
+std::size_t DistanceMatrix::offset(std::size_t i, std::size_t j) const {
+  return packed_offset(n_, i, j);
 }
 
 double DistanceMatrix::at(std::size_t i, std::size_t j) const {
@@ -91,6 +109,45 @@ void DistanceMatrix::set(std::size_t i, std::size_t j, double value) {
   values_[offset(i, j)] = value;
 }
 
+std::span<double> DistanceMatrix::row_span(std::size_t i) {
+  require(i < n_, "DistanceMatrix: bad row");
+  return {values_.data() + row_start(i), n_ - 1 - i};
+}
+
+std::span<const double> DistanceMatrix::row_span(std::size_t i) const {
+  require(i < n_, "DistanceMatrix: bad row");
+  return {values_.data() + row_start(i), n_ - 1 - i};
+}
+
+void DistanceMatrix::copy_row(std::size_t p, double* out) const {
+  require(p < n_, "DistanceMatrix: bad row");
+  // Cells (o, p) for o < p live one per packed row; successive rows shrink
+  // by one, so the stride from row o to o + 1 is n_ - o - 2.
+  std::size_t off = p >= 1 ? p - 1 : 0;  // packed_offset(0, p)
+  for (std::size_t o = 0; o < p; ++o) {
+    out[o] = values_[off];
+    off += n_ - o - 2;
+  }
+  out[p] = 0.0;
+  if (p + 1 < n_) {
+    const double* row = values_.data() + row_start(p);
+    std::copy(row, row + (n_ - 1 - p), out + p + 1);
+  }
+}
+
+void DistanceMatrix::copy_row_without_self(std::size_t p, double* out) const {
+  require(p < n_, "DistanceMatrix: bad row");
+  std::size_t off = p >= 1 ? p - 1 : 0;  // packed_offset(0, p)
+  for (std::size_t o = 0; o < p; ++o) {
+    out[o] = values_[off];
+    off += n_ - o - 2;
+  }
+  if (p + 1 < n_) {
+    const double* row = values_.data() + row_start(p);
+    std::copy(row, row + (n_ - 1 - p), out + p);
+  }
+}
+
 DistanceMatrix pairwise_distances(std::span<const double> table,
                                   std::size_t rows, std::size_t cols,
                                   double trim_fraction) {
@@ -101,6 +158,16 @@ DistanceMatrix pairwise_distances(std::span<const double> table,
   DistanceMatrix matrix(rows);
   if (rows == 1) return matrix;
 
+  // Everything loop-invariant is resolved here, once: kernel level, lane
+  // count, trim boundary, and the sorting network for (cols, keep, lanes).
+  // The network reference is cached for the process lifetime and read-only,
+  // so sharing it across workers is safe.
+  const cluster::KernelOps& ops = cluster::kernel_ops(simd::active_level());
+  const std::size_t lanes = ops.lanes;
+  const std::size_t keep = trim_keep_count(cols, trim_fraction);
+  const cluster::SortNetwork& net = cluster::sort_network_for(cols, keep, lanes);
+  const double* data = table.data();
+
   // Row-block sharding: a worker owning rows [begin, end) computes every
   // (i, j > i) pair for its rows, so row i stays cache-hot across its whole
   // j sweep and no two workers ever touch the same matrix cell. Small
@@ -109,25 +176,86 @@ DistanceMatrix pairwise_distances(std::span<const double> table,
   const std::size_t threads =
       std::min(default_thread_count(), std::max<std::size_t>(rows / 2, 1));
   const std::size_t block = std::max<std::size_t>(1, rows / (threads * 8));
-  const double* data = table.data();
   parallel_for_blocks(
       rows, block,
-      [&matrix, data, rows, cols, trim_fraction](std::size_t begin,
-                                                 std::size_t end) {
-        // One scratch buffer per worker thread for the whole shard: kills
-        // the per-pair allocation of the naive trimmed_manhattan loop.
-        thread_local std::vector<double> scratch;
+      [&matrix, &ops, &net, data, rows, cols, keep, lanes](std::size_t begin,
+                                                           std::size_t end) {
+        // One aligned scratch per worker thread for the whole shard.
+        thread_local cluster::AlignedScratch scratch_owner;
+        double* scratch = scratch_owner.ensure(cols * lanes);
+        const double* batch[cluster::kMaxKernelLanes];
+        double results[cluster::kMaxKernelLanes];
         for (std::size_t i = begin; i < end; ++i) {
-          const std::span<const double> row_i(data + i * cols, cols);
-          for (std::size_t j = i + 1; j < rows; ++j) {
-            const std::span<const double> row_j(data + j * cols, cols);
-            matrix.set(i, j,
-                       trimmed_manhattan(row_i, row_j, trim_fraction, scratch));
+          const double* row_i = data + i * cols;
+          const std::span<double> out_row = matrix.row_span(i);
+          const std::size_t count = rows - 1 - i;
+          for (std::size_t jb = 0; jb < count; jb += lanes) {
+            const std::size_t live = std::min(lanes, count - jb);
+            // Tail batches pad the spare lanes with the last live row; the
+            // duplicate results are simply not written back.
+            for (std::size_t l = 0; l < lanes; ++l) {
+              const std::size_t j = i + 1 + jb + (l < live ? l : live - 1);
+              batch[l] = data + j * cols;
+            }
+            ops.fill_diffs(row_i, batch, cols, scratch);
+            ops.run_network(scratch, net.byte_offsets.data(), net.comparators);
+            ops.reduce_mean(scratch, keep, results);
+            for (std::size_t l = 0; l < live; ++l) {
+              out_row[jb + l] = results[l];
+            }
           }
         }
       },
       threads);
   return matrix;
+}
+
+KernelPhaseProfile profile_kernel_phases(std::size_t n, double trim_fraction,
+                                         std::size_t iterations) {
+  require(n >= 1, "profile_kernel_phases: empty vectors");
+  require(trim_fraction >= 0.0 && trim_fraction < 1.0,
+          "profile_kernel_phases: trim_fraction outside [0, 1)");
+  require(iterations >= 1, "profile_kernel_phases: need iterations");
+
+  const cluster::KernelOps& ops = cluster::kernel_ops(simd::active_level());
+  const std::size_t lanes = ops.lanes;
+  const std::size_t keep = trim_keep_count(n, trim_fraction);
+  const cluster::SortNetwork& net = cluster::sort_network_for(n, keep, lanes);
+
+  Rng rng(0x9d15);
+  std::vector<double> a(n);
+  std::vector<double> b(n * lanes);
+  for (double& v : a) v = rng.uniform(10.0, 200.0);
+  for (double& v : b) v = rng.uniform(10.0, 200.0);
+  const double* batch[cluster::kMaxKernelLanes];
+  for (std::size_t l = 0; l < lanes; ++l) batch[l] = b.data() + l * n;
+
+  cluster::AlignedScratch scratch_owner;
+  double* scratch = scratch_owner.ensure(n * lanes);
+  double results[cluster::kMaxKernelLanes];
+
+  const auto time_phase = [&](auto&& body) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t it = 0; it < iterations; ++it) body();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+    // Per pair: each invocation covers `lanes` pairs.
+    return ns / (static_cast<double>(iterations) * static_cast<double>(lanes));
+  };
+
+  KernelPhaseProfile profile;
+  profile.simd_level = std::string(simd::to_string(ops.level));
+  profile.diff_ns_op =
+      time_phase([&] { ops.fill_diffs(a.data(), batch, n, scratch); });
+  // The network pass is data-independent, so re-running it on the already
+  // sorted scratch exercises the exact same instruction stream.
+  profile.select_ns_op = time_phase(
+      [&] { ops.run_network(scratch, net.byte_offsets.data(), net.comparators); });
+  profile.sum_ns_op =
+      time_phase([&] { ops.reduce_mean(scratch, keep, results); });
+  return profile;
 }
 
 }  // namespace repro

@@ -1,0 +1,19 @@
+#include "cluster/distance_kernel.h"
+
+namespace repro::cluster {
+
+const KernelOps& kernel_ops(simd::SimdLevel level) noexcept {
+  using simd::SimdLevel;
+  if (level >= SimdLevel::kAvx512) {
+    if (const KernelOps* ops = avx512_ops()) return *ops;
+  }
+  if (level >= SimdLevel::kAvx2) {
+    if (const KernelOps* ops = avx2_ops()) return *ops;
+  }
+  if (level >= SimdLevel::kSse2) {
+    if (const KernelOps* ops = sse2_ops()) return *ops;
+  }
+  return *scalar_ops();
+}
+
+}  // namespace repro::cluster

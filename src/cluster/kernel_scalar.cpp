@@ -1,0 +1,45 @@
+// Scalar reference kernel (lanes = 1). Always compiled; the floor of the
+// dispatch chain and the portable path on non-x86 builds.
+#include <cmath>
+
+#include "cluster/distance_kernel.h"
+
+namespace repro::cluster {
+
+namespace {
+
+void fill_diffs(const double* a, const double* const* bs, std::size_t n,
+                double* scratch) {
+  const double* b = bs[0];
+  for (std::size_t d = 0; d < n; ++d) scratch[d] = std::fabs(a[d] - b[d]);
+}
+
+void run_network(double* scratch, const std::uint32_t* byte_offsets,
+                 std::size_t comparators) {
+  char* base = reinterpret_cast<char*>(scratch);
+  for (std::size_t c = 0; c < comparators; ++c) {
+    double* lo = reinterpret_cast<double*>(base + byte_offsets[2 * c]);
+    double* hi = reinterpret_cast<double*>(base + byte_offsets[2 * c + 1]);
+    const double x = *lo;
+    const double y = *hi;
+    // min to the low slot, max to the high slot; ties keep identical bits
+    // either way, matching the vector min/max semantics exactly.
+    *lo = y < x ? y : x;
+    *hi = y < x ? x : y;
+  }
+}
+
+void reduce_mean(const double* scratch, std::size_t keep, double* out) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < keep; ++r) total += scratch[r];
+  out[0] = total / static_cast<double>(keep);
+}
+
+const KernelOps kOps{simd::SimdLevel::kScalar, 1, &fill_diffs, &run_network,
+                     &reduce_mean};
+
+}  // namespace
+
+const KernelOps* scalar_ops() noexcept { return &kOps; }
+
+}  // namespace repro::cluster

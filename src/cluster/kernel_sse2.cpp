@@ -1,0 +1,62 @@
+// SSE2 kernel (lanes = 2). SSE2 is the x86-64 baseline, so this is the
+// guaranteed vector floor on any x86-64 host; no extra compile flags needed.
+#include "cluster/distance_kernel.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <cmath>
+
+namespace repro::cluster {
+
+namespace {
+
+void fill_diffs(const double* a, const double* const* bs, std::size_t n,
+                double* scratch) {
+  const double* b0 = bs[0];
+  const double* b1 = bs[1];
+  for (std::size_t d = 0; d < n; ++d) {
+    scratch[d * 2] = std::fabs(a[d] - b0[d]);
+    scratch[d * 2 + 1] = std::fabs(a[d] - b1[d]);
+  }
+}
+
+void run_network(double* scratch, const std::uint32_t* byte_offsets,
+                 std::size_t comparators) {
+  char* base = reinterpret_cast<char*>(scratch);
+  for (std::size_t c = 0; c < comparators; ++c) {
+    double* lo = reinterpret_cast<double*>(base + byte_offsets[2 * c]);
+    double* hi = reinterpret_cast<double*>(base + byte_offsets[2 * c + 1]);
+    const __m128d x = _mm_load_pd(lo);
+    const __m128d y = _mm_load_pd(hi);
+    _mm_store_pd(lo, _mm_min_pd(x, y));
+    _mm_store_pd(hi, _mm_max_pd(x, y));
+  }
+}
+
+void reduce_mean(const double* scratch, std::size_t keep, double* out) {
+  __m128d acc = _mm_setzero_pd();
+  for (std::size_t r = 0; r < keep; ++r) {
+    acc = _mm_add_pd(acc, _mm_load_pd(scratch + r * 2));
+  }
+  acc = _mm_div_pd(acc, _mm_set1_pd(static_cast<double>(keep)));
+  _mm_storeu_pd(out, acc);
+}
+
+const KernelOps kOps{simd::SimdLevel::kSse2, 2, &fill_diffs, &run_network,
+                     &reduce_mean};
+
+}  // namespace
+
+const KernelOps* sse2_ops() noexcept { return &kOps; }
+
+}  // namespace repro::cluster
+
+#else  // non-x86 build: level unavailable, dispatch falls through to scalar.
+
+namespace repro::cluster {
+const KernelOps* sse2_ops() noexcept { return nullptr; }
+}  // namespace repro::cluster
+
+#endif

@@ -90,14 +90,14 @@ void optics_order(const DistanceMatrix& distances, std::size_t min_pts,
 
   // Core distance: distance to the (min_pts)-th closest point, counting the
   // point itself (sklearn's min_samples convention; min_pts = 2 means the
-  // nearest other point).
+  // nearest other point). One scratch row reused across all points, filled
+  // row-wise from the packed triangle instead of n per-element at() calls.
+  // nth_element is kept: the *value* at the rank is uniquely determined, so
+  // unlike a prefix sum it cannot depend on the stdlib's partition order.
   if (n >= min_pts) {
     std::vector<double> row(n - 1);
     for (std::size_t p = 0; p < n; ++p) {
-      std::size_t k = 0;
-      for (std::size_t o = 0; o < n; ++o) {
-        if (o != p) row[k++] = distances.at(p, o);
-      }
+      distances.copy_row_without_self(p, row.data());
       const std::size_t rank = min_pts - 2;  // 0-based among *other* points
       std::nth_element(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(rank),
                        row.end());
@@ -107,6 +107,7 @@ void optics_order(const DistanceMatrix& distances, std::size_t min_pts,
 
   std::vector<bool> processed(n, false);
   std::vector<double> reach(n, kInf);
+  std::vector<double> current_row(n);  // reused: distances from `current`
 
   for (std::size_t seed = 0; seed < n; ++seed) {
     if (processed[seed]) continue;
@@ -117,10 +118,14 @@ void optics_order(const DistanceMatrix& distances, std::size_t min_pts,
       result.reachability.push_back(reach[current]);
 
       if (std::isfinite(result.core_distance[current])) {
+        // One row-wise copy from the packed triangle, then direct indexing:
+        // the per-element at() recomputed the packed offset (with bounds
+        // checks) for every neighbor on every expansion.
+        distances.copy_row(current, current_row.data());
+        const double core = result.core_distance[current];
         for (std::size_t o = 0; o < n; ++o) {
           if (processed[o]) continue;
-          const double candidate =
-              std::max(result.core_distance[current], distances.at(current, o));
+          const double candidate = std::max(core, current_row[o]);
           reach[o] = std::min(reach[o], candidate);
         }
       }

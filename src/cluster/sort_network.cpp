@@ -1,0 +1,135 @@
+#include "cluster/sort_network.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "util/error.h"
+
+namespace repro::cluster {
+
+namespace {
+
+using Comparator = std::pair<std::uint32_t, std::uint32_t>;
+
+/// Batcher's odd-even merge of the chain lo, lo+r, lo+2r, ... within
+/// [lo, lo+m): both sorted halves interleave, then adjacent odd pairs are
+/// fixed up (Knuth 5.2.2M).
+void odd_even_merge(std::vector<Comparator>& out, std::uint32_t lo,
+                    std::uint32_t m, std::uint32_t r) {
+  const std::uint32_t step = r * 2;
+  if (step < m) {
+    odd_even_merge(out, lo, m, step);
+    odd_even_merge(out, lo + r, m, step);
+    for (std::uint32_t i = lo + r; i + r < lo + m; i += step) {
+      out.emplace_back(i, i + r);
+    }
+  } else {
+    out.emplace_back(lo, lo + r);
+  }
+}
+
+void odd_even_sort(std::vector<Comparator>& out, std::uint32_t lo,
+                   std::uint32_t m) {
+  if (m <= 1) return;
+  const std::uint32_t half = m / 2;
+  odd_even_sort(out, lo, half);
+  odd_even_sort(out, lo + half, half);
+  odd_even_merge(out, lo, m, 1);
+}
+
+struct CacheKey {
+  std::size_t n, keep, lanes;
+  bool operator<(const CacheKey& other) const {
+    return std::tie(n, keep, lanes) <
+           std::tie(other.n, other.keep, other.lanes);
+  }
+};
+
+}  // namespace
+
+std::vector<Comparator> sort_network_pairs(std::size_t n, std::size_t keep) {
+  require(n >= 1 && n <= 0xffffffffu / 2, "sort_network: bad size");
+  require(keep >= 1 && keep <= n, "sort_network: bad keep count");
+  if (n == 1) return {};
+
+  std::uint32_t pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  std::vector<Comparator> full;
+  odd_even_sort(full, 0, pow2);
+
+  // Clamp to n: positions >= n hold a virtual +inf. A compare-exchange
+  // writes min to the low index and max to the high index, so +inf can
+  // never leave a high slot and real values never enter one -- comparators
+  // touching those slots are identity operations.
+  std::vector<Comparator> clamped;
+  clamped.reserve(full.size());
+  for (const auto& [i, j] : full) {
+    if (i < n && j < n) clamped.emplace_back(i, j);
+  }
+
+  // Backward prune against the trim boundary: outputs at positions >= keep
+  // are discarded by the trimmed mean, so a comparator whose both outputs
+  // are dead is dead; a live output makes both of its inputs live.
+  std::vector<char> needed(n, 0);
+  for (std::size_t k = 0; k < keep; ++k) needed[k] = 1;
+  std::vector<Comparator> pruned;
+  pruned.reserve(clamped.size());
+  for (std::size_t c = clamped.size(); c-- > 0;) {
+    const auto [i, j] = clamped[c];
+    if (needed[i] || needed[j]) {
+      needed[i] = needed[j] = 1;
+      pruned.push_back(clamped[c]);
+    }
+  }
+  std::reverse(pruned.begin(), pruned.end());
+
+  // Layering: group comparators by dependency depth so dependent accesses
+  // to the same scratch row sit a whole layer apart in program order.
+  std::vector<std::uint32_t> depth(n, 0);
+  std::vector<std::pair<std::uint32_t, std::size_t>> order(pruned.size());
+  for (std::size_t c = 0; c < pruned.size(); ++c) {
+    const auto [i, j] = pruned[c];
+    const std::uint32_t d = std::max(depth[i], depth[j]) + 1;
+    depth[i] = depth[j] = d;
+    order[c] = {d, c};
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Comparator> layered(pruned.size());
+  for (std::size_t c = 0; c < pruned.size(); ++c) {
+    layered[c] = pruned[order[c].second];
+  }
+  return layered;
+}
+
+const SortNetwork& sort_network_for(std::size_t n, std::size_t keep,
+                                    std::size_t lanes) {
+  require(lanes >= 1 && lanes <= 16, "sort_network: bad lane count");
+  static std::mutex mutex;
+  static std::map<CacheKey, std::unique_ptr<SortNetwork>> cache;
+
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[CacheKey{n, keep, lanes}];
+  if (slot == nullptr) {
+    auto network = std::make_unique<SortNetwork>();
+    network->n = n;
+    network->keep = keep;
+    network->lanes = lanes;
+    const std::vector<Comparator> pairs = sort_network_pairs(n, keep);
+    network->comparators = pairs.size();
+    network->byte_offsets.reserve(pairs.size() * 2);
+    const std::uint32_t stride =
+        static_cast<std::uint32_t>(lanes * sizeof(double));
+    for (const auto& [i, j] : pairs) {
+      network->byte_offsets.push_back(i * stride);
+      network->byte_offsets.push_back(j * stride);
+    }
+    slot = std::move(network);
+  }
+  return *slot;
+}
+
+}  // namespace repro::cluster

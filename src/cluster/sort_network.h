@@ -1,0 +1,52 @@
+// Batcher odd-even mergesort networks for the trimmed-distance kernel.
+//
+// The kernel sorts one |a-b| difference vector per SIMD lane; a sorting
+// network makes that possible because its compare-exchange sequence is
+// data-independent -- every lane runs the same comparators, each a single
+// min/max pair, with no branches and no lane crossing. Networks are
+// generated for arbitrary n by clamping the next-power-of-two Batcher
+// network (positions >= n hold a virtual +inf that provably never moves, so
+// comparators touching them are no-ops and are dropped), then:
+//
+//   * pruned backward against the trim boundary: positions >= keep are
+//     discarded by the trimmed mean, so comparators feeding only those
+//     outputs are removed;
+//   * reordered into parallel layers (comparators of equal dependency
+//     depth grouped together), which keeps dependent memory accesses far
+//     apart -- without this the store-to-load forwarding chains between
+//     adjacent comparators dominate the kernel's runtime.
+//
+// Networks are cached per (n, keep, lanes); the cached form is a flat list
+// of byte-offset pairs into the kernel's [n][lanes] scratch so the inner
+// loop is two loads, min, max, two stores.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace repro::cluster {
+
+struct SortNetwork {
+  std::size_t n = 0;
+  std::size_t keep = 0;
+  std::size_t lanes = 0;
+  std::size_t comparators = 0;
+  /// 2 * comparators entries: byte offsets of each comparator's (low, high)
+  /// row in a [n][lanes] double scratch (row stride = lanes * 8 bytes).
+  std::vector<std::uint32_t> byte_offsets;
+};
+
+/// Raw comparator index pairs (layered, pruned) for (n, keep); exposed for
+/// the property tests, which replay the network on scalars against
+/// std::sort.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> sort_network_pairs(
+    std::size_t n, std::size_t keep);
+
+/// Cached network for (n, keep) with offsets scaled for `lanes` lanes.
+/// Thread-safe; the returned reference lives for the process lifetime.
+const SortNetwork& sort_network_for(std::size_t n, std::size_t keep,
+                                    std::size_t lanes);
+
+}  // namespace repro::cluster

@@ -39,11 +39,12 @@ Scenario Scenario::paper() {
   return with_scale(GeneratorConfig::paper(), 163, 100);
 }
 
-std::uint64_t measurement_digest(const Scenario& scenario) {
-  store::Fnv1a h;
-  // Field-order matters: append-only, and bump the artifact schema versions
-  // in store/serde.h when an encoding (not just a key input) changes.
-  const GeneratorConfig& topo = scenario.topology;
+namespace {
+
+/// The topology section shared by measurement_digest and topology_digest.
+/// Field-order matters: append-only, and bump the artifact schema versions
+/// in store/serde.h when an encoding (not just a key input) changes.
+void mix_topology(store::Fnv1a& h, const GeneratorConfig& topo) {
   h.mix("topology")
       .mix(topo.seed)
       .mix(topo.scale)
@@ -60,6 +61,19 @@ std::uint64_t measurement_digest(const Scenario& scenario) {
       .mix(topo.hg_pni_large_isp)
       .mix(topo.hg_pni_medium_isp)
       .mix(topo.hg_pni_small_isp);
+}
+
+}  // namespace
+
+std::uint64_t topology_digest(const GeneratorConfig& config) {
+  store::Fnv1a h;
+  mix_topology(h, config);
+  return h.digest();
+}
+
+std::uint64_t measurement_digest(const Scenario& scenario) {
+  store::Fnv1a h;
+  mix_topology(h, scenario.topology);
   const DeploymentConfig& deploy = scenario.deployment;
   h.mix("deployment")
       .mix(deploy.seed)

@@ -53,4 +53,10 @@ struct Scenario {
 /// a warm start is valid across any REPRO_THREADS setting.
 std::uint64_t measurement_digest(const Scenario& scenario);
 
+/// 64-bit digest over the topology-generator config alone: the key for the
+/// warm-Internet artifact. Mixes exactly the topology section of
+/// measurement_digest, so scenarios differing only in measurement settings
+/// (deployment, ping, vantage...) share one persisted topology.
+std::uint64_t topology_digest(const GeneratorConfig& config);
+
 }  // namespace repro

@@ -40,6 +40,43 @@ std::string ArtifactKey::filename() const {
   return type + "-v" + std::to_string(schema) + "-" + hex16(digest) + ".bin";
 }
 
+std::optional<ArtifactKey> ArtifactKey::parse(std::string_view filename) {
+  if (!filename.ends_with(".bin")) return std::nullopt;
+  if (filename.starts_with(".")) return std::nullopt;  // ".tmp-*" spool files
+  filename.remove_suffix(4);
+
+  // The digest is always the last 17 characters: "-" + 16 hex digits. The
+  // type may itself contain '-', so split from the right.
+  if (filename.size() < 17) return std::nullopt;
+  const std::string_view digest_hex = filename.substr(filename.size() - 16);
+  if (filename[filename.size() - 17] != '-') return std::nullopt;
+  std::uint64_t digest = 0;
+  for (const char c : digest_hex) {
+    int nibble = -1;
+    if (c >= '0' && c <= '9') nibble = c - '0';
+    if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+    if (nibble < 0) return std::nullopt;  // uppercase is not canonical
+    digest = (digest << 4) | static_cast<std::uint64_t>(nibble);
+  }
+  filename.remove_suffix(17);
+
+  const std::size_t sep = filename.rfind("-v");
+  if (sep == std::string_view::npos || sep == 0) return std::nullopt;
+  const std::string_view schema_digits = filename.substr(sep + 2);
+  if (schema_digits.empty() || schema_digits.size() > 9) return std::nullopt;
+  std::uint32_t schema = 0;
+  for (const char c : schema_digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    schema = schema * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+
+  ArtifactKey key;
+  key.type = std::string(filename.substr(0, sep));
+  key.schema = schema;
+  key.digest = digest;
+  return key;
+}
+
 ArtifactStore::ArtifactStore(StoreConfig config) : config_(std::move(config)) {
   require(!config_.root.empty(), "ArtifactStore: empty root path");
   if (config_.budget_mb > 0.0) {
@@ -295,6 +332,37 @@ std::size_t ArtifactStore::object_count() const {
 double ArtifactStore::used_mb() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<double>(used_bytes_) / 1e6;
+}
+
+std::vector<ArtifactInfo> ArtifactStore::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ArtifactInfo> artifacts;
+  artifacts.reserve(index_.size());
+  for (const Entry& entry : recency_) {  // front = most recent
+    std::optional<ArtifactKey> key = ArtifactKey::parse(entry.filename);
+    if (!key.has_value()) continue;
+    artifacts.push_back({std::move(*key), entry.filename, entry.bytes});
+  }
+  return artifacts;
+}
+
+std::uint64_t ArtifactStore::prune_to_budget(double mb) {
+  if (config_.read_only) return 0;
+  const std::uint64_t target_bytes =
+      mb > 0.0 ? static_cast<std::uint64_t>(mb * 1e6) : 0;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t removed = 0;
+  while (used_bytes_ > target_bytes && !recency_.empty()) {
+    const Entry victim = recency_.back();
+    std::error_code ec;
+    fs::remove(fs::path(config_.root) / victim.filename, ec);
+    drop_entry(victim.filename);
+    ++removed;
+    ++stats_.evicted;
+    obs::metrics().counter("store.evicted").add(1);
+  }
+  return removed;
 }
 
 }  // namespace repro::store

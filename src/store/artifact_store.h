@@ -37,7 +37,9 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +56,18 @@ struct ArtifactKey {
 
   /// "<type>-v<schema>-<16 hex digits>.bin"
   std::string filename() const;
+
+  /// Inverse of filename(): recovers the key from an on-disk name, or
+  /// nullopt for temp files and strays. Round-trips exactly:
+  /// parse(k.filename())->filename() == k.filename().
+  static std::optional<ArtifactKey> parse(std::string_view filename);
+};
+
+/// One on-disk artifact as reported by ArtifactStore::list().
+struct ArtifactInfo {
+  ArtifactKey key;
+  std::string filename;
+  std::uint64_t bytes = 0;  // full file size (header + payload + checksum)
 };
 
 enum class LoadStatus {
@@ -117,6 +131,16 @@ class ArtifactStore {
   StoreStats stats() const;
   std::size_t object_count() const;
   double used_mb() const;
+
+  /// Snapshot of the indexed artifacts, most recently used first. Files
+  /// whose names do not parse as artifact keys are skipped (the indexer
+  /// already skips non-.bin strays).
+  std::vector<ArtifactInfo> list() const;
+
+  /// One-shot LRU eviction down to `mb` megabytes (<= 0 empties the store),
+  /// independent of the configured budget. Returns the number of artifacts
+  /// removed; 0 on a read-only store. For the repro-store CLI.
+  std::uint64_t prune_to_budget(double mb);
 
   ArtifactStore(const ArtifactStore&) = delete;
   ArtifactStore& operator=(const ArtifactStore&) = delete;

@@ -27,6 +27,7 @@
 #include "mlab/ping_mesh.h"
 #include "scan/scanner.h"
 #include "tls/cert_store.h"
+#include "topology/internet.h"
 #include "util/error.h"
 
 namespace repro::store {
@@ -42,7 +43,11 @@ class SerdeError : public Error {
 inline constexpr std::uint32_t kScanRecordsSchema = 1;
 inline constexpr std::uint32_t kPopulationSchema = 1;
 inline constexpr std::uint32_t kLatencyMatrixSchema = 1;
-inline constexpr std::uint32_t kClusteringSchema = 1;
+// v2: the trimmed-Manhattan distance switched to the canonical
+// ascending-order sum (docs/PERFORMANCE.md), changing clustering inputs in
+// the last ulps; v1 artifacts would replay stdlib-dependent results.
+inline constexpr std::uint32_t kClusteringSchema = 2;
+inline constexpr std::uint32_t kInternetSchema = 1;
 
 /// Append-only little-endian byte sink.
 class ByteWriter {
@@ -135,5 +140,13 @@ std::vector<IspClustering> decode_clusterings(ByteReader& in);
 
 void encode(ByteWriter& out, const fault::StageHealth& health);
 fault::StageHealth decode_stage_health(ByteReader& in);
+
+/// Full generated topology, for the warm-Internet artifact (keyed by
+/// topology_digest). AS adjacency lists are not encoded: decode replays
+/// add_link in link-index order, which rebuilds them exactly (add_link
+/// appends), so the round trip is structurally identical without the
+/// redundant bytes.
+void encode(ByteWriter& out, const Internet& internet);
+Internet decode_internet(ByteReader& in);
 
 }  // namespace repro::store

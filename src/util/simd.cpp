@@ -1,0 +1,81 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace repro::simd {
+
+namespace {
+
+// -1 = no override; otherwise a SimdLevel value.
+std::atomic<int> g_override{-1};
+
+SimdLevel detect() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx512f")) return SimdLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kSse2;  // baseline for x86-64
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel env_cap(SimdLevel supported) noexcept {
+  const char* request = std::getenv("REPRO_SIMD");
+  if (request == nullptr || request[0] == '\0') return supported;
+  const std::optional<SimdLevel> parsed = parse_level(request);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "REPRO_SIMD='%s' not recognized; using %.*s\n",
+                 request, static_cast<int>(to_string(supported).size()),
+                 to_string(supported).data());
+    return supported;
+  }
+  return *parsed < supported ? *parsed : supported;
+}
+
+}  // namespace
+
+std::string_view to_string(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "scalar";
+}
+
+std::optional<SimdLevel> parse_level(std::string_view name) noexcept {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "sse2") return SimdLevel::kSse2;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  return std::nullopt;
+}
+
+SimdLevel highest_supported() noexcept {
+  static const SimdLevel detected = detect();
+  return detected;
+}
+
+SimdLevel active_level() noexcept {
+  const int pinned = g_override.load(std::memory_order_relaxed);
+  if (pinned >= 0) return static_cast<SimdLevel>(pinned);
+  static const SimdLevel from_env = env_cap(highest_supported());
+  return from_env;
+}
+
+void set_level_override(SimdLevel level) noexcept {
+  const SimdLevel supported = highest_supported();
+  g_override.store(static_cast<int>(level < supported ? level : supported),
+                   std::memory_order_relaxed);
+}
+
+void clear_level_override() noexcept {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace repro::simd

@@ -1,0 +1,42 @@
+// Runtime SIMD dispatch for the hand-vectorized hot-path kernels.
+//
+// The distance kernel (src/cluster) is compiled once per instruction-set
+// level in its own translation unit; at run time the best level the CPU
+// supports is selected here. Every level is bit-identical by contract (the
+// canonical-ordering rules in docs/PERFORMANCE.md), so dispatch is purely a
+// throughput decision -- tests pin levels with set_level_override to prove
+// the identity.
+//
+// Env toggle: REPRO_SIMD=scalar|sse2|avx2|avx512 caps the level (requests
+// above what the CPU supports clamp down; unknown values are ignored with a
+// warning). The override API below takes precedence over the environment.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace repro::simd {
+
+/// Instruction-set levels the kernels are compiled for, ascending. On
+/// non-x86 builds only kScalar is available.
+enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+
+std::string_view to_string(SimdLevel level) noexcept;
+
+/// Parses "scalar" / "sse2" / "avx2" / "avx512"; nullopt otherwise.
+std::optional<SimdLevel> parse_level(std::string_view name) noexcept;
+
+/// Highest level this CPU can execute (detected once via cpuid).
+SimdLevel highest_supported() noexcept;
+
+/// The level the kernels dispatch on: the override if set, else the
+/// REPRO_SIMD cap, else highest_supported(). Never above highest_supported().
+SimdLevel active_level() noexcept;
+
+/// Pins the active level (clamped to highest_supported()); used by the
+/// cross-level identity tests and the phase profiler. Not thread-safe
+/// against concurrent kernel launches -- set it between runs.
+void set_level_override(SimdLevel level) noexcept;
+void clear_level_override() noexcept;
+
+}  // namespace repro::simd

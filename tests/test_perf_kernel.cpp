@@ -1,0 +1,284 @@
+// Contract tests for the single-core hot path (ISSUE 5): the fast
+// lane-parallel distance kernel must match the sorted-sum oracle
+// bit-for-bit at every SIMD dispatch level, the sorting networks must sort,
+// and the DistanceMatrix packed layout must agree with its row accessors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cluster/distance.h"
+#include "cluster/distance_kernel.h"
+#include "cluster/sort_network.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace repro {
+namespace {
+
+/// Levels actually reachable on this machine: distinct KernelOps at or
+/// below highest_supported(). On a machine without AVX-512 the kAvx512
+/// request dispatches to the same ops as kAvx2; deduplicate so each test
+/// runs once per distinct implementation.
+std::vector<simd::SimdLevel> reachable_levels() {
+  std::vector<simd::SimdLevel> levels;
+  const cluster::KernelOps* last = nullptr;
+  for (simd::SimdLevel level :
+       {simd::SimdLevel::kScalar, simd::SimdLevel::kSse2,
+        simd::SimdLevel::kAvx2, simd::SimdLevel::kAvx512}) {
+    if (level > simd::highest_supported()) break;
+    const cluster::KernelOps* ops = &cluster::kernel_ops(level);
+    if (ops != last) levels.push_back(level);
+    last = ops;
+  }
+  return levels;
+}
+
+/// RAII guard so a failing ASSERT cannot leak a pinned level into later
+/// tests.
+struct LevelGuard {
+  explicit LevelGuard(simd::SimdLevel level) { simd::set_level_override(level); }
+  ~LevelGuard() { simd::clear_level_override(); }
+};
+
+std::vector<double> random_table(Rng& rng, std::size_t rows, std::size_t cols,
+                                 bool tie_heavy) {
+  std::vector<double> table(rows * cols);
+  for (double& v : table) {
+    // Tie-heavy tables draw from a handful of values, so many |a-b| diffs
+    // collide exactly -- the adversarial case for ordering contracts.
+    v = tie_heavy ? static_cast<double>(rng.uniform_int(0, 4)) * 25.0
+                  : rng.uniform(10.0, 200.0);
+  }
+  return table;
+}
+
+TEST(TrimKeepCount, MatchesDefinition) {
+  EXPECT_EQ(trim_keep_count(1, 0.2), 1u);
+  EXPECT_EQ(trim_keep_count(10, 0.0), 10u);
+  EXPECT_EQ(trim_keep_count(10, 0.2), 8u);
+  EXPECT_EQ(trim_keep_count(163, 0.2), 131u);
+  EXPECT_EQ(trim_keep_count(5, 0.99), 1u);   // floor(4.95) = 4 -> keep 1
+  EXPECT_EQ(trim_keep_count(2, 0.9), 1u);    // clamped to >= 1
+}
+
+TEST(SortNetwork, SortsRandomAndTieHeavyInputs) {
+  Rng rng(0x5e71);
+  for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 40u, 163u}) {
+    for (const std::size_t keep : {std::size_t{1}, (n + 1) / 2, n}) {
+      const auto pairs = cluster::sort_network_pairs(n, keep);
+      for (int trial = 0; trial < 40; ++trial) {
+        std::vector<double> values(n);
+        const bool tie_heavy = trial % 2 == 1;
+        for (double& v : values) {
+          v = tie_heavy ? static_cast<double>(rng.uniform_int(0, 3))
+                        : rng.uniform(0.0, 1.0);
+        }
+        std::vector<double> expected(values);
+        std::sort(expected.begin(), expected.end());
+        for (const auto& [i, j] : pairs) {
+          if (values[j] < values[i]) std::swap(values[i], values[j]);
+        }
+        // Only the kept prefix is contractually sorted; the rest is
+        // whatever the pruned comparators left behind.
+        for (std::size_t k = 0; k < keep; ++k) {
+          ASSERT_EQ(values[k], expected[k])
+              << "n=" << n << " keep=" << keep << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(SortNetwork, LayersNeverReuseAPositionWithinALayer) {
+  // The layering contract: comparators are grouped so that within one
+  // dependency layer no scratch row appears twice -- that is what makes the
+  // reorder legal (independent compare-exchanges commute).
+  const auto pairs = cluster::sort_network_pairs(163, 131);
+  std::vector<std::uint32_t> depth(163, 0);
+  std::uint32_t current_layer = 0;
+  std::vector<char> used(163, 0);
+  for (const auto& [i, j] : pairs) {
+    const std::uint32_t d = std::max(depth[i], depth[j]) + 1;
+    if (d > current_layer) {
+      std::fill(used.begin(), used.end(), 0);
+      current_layer = d;
+    }
+    ASSERT_GE(d, current_layer) << "comparator out of layer order";
+    ASSERT_FALSE(used[i]) << "row " << i << " reused within layer " << d;
+    ASSERT_FALSE(used[j]) << "row " << j << " reused within layer " << d;
+    used[i] = used[j] = 1;
+    depth[i] = depth[j] = d;
+  }
+}
+
+TEST(SortNetworkCache, ScalesOffsetsByLaneCount) {
+  const auto& net1 = cluster::sort_network_for(40, 32, 1);
+  const auto& net8 = cluster::sort_network_for(40, 32, 8);
+  ASSERT_EQ(net1.comparators, net8.comparators);
+  for (std::size_t k = 0; k < net1.byte_offsets.size(); ++k) {
+    EXPECT_EQ(net8.byte_offsets[k], net1.byte_offsets[k] * 8);
+  }
+  // Cached: same reference back.
+  EXPECT_EQ(&cluster::sort_network_for(40, 32, 8), &net8);
+}
+
+TEST(TrimmedManhattan, MatchesOracleBitForBit) {
+  Rng rng(0xd157);
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 7u, 10u, 16u, 40u, 163u, 200u}) {
+    for (const double trim : {0.0, 0.1, 0.2, 0.5, 0.9, 0.99}) {
+      for (int trial = 0; trial < 8; ++trial) {
+        const auto a = random_table(rng, 1, n, trial % 2 == 1);
+        const auto b = random_table(rng, 1, n, trial % 2 == 1);
+        const double oracle = trimmed_manhattan_oracle(a, b, trim);
+        const double fast = trimmed_manhattan(a, b, trim);
+        ASSERT_EQ(oracle, fast) << "n=" << n << " trim=" << trim;
+      }
+    }
+  }
+}
+
+TEST(PairwiseDistances, MatchesOracleBitForBitAtEveryLevel) {
+  Rng rng(0xace5);
+  for (const simd::SimdLevel level : reachable_levels()) {
+    LevelGuard guard(level);
+    for (const std::size_t rows : {2u, 3u, 9u, 17u}) {
+      for (const std::size_t cols : {1u, 2u, 5u, 8u, 40u, 163u}) {
+        for (const double trim : {0.0, 0.2, 0.5}) {
+          const bool tie_heavy = cols % 2 == 0;
+          const auto table = random_table(rng, rows, cols, tie_heavy);
+          const DistanceMatrix matrix =
+              pairwise_distances(table, rows, cols, trim);
+          for (std::size_t i = 0; i < rows; ++i) {
+            for (std::size_t j = i + 1; j < rows; ++j) {
+              const std::span<const double> a(table.data() + i * cols, cols);
+              const std::span<const double> b(table.data() + j * cols, cols);
+              ASSERT_EQ(matrix.at(i, j), trimmed_manhattan_oracle(a, b, trim))
+                  << simd::to_string(level) << " rows=" << rows
+                  << " cols=" << cols << " trim=" << trim << " (" << i << ","
+                  << j << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PairwiseDistances, AllLevelsBitIdenticalOnLargeTable) {
+  Rng rng(0xbeef);
+  const std::size_t rows = 37, cols = 163;
+  const auto table = random_table(rng, rows, cols, false);
+
+  std::vector<std::vector<double>> flattened;
+  for (const simd::SimdLevel level : reachable_levels()) {
+    LevelGuard guard(level);
+    const DistanceMatrix matrix = pairwise_distances(table, rows, cols, 0.2);
+    std::vector<double> flat;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const auto row = matrix.row_span(i);
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    flattened.push_back(std::move(flat));
+  }
+  ASSERT_FALSE(flattened.empty());
+  for (std::size_t k = 1; k < flattened.size(); ++k) {
+    ASSERT_EQ(flattened[k].size(), flattened[0].size());
+    for (std::size_t v = 0; v < flattened[0].size(); ++v) {
+      ASSERT_EQ(flattened[k][v], flattened[0][v])
+          << "level index " << k << " value " << v;
+    }
+  }
+}
+
+TEST(DistanceMatrix, PackedOffsetProperties) {
+  for (const std::size_t n : {2u, 3u, 5u, 17u, 64u}) {
+    // Bijection: every (i, j < i) pair maps to a distinct offset in
+    // [0, n(n-1)/2), symmetric in its arguments, and row-major contiguous.
+    std::vector<char> seen(n * (n - 1) / 2, 0);
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const std::size_t off = DistanceMatrix::packed_offset(n, i, j);
+        ASSERT_EQ(off, expected) << "n=" << n;  // row-major, no gaps
+        ASSERT_EQ(off, DistanceMatrix::packed_offset(n, j, i));
+        ASSERT_LT(off, seen.size());
+        ASSERT_FALSE(seen[off]);
+        seen[off] = 1;
+        ++expected;
+      }
+    }
+    EXPECT_EQ(expected, seen.size());
+  }
+}
+
+TEST(DistanceMatrix, RowSpanAliasesPackedCells) {
+  const std::size_t n = 9;
+  DistanceMatrix matrix(n);
+  double next = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) matrix.set(i, j, next++);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = matrix.row_span(i);
+    ASSERT_EQ(row.size(), n - 1 - i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(row[j - i - 1], matrix.at(i, j));
+    }
+  }
+  // Writes through the span land in the same cells at() reads.
+  matrix.row_span(3)[2] = 999.0;
+  EXPECT_EQ(matrix.at(3, 6), 999.0);
+}
+
+TEST(DistanceMatrix, CopyRowMatchesAt) {
+  Rng rng(0xc0de);
+  const std::size_t n = 23;
+  DistanceMatrix matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      matrix.set(i, j, rng.uniform(0.0, 10.0));
+    }
+  }
+  std::vector<double> full(n);
+  std::vector<double> others(n - 1);
+  for (std::size_t p = 0; p < n; ++p) {
+    matrix.copy_row(p, full.data());
+    matrix.copy_row_without_self(p, others.data());
+    for (std::size_t o = 0; o < n; ++o) {
+      ASSERT_EQ(full[o], matrix.at(p, o)) << "p=" << p << " o=" << o;
+    }
+    std::size_t k = 0;
+    for (std::size_t o = 0; o < n; ++o) {
+      if (o == p) continue;
+      ASSERT_EQ(others[k++], matrix.at(p, o)) << "p=" << p << " o=" << o;
+    }
+  }
+}
+
+TEST(SimdDispatch, OverrideClampsAndParses) {
+  EXPECT_EQ(simd::parse_level("avx2"), simd::SimdLevel::kAvx2);
+  EXPECT_EQ(simd::parse_level("bogus"), std::nullopt);
+  {
+    LevelGuard guard(simd::SimdLevel::kScalar);
+    EXPECT_EQ(simd::active_level(), simd::SimdLevel::kScalar);
+  }
+  // Requests above hardware support clamp down.
+  {
+    LevelGuard guard(simd::SimdLevel::kAvx512);
+    EXPECT_LE(simd::active_level(), simd::highest_supported());
+  }
+  EXPECT_LE(simd::active_level(), simd::highest_supported());
+}
+
+TEST(KernelPhaseProfile, ReportsActiveLevelAndPositiveTimings) {
+  const KernelPhaseProfile profile = profile_kernel_phases(163, 0.2, 50);
+  EXPECT_EQ(profile.simd_level, simd::to_string(simd::active_level()));
+  EXPECT_GT(profile.diff_ns_op, 0.0);
+  EXPECT_GT(profile.select_ns_op, 0.0);
+  EXPECT_GT(profile.sum_ns_op, 0.0);
+}
+
+}  // namespace
+}  // namespace repro
