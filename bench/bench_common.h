@@ -3,11 +3,17 @@
 // monotonic stopwatch for stage reporting, and the machine-readable run
 // artifacts every harness emits:
 //   * bench_output/BENCH_<name>.json -- one JSON line per run (steady-clock
-//     seconds, scale), consumable by trend tooling; directory overridable
-//     via REPRO_BENCH_OUT.
-//   * run_report.json -- the span tree + metrics registry, written when
-//     REPRO_TRACE=1 (path overridable via REPRO_TRACE_OUT); the per-stage
-//     timing table is also printed to stdout.
+//     seconds, scale, wall-clock unix_ms), consumable by trend tooling;
+//     directory overridable via REPRO_BENCH_OUT. The same line is appended
+//     to bench_output/HISTORY.jsonl so `repro-bench diff/trend` can compare
+//     runs over time (the history file is local-only, see .gitignore).
+//   * run_report.json -- the span tree + metrics registry (+ resource
+//     sampler series), written when REPRO_TRACE=1 (path overridable via
+//     REPRO_TRACE_OUT); the per-stage timing table is also printed.
+//   * trace.json -- Perfetto/chrome://tracing trace of the same run,
+//     written when REPRO_TRACE=1 (path overridable via REPRO_TRACE_EVENTS).
+// print_header() also starts the background resource sampler when
+// REPRO_SAMPLE_HZ is set (or by default under REPRO_TRACE=1).
 #pragma once
 
 #include <chrono>
@@ -17,7 +23,9 @@
 
 #include "core/analyses.h"
 #include "core/pipeline.h"
+#include "obs/perfetto.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
 #include "util/table.h"
 
 namespace repro::bench {
@@ -60,6 +68,7 @@ inline void print_header(const char* title) {
   std::printf("==============================================================\n");
   std::printf("%s   [scale: %s]\n", title, scale_name());
   std::printf("==============================================================\n\n");
+  obs::sampler().maybe_start_from_env();
 }
 
 /// One JSON line describing a finished benchmark run. `extra_fields`, when
@@ -67,11 +76,15 @@ inline void print_header(const char* title) {
 /// comma-separated list of already-escaped `"key":value` pairs).
 inline std::string bench_json_line(const char* bench, double seconds,
                                    const std::string& extra_fields = {}) {
+  const long long unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
   char prefix[256];
   std::snprintf(prefix, sizeof(prefix),
                 "{\"bench\":\"%s\",\"scale\":\"%s\",\"seconds\":%.6f,"
-                "\"clock\":\"steady\"",
-                bench, scale_name(), seconds);
+                "\"clock\":\"steady\",\"unix_ms\":%lld",
+                bench, scale_name(), seconds, unix_ms);
   std::string line = prefix;
   if (!extra_fields.empty()) {
     line += ",";
@@ -116,19 +129,34 @@ inline void print_footer(const char* bench, const Stopwatch& watch,
     fields += extra_fields;
   }
   const char* dir = std::getenv("REPRO_BENCH_OUT");
-  const std::string path = std::string(dir == nullptr ? "bench_output" : dir) +
-                           "/BENCH_" + bench + ".json";
+  const std::string out_dir = dir == nullptr ? "bench_output" : dir;
+  const std::string path = out_dir + "/BENCH_" + bench + ".json";
+  const std::string line = bench_json_line(bench, watch.seconds(), fields);
   try {
-    write_file(path, bench_json_line(bench, watch.seconds(), fields));
+    write_file(path, line);
   } catch (const Error& error) {
     std::fprintf(stderr, "bench json not written: %s\n", error.what());
   }
+  try {
+    // Trend history: the same line, appended, so repro-bench can diff this
+    // run against earlier ones.
+    append_file(out_dir + "/HISTORY.jsonl", line);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "bench history not appended: %s\n", error.what());
+  }
+
+  // Join the sampler before export so the series covers the full run and
+  // the final sample lands in both the report and the counter tracks.
+  obs::sampler().stop();
 
   if (obs::tracing_enabled()) {
     std::printf("\nPer-stage timing (REPRO_TRACE=1):\n%s\n",
                 obs::span_table().c_str());
     if (obs::maybe_write_run_report()) {
       std::printf("[trace: wrote %s]\n", obs::default_report_path().c_str());
+    }
+    if (obs::maybe_write_trace()) {
+      std::printf("[trace: wrote %s]\n", obs::default_trace_path().c_str());
     }
   }
 }

@@ -22,9 +22,13 @@
 // BENCH_fault_sweeps.json; run with REPRO_TRACE=1 for the span table and
 // run_report.json (whose "fault" section reflects the last, harshest sweep
 // point).
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +36,7 @@
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
 #include "fault/stage_health.h"
+#include "store/artifact_store.h"
 #include "util/strings.h"
 
 namespace {
@@ -168,6 +173,22 @@ int main(int argc, char** argv) {
   const Scenario scenario = bench::scenario_from_env();
   const double xis[] = {0.1, 0.9};
 
+  // Every sweep point shares one artifact store, so the warm topology
+  // artifact (keyed by the topology digest alone, independent of the fault
+  // plan) is generated once by the clean baseline and reused by every later
+  // point instead of being regenerated per point. REPRO_STORE is honored
+  // when set; otherwise the store lives in a temp directory removed before
+  // exit, so the sweep stays side-effect free.
+  std::shared_ptr<store::ArtifactStore> artifact_store =
+      store::ArtifactStore::from_env();
+  std::filesystem::path temp_store_root;
+  if (artifact_store == nullptr) {
+    temp_store_root = std::filesystem::temp_directory_path() /
+                      ("repro-fault-sweeps-" + std::to_string(::getpid()));
+    artifact_store = std::make_shared<store::ArtifactStore>(
+        store::StoreConfig{temp_store_root.string(), false, 0.0});
+  }
+
   // The clean baseline is shared by every dimension (intensity 0 of any
   // pathology is the same run), so it is computed once, first.
   std::vector<SweepDimension> dimensions;
@@ -184,7 +205,7 @@ int main(int argc, char** argv) {
                              const fault::FaultPlan& base,
                              double intensity) {
     bench::Stopwatch watch;
-    Pipeline pipeline(scenario, base.scaled_by(intensity));
+    Pipeline pipeline(scenario, base.scaled_by(intensity), artifact_store);
     SweepPoint point;
     point.pathology = pathology;
     point.intensity = intensity;
@@ -260,6 +281,12 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", csv_path.c_str());
   } catch (const Error& error) {
     std::fprintf(stderr, "csv not written: %s\n", error.what());
+  }
+
+  if (!temp_store_root.empty()) {
+    artifact_store.reset();  // release before deleting the backing directory
+    std::error_code ec;
+    std::filesystem::remove_all(temp_store_root, ec);
   }
 
   // The BENCH line carries the harshest sweep point's health verdicts; the

@@ -1,0 +1,247 @@
+// repro-bench: trend tooling over the BENCH_*.json lines the harnesses
+// emit (bench/bench_common.h) and the trace.json files the flight recorder
+// writes. Subcommands:
+//
+//   repro-bench record <BENCH.json> [history.jsonl]
+//       Append the bench line(s) in the file to the history (default
+//       bench_output/HISTORY.jsonl). bench_common.h already appends
+//       automatically; this is for importing lines produced elsewhere.
+//
+//   repro-bench diff [--baseline FILE] [--history FILE] [--gate R]
+//                    [--gate-fields f1,f2] [AFTER.json]
+//       Compare the newest run against a reference, field by field, and
+//       print per-field deltas with a regression verdict. The reference is
+//       --baseline when given, else the previous entry (same bench) in the
+//       history. AFTER defaults to the newest history entry. Time fields
+//       ("seconds", *_seconds, *_ms, *_ns_op) whose after/before ratio
+//       exceeds the gate (default 1.25) regress; --gate-fields restricts
+//       which fields can fail the gate (others still print).
+//       Exit: 0 ok, 1 regression, 2 usage/input error.
+//
+//   repro-bench trend [--history FILE] [BENCH]
+//       One row per stored run (optionally one bench only): timestamp,
+//       scale, seconds.
+//
+//   repro-bench trace-check <trace.json>
+//       Structural validation used by the scripts/check.sh trace-smoke
+//       step: the file must parse with the obs JSON parser and contain at
+//       least one flow event and one counter event.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trend.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace repro;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: repro-bench record <BENCH.json> [history.jsonl]\n"
+      "       repro-bench diff [--baseline FILE] [--history FILE]\n"
+      "                        [--gate R] [--gate-fields f1,f2] [AFTER.json]\n"
+      "       repro-bench trend [--history FILE] [BENCH]\n"
+      "       repro-bench trace-check <trace.json>\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(static_cast<bool>(in), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> split_fields(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    std::size_t end = csv.find(',', begin);
+    if (end == std::string::npos) end = csv.size();
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+int cmd_record(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return usage();
+  const std::string history =
+      args.size() > 1 ? args[1] : "bench_output/HISTORY.jsonl";
+  std::string content = read_file(args[0]);
+  // Validate before appending; a malformed line would poison the history.
+  const std::vector<obs::BenchRecord> records = obs::parse_history(content);
+  if (records.empty()) {
+    std::fprintf(stderr, "repro-bench: no bench lines in %s\n",
+                 args[0].c_str());
+    return 2;
+  }
+  if (content.empty() || content.back() != '\n') content += '\n';
+  append_file(history, content);
+  std::printf("appended %zu line(s) to %s\n", records.size(),
+              history.c_str());
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::string baseline_path;
+  std::string history_path = "bench_output/HISTORY.jsonl";
+  std::string after_path;
+  double gate = 1.25;
+  std::vector<std::string> gate_fields;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      require(i + 1 < args.size(), arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--history") history_path = next();
+    else if (arg == "--gate") gate = std::stod(next());
+    else if (arg == "--gate-fields") gate_fields = split_fields(next());
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else if (after_path.empty()) after_path = arg;
+    else return usage();
+  }
+
+  obs::BenchRecord after;
+  std::vector<obs::BenchRecord> history;
+  if (after_path.empty() || baseline_path.empty()) {
+    history = obs::parse_history(read_file(history_path));
+  }
+  if (!after_path.empty()) {
+    const std::vector<obs::BenchRecord> records =
+        obs::parse_history(read_file(after_path));
+    require(!records.empty(), "no bench lines in " + after_path);
+    after = records.back();
+  } else {
+    require(!history.empty(), "history is empty: " + history_path);
+    after = history.back();
+  }
+
+  obs::BenchRecord before;
+  bool have_before = false;
+  if (!baseline_path.empty()) {
+    const std::vector<obs::BenchRecord> records =
+        obs::parse_history(read_file(baseline_path));
+    require(!records.empty(), "no bench lines in " + baseline_path);
+    before = records.back();
+    have_before = true;
+  } else {
+    // Reference: the newest history entry of the same bench, skipping the
+    // tail entry when `after` itself came from the history tail.
+    const std::size_t skip =
+        after_path.empty() ? history.size() - 1 : history.size();
+    for (std::size_t i = history.size(); i-- > 0;) {
+      if (i == skip || history[i].bench != after.bench) continue;
+      before = history[i];
+      have_before = true;
+      break;
+    }
+  }
+  if (!have_before) {
+    std::printf("no prior run of bench '%s' to diff against\n",
+                after.bench.c_str());
+    return 0;  // first run is not a regression
+  }
+
+  const obs::TrendDiff diff =
+      obs::diff_records(before, after, gate, gate_fields);
+  std::printf("%s", obs::render_diff(diff).c_str());
+  return diff.regressed() ? 1 : 0;
+}
+
+int cmd_trend(const std::vector<std::string>& args) {
+  std::string history_path = "bench_output/HISTORY.jsonl";
+  std::string bench;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--history") {
+      require(i + 1 < args.size(), "--history needs a value");
+      history_path = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage();
+    } else {
+      bench = args[i];
+    }
+  }
+  const std::vector<obs::BenchRecord> history =
+      obs::parse_history(read_file(history_path));
+  TextTable table({"bench", "scale", "unix_ms", "seconds"});
+  table.set_align(2, Align::kRight);
+  table.set_align(3, Align::kRight);
+  for (const obs::BenchRecord& record : history) {
+    if (!bench.empty() && record.bench != bench) continue;
+    const auto unix_ms = record.numbers.find("unix_ms");
+    const auto seconds = record.numbers.find("seconds");
+    char when[32] = "-";
+    if (unix_ms != record.numbers.end()) {
+      std::snprintf(when, sizeof(when), "%.0f", unix_ms->second);
+    }
+    char secs[32] = "-";
+    if (seconds != record.numbers.end()) {
+      std::snprintf(secs, sizeof(secs), "%.6f", seconds->second);
+    }
+    table.add_row({record.bench, record.scale, when, secs});
+  }
+  if (table.row_count() == 0) {
+    const std::string filter =
+        bench.empty() ? "" : " of bench '" + bench + "'";
+    std::printf("no runs%s in %s\n", filter.c_str(), history_path.c_str());
+    return 0;
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_trace_check(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const obs::JsonValue trace = obs::parse_json(read_file(args[0]));
+  const obs::JsonValue& events = trace.at("traceEvents");
+  std::size_t flow_events = 0;
+  std::size_t counter_events = 0;
+  std::size_t slices = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::string& ph = events.at(i).at("ph").str();
+    if (ph == "s" || ph == "f") ++flow_events;
+    else if (ph == "C") ++counter_events;
+    else if (ph == "X" || ph == "B") ++slices;
+  }
+  std::printf("%s: %zu slices, %zu flow events, %zu counter events\n",
+              args[0].c_str(), slices, flow_events, counter_events);
+  if (flow_events == 0) {
+    std::fprintf(stderr, "repro-bench: no flow events (expected >= 1)\n");
+    return 1;
+  }
+  if (counter_events == 0) {
+    std::fprintf(stderr, "repro-bench: no counter events (expected >= 1)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "record") return cmd_record(args);
+    if (command == "diff") return cmd_diff(args);
+    if (command == "trend") return cmd_trend(args);
+    if (command == "trace-check") return cmd_trace_check(args);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "repro-bench: %s\n", error.what());
+    return 2;
+  }
+  return usage();
+}

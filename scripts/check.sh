@@ -16,6 +16,7 @@
 #   SKIP_TSAN=1 ./scripts/check.sh  skip the TSan pass
 #   SKIP_UBSAN=1 ./scripts/check.sh skip the UBSan pass
 #   SKIP_WARM=1 ./scripts/check.sh  skip the warm-equals-cold smoke
+#   SKIP_TRACE=1 ./scripts/check.sh skip the trace-export smoke
 #   SKIP_PERF=1 ./scripts/check.sh  skip the perf-regression gate
 #
 # Exits nonzero on the first failure.
@@ -65,30 +66,41 @@ if [[ "${SKIP_WARM:-0}" != "1" ]]; then
   echo "warm report byte-identical to cold"
 fi
 
+if [[ "${SKIP_TRACE:-0}" != "1" ]]; then
+  echo "== trace-export smoke (tiny scale) =="
+  # A traced full_report run must produce a structurally valid trace.json:
+  # at least one enqueue->run flow event (cross-thread stitching) and one
+  # sampler counter track. repro-bench trace-check does the validation.
+  trace_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir:-}" "${trace_dir:-}" "${perf_dir:-}"' EXIT
+  # REPRO_THREADS forces the pool fan-out even on single-core hosts, so the
+  # enqueue->run flow events actually exist to be checked.
+  REPRO_SCALE=tiny REPRO_TRACE=1 REPRO_SAMPLE_HZ=50 REPRO_THREADS=8 \
+    REPRO_TRACE_OUT="$trace_dir/run_report.json" \
+    REPRO_TRACE_EVENTS="$trace_dir/trace.json" \
+    ./build/examples/full_report "$trace_dir/report.md" >/dev/null
+  ./build/examples/repro-bench trace-check "$trace_dir/trace.json"
+fi
+
 if [[ "${SKIP_PERF:-0}" != "1" ]]; then
   echo "== perf-regression gate: pairwise_distances vs committed baseline =="
   # Rerun the perf_micro headline measurement (the google-benchmark suite is
   # filtered out for speed; the pairwise timing is hand-rolled in main) into
-  # a scratch dir, then compare the serial pairwise time to the committed
-  # bench_output/BENCH_perf_micro.json. Throughput regressing more than 20%
-  # (time > 1.25x baseline) fails the check. Shared CI hosts are noisy, so
-  # the gate takes the best of up to three attempts before failing.
+  # a scratch dir, then diff the serial pairwise time against the committed
+  # bench_output/BENCH_perf_micro.json with repro-bench, which names the
+  # regressed field. Throughput regressing more than 20% (time > 1.25x
+  # baseline) fails the check. Shared CI hosts are noisy, so the gate takes
+  # the best of up to three attempts before failing.
   perf_dir="$(mktemp -d)"
-  trap 'rm -rf "${smoke_dir:-}" "${perf_dir:-}"' EXIT
+  trap 'rm -rf "${smoke_dir:-}" "${trace_dir:-}" "${perf_dir:-}"' EXIT
   perf_ok=0
   for attempt in 1 2 3; do
     REPRO_SCALE=tiny REPRO_BENCH_OUT="$perf_dir" \
       ./build/bench/perf_micro --benchmark_filter='NONE' >/dev/null
-    if python3 - "$perf_dir/BENCH_perf_micro.json" \
-        bench_output/BENCH_perf_micro.json <<'EOF'
-import json, sys
-current = json.load(open(sys.argv[1]))["pairwise_serial_seconds"]
-baseline = json.load(open(sys.argv[2]))["pairwise_serial_seconds"]
-ratio = current / baseline if baseline > 0 else float("inf")
-print(f"pairwise serial: {current:.4f} s vs baseline {baseline:.4f} s "
-      f"({ratio:.2f}x, gate 1.25x)")
-sys.exit(0 if ratio <= 1.25 else 1)
-EOF
+    if ./build/examples/repro-bench diff \
+        --baseline bench_output/BENCH_perf_micro.json \
+        --gate 1.25 --gate-fields pairwise_serial_seconds \
+        "$perf_dir/BENCH_perf_micro.json"
     then perf_ok=1; break; fi
     echo "attempt $attempt over gate; retrying"
   done

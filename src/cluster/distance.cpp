@@ -6,6 +6,7 @@
 
 #include "cluster/distance_kernel.h"
 #include "cluster/sort_network.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/simd.h"
 #include "util/thread_pool.h"
@@ -157,6 +158,9 @@ DistanceMatrix pairwise_distances(std::span<const double> table,
           "pairwise_distances: trim_fraction outside [0, 1)");
   DistanceMatrix matrix(rows);
   if (rows == 1) return matrix;
+  // Stage-level span: the row-block tasks below propagate it as their
+  // parent, so kernels account to the right subtree in the trace.
+  obs::ScopedSpan span("cluster.pairwise_distances");
 
   // Everything loop-invariant is resolved here, once: kernel level, lane
   // count, trim boundary, and the sorting network for (cols, keep, lanes).

@@ -478,8 +478,13 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
       [&, this](std::size_t begin, std::size_t end) {
         // Shard-level aggregation: each worker's contiguous run of ISPs is
         // one sample of cluster.shard_ms, next to the per-ISP wall times.
+        // The spans ride the task-context propagation in the pool, so they
+        // render under pipeline.clustering in the exported trace instead of
+        // as orphan roots.
+        obs::ScopedSpan shard_span("cluster.shard");
         obs::ScopedTimer shard_timer("cluster.shard_ms");
         for (std::size_t i = begin; i < end; ++i) {
+          obs::ScopedSpan isp_span("cluster.isp");
           obs::ScopedTimer timer("cluster.isp_wall_ms");
           IspOutcome& out = outcomes[i];
           try {

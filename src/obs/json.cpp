@@ -75,6 +75,10 @@ class Parser {
   }
 
  private:
+  /// Recursion limit: deep enough for any schema we emit (run reports nest
+  /// ~4 levels), shallow enough that adversarially nested input fails with
+  /// ParseError instead of overflowing the stack.
+  static constexpr int kMaxDepth = 192;
   [[noreturn]] void fail(const std::string& what) const {
     throw ParseError("JSON at offset " + std::to_string(pos_) + ": " + what);
   }
@@ -105,6 +109,7 @@ class Parser {
   }
 
   JsonValue parse_value() {
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 192 levels");
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();
@@ -124,9 +129,11 @@ class Parser {
 
   JsonValue parse_object() {
     expect('{');
+    ++depth_;
     JsonValue::Object members;
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return JsonValue(std::move(members));
     }
     while (true) {
@@ -136,23 +143,31 @@ class Parser {
       members.emplace(std::move(key), parse_value());
       const char next = peek();
       ++pos_;
-      if (next == '}') return JsonValue(std::move(members));
+      if (next == '}') {
+        --depth_;
+        return JsonValue(std::move(members));
+      }
       if (next != ',') fail("expected ',' or '}' in object");
     }
   }
 
   JsonValue parse_array() {
     expect('[');
+    ++depth_;
     JsonValue::Array elements;
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return JsonValue(std::move(elements));
     }
     while (true) {
       elements.push_back(parse_value());
       const char next = peek();
       ++pos_;
-      if (next == ']') return JsonValue(std::move(elements));
+      if (next == ']') {
+        --depth_;
+        return JsonValue(std::move(elements));
+      }
       if (next != ',') fail("expected ',' or ']' in array");
     }
   }
@@ -228,6 +243,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,8 +1,10 @@
 // Minimal JSON document model and recursive-descent parser, sized for the
-// run_report.json schema: objects, arrays, strings, finite numbers, bools,
-// null. Used by the report round-trip tests and by tooling that consumes
-// run reports; not a general-purpose JSON library (no surrogate-pair
-// decoding, numbers parsed as double).
+// run_report.json / trace.json schemas: objects, arrays, strings, finite
+// numbers, bools, null. Used by the report round-trip tests, the
+// repro-bench trend CLI, and the check.sh trace-smoke validation; not a
+// general-purpose JSON library (no surrogate-pair decoding, numbers parsed
+// as double, nesting capped at 192 levels to keep adversarial input from
+// overflowing the parser stack).
 #pragma once
 
 #include <map>

@@ -1,13 +1,11 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
-#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
-
-#include "util/error.h"
 
 namespace repro::obs {
 
@@ -36,35 +34,52 @@ void atomic_add(std::atomic<double>& target, double value) noexcept {
   }
 }
 
-}  // namespace
+constexpr std::size_t kSubBuckets = std::size_t{1} << Histogram::kSubBucketBits;
 
-Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)),
-      counts_(bounds_.size() + 1),
-      min_(std::numeric_limits<double>::infinity()),
-      max_(-std::numeric_limits<double>::infinity()) {
-  require(!bounds_.empty(), "Histogram: need at least one bucket bound");
-  require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
-              std::adjacent_find(bounds_.begin(), bounds_.end()) ==
-                  bounds_.end(),
-          "Histogram: bounds must be strictly increasing");
+/// Quantizes a millisecond value to 1 ns units; non-positive and NaN
+/// values land at 0, values past the representable range saturate so
+/// bit_width below never exceeds 63.
+std::uint64_t to_units(double value_ms) noexcept {
+  if (!(value_ms > 0.0)) return 0;
+  const double units = value_ms / Histogram::kUnitMs;
+  if (units >= 9.0e18) return std::uint64_t{9000000000000000000u};
+  return static_cast<std::uint64_t>(units);
 }
 
-std::vector<double> Histogram::default_latency_bounds_ms() {
-  std::vector<double> bounds;
-  for (double decade = 1e-3; decade < 1e5 * 0.5; decade *= 10.0) {
-    bounds.push_back(decade);
-    bounds.push_back(decade * 2.0);
-    bounds.push_back(decade * 5.0);
+}  // namespace
+
+std::size_t Histogram::bucket_index(double value_ms) noexcept {
+  const std::uint64_t n = to_units(value_ms);
+  // The first two octaves [0, 2*kSubBuckets) are exact unit buckets; above
+  // that, 32 equal sub-buckets per power-of-two octave.
+  if (n < 2 * kSubBuckets) return static_cast<std::size_t>(n);
+  const int k = std::bit_width(n) - 1;  // n in [2^k, 2^(k+1))
+  const int shift = k - static_cast<int>(kSubBucketBits);
+  const std::uint64_t sub = n >> shift;  // in [kSubBuckets, 2*kSubBuckets)
+  return static_cast<std::size_t>(shift + 1) * kSubBuckets +
+         static_cast<std::size_t>(sub - kSubBuckets);
+}
+
+double Histogram::bucket_lower_ms(std::size_t index) noexcept {
+  if (index < 2 * kSubBuckets) return static_cast<double>(index) * kUnitMs;
+  const std::size_t shift = index / kSubBuckets - 1;
+  const std::uint64_t sub = index % kSubBuckets + kSubBuckets;
+  return static_cast<double>(sub) * static_cast<double>(std::uint64_t{1} << shift) *
+         kUnitMs;
+}
+
+double Histogram::bucket_upper_ms(std::size_t index) noexcept {
+  if (index < 2 * kSubBuckets) {
+    return static_cast<double>(index + 1) * kUnitMs;
   }
-  return bounds;  // 0.001 ms .. 50,000 ms; +inf overflow above
+  const std::size_t shift = index / kSubBuckets - 1;
+  const std::uint64_t sub = index % kSubBuckets + kSubBuckets;
+  return static_cast<double>(sub + 1) *
+         static_cast<double>(std::uint64_t{1} << shift) * kUnitMs;
 }
 
 void Histogram::record(double value) noexcept {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  const std::size_t bucket =
-      static_cast<std::size_t>(it - bounds_.begin());  // value <= bound
-  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, value);
   atomic_update_min(min_, value);
@@ -72,36 +87,7 @@ void Histogram::record(double value) noexcept {
 }
 
 double Histogram::percentile(double p) const noexcept {
-  // Snapshot the bucket counts (relaxed; percentile is a statistical read).
-  std::vector<std::uint64_t> counts(counts_.size());
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    counts[i] = counts_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  if (total == 0) return 0.0;
-  const double min = min_.load(std::memory_order_relaxed);
-  const double max = max_.load(std::memory_order_relaxed);
-
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  const double rank = clamped / 100.0 * static_cast<double>(total);
-  std::uint64_t cumulative = 0;
-  for (std::size_t b = 0; b < counts.size(); ++b) {
-    if (counts[b] == 0) continue;
-    const double before = static_cast<double>(cumulative);
-    cumulative += counts[b];
-    if (static_cast<double>(cumulative) < rank) continue;
-    // Interpolate inside bucket b, clamped to the observed extremes.
-    double lo = b == 0 ? min : std::max(min, bounds_[b - 1]);
-    double hi = b == bounds_.size() ? max : std::min(max, bounds_[b]);
-    if (hi < lo) hi = lo;
-    const double frac =
-        counts[b] == 0
-            ? 0.0
-            : (rank - before) / static_cast<double>(counts[b]);
-    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
-  }
-  return max;
+  return snapshot().percentile(p);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -112,18 +98,72 @@ HistogramSnapshot Histogram::snapshot() const {
     out.min = min_.load(std::memory_order_relaxed);
     out.max = max_.load(std::memory_order_relaxed);
   }
-  out.p50 = p50();
-  out.p90 = p90();
-  out.p99 = p99();
-  out.buckets.reserve(counts_.size());
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    const double bound = i < bounds_.size()
-                             ? bounds_[i]
-                             : std::numeric_limits<double>::infinity();
-    out.buckets.emplace_back(bound,
-                             counts_[i].load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    out.buckets.push_back({static_cast<std::uint32_t>(i), bucket_lower_ms(i),
+                           bucket_upper_ms(i), c});
   }
+  out.p50 = out.percentile(50.0);
+  out.p90 = out.percentile(90.0);
+  out.p99 = out.percentile(99.0);
   return out;
+}
+
+double HistogramSnapshot::percentile(double p) const noexcept {
+  std::uint64_t total = 0;
+  for (const HistogramBucket& bucket : buckets) total += bucket.count;
+  if (total == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (const HistogramBucket& bucket : buckets) {
+    const double before = static_cast<double>(cumulative);
+    cumulative += bucket.count;
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate inside the bucket, clamped to the observed extremes so
+    // p0/p100 are exact and everything else stays within one bucket width.
+    double lo = std::max(min, bucket.lo_ms);
+    double hi = std::min(max, bucket.hi_ms);
+    if (hi < lo) hi = lo;
+    const double frac = (rank - before) / static_cast<double>(bucket.count);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  // Merge-join the two index-sorted sparse bucket lists; counts add
+  // per index, so the result is bit-exact regardless of which shard
+  // recorded which value.
+  std::vector<HistogramBucket> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b >= other.buckets.size() ||
+        (a < buckets.size() && buckets[a].index < other.buckets[b].index)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() ||
+               other.buckets[b].index < buckets[a].index) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      HistogramBucket combined = buckets[a++];
+      combined.count += other.buckets[b++].count;
+      merged.push_back(combined);
+    }
+  }
+  buckets = std::move(merged);
+
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = count == 0 ? other.max : std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  p50 = percentile(50.0);
+  p90 = percentile(90.0);
+  p99 = percentile(99.0);
 }
 
 struct MetricsRegistry::Impl {
@@ -160,17 +200,11 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  return histogram(name, Histogram::default_latency_bounds_ms());
-}
-
-Histogram& MetricsRegistry::histogram(std::string_view name,
-                                      std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   const auto it = impl_->histograms.find(name);
   if (it != impl_->histograms.end()) return *it->second;
   return *impl_->histograms
-              .emplace(std::string(name),
-                       std::make_unique<Histogram>(std::move(bounds)))
+              .emplace(std::string(name), std::make_unique<Histogram>())
               .first->second;
 }
 

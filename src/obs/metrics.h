@@ -1,5 +1,5 @@
 // Process-global metrics for the reproduction pipeline: named counters,
-// gauges, and fixed-bucket histograms with percentile accessors.
+// gauges, and HDR-style log-linear histograms with percentile accessors.
 //
 // Counters are always on (stage code does cheap bulk adds at stage
 // boundaries), so a run's domain numbers -- IPs scanned, certs matched per
@@ -8,13 +8,27 @@
 // (ScopedTimer) are gated on the tracing toggle so the disabled path never
 // reads a clock.
 //
+// Histogram bucket scheme (fixed for every histogram in the process, which
+// is what makes snapshots mergeable):
+//   - values are milliseconds, quantized to 1 ns units (n = value / 1e-6);
+//   - n < 64 falls in exact unit buckets [n, n+1);
+//   - larger n falls in one of 32 equal sub-buckets of its octave
+//     [2^k, 2^(k+1)), i.e. a log-linear layout with ~3% relative width;
+//   - 1920 buckets cover the whole uint64 unit range (sub-ns .. ~213 days).
+// Because the boundaries are a pure function of the bucket index, snapshots
+// taken in different threads or processes can be merged by adding counts
+// per index (HistogramSnapshot::merge) -- the substrate for sharded runs
+// and the report service's p50/p99 queries.
+//
 // All metric objects are thread-safe and live for the process lifetime;
 // references returned by the registry stay valid forever, so hot paths can
 // look a metric up once and keep the reference.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -50,7 +64,18 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Point-in-time copy of a histogram for export.
+/// One occupied bucket of a snapshot. `index` addresses the global
+/// log-linear layout; lo_ms/hi_ms are the reconstructed bounds
+/// (value range is [lo_ms, hi_ms)).
+struct HistogramBucket {
+  std::uint32_t index = 0;
+  double lo_ms = 0.0;
+  double hi_ms = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Point-in-time copy of a histogram for export and cross-shard merging.
+/// Only occupied buckets are stored, sorted by index.
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;
@@ -59,23 +84,39 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
-  /// (upper bound, count) per bucket; the final bucket's bound is +infinity.
-  std::vector<std::pair<double, std::uint64_t>> buckets;
+  std::vector<HistogramBucket> buckets;
+
+  /// Estimated value at percentile `p` in [0, 100], monotone in p and
+  /// within one bucket width of the exact value; 0 when empty.
+  double percentile(double p) const noexcept;
+
+  /// Folds `other` into this snapshot: bucket counts add per index
+  /// (bit-exact -- boundaries are global so no re-binning happens), count
+  /// and min/max combine exactly, percentiles are recomputed. `sum` is a
+  /// float accumulation and is not guaranteed bit-exact across merge
+  /// orders. Merging shard snapshots recorded from a partition of one
+  /// value stream yields the same buckets/count/min/max as a single
+  /// histogram fed the whole stream.
+  void merge(const HistogramSnapshot& other);
 };
 
-/// Fixed-bucket histogram. Bucket upper bounds are set at construction; an
-/// implicit overflow bucket catches everything above the last bound.
-/// Percentiles are estimated by linear interpolation inside the containing
-/// bucket, clamped to the observed min/max, so they are exact at the
-/// extremes and within one bucket width elsewhere.
+/// Log-linear histogram with atomically updated dense bucket counts. All
+/// histograms share the same fixed bucket layout (see file comment), so
+/// there is nothing to configure at construction and snapshots from
+/// different instances, threads, or processes are mergeable.
 class Histogram {
  public:
-  /// `bounds` must be strictly increasing and non-empty.
-  explicit Histogram(std::vector<double> bounds);
+  static constexpr std::size_t kSubBucketBits = 5;  // 32 sub-buckets/octave
+  static constexpr std::size_t kBucketCount = 1920;
+  static constexpr double kUnitMs = 1e-6;  // 1 ns per unit
 
-  /// Log-spaced 1-2-5 bounds from 1 microsecond to 100 seconds, in ms.
-  /// The default for latency histograms (including the span.* family).
-  static std::vector<double> default_latency_bounds_ms();
+  Histogram() = default;
+
+  /// Index of the bucket containing `value_ms` (<= 0, NaN land in bucket 0).
+  static std::size_t bucket_index(double value_ms) noexcept;
+  /// Inclusive lower / exclusive upper bound of bucket `index`, in ms.
+  static double bucket_lower_ms(std::size_t index) noexcept;
+  static double bucket_upper_ms(std::size_t index) noexcept;
 
   void record(double value) noexcept;
 
@@ -96,12 +137,11 @@ class Histogram {
   Histogram& operator=(const Histogram&) = delete;
 
  private:
-  std::vector<double> bounds_;
-  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::array<std::atomic<std::uint64_t>, kBucketCount> counts_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_;
-  std::atomic<double> max_;
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Everything the registry holds, copied for export.
@@ -120,11 +160,7 @@ class MetricsRegistry {
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
-  /// Histogram with the default latency bounds.
   Histogram& histogram(std::string_view name);
-  /// Histogram with explicit bounds; the bounds of an existing histogram
-  /// with this name are left unchanged.
-  Histogram& histogram(std::string_view name, std::vector<double> bounds);
 
   MetricsSnapshot snapshot() const;
 

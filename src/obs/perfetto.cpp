@@ -1,0 +1,134 @@
+#include "obs/perfetto.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <set>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+#include "util/table.h"
+
+namespace repro::obs {
+
+namespace {
+
+constexpr int kPid = 1;  // single-process trace; any stable value works
+
+std::string event_prefix(const char* ph, double ts_ms, int tid) {
+  return std::string("{\"ph\":\"") + ph +
+         "\",\"pid\":" + std::to_string(kPid) +
+         ",\"tid\":" + std::to_string(tid) +
+         ",\"ts\":" + json_number(ts_ms * 1000.0);  // trace ts unit is us
+}
+
+void append_metadata(std::string& out, int tid, const std::string& name) {
+  out += "{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +
+         ",\"tid\":" + std::to_string(tid) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         json_escape(name) + "\"}},";
+}
+
+void append_counter(std::string& out, double ts_ms, const char* name,
+                    double value) {
+  out += event_prefix("C", ts_ms, 0) + ",\"name\":\"" + name +
+         "\",\"args\":{\"value\":" + json_number(value) + "}},";
+}
+
+}  // namespace
+
+std::string trace_events_json(const std::vector<Span>& spans,
+                              const std::vector<FlowEvent>& flows,
+                              const std::vector<ResourceSample>& samples) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Process + thread metadata. Thread track 0 is the first thread that
+  // traced anything -- the harness main thread in every current binary.
+  out += "{\"ph\":\"M\",\"pid\":" + std::to_string(kPid) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":\"repro\"}},";
+  std::set<int> tids;
+  for (const Span& span : spans) tids.insert(span.tid);
+  for (const FlowEvent& flow : flows) tids.insert(flow.tid);
+  if (!samples.empty()) tids.insert(0);
+  for (const int tid : tids) {
+    append_metadata(out, tid,
+                    tid == 0 ? "main" : "worker-" + std::to_string(tid));
+  }
+
+  // Spans: complete slices when closed, unmatched begins when still open.
+  for (const Span& span : spans) {
+    if (span.closed) {
+      out += event_prefix("X", span.start_ms, span.tid);
+      out += ",\"dur\":" + json_number(span.wall_ms * 1000.0);
+    } else {
+      out += event_prefix("B", span.start_ms, span.tid);
+    }
+    out += ",\"name\":\"" + json_escape(span.name) + "\"";
+    out += ",\"args\":{\"span_id\":" + std::to_string(span.id) +
+           ",\"parent\":" +
+           (span.parent == kNoSpan ? std::string("-1")
+                                   : std::to_string(span.parent)) +
+           ",\"rss_delta_kb\":" + std::to_string(span.rss_delta_kb) + "}},";
+  }
+
+  // Flow arrows: enqueue ('s') on the submitting thread, binding to the
+  // enclosing ('f', bp:e) pool.task slice on the worker.
+  for (const FlowEvent& flow : flows) {
+    out += event_prefix(flow.phase == 's' ? "s" : "f", flow.ts_ms, flow.tid);
+    out += ",\"cat\":\"pool\",\"name\":\"pool.submit\",\"id\":" +
+           std::to_string(flow.id);
+    if (flow.phase == 'f') out += ",\"bp\":\"e\"";
+    out += "},";
+  }
+
+  // Resource counter tracks (one series per sampled quantity).
+  for (const ResourceSample& sample : samples) {
+    append_counter(out, sample.t_ms, "sampler.rss_mb",
+                   static_cast<double>(sample.rss_kb) / 1024.0);
+    append_counter(out, sample.t_ms, "sampler.utime_ms", sample.utime_ms);
+    append_counter(out, sample.t_ms, "sampler.stime_ms", sample.stime_ms);
+    append_counter(out, sample.t_ms, "sampler.minor_faults",
+                   static_cast<double>(sample.minor_faults));
+    append_counter(out, sample.t_ms, "sampler.major_faults",
+                   static_cast<double>(sample.major_faults));
+  }
+
+  if (out.back() == ',') out.pop_back();
+  out += "]}";
+  return out;
+}
+
+std::string trace_events_json() {
+  return trace_events_json(tracer().spans(), tracer().flow_events(),
+                           sampler().samples());
+}
+
+std::string default_trace_path() {
+  const char* path = std::getenv("REPRO_TRACE_EVENTS");
+  if (path != nullptr && *path != '\0') return path;
+  const std::string report = default_report_path();
+  const std::size_t slash = report.find_last_of('/');
+  if (slash == std::string::npos) return "trace.json";
+  return report.substr(0, slash + 1) + "trace.json";
+}
+
+void write_trace(const std::string& path) {
+  write_file(path, trace_events_json() + "\n");
+}
+
+bool maybe_write_trace() {
+  if (!tracing_enabled()) return false;
+  // Best effort, like maybe_write_run_report: a bad path must not abort a
+  // harness that already finished its real work.
+  try {
+    write_trace(default_trace_path());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[trace: failed to write %s: %s]\n",
+                 default_trace_path().c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,52 @@
+// Chrome-trace-event / Perfetto JSON exporter for the flight recorder.
+//
+// trace_events_json() turns the tracer's span tree, the thread-pool flow
+// events, and the resource sampler's time-series into one JSON object
+// ({"traceEvents": [...], "displayTimeUnit": "ms"}) loadable in
+// https://ui.perfetto.dev or chrome://tracing:
+//   - every closed span becomes a complete ("ph":"X") slice on its
+//     thread's track (ts/dur in microseconds, as the format requires);
+//     spans still open at export time are emitted as unmatched "B" events
+//     so they render as in-progress slices;
+//   - each enqueue->run handoff becomes a flow-arrow pair ("ph":"s" on the
+//     submitting thread, "ph":"f" with "bp":"e" on the worker) sharing the
+//     flow id, drawn by the UI from the submitting span to the worker's
+//     pool.task slice;
+//   - every resource sample becomes counter events ("ph":"C") on the
+//     sampler.* tracks (rss_mb, utime_ms, stime_ms, minor_faults,
+//     major_faults);
+//   - metadata events ("ph":"M") name the process and each thread track.
+//
+// The default output path is REPRO_TRACE_EVENTS when set, else a
+// "trace.json" sibling of default_report_path() (so REPRO_TRACE_OUT=/d/r.json
+// puts the trace at /d/trace.json).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/sampler.h"
+#include "obs/trace.h"
+
+namespace repro::obs {
+
+/// Trace-event JSON from explicit snapshots (tests, tools).
+std::string trace_events_json(const std::vector<Span>& spans,
+                              const std::vector<FlowEvent>& flows,
+                              const std::vector<ResourceSample>& samples);
+
+/// Trace-event JSON of the global tracer + flow log + sampler.
+std::string trace_events_json();
+
+/// REPRO_TRACE_EVENTS when set, else "trace.json" next to
+/// default_report_path().
+std::string default_trace_path();
+
+/// Writes the global trace to `path` (parent directories created).
+void write_trace(const std::string& path);
+
+/// Writes the global trace to default_trace_path() when tracing is
+/// enabled. Returns true if a trace was written.
+bool maybe_write_trace();
+
+}  // namespace repro::obs

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/json.h"
+#include "obs/sampler.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -45,13 +46,41 @@ void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
   out += ",\"p99\":" + json_number(h.p99);
   out += ",\"buckets\":[";
   bool first = true;
-  for (const auto& [bound, count] : h.buckets) {
+  for (const HistogramBucket& bucket : h.buckets) {
     if (!first) out += ",";
     first = false;
-    out += "{\"le\":" + json_number(bound) +
-           ",\"count\":" + std::to_string(count) + "}";
+    out += "{\"index\":" + std::to_string(bucket.index) +
+           ",\"lo\":" + json_number(bucket.lo_ms) +
+           ",\"le\":" + json_number(bucket.hi_ms) +
+           ",\"count\":" + std::to_string(bucket.count) + "}";
   }
   out += "]}";
+}
+
+/// "sampler" report section: the resource time-series as parallel arrays
+/// (compact for long runs, and trivially plottable).
+std::string sampler_section_json(const std::vector<ResourceSample>& samples) {
+  std::string t_ms = "[";
+  std::string rss_kb = "[";
+  std::string utime_ms = "[";
+  std::string stime_ms = "[";
+  std::string minor_faults = "[";
+  std::string major_faults = "[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const char* separator = i == 0 ? "" : ",";
+    const ResourceSample& sample = samples[i];
+    t_ms += separator + json_number(sample.t_ms);
+    rss_kb += separator + std::to_string(sample.rss_kb);
+    utime_ms += separator + json_number(sample.utime_ms);
+    stime_ms += separator + json_number(sample.stime_ms);
+    minor_faults += separator + std::to_string(sample.minor_faults);
+    major_faults += separator + std::to_string(sample.major_faults);
+  }
+  return "{\"samples\":" + std::to_string(samples.size()) +
+         ",\"t_ms\":" + t_ms + "],\"rss_kb\":" + rss_kb +
+         "],\"utime_ms\":" + utime_ms + "],\"stime_ms\":" + stime_ms +
+         "],\"minor_faults\":" + minor_faults +
+         "],\"major_faults\":" + major_faults + "]}";
 }
 
 }  // namespace
@@ -173,6 +202,12 @@ std::string default_report_path() {
 }
 
 void write_run_report(const std::string& path) {
+  // Embed the resource time-series (if the sampler ran) as a report
+  // section so the schema stays additive for v1 consumers.
+  const std::vector<ResourceSample> samples = sampler().samples();
+  if (!samples.empty()) {
+    set_report_section("sampler", sampler_section_json(samples));
+  }
   write_file(path, run_report_json() + "\n");
 }
 

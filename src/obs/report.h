@@ -11,7 +11,12 @@
 //     "gauges":     { "<name>": <number>, ... },
 //     "histograms": { "<name>": { "count", "sum", "min", "max",
 //                                 "p50", "p90", "p99",
-//                                 "buckets": [ { "le", "count" } ] } },
+//                                 "buckets": [ { "index", "lo", "le",
+//                                                "count" } ] } },
+//     "sampler":    { "samples", "t_ms": [...], "rss_kb": [...],
+//                     "utime_ms": [...], "stime_ms": [...],
+//                     "minor_faults": [...], "major_faults": [...] }
+//                   (present only when the resource sampler ran),
 //     ... plus one top-level key per registered report section (e.g. the
 //     pipeline's "fault" stage-health section); additive, so v1 consumers
 //     that ignore unknown keys keep working

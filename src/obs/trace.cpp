@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "util/thread_pool.h"
 
 namespace repro::obs {
 
@@ -56,12 +58,27 @@ long current_rss_kb() noexcept {
 #endif
 }
 
+namespace {
+
+/// Submitting-thread context parked between capture (enqueue) and adopt
+/// (task start on a worker), keyed by the flow id that doubles as the hook
+/// token.
+struct PendingContext {
+  std::uint64_t generation = 0;
+  std::size_t parent = kNoSpan;
+};
+
+}  // namespace
+
 struct Tracer::Impl {
   mutable std::mutex mutex;
   std::vector<Span> spans;
   std::vector<long> start_rss_kb;  // parallel to spans
+  std::vector<FlowEvent> flows;
+  std::map<std::uint64_t, PendingContext> pending;  // keyed by flow id
   Clock::time_point epoch = Clock::now();
-  std::uint64_t generation = 0;  // bumped on reset to invalidate open spans
+  std::uint64_t generation = 0;   // bumped on reset to invalidate open spans
+  std::uint64_t next_flow = 1;    // 0 is the "no context" token
 };
 
 namespace {
@@ -74,14 +91,18 @@ struct OpenSpan {
 
 thread_local std::vector<OpenSpan> t_open_spans;
 
+/// Stable small per-thread track id, assigned on first use.
+std::atomic<int> g_next_tid{0};
+thread_local int t_tid = -1;
+
 }  // namespace
 
-Tracer::Tracer() : impl_(new Impl) {}
-
-Tracer& Tracer::instance() {
-  static Tracer tracer;
-  return tracer;
+int Tracer::current_tid() noexcept {
+  if (t_tid < 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
 }
+
+Tracer::Tracer() : impl_(new Impl) {}
 
 namespace {
 
@@ -89,11 +110,48 @@ namespace {
 /// opened before a reset() cannot close an unrelated span after it.
 constexpr std::size_t kGenStride = std::size_t{1} << 40;
 
+/// Thread-pool task hooks: capture the submitting thread's span context at
+/// enqueue, re-parent the task's spans under it on the worker. The token is
+/// the flow id itself (no allocation); 0 / nullptr means "no context".
+void* hook_on_submit() noexcept {
+  const std::uint64_t token = Tracer::instance().capture_task_context();
+  return reinterpret_cast<void*>(static_cast<std::uintptr_t>(token));
+}
+
+void* hook_on_run_begin(void* token) noexcept {
+  const std::size_t span = Tracer::instance().adopt_task_context(
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(token)));
+  if (span == kNoSpan) return nullptr;
+  // +1 so a valid span id is never the null scope.
+  return reinterpret_cast<void*>(static_cast<std::uintptr_t>(span + 1));
+}
+
+void hook_on_run_end(void* /*token*/, void* scope) noexcept {
+  if (scope == nullptr) return;
+  Tracer::instance().end_span(
+      static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(scope)) - 1);
+}
+
+/// Installed at load time from this translation unit; every binary that
+/// traces links it, so pool tasks are wrapped before any fan-out runs.
+struct TaskHookInstaller {
+  TaskHookInstaller() {
+    set_task_hooks({&hook_on_submit, &hook_on_run_begin, &hook_on_run_end});
+  }
+};
+const TaskHookInstaller g_task_hook_installer;
+
 }  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
 
 std::size_t Tracer::begin_span(std::string_view name) {
   if (!tracing_enabled()) return kNoSpan;
   const long rss = current_rss_kb();
+  const int tid = current_tid();
 
   std::lock_guard<std::mutex> lock(impl_->mutex);
   Span span;
@@ -107,6 +165,7 @@ std::size_t Tracer::begin_span(std::string_view name) {
     span.parent = t_open_spans.back().id;
     span.depth = impl_->spans[span.parent].depth + 1;
   }
+  span.tid = tid;
   span.name = std::string(name);
   span.start_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - impl_->epoch)
@@ -122,31 +181,118 @@ void Tracer::end_span(std::size_t id) {
   const long rss = current_rss_kb();
   double wall_ms = 0.0;
   std::string name;
+  bool dropped = false;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    if (id / kGenStride != impl_->generation) return;  // reset since begin
-    id %= kGenStride;
-    if (id >= impl_->spans.size()) return;
-    while (!t_open_spans.empty() &&
-           (t_open_spans.back().generation != impl_->generation ||
-            t_open_spans.back().id >= id)) {
-      t_open_spans.pop_back();
+    if (id / kGenStride != impl_->generation ||
+        id % kGenStride >= impl_->spans.size()) {
+      // The tracer was reset while this span was open: its slot is gone and
+      // the id must not be reused against the new generation's spans.
+      // Checked no-op, surfaced through the trace.dropped_spans counter.
+      while (!t_open_spans.empty() &&
+             t_open_spans.back().generation != impl_->generation) {
+        t_open_spans.pop_back();
+      }
+      dropped = true;
+    } else {
+      id %= kGenStride;
+      while (!t_open_spans.empty() &&
+             (t_open_spans.back().generation != impl_->generation ||
+              t_open_spans.back().id >= id)) {
+        t_open_spans.pop_back();
+      }
+      Span& span = impl_->spans[id];
+      if (span.closed) return;
+      const double end_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    impl_->epoch)
+              .count();
+      span.wall_ms = end_ms - span.start_ms;
+      if (rss != 0 && impl_->start_rss_kb[id] != 0) {
+        span.rss_delta_kb = rss - impl_->start_rss_kb[id];
+      }
+      span.closed = true;
+      wall_ms = span.wall_ms;
+      name = span.name;
     }
-    Span& span = impl_->spans[id];
-    if (span.closed) return;
-    const double end_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - impl_->epoch)
-            .count();
-    span.wall_ms = end_ms - span.start_ms;
-    if (rss != 0 && impl_->start_rss_kb[id] != 0) {
-      span.rss_delta_kb = rss - impl_->start_rss_kb[id];
-    }
-    span.closed = true;
-    wall_ms = span.wall_ms;
-    name = span.name;
+  }
+  if (dropped) {
+    metrics().counter("trace.dropped_spans").add(1);
+    return;
   }
   // Span durations feed the histogram API so per-span p50/p99 are queryable.
   metrics().histogram("span." + name).record(wall_ms);
+}
+
+std::uint64_t Tracer::capture_task_context() {
+  if (!tracing_enabled()) return 0;
+  const int tid = current_tid();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  // Only a live open span is worth propagating; without one the worker's
+  // spans become roots exactly as before.
+  while (!t_open_spans.empty() &&
+         t_open_spans.back().generation != impl_->generation) {
+    t_open_spans.pop_back();
+  }
+  if (t_open_spans.empty()) return 0;
+  const std::uint64_t token = impl_->next_flow++;
+  impl_->pending[token] = {impl_->generation, t_open_spans.back().id};
+  FlowEvent flow;
+  flow.id = token;
+  flow.ts_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - impl_->epoch)
+          .count();
+  flow.tid = tid;
+  flow.phase = 's';
+  flow.span = t_open_spans.back().id;
+  impl_->flows.push_back(flow);
+  return token;
+}
+
+std::size_t Tracer::adopt_task_context(std::uint64_t token) {
+  if (token == 0) return kNoSpan;
+  const long rss = current_rss_kb();
+  const int tid = current_tid();
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->pending.find(token);
+  if (it == impl_->pending.end() ||
+      it->second.generation != impl_->generation) {
+    // Reset since enqueue: the submitting context is gone. Checked no-op.
+    if (it != impl_->pending.end()) impl_->pending.erase(it);
+    lock.unlock();
+    metrics().counter("trace.dropped_spans").add(1);
+    return kNoSpan;
+  }
+  const std::size_t parent = it->second.parent;
+  impl_->pending.erase(it);
+
+  Span span;
+  span.id = impl_->spans.size();
+  span.parent = parent;
+  span.depth = impl_->spans[parent].depth + 1;
+  span.tid = tid;
+  span.name = "pool.task";
+  span.start_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - impl_->epoch)
+          .count();
+  impl_->spans.push_back(span);
+  impl_->start_rss_kb.push_back(rss);
+  t_open_spans.push_back({impl_->generation, span.id});
+
+  FlowEvent flow;
+  flow.id = token;
+  flow.ts_ms = span.start_ms;
+  flow.tid = tid;
+  flow.phase = 'f';
+  flow.span = span.id;
+  impl_->flows.push_back(flow);
+  return impl_->generation * kGenStride + span.id;
+}
+
+double Tracer::now_ms() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return std::chrono::duration<double, std::milli>(Clock::now() - impl_->epoch)
+      .count();
 }
 
 std::vector<Span> Tracer::spans() const {
@@ -154,10 +300,17 @@ std::vector<Span> Tracer::spans() const {
   return impl_->spans;
 }
 
+std::vector<FlowEvent> Tracer::flow_events() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->flows;
+}
+
 void Tracer::reset() {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->spans.clear();
   impl_->start_rss_kb.clear();
+  impl_->flows.clear();
+  impl_->pending.clear();
   impl_->epoch = Clock::now();
   ++impl_->generation;
 }

@@ -5,8 +5,14 @@
 // a disabled ScopedSpan is one relaxed atomic load. It is enabled either by
 // the REPRO_TRACE=1 environment variable (read once at first use) or
 // programmatically with set_tracing(true). Span nesting follows lexical
-// scope per thread; spans opened on different threads become roots of their
-// own subtrees unless their thread inherited an open parent.
+// scope per thread. Spans opened on raw std::threads become roots of their
+// own subtrees; spans opened inside ThreadPool tasks (including every
+// parallel_for body) are re-parented under the submitting thread's
+// innermost open span via the task-context hooks the tracer installs into
+// util/thread_pool.h, so a parallel fan-out renders as one coherent tree.
+// Each enqueue->run handoff additionally records a pair of flow events
+// (phase 's' on the submitting thread, 'f' on the worker) that the Perfetto
+// exporter (obs/perfetto.h) turns into flow arrows.
 //
 // Every closed span also records its duration into the global
 // MetricsRegistry histogram "span.<name>" (milliseconds), so per-span
@@ -14,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,11 +36,24 @@ struct Span {
   std::size_t id = kNoSpan;
   std::size_t parent = kNoSpan;  // kNoSpan for roots
   int depth = 0;
+  int tid = 0;                  // stable per-thread track id (0 = first)
   std::string name;
   double start_ms = 0.0;
   double wall_ms = -1.0;        // -1 while the span is still open
   long rss_delta_kb = 0;        // VmRSS end - start (0 when unavailable)
   bool closed = false;
+};
+
+/// One half of an enqueue->run handoff across the thread pool. Pairs share
+/// an id: phase 's' is recorded at submit time on the submitting thread,
+/// phase 'f' on the worker when the task starts (Chrome trace-event flow
+/// phases). `span` is the span the event is bound to.
+struct FlowEvent {
+  std::uint64_t id = 0;
+  double ts_ms = 0.0;
+  int tid = 0;
+  char phase = 's';             // 's' (start) or 'f' (finish)
+  std::size_t span = kNoSpan;
 };
 
 /// True when tracing is enabled (REPRO_TRACE=1 or set_tracing(true)).
@@ -54,11 +74,33 @@ class Tracer {
   /// Returns kNoSpan (and records nothing) when tracing is disabled.
   std::size_t begin_span(std::string_view name);
 
-  /// Closes a span opened by this thread. No-op for kNoSpan.
+  /// Closes a span opened by this thread. No-op for kNoSpan; closing a span
+  /// that predates a reset() is a checked no-op counted by the
+  /// "trace.dropped_spans" counter (never an index reuse).
   void end_span(std::size_t id);
+
+  /// Task-context propagation (used by the thread-pool hooks; not a public
+  /// span API). capture_task_context() snapshots the calling thread's
+  /// innermost open span and records the flow 's' event; it returns 0 when
+  /// tracing is off or no span is open. adopt_task_context() opens a
+  /// "pool.task" span on the calling (worker) thread, parented under the
+  /// captured span, and records the matching flow 'f' event; close it with
+  /// end_span() like any other span.
+  std::uint64_t capture_task_context();
+  std::size_t adopt_task_context(std::uint64_t token);
+
+  /// Milliseconds since the tracer epoch, on the same clock and timeline as
+  /// Span::start_ms (used by the resource sampler and the trace exporter).
+  double now_ms() const;
+
+  /// Stable small integer identifying the calling thread in Span::tid.
+  static int current_tid() noexcept;
 
   /// Copy of all spans recorded so far (closed and still open).
   std::vector<Span> spans() const;
+
+  /// Copy of all flow events recorded so far.
+  std::vector<FlowEvent> flow_events() const;
 
   /// Drops all recorded spans and restarts the epoch. Open ScopedSpans
   /// from before a reset are ignored when they close.

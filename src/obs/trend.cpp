@@ -1,0 +1,122 @@
+#include "obs/trend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace repro::obs {
+
+BenchRecord parse_bench_line(std::string_view line) {
+  const JsonValue value = parse_json(line);
+  BenchRecord record;
+  for (const auto& [key, field] : value.object()) {
+    if (field.is_number()) {
+      record.numbers[key] = field.number();
+    } else if (field.is_string()) {
+      record.strings[key] = field.str();
+      if (key == "bench") record.bench = field.str();
+      if (key == "scale") record.scale = field.str();
+    }
+    // Nested values (the "stages" health object) carry no trend numbers.
+  }
+  return record;
+}
+
+std::vector<BenchRecord> parse_history(std::string_view text) {
+  std::vector<BenchRecord> records;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    records.push_back(parse_bench_line(line));
+  }
+  return records;
+}
+
+bool is_time_field(std::string_view name) {
+  const auto ends_with = [name](std::string_view suffix) {
+    return name.size() >= suffix.size() &&
+           name.substr(name.size() - suffix.size()) == suffix;
+  };
+  return name == "seconds" || ends_with("_seconds") || ends_with("_ms") ||
+         ends_with("_ns_op");
+}
+
+TrendDiff diff_records(const BenchRecord& before, const BenchRecord& after,
+                       double gate,
+                       const std::vector<std::string>& gate_fields) {
+  TrendDiff diff;
+  diff.bench = after.bench.empty() ? before.bench : after.bench;
+  diff.gate = gate;
+  const auto gated = [&gate_fields](const std::string& field) {
+    return gate_fields.empty() ||
+           std::find(gate_fields.begin(), gate_fields.end(), field) !=
+               gate_fields.end();
+  };
+  for (const auto& [field, after_value] : after.numbers) {
+    const auto it = before.numbers.find(field);
+    if (it == before.numbers.end()) continue;  // new field: nothing to diff
+    FieldDelta delta;
+    delta.field = field;
+    delta.before = it->second;
+    delta.after = after_value;
+    delta.ratio = it->second > 0.0 ? after_value / it->second : 1.0;
+    // unix_ms is a wall-clock timestamp, not a duration: never gate it.
+    delta.time_field = field != "unix_ms" && is_time_field(field);
+    delta.regressed = delta.time_field && gated(field) &&
+                      std::isfinite(delta.ratio) && delta.ratio > gate;
+    if (delta.regressed) diff.regressed_fields.push_back(field);
+    diff.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [field, unused] : before.numbers) {
+    (void)unused;
+    if (after.numbers.find(field) == after.numbers.end()) {
+      diff.missing_fields.push_back(field);
+    }
+  }
+  return diff;
+}
+
+std::string render_diff(const TrendDiff& diff) {
+  TextTable table({"field", "before", "after", "delta", "verdict"});
+  table.set_align(1, Align::kRight);
+  table.set_align(2, Align::kRight);
+  table.set_align(3, Align::kRight);
+  for (const FieldDelta& delta : diff.deltas) {
+    std::string verdict;
+    if (!delta.time_field) {
+      verdict = "";
+    } else if (delta.regressed) {
+      verdict = "REGRESSED";
+    } else if (delta.ratio < 1.0) {
+      verdict = "faster";
+    } else {
+      verdict = "ok";
+    }
+    table.add_row({delta.field, format_fixed(delta.before, 6),
+                   format_fixed(delta.after, 6),
+                   format_percent(delta.ratio - 1.0, 1), verdict});
+  }
+  std::string out = "bench: " + diff.bench + " (gate " +
+                    format_fixed(diff.gate, 2) + "x on time fields)\n" +
+                    table.render();
+  for (const std::string& field : diff.missing_fields) {
+    out += "note: field '" + field + "' missing from the newer run\n";
+  }
+  if (diff.regressed()) {
+    out += "verdict: REGRESSION in";
+    for (const std::string& field : diff.regressed_fields) out += " " + field;
+    out += "\n";
+  } else {
+    out += "verdict: ok\n";
+  }
+  return out;
+}
+
+}  // namespace repro::obs

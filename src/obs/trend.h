@@ -1,0 +1,72 @@
+// Bench-trend analysis shared by the repro-bench CLI and scripts/check.sh:
+// parses BENCH_*.json lines (one JSON object per line, as emitted by
+// bench/bench_common.h) out of a JSONL history file, diffs two runs field
+// by field, and renders a per-field delta report with a regression verdict
+// -- so the perf gate can name *which* phase regressed instead of failing
+// opaquely on one total.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::obs {
+
+/// One parsed BENCH_*.json line. Numeric top-level fields land in
+/// `numbers`, string fields in `strings`; nested values (the "stages"
+/// health object) are ignored for trend purposes.
+struct BenchRecord {
+  std::string bench;
+  std::string scale;
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+};
+
+/// Parses one BENCH json line; throws repro::ParseError on malformed input.
+BenchRecord parse_bench_line(std::string_view line);
+
+/// Parses a JSONL history (one record per line, blank lines skipped).
+/// Malformed lines throw; history files are machine-written.
+std::vector<BenchRecord> parse_history(std::string_view text);
+
+/// True for fields measured in time units, i.e. candidates for a
+/// slower-is-worse regression gate: "seconds" and fields ending in
+/// "_seconds", "_ms", or "_ns_op".
+bool is_time_field(std::string_view name);
+
+/// Delta of one numeric field between two runs.
+struct FieldDelta {
+  std::string field;
+  double before = 0.0;
+  double after = 0.0;
+  double ratio = 1.0;     // after / before; 1 when before == 0
+  bool time_field = false;
+  bool regressed = false; // time field over the gate (and gated, if a
+                          // gate-field subset was given)
+};
+
+/// Field-by-field comparison of two runs of the same bench.
+struct TrendDiff {
+  std::string bench;
+  double gate = 0.0;  // ratio above which a gated time field regresses
+  std::vector<FieldDelta> deltas;              // sorted by field name
+  std::vector<std::string> regressed_fields;   // subset of deltas
+  std::vector<std::string> missing_fields;     // in before, not in after
+
+  bool regressed() const noexcept { return !regressed_fields.empty(); }
+};
+
+/// Compares the numeric fields the two records share. A time field whose
+/// after/before ratio exceeds `gate` counts as regressed; when
+/// `gate_fields` is non-empty only those fields can regress (the others
+/// still appear in `deltas` for context).
+TrendDiff diff_records(const BenchRecord& before, const BenchRecord& after,
+                       double gate,
+                       const std::vector<std::string>& gate_fields = {});
+
+/// Human-readable rendering of a diff: one row per field with before,
+/// after, the percent delta, and a verdict column naming regressions.
+std::string render_diff(const TrendDiff& diff);
+
+}  // namespace repro::obs

@@ -106,4 +106,17 @@ void write_file(const std::string& path, const std::string& content) {
   require(static_cast<bool>(out), "write_file: write failed for " + path);
 }
 
+void append_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    require(!ec, "append_file: cannot create directories for " + path);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  require(static_cast<bool>(out), "append_file: cannot open " + path);
+  out << content;
+  require(static_cast<bool>(out), "append_file: write failed for " + path);
+}
+
 }  // namespace repro

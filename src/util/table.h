@@ -42,4 +42,9 @@ class TextTable {
 /// Throws repro::Error on I/O failure.
 void write_file(const std::string& path, const std::string& content);
 
+/// Appends `content` to `path` (created along with parent directories when
+/// missing). Throws repro::Error on I/O failure. Used for JSONL history
+/// files such as bench_output/HISTORY.jsonl.
+void append_file(const std::string& path, const std::string& content);
+
 }  // namespace repro

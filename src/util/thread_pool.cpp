@@ -35,7 +35,20 @@ std::atomic<std::size_t>& override_count() noexcept {
   return count;
 }
 
+/// Installed hooks, guarded by a mutex only on write; reads snapshot the
+/// three pointers individually (relaxed: installation happens at load time,
+/// before any pool traffic).
+std::atomic<void* (*)() noexcept> g_on_submit{nullptr};
+std::atomic<void* (*)(void*) noexcept> g_on_run_begin{nullptr};
+std::atomic<void (*)(void*, void*) noexcept> g_on_run_end{nullptr};
+
 }  // namespace
+
+void set_task_hooks(const TaskHooks& hooks) noexcept {
+  g_on_submit.store(hooks.on_submit, std::memory_order_release);
+  g_on_run_begin.store(hooks.on_run_begin, std::memory_order_release);
+  g_on_run_end.store(hooks.on_run_end, std::memory_order_release);
+}
 
 std::size_t hardware_thread_count() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -85,6 +98,19 @@ std::size_t ThreadPool::worker_count() const noexcept {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Span-context propagation: capture the submitting thread's context (a
+  // null token -- tracing off, no open span -- leaves the task unwrapped).
+  if (auto* on_submit = g_on_submit.load(std::memory_order_acquire)) {
+    if (void* token = on_submit()) {
+      auto* begin = g_on_run_begin.load(std::memory_order_acquire);
+      auto* end = g_on_run_end.load(std::memory_order_acquire);
+      task = [inner = std::move(task), begin, end, token] {
+        void* scope = begin != nullptr ? begin(token) : nullptr;
+        inner();
+        if (end != nullptr) end(token, scope);
+      };
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->queue.push_back(std::move(task));

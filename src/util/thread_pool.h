@@ -37,6 +37,24 @@ std::size_t default_thread_count() noexcept;
 /// override and falls back to REPRO_THREADS / hardware concurrency.
 void set_default_thread_count(std::size_t count) noexcept;
 
+/// Cross-thread task instrumentation hooks. The obs tracing layer installs
+/// these at load time so spans opened on pool workers re-parent under the
+/// submitting thread's open span (with enqueue->run flow arrows in the
+/// exported trace); the pool itself stays free of an obs dependency. All
+/// pointers may be null. `on_submit` runs on the submitting thread at
+/// enqueue and returns an opaque token -- nullptr means "nothing to
+/// propagate" and the task is not wrapped at all, so the disabled-tracing
+/// path costs one indirect call per submit. `on_run_begin` / `on_run_end`
+/// bracket the task body on the worker.
+struct TaskHooks {
+  void* (*on_submit)() noexcept = nullptr;
+  void* (*on_run_begin)(void* token) noexcept = nullptr;
+  void (*on_run_end)(void* token, void* scope) noexcept = nullptr;
+};
+
+/// Installs the process-wide task hooks (idempotent; last write wins).
+void set_task_hooks(const TaskHooks& hooks) noexcept;
+
 /// Fixed set of worker threads consuming a FIFO task queue. Tasks must not
 /// block on other tasks; the parallel_for helpers below never do.
 class ThreadPool {

@@ -1,20 +1,34 @@
-// Tests for the observability layer: span nesting/ordering, histogram
-// percentile correctness on known distributions, counter thread-safety
-// under a std::thread fan-out, and the run_report.json round-trip through
-// the bundled JSON parser.
+// Tests for the observability layer: span nesting/ordering (including
+// cross-thread stitching through the thread pool), log-linear histogram
+// percentile accuracy and snapshot merging, counter thread-safety under a
+// std::thread fan-out, the run_report.json / trace.json round-trips
+// through the bundled JSON parser, and the bench-trend diff logic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <map>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/perfetto.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
+#include "obs/trend.h"
 #include "util/error.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace repro::obs {
@@ -103,24 +117,27 @@ TEST_F(ObsTest, SpanDurationsFeedHistogramApi) {
 }
 
 TEST_F(ObsTest, HistogramPercentilesUniform) {
-  // 1..1000 with unit-width buckets: percentiles must be near-exact.
-  std::vector<double> bounds;
-  for (double b = 1.0; b <= 1000.0; b += 1.0) bounds.push_back(b);
-  Histogram h(bounds);
+  // 1..1000 ms uniform: percentiles must land within one (~3% log-linear)
+  // bucket width of the exact values.
+  Histogram h;
   for (int v = 1; v <= 1000; ++v) h.record(static_cast<double>(v));
 
   EXPECT_EQ(h.count(), 1000u);
-  EXPECT_DOUBLE_EQ(h.sum(), 1000.0 * 1001.0 / 2.0);
-  EXPECT_NEAR(h.percentile(50.0), 500.0, 2.0);
-  EXPECT_NEAR(h.percentile(90.0), 900.0, 2.0);
-  EXPECT_NEAR(h.percentile(99.0), 990.0, 2.0);
+  EXPECT_NEAR(h.sum(), 1000.0 * 1001.0 / 2.0, 1e-6);
+  for (const double p : {50.0, 90.0, 99.0}) {
+    const double exact = p * 10.0;  // percentile p of 1..1000
+    const std::size_t idx = Histogram::bucket_index(exact);
+    const double width =
+        Histogram::bucket_upper_ms(idx) - Histogram::bucket_lower_ms(idx);
+    EXPECT_NEAR(h.percentile(p), exact, width) << "p" << p;
+  }
   // The extremes are exact (clamped to observed min/max).
   EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
 }
 
 TEST_F(ObsTest, HistogramPercentilesConstantAndEmpty) {
-  Histogram h({1.0, 10.0, 100.0});
+  Histogram h;
   EXPECT_EQ(h.percentile(50.0), 0.0);  // empty
 
   for (int i = 0; i < 50; ++i) h.record(42.0);
@@ -130,25 +147,111 @@ TEST_F(ObsTest, HistogramPercentilesConstantAndEmpty) {
   EXPECT_DOUBLE_EQ(h.percentile(99.0), 42.0);
 }
 
-TEST_F(ObsTest, HistogramBucketsAndOverflow) {
-  Histogram h({1.0, 2.0});
-  h.record(0.5);   // bucket 0 (<= 1)
-  h.record(1.5);   // bucket 1 (<= 2)
-  h.record(99.0);  // overflow bucket
-  const HistogramSnapshot snap = h.snapshot();
-  ASSERT_EQ(snap.buckets.size(), 3u);
-  EXPECT_EQ(snap.buckets[0].second, 1u);
-  EXPECT_EQ(snap.buckets[1].second, 1u);
-  EXPECT_EQ(snap.buckets[2].second, 1u);
-  EXPECT_TRUE(std::isinf(snap.buckets[2].first));
-  EXPECT_DOUBLE_EQ(snap.min, 0.5);
-  EXPECT_DOUBLE_EQ(snap.max, 99.0);
+TEST_F(ObsTest, HistogramBucketIndexIsConsistent) {
+  // Every recorded value must fall inside its bucket's [lo, hi) range, and
+  // bucket boundaries must tile the axis without gaps or overlaps.
+  const double values[] = {0.0, -3.0,   1e-7, 1e-6,    5e-5, 0.001, 0.5,
+                           1.0, 42.0, 1000.0, 12345.6, 1e7,  3.7e11};
+  for (const double v : values) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    ASSERT_LT(idx, Histogram::kBucketCount) << v;
+    const double lo = Histogram::bucket_lower_ms(idx);
+    const double hi = Histogram::bucket_upper_ms(idx);
+    EXPECT_LT(lo, hi) << v;
+    if (v > 0.0) {
+      EXPECT_GE(v, lo - 1e-12) << v;
+      EXPECT_LT(v, hi * (1.0 + 1e-12)) << v;
+    }
+  }
+  // Values beyond ~104 days saturate into the last reachable bucket rather
+  // than overflow; everything larger shares that bucket.
+  const std::size_t last =
+      Histogram::bucket_index(std::numeric_limits<double>::infinity());
+  ASSERT_LT(last, Histogram::kBucketCount);
+  EXPECT_EQ(Histogram::bucket_index(9e15), last);
+  for (std::size_t i = 0; i + 1 < Histogram::kBucketCount; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::bucket_upper_ms(i),
+                     Histogram::bucket_lower_ms(i + 1))
+        << i;
+    // A bucket midpoint maps back to the same index (bijection check, valid
+    // up to the saturation bucket).
+    if (i >= last) continue;
+    const double mid =
+        0.5 * (Histogram::bucket_lower_ms(i) + Histogram::bucket_upper_ms(i));
+    EXPECT_EQ(Histogram::bucket_index(mid), i) << i;
+  }
 }
 
-TEST_F(ObsTest, HistogramRejectsBadBounds) {
-  EXPECT_THROW(Histogram({}), Error);
-  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
-  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+TEST_F(ObsTest, HistogramRandomizedPercentilesMonotoneAndAccurate) {
+  // Lognormal latencies spanning several decades, fixed seed. Percentiles
+  // must be monotone in p and within one containing-bucket width of the
+  // exact order statistics.
+  Rng rng(0xC0FFEE);
+  std::vector<double> values;
+  values.reserve(5000);
+  Histogram h;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.lognormal(1.0, 2.0);  // ~e^1 ms median, heavy tail
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  double previous = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const double estimate = h.percentile(p);
+    EXPECT_GE(estimate, previous) << "non-monotone at p=" << p;
+    previous = estimate;
+
+    const std::size_t rank = static_cast<std::size_t>(std::min(
+        static_cast<double>(values.size()) - 1.0,
+        std::max(0.0, std::ceil(p / 100.0 * values.size()) - 1.0)));
+    const double exact = values[rank];
+    const std::size_t idx = Histogram::bucket_index(exact);
+    const double width =
+        Histogram::bucket_upper_ms(idx) - Histogram::bucket_lower_ms(idx);
+    EXPECT_NEAR(estimate, exact, width + 1e-9) << "p=" << p;
+  }
+}
+
+TEST_F(ObsTest, HistogramSnapshotMergeEqualsSingleProcess) {
+  // The same value stream partitioned across three shards and merged must
+  // be indistinguishable from one histogram fed everything: bit-exact
+  // bucket counts at identical boundaries, same count/min/max.
+  Rng rng(42);
+  Histogram all;
+  Histogram shards[3];
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.lognormal(0.0, 1.5);
+    all.record(v);
+    shards[i % 3].record(v);
+  }
+
+  HistogramSnapshot merged = shards[0].snapshot();
+  merged.merge(shards[1].snapshot());
+  merged.merge(shards[2].snapshot());
+  const HistogramSnapshot single = all.snapshot();
+
+  EXPECT_EQ(merged.count, single.count);
+  EXPECT_DOUBLE_EQ(merged.min, single.min);
+  EXPECT_DOUBLE_EQ(merged.max, single.max);
+  ASSERT_EQ(merged.buckets.size(), single.buckets.size());
+  for (std::size_t i = 0; i < merged.buckets.size(); ++i) {
+    EXPECT_EQ(merged.buckets[i].index, single.buckets[i].index) << i;
+    EXPECT_EQ(merged.buckets[i].count, single.buckets[i].count) << i;
+    EXPECT_DOUBLE_EQ(merged.buckets[i].lo_ms, single.buckets[i].lo_ms) << i;
+    EXPECT_DOUBLE_EQ(merged.buckets[i].hi_ms, single.buckets[i].hi_ms) << i;
+  }
+  // sum is float-accumulated (not bit-exact across orders), but close.
+  EXPECT_NEAR(merged.sum, single.sum, 1e-6 * std::abs(single.sum));
+  // Percentiles recomputed from identical buckets are identical.
+  EXPECT_DOUBLE_EQ(merged.p50, single.p50);
+  EXPECT_DOUBLE_EQ(merged.p99, single.p99);
+  // Merging an empty snapshot is a no-op on the distribution.
+  HistogramSnapshot empty;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count, single.count);
+  EXPECT_DOUBLE_EQ(merged.min, single.min);
 }
 
 TEST_F(ObsTest, CountersAndHistogramsAreThreadSafe) {
@@ -303,7 +406,7 @@ TEST_F(ObsTest, RunReportJsonRoundTrip) {
   }
   metrics().counter("report.widgets").add(7);
   metrics().gauge("report.level").set(2.5);
-  Histogram& h = metrics().histogram("report.latency_ms", {1.0, 10.0, 100.0});
+  Histogram& h = metrics().histogram("report.latency_ms");
   h.record(5.0);
   h.record(50.0);
 
@@ -328,8 +431,17 @@ TEST_F(ObsTest, RunReportJsonRoundTrip) {
   EXPECT_DOUBLE_EQ(hist.at("min").number(), 5.0);
   EXPECT_DOUBLE_EQ(hist.at("max").number(), 50.0);
   EXPECT_GT(hist.at("p99").number(), hist.at("p50").number());
-  ASSERT_EQ(hist.at("buckets").size(), 4u);  // 3 bounds + overflow
-  EXPECT_DOUBLE_EQ(hist.at("buckets").at(1).at("count").number(), 1.0);
+  // Sparse buckets: the two distinct values land in two distinct buckets,
+  // each serialized with its index and [lo, le) bounds.
+  ASSERT_EQ(hist.at("buckets").size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const JsonValue& bucket = hist.at("buckets").at(i);
+    EXPECT_DOUBLE_EQ(bucket.at("count").number(), 1.0);
+    EXPECT_LT(bucket.at("lo").number(), bucket.at("le").number());
+  }
+  EXPECT_DOUBLE_EQ(
+      hist.at("buckets").at(0).at("index").number(),
+      static_cast<double>(Histogram::bucket_index(5.0)));
 
   // The span histograms written by end_span are also in the report.
   EXPECT_TRUE(doc.at("histograms").contains("span.report-stage"));
@@ -378,6 +490,318 @@ TEST_F(ObsTest, ResetInvalidatesOpenSpans) {
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_EQ(spans[0].name, "post-reset");
   EXPECT_TRUE(spans[0].closed);
+  // The stale close is a checked no-op, and it is counted.
+  EXPECT_EQ(metrics().counter("trace.dropped_spans").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread span stitching through the thread pool.
+// ---------------------------------------------------------------------------
+
+/// Waits until every "pool.task" span is closed. The wrapper's on_run_end
+/// hook fires after the task body signals completion, so pool.task spans can
+/// still be open the instant parallel_for returns.
+void wait_for_pool_spans_to_close() {
+  for (int i = 0; i < 2000; ++i) {
+    bool open = false;
+    for (const Span& span : tracer().spans()) {
+      if (span.name == "pool.task" && !span.closed) open = true;
+    }
+    if (!open) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST_F(ObsTest, ParallelForStitchesWorkerSpansUnderSubmitter) {
+  {
+    ScopedSpan stage("stitch-stage");
+    parallel_for(
+        64, [](std::size_t) { ScopedSpan work("work"); }, 8);
+  }
+  wait_for_pool_spans_to_close();
+
+  const std::vector<Span> spans = tracer().spans();
+  std::size_t stage_id = kNoSpan;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name == "stitch-stage") stage_id = static_cast<std::size_t>(i);
+  }
+  ASSERT_NE(stage_id, kNoSpan);
+
+  const auto chain_reaches_stage = [&](std::size_t id) {
+    for (int hops = 0; hops < 64 && id != kNoSpan; ++hops) {
+      if (id == stage_id) return true;
+      id = spans[id].parent;
+    }
+    return id == stage_id;
+  };
+
+  std::size_t work_spans = 0;
+  std::size_t task_spans = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name == "work") {
+      ++work_spans;
+      EXPECT_TRUE(chain_reaches_stage(static_cast<std::size_t>(i)))
+          << "orphan work span " << i;
+    } else if (spans[i].name == "pool.task") {
+      ++task_spans;
+      EXPECT_TRUE(chain_reaches_stage(static_cast<std::size_t>(i)))
+          << "orphan pool.task span " << i;
+    }
+  }
+  EXPECT_EQ(work_spans, 64u);
+  EXPECT_GE(task_spans, 1u);  // pool tasks adopted the submitter's context
+
+  // Flow events pair a submit ('s') with an adoption ('f') by shared id.
+  std::map<std::uint64_t, int> submits;
+  std::map<std::uint64_t, int> adopts;
+  for (const FlowEvent& flow : tracer().flow_events()) {
+    if (flow.phase == 's') ++submits[flow.id];
+    else if (flow.phase == 'f') ++adopts[flow.id];
+  }
+  EXPECT_GE(adopts.size(), 1u);
+  for (const auto& [id, n] : adopts) {
+    EXPECT_EQ(n, 1) << "flow id " << id;
+    EXPECT_EQ(submits[id], 1) << "flow id " << id;
+  }
+}
+
+TEST_F(ObsTest, TaskContextSurvivesOnlyWithinGeneration) {
+  // A task context captured before reset() must not stitch after it: the
+  // adoption is a counted no-op instead of a crash or a wrong parent.
+  std::uint64_t token = 0;
+  {
+    ScopedSpan stage("doomed-stage");
+    token = tracer().capture_task_context();
+    ASSERT_NE(token, 0u);
+  }
+  tracer().reset();
+  EXPECT_EQ(tracer().adopt_task_context(token), kNoSpan);
+  EXPECT_EQ(metrics().counter("trace.dropped_spans").value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto trace export.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, TraceEventsJsonHasSlicesFlowsAndCounters) {
+  {
+    ScopedSpan stage("export-stage");
+    parallel_for(
+        16, [](std::size_t) { ScopedSpan work("export-work"); }, 4);
+  }
+  ScopedSpan open_root("still-open");
+  wait_for_pool_spans_to_close();
+
+  std::vector<ResourceSample> samples;
+  samples.push_back(read_resource_sample());
+  samples.push_back(read_resource_sample());
+
+  const std::string json =
+      trace_events_json(tracer().spans(), tracer().flow_events(), samples);
+  const JsonValue doc = parse_json(json);
+  EXPECT_EQ(doc.at("displayTimeUnit").str(), "ms");
+
+  std::size_t complete = 0, begins = 0, flow_s = 0, flow_f = 0, counters = 0,
+              metadata = 0;
+  std::set<std::string> counter_names;
+  const JsonValue& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& event = events.at(i);
+    const std::string& ph = event.at("ph").str();
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(event.at("dur").number(), 0.0);
+    } else if (ph == "B") {
+      ++begins;
+    } else if (ph == "s") {
+      ++flow_s;
+    } else if (ph == "f") {
+      ++flow_f;
+      EXPECT_EQ(event.at("bp").str(), "e");
+    } else if (ph == "C") {
+      ++counters;
+      counter_names.insert(event.at("name").str());
+    } else if (ph == "M") {
+      ++metadata;
+    }
+  }
+  EXPECT_GE(complete, 17u);  // stage + 16 work spans at least
+  EXPECT_EQ(begins, 1u);     // the still-open root
+  EXPECT_GE(flow_s, 1u);
+  EXPECT_GE(flow_f, 1u);
+  EXPECT_GE(metadata, 2u);  // process_name + at least one thread_name
+  EXPECT_EQ(counters, samples.size() * 5);
+  EXPECT_TRUE(counter_names.count("sampler.rss_mb"));
+  EXPECT_TRUE(counter_names.count("sampler.utime_ms"));
+}
+
+// ---------------------------------------------------------------------------
+// Resource sampler.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, SamplerCollectsMonotoneSeries) {
+  sampler().reset();
+  sampler().start(200.0);
+  EXPECT_TRUE(sampler().running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler().stop();
+  EXPECT_FALSE(sampler().running());
+
+  const std::vector<ResourceSample> samples = sampler().samples();
+  ASSERT_GE(samples.size(), 2u);  // one at start + one final at stop
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_ms, samples[i - 1].t_ms) << i;
+    EXPECT_GE(samples[i].utime_ms + samples[i].stime_ms,
+              samples[i - 1].utime_ms + samples[i - 1].stime_ms)
+        << i;
+  }
+  EXPECT_GT(samples.back().rss_kb, 0u);
+
+  // The series lands in run_report.json as a "sampler" section.
+  const std::string path = "test_obs_sampler_report.json";
+  write_run_report(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = parse_json(buffer.str());
+  ASSERT_TRUE(doc.contains("sampler"));
+  EXPECT_DOUBLE_EQ(doc.at("sampler").at("samples").number(),
+                   static_cast<double>(samples.size()));
+  EXPECT_EQ(doc.at("sampler").at("t_ms").size(), samples.size());
+  EXPECT_EQ(doc.at("sampler").at("rss_kb").size(), samples.size());
+
+  std::remove(path.c_str());
+  sampler().reset();
+  clear_report_sections();  // drop the injected "sampler" section
+}
+
+// ---------------------------------------------------------------------------
+// JSON edge cases: nesting depth, unicode escapes, non-finite doubles, and
+// truncated input.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, JsonParserEnforcesDepthLimit) {
+  const auto nested = [](int depth) {
+    std::string s;
+    for (int i = 0; i < depth; ++i) s += '[';
+    s += "1";
+    for (int i = 0; i < depth; ++i) s += ']';
+    return s;
+  };
+  EXPECT_NO_THROW(parse_json(nested(100)));
+  EXPECT_THROW(parse_json(nested(300)), ParseError);
+
+  // Deep objects hit the same guard as deep arrays.
+  std::string deep_object;
+  for (int i = 0; i < 300; ++i) deep_object += "{\"k\":";
+  deep_object += "1";
+  for (int i = 0; i < 300; ++i) deep_object += '}';
+  EXPECT_THROW(parse_json(deep_object), ParseError);
+}
+
+TEST_F(ObsTest, JsonParserDecodesUnicodeEscapes) {
+  EXPECT_EQ(parse_json("{\"s\":\"\\u0041\"}").at("s").str(), "A");
+  // U+00E9 encodes as two UTF-8 bytes.
+  EXPECT_EQ(parse_json("{\"s\":\"\\u00e9\"}").at("s").str(), "\xc3\xa9");
+  // U+2603 (snowman) encodes as three.
+  EXPECT_EQ(parse_json("{\"s\":\"\\u2603\"}").at("s").str(),
+            "\xe2\x98\x83");
+  EXPECT_THROW(parse_json("{\"s\":\"\\u00zz\"}"), ParseError);
+  EXPECT_THROW(parse_json("{\"s\":\"\\u12\"}"), ParseError);
+}
+
+TEST_F(ObsTest, JsonNumberNeverEmitsNonFiniteTokens) {
+  // NaN and infinity are not valid JSON; the emitter must clamp them to
+  // parseable stand-ins rather than poison the document.
+  EXPECT_EQ(json_number(std::nan("")), "0");
+  const std::string pos = json_number(std::numeric_limits<double>::infinity());
+  const std::string neg = json_number(-std::numeric_limits<double>::infinity());
+  const JsonValue doc =
+      parse_json("{\"pos\": " + pos + ", \"neg\": " + neg + "}");
+  EXPECT_GT(doc.at("pos").number(), 1e300);
+  EXPECT_LT(doc.at("neg").number(), -1e300);
+}
+
+TEST_F(ObsTest, JsonParserRejectsEveryTruncationOfAValidReport) {
+  // Fuzz-style corpus: every proper prefix of a real run_report.json must
+  // throw ParseError (never crash, never parse successfully).
+  metrics().counter("trunc.count").add(3);
+  {
+    ScopedSpan span("trunc-span");
+  }
+  const std::string json = run_report_json();
+  ASSERT_FALSE(json.empty());
+  EXPECT_NO_THROW(parse_json(json));
+  for (std::size_t len = 0; len < json.size(); ++len) {
+    EXPECT_THROW(parse_json(json.substr(0, len)), ParseError)
+        << "prefix length " << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bench-trend parsing and regression diffs.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, TrendParsesBenchLinesAndHistory) {
+  const BenchRecord record = parse_bench_line(
+      R"({"bench": "perf_micro", "scale": "tiny", "seconds": 1.5,)"
+      R"( "pairwise_serial_seconds": 0.012, "health": "ok",)"
+      R"( "stages": {"clustering": "ok"}, "threads": 8})");
+  EXPECT_EQ(record.bench, "perf_micro");
+  EXPECT_EQ(record.scale, "tiny");
+  EXPECT_DOUBLE_EQ(record.numbers.at("seconds"), 1.5);
+  EXPECT_DOUBLE_EQ(record.numbers.at("threads"), 8.0);
+  EXPECT_EQ(record.strings.at("health"), "ok");
+  EXPECT_FALSE(record.numbers.count("stages"));  // nested objects skipped
+
+  const std::vector<BenchRecord> history = parse_history(
+      "{\"bench\": \"a\", \"seconds\": 1.0}\n"
+      "\n"
+      "   \n"
+      "{\"bench\": \"b\", \"seconds\": 2.0}\n");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].bench, "a");
+  EXPECT_EQ(history[1].bench, "b");
+}
+
+TEST_F(ObsTest, TrendDiffFlagsRegressionsOnTimeFieldsOnly) {
+  BenchRecord before;
+  before.bench = "perf_micro";
+  before.numbers = {{"seconds", 1.0},
+                    {"pairwise_serial_seconds", 0.010},
+                    {"isp_count", 100.0}};
+  BenchRecord after = before;
+  after.numbers["pairwise_serial_seconds"] = 0.014;  // 1.4x: regression
+  after.numbers["isp_count"] = 200.0;  // 2x but not a time field: fine
+  after.numbers["seconds"] = 0.9;      // faster: fine
+
+  const TrendDiff diff = diff_records(before, after, 1.25);
+  EXPECT_TRUE(diff.regressed());
+  ASSERT_EQ(diff.regressed_fields.size(), 1u);
+  EXPECT_EQ(diff.regressed_fields[0], "pairwise_serial_seconds");
+  const std::string rendered = render_diff(diff);
+  EXPECT_NE(rendered.find("pairwise_serial_seconds"), std::string::npos);
+  EXPECT_NE(rendered.find("REGRESSION"), std::string::npos);
+
+  // Below the gate: no regression.
+  after.numbers["pairwise_serial_seconds"] = 0.012;
+  EXPECT_FALSE(diff_records(before, after, 1.25).regressed());
+
+  // gate_fields restricts which fields may fail the gate.
+  after.numbers["pairwise_serial_seconds"] = 0.050;
+  EXPECT_FALSE(diff_records(before, after, 1.25, {"seconds"}).regressed());
+  EXPECT_TRUE(
+      diff_records(before, after, 1.25, {"pairwise_serial_seconds"})
+          .regressed());
+
+  // is_time_field drives the gate.
+  EXPECT_TRUE(is_time_field("seconds"));
+  EXPECT_TRUE(is_time_field("warm_seconds"));
+  EXPECT_TRUE(is_time_field("p99_ms"));
+  EXPECT_TRUE(is_time_field("pairwise_ns_op"));
+  EXPECT_FALSE(is_time_field("isp_count"));
+  EXPECT_FALSE(is_time_field("threads"));
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <string>
 #include <thread>
@@ -20,6 +21,7 @@
 #include "core/pipeline.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topology/generator.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -285,6 +287,57 @@ TEST_F(ParallelTest, PipelineClusteringBitIdenticalUnderFaults) {
   ASSERT_FALSE(serial.xi01.empty());
   const PipelineRun parallel = run_pipeline(8, plan);
   expect_identical_runs(serial, parallel, "chaos@0.5 threads=8");
+}
+
+TEST_F(ParallelTest, ClusteringSpansStitchUnderPipelineStage) {
+  // End-to-end span stitching: with tracing on, every cluster.* span opened
+  // on a pool worker during the clustering fan-out must re-parent (through
+  // the adopted pool.task spans) under the submitting pipeline.clustering
+  // stage span -- no orphan subtrees in the flight recording.
+  obs::set_tracing(true);
+  obs::tracer().reset();
+  obs::metrics().reset();
+  set_default_thread_count(4);
+  {
+    Pipeline pipeline(Scenario::tiny());
+    pipeline.clusterings(0.1);
+  }
+  // pool.task wrapper spans can close a beat after the fan-out returns.
+  for (int i = 0; i < 2000; ++i) {
+    bool open = false;
+    for (const obs::Span& span : obs::tracer().spans()) {
+      if (span.name == "pool.task" && !span.closed) open = true;
+    }
+    if (!open) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const std::vector<obs::Span> spans = obs::tracer().spans();
+  std::size_t stage_id = obs::kNoSpan;
+  for (const obs::Span& span : spans) {
+    if (span.name == "pipeline.clustering") stage_id = span.id;
+  }
+  ASSERT_NE(stage_id, obs::kNoSpan) << "clustering stage span missing";
+
+  std::size_t cluster_spans = 0;
+  for (const obs::Span& span : spans) {
+    if (span.name.rfind("cluster.", 0) != 0) continue;
+    ++cluster_spans;
+    std::size_t id = span.id;
+    bool reached = false;
+    for (int hops = 0; hops < 64 && id != obs::kNoSpan; ++hops) {
+      if (id == stage_id) {
+        reached = true;
+        break;
+      }
+      id = spans[id].parent;
+    }
+    EXPECT_TRUE(reached) << "orphan " << span.name << " span " << span.id;
+  }
+  EXPECT_GE(cluster_spans, 1u);
+  obs::set_tracing(false);
+  obs::tracer().reset();
+  obs::metrics().reset();
 }
 
 }  // namespace
