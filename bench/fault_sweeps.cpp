@@ -13,9 +13,14 @@
 //     scaled across the intensity grid. The worst case.
 //   * per-pathology (--per-pathology, or REPRO_SWEEP=pathology): one knob at
 //     a time -- scan shard truncation, vantage-point outages, ICMP
-//     rate-limit storms, certificate churn -- each at chaos() strength
-//     scaled across intensities, everything else zeroed. Attributes drift
-//     to the pathology that causes it.
+//     rate-limit storms, certificate churn, BGP path flapping, stale or
+//     missing PTR records, live store corruption -- each at chaos()
+//     strength scaled across intensities, everything else zeroed.
+//     Attributes drift to the pathology that causes it. The store_chaos
+//     dimension is measurement-identical to the clean run: it garbles the
+//     shared store's warm artifacts while pool workers are loading them, so
+//     every drift column must stay 0.0 while the status goes degraded --
+//     the self-heal proof.
 //
 // Artifacts: bench_output/fault_sweeps.csv (one row per sweep point, with a
 // `pathology` column: "combined" or the knob name) plus the standard
@@ -50,6 +55,8 @@ struct SweepPoint {
   Table1Study table1;
   Figure1Study figure1;
   Table2Study table2;
+  ValidationStudy validation;
+  Section421Study s421;
   std::map<std::string, fault::StageHealth> stages;
   double seconds = 0.0;
 };
@@ -84,6 +91,27 @@ std::vector<SweepDimension> pathology_dimensions() {
   fault::FaultPlan churn = fault::FaultPlan::none();
   churn.cert.churn_rate = chaos.cert.churn_rate;
   out.push_back({"cert_churn", churn});
+
+  fault::FaultPlan flap = fault::FaultPlan::none();
+  flap.route.flap_rate = chaos.route.flap_rate;
+  flap.route.flap_period = chaos.route.flap_period;
+  out.push_back({"bgp_flap", flap});
+
+  fault::FaultPlan missing = fault::FaultPlan::none();
+  missing.rdns.missing_ptr_rate = chaos.rdns.missing_ptr_rate;
+  out.push_back({"missing_ptr", missing});
+
+  fault::FaultPlan stale = fault::FaultPlan::none();
+  stale.rdns.stale_ptr_rate = chaos.rdns.stale_ptr_rate;
+  stale.rdns.garbled_ptr_rate = chaos.rdns.garbled_ptr_rate;
+  out.push_back({"stale_ptr", stale});
+
+  // chaos() keeps store corruption off (it would break warm-identity
+  // guarantees elsewhere), so this dimension sets its own rate: at full
+  // intensity well over half the warm artifacts get garbled mid-run.
+  fault::FaultPlan store = fault::FaultPlan::none();
+  store.store.corrupt_rate = 0.6;
+  out.push_back({"store_chaos", store});
 
   return out;
 }
@@ -212,6 +240,11 @@ int main(int argc, char** argv) {
     point.table1 = table1_study(pipeline);
     point.figure1 = figure1_study(pipeline);
     point.table2 = table2_study(pipeline, xis);
+    // The rDNS validation and traceroute-peering studies ride along so the
+    // two new fault families (PTR pathologies, BGP flaps) have conclusion
+    // columns of their own.
+    point.validation = validation_study(pipeline, xis[0]);
+    point.s421 = section421_study(pipeline);
     point.status = pipeline.overall_status();
     point.stages = pipeline.stage_health();
     point.seconds = watch.seconds();
@@ -242,33 +275,48 @@ int main(int argc, char** argv) {
   std::printf("\n");
   TextTable table({"pathology", "intensity", "status", "hosting ISPs",
                    "T1 max HG drift", "F1 users >=2HG", "F1 drift",
-                   "T2 ISPs (xi=0.1)", "T2 bucket drift"});
-  for (std::size_t column = 3; column < 9; ++column) {
+                   "T2 ISPs (xi=0.1)", "T2 bucket drift", "V confidence",
+                   "V drift", "S421 peer", "S421 drift"});
+  for (std::size_t column = 3; column < 13; ++column) {
     table.set_align(column, Align::kRight);
   }
   std::string csv =
       "pathology,intensity,status,hosting_isps,t1_max_hg_drift_pct,"
       "f1_users_frac_ge2,f1_drift_pts,t2_isps_xi01,t2_bucket_drift_pts,"
+      "v_confidence,v_drift_pts,s421_peer_pct,s421_peer_drift_pts,"
       "seconds\n";
   for (const SweepPoint& point : points) {
     const double t1_drift = table1_max_drift_pct(clean.table1, point.table1);
     const double f1 = users_frac_ge2(point.figure1);
     const double f1_drift = (f1 - users_frac_ge2(clean.figure1)) * 100.0;
     const double t2_drift = table2_bucket_drift_pts(clean.table2, point.table2);
+    // Validation confidence (corrected HOIHO, consistency x hint coverage):
+    // garbled PTR names starve it through coverage, stale ones through
+    // consistency. Peering drift: flaps demote kPeer verdicts.
+    const double v_conf = point.validation.with_corrections.confidence();
+    const double v_drift =
+        (v_conf - clean.validation.with_corrections.confidence()) * 100.0;
+    const double s421_drift = point.s421.peer_pct - clean.s421.peer_pct;
     table.add_row({point.pathology, format_fixed(point.intensity, 2),
                    std::string(to_string(point.status)),
                    std::to_string(point.table1.total_hosting_isps_2023),
                    format_fixed(t1_drift, 1) + "%", format_percent(f1, 1),
                    format_fixed(f1_drift, 1) + " pts",
                    std::to_string(table2_isp_count(point.table2, 0.1)),
-                   format_fixed(t2_drift, 1) + " pts"});
-    char line[320];
+                   format_fixed(t2_drift, 1) + " pts",
+                   format_percent(v_conf, 1),
+                   format_fixed(v_drift, 1) + " pts",
+                   format_fixed(point.s421.peer_pct, 1) + "%",
+                   format_fixed(s421_drift, 1) + " pts"});
+    char line[400];
     std::snprintf(line, sizeof(line),
-                  "%s,%.2f,%s,%zu,%.3f,%.5f,%.3f,%zu,%.3f,%.3f\n",
+                  "%s,%.2f,%s,%zu,%.3f,%.5f,%.3f,%zu,%.3f,%.5f,%.3f,%.3f,"
+                  "%.3f,%.3f\n",
                   point.pathology.c_str(), point.intensity,
                   std::string(to_string(point.status)).c_str(),
                   point.table1.total_hosting_isps_2023, t1_drift, f1, f1_drift,
-                  table2_isp_count(point.table2, 0.1), t2_drift, point.seconds);
+                  table2_isp_count(point.table2, 0.1), t2_drift, v_conf,
+                  v_drift, point.s421.peer_pct, s421_drift, point.seconds);
     csv += line;
   }
   std::printf("%s\n", table.render().c_str());
@@ -282,6 +330,20 @@ int main(int argc, char** argv) {
   } catch (const Error& error) {
     std::fprintf(stderr, "csv not written: %s\n", error.what());
   }
+
+  // Shared-store verdict: with the store_chaos dimension in the sweep this
+  // proves live corruption actually happened (chaos_injected > 0) and was
+  // healed by recompute (recomputed >= chaos_injected artifacts touched by
+  // load_or_compute), not silently served.
+  const store::StoreStats stats = artifact_store->stats();
+  std::printf(
+      "store: %llu hits, %llu corrupt, %llu chaos_injected, %llu recomputed, "
+      "%llu herd_waits\n",
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.corrupt),
+      static_cast<unsigned long long>(stats.chaos_injected),
+      static_cast<unsigned long long>(stats.recomputed),
+      static_cast<unsigned long long>(stats.herd_waits));
 
   if (!temp_store_root.empty()) {
     artifact_store.reset();  // release before deleting the backing directory

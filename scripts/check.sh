@@ -10,10 +10,13 @@
 #                                  labels, a TSan build of the `parallel`,
 #                                  `obs`, `fault` and `store` labels, a
 #                                  UBSan build of the `perf` label (the
-#                                  SIMD kernels), the warm-start smoke,
-#                                  and a perf-regression gate
+#                                  SIMD kernels), a TSan store-chaos smoke
+#                                  (live corruption under concurrent warm
+#                                  readers), the warm-start smoke, and a
+#                                  perf-regression gate
 #   SKIP_ASAN=1 ./scripts/check.sh  skip the ASan pass
 #   SKIP_TSAN=1 ./scripts/check.sh  skip the TSan pass
+#   SKIP_CHAOS=1 ./scripts/check.sh skip the store-chaos smoke
 #   SKIP_UBSAN=1 ./scripts/check.sh skip the UBSan pass
 #   SKIP_WARM=1 ./scripts/check.sh  skip the warm-equals-cold smoke
 #   SKIP_TRACE=1 ./scripts/check.sh skip the trace-export smoke
@@ -42,6 +45,34 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DREPRO_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j"$(nproc)" --target test_parallel test_obs test_fault test_store
   (cd build-tsan && ctest -L 'parallel|obs|fault|store' --output-on-failure -j"$(nproc)")
+
+  if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
+    echo "== tsan: store-chaos smoke (concurrent warm readers + live corruption) =="
+    # A clean cold run populates the store; a second run arms store chaos so
+    # artifacts are garbled *as* the pool's warm readers load them. The run
+    # must self-heal (corrupt -> quarantine -> recompute -> republish) to a
+    # report byte-identical to the cold one -- the chaos report only adds
+    # the Stage health appendix, which any active fault plan emits -- and
+    # the store must actually have injected and recomputed something, all
+    # with ThreadSanitizer watching the reader/injector races.
+    cmake --build build-tsan -j"$(nproc)" --target full_report
+    chaos_dir="$(mktemp -d)"
+    trap 'rm -rf "${smoke_dir:-}" "${trace_dir:-}" "${perf_dir:-}" "${chaos_dir:-}"' EXIT
+    REPRO_SCALE=tiny REPRO_TRACE=0 REPRO_THREADS=8 REPRO_STORE="$chaos_dir/store" \
+      ./build-tsan/examples/full_report "$chaos_dir/cold.md" >/dev/null
+    REPRO_SCALE=tiny REPRO_TRACE=0 REPRO_THREADS=8 REPRO_STORE="$chaos_dir/store" \
+      REPRO_FAULT_STORE=0.9 \
+      ./build-tsan/examples/full_report "$chaos_dir/chaos.md" | tee "$chaos_dir/chaos.out"
+    sed '/^## Stage health/,$d' "$chaos_dir/chaos.md" >"$chaos_dir/chaos_body.md"
+    diff "$chaos_dir/cold.md" "$chaos_dir/chaos_body.md"
+    injected="$(sed -n 's/.*[^0-9]\([0-9]\{1,\}\) chaos_injected.*/\1/p' "$chaos_dir/chaos.out")"
+    recomputed="$(sed -n 's/.*[^0-9]\([0-9]\{1,\}\) recomputed.*/\1/p' "$chaos_dir/chaos.out")"
+    if [[ -z "$injected" || "$injected" -eq 0 || -z "$recomputed" || "$recomputed" -eq 0 ]]; then
+      echo "FAIL: chaos run injected '$injected' corruptions, recomputed '$recomputed'"
+      exit 1
+    fi
+    echo "chaos report byte-identical to cold ($injected garbled, $recomputed recomputed)"
+  fi
 fi
 
 if [[ "${SKIP_UBSAN:-0}" != "1" ]]; then

@@ -303,8 +303,9 @@ ValidationStudy validation_study(const Pipeline& pipeline, double xi) {
   ValidationStudy study;
   study.xi = xi;
   const OffnetRegistry& registry = pipeline.registry(Snapshot::k2023);
-  const PtrStore ptr =
-      PtrStore::build(pipeline.internet(), registry, pipeline.scenario().ptr);
+  // Shared pipeline corpus: carries the fault plan's rDNS pathologies and
+  // records the "rdns" StageHealth exactly once.
+  const PtrStore& ptr = pipeline.ptr_store();
 
   Hoiho raw(pipeline.internet());
   study.without_corrections = validate_clusters(
@@ -326,12 +327,15 @@ std::string render(const ValidationStudy& study) {
         with_commas((long long)summary.single_metro_area),
         with_commas((long long)summary.multi_city_same_country),
         with_commas((long long)summary.multi_country),
-        format_percent(summary.consistent_fraction(), 1)};
+        format_percent(summary.consistent_fraction(), 1),
+        format_percent(summary.hint_coverage(), 1),
+        format_percent(summary.confidence(), 1)};
   };
   std::string out = "Validation via rDNS location hints (xi=" +
                     format_fixed(study.xi, 1) + ")\n";
   TextTable table({"HOIHO variant", ">=2 hints", "single city", "metro area",
-                   "multi-city", "multi-country", "consistent"});
+                   "multi-city", "multi-country", "consistent", "hint cov",
+                   "confidence"});
   table.add_row(row("raw", study.without_corrections));
   table.add_row(row("manually corrected", study.with_corrections));
   out += table.render();
@@ -581,14 +585,10 @@ Section421Study section421_study(const Pipeline& pipeline, Hypergiant hg) {
   const Internet& net = pipeline.internet();
   const AsIndex hg_as = net.as_by_asn(profile(hg).asn);
 
-  const TracerouteEngine engine(net, pipeline.scenario().traceroute);
-  const IxpRegistry ixp_registry =
-      IxpRegistry::build(net, pipeline.scenario().ixp);
-  const PeeringStudy peering(net, engine, ixp_registry,
-                             pipeline.scenario().peering);
-
-  const auto targets = net.access_isps();
-  const auto evidence = peering.run(hg_as, targets, pipeline.routing());
+  // Shared pipeline study: the traceroute engine carries the fault plan's
+  // BGP-flap knobs, and path-instability downgrades land in the "peering"
+  // StageHealth.
+  const auto& evidence = pipeline.peering_study(hg);
 
   // Offnet hosts of this hypergiant.
   const DiscoveryReport& report =

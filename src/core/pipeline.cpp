@@ -7,6 +7,7 @@
 #include <atomic>
 
 #include "fault/injector.h"
+#include "hypergiant/profile.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -69,17 +70,34 @@ Pipeline::Pipeline(Scenario scenario, fault::FaultPlan plan,
     : scenario_(std::move(scenario)),
       plan_(plan),
       artifacts_(std::move(artifacts)) {
-  // Ping-campaign faults live in the measurement model itself, so fold them
-  // into the config before the mesh is ever built.
+  // Ping-campaign, route and rDNS faults live in the measurement models
+  // themselves, so fold them into the configs before any engine is built.
   fault::apply_ping_faults(scenario_.ping, plan_);
+  fault::apply_route_faults(scenario_.traceroute, plan_);
+  fault::apply_rdns_faults(scenario_.ptr, plan_);
 
-  // The plan JSON covers every fault rate and the fault seed, so two
-  // pipelines share artifacts exactly when both the measurement config and
-  // the injected pathologies agree.
+  // The measurement-fault JSON covers every rate that can change artifact
+  // bytes plus the fault seed, so two pipelines share artifacts exactly
+  // when both the measurement config and the injected measurement
+  // pathologies agree. Store chaos is deliberately outside the digest: it
+  // garbles persisted bytes without changing what a clean compute produces,
+  // which is exactly what lets a chaos run corrupt -- and then heal -- a
+  // clean baseline's warm artifacts.
   world_digest_ = store::Fnv1a()
                       .mix(measurement_digest(scenario_))
-                      .mix(plan_.to_json())
+                      .mix(plan_.measurement_json())
                       .digest();
+
+  // Arm (or, at a zero rate, disarm) live store corruption before the first
+  // load. Always called so a store shared across sweep runs never carries a
+  // previous pipeline's chaos knobs.
+  if (artifacts_ != nullptr) {
+    store::StoreChaos chaos;
+    chaos.seed = plan_.seed;
+    chaos.corrupt_rate = plan_.store.corrupt_rate;
+    chaos.truncate_fraction = plan_.store.truncate_fraction;
+    artifacts_->set_chaos(chaos);
+  }
 
   obs::ScopedSpan span("pipeline.generate_internet");
   // Warm topology (ROADMAP: generation dominates a fully warm run): the
@@ -494,25 +512,30 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
               const store::ArtifactKey mkey =
                   make_key("matrix", store::kLatencyMatrixSchema, world_digest_,
                            {static_cast<std::uint64_t>(isps[i])});
-              LatencyMatrix matrix;
-              bool have = false;
-              store::LoadResult loaded = artifacts_->load(mkey);
-              if (loaded.hit()) {
-                try {
-                  store::ByteReader reader(loaded.payload);
-                  matrix = store::decode_latency_matrix(reader);
-                  have = true;
-                } catch (const Error&) {
-                  corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
-                }
-              } else if (loaded.corrupt()) {
+              // Single-flight fetch: when several workers (or several
+              // pipelines over one shared store) race for the same matrix --
+              // including one freshly garbled by store chaos -- exactly one
+              // computes while the rest park and re-load the healed bytes.
+              const store::FetchResult fetched = artifacts_->load_or_compute(
+                  mkey, [&]() {
+                    LatencyMatrix computed = mesh.measure_isp(reg, isps[i]);
+                    store::ByteWriter writer;
+                    store::encode(writer, computed);
+                    return writer.bytes();
+                  });
+              if (fetched.recovered_corrupt) {
                 corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
               }
-              if (!have) {
+              LatencyMatrix matrix;
+              try {
+                store::ByteReader reader(fetched.load.payload);
+                matrix = store::decode_latency_matrix(reader);
+              } catch (const Error&) {
+                // Payload decode failed even after the fetch (e.g. a
+                // read-only store serving chaos-garbled bytes it cannot
+                // heal): fall back to a direct compute.
+                corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
                 matrix = mesh.measure_isp(reg, isps[i]);
-                store::ByteWriter writer;
-                store::encode(writer, matrix);
-                artifacts_->save(mkey, writer.bytes());
               }
               out.per_xi =
                   clusterer.cluster_isp_multi(isps[i], xis, std::move(matrix));
@@ -605,6 +628,69 @@ const RoutingEngine& Pipeline::routing() const {
     routing_ = std::make_unique<RoutingEngine>(internet_);
   }
   return *routing_;
+}
+
+const PtrStore& Pipeline::ptr_store() const {
+  if (!ptr_) {
+    obs::ScopedSpan span("pipeline.ptr_store");
+    PtrFaultCounts counts;
+    ptr_ = std::make_unique<PtrStore>(PtrStore::build(
+        internet_, registry(Snapshot::k2023), scenario_.ptr, &counts));
+    fault::StageHealth health;
+    health.total = registry(Snapshot::k2023).server_count();
+    health.dropped = counts.missing;
+    if (counts.total() > 0) {
+      health.status = fault::StageStatus::kDegraded;
+      health.reasons.push_back(
+          count_reason("PTR records withdrawn", counts.missing, health.total));
+      health.reasons.push_back(
+          count_reason("PTR records stale", counts.stale, health.total));
+      health.reasons.push_back(
+          count_reason("PTR records garbled", counts.garbled, health.total));
+    }
+    record_health("rdns", health);
+  }
+  return *ptr_;
+}
+
+const std::map<AsIndex, IspPeeringEvidence>& Pipeline::peering_study(
+    Hypergiant hg) const {
+  const auto it = peering_.find(hg);
+  if (it != peering_.end()) return it->second;
+
+  obs::ScopedSpan span("pipeline.peering_study");
+  // The engine carries the plan's BGP-flap knobs (folded into
+  // scenario_.traceroute by the constructor); the IXP registry is shared
+  // across hypergiants.
+  if (!traceroute_engine_) {
+    traceroute_engine_ =
+        std::make_unique<TracerouteEngine>(internet_, scenario_.traceroute);
+  }
+  if (!ixp_registry_) {
+    ixp_registry_ = std::make_unique<IxpRegistry>(
+        IxpRegistry::build(internet_, scenario_.ixp));
+  }
+  const PeeringStudy study(internet_, *traceroute_engine_, *ixp_registry_,
+                           scenario_.peering);
+  const AsIndex hg_as = internet_.as_by_asn(profile(hg).asn);
+  const std::vector<AsIndex> targets = internet_.access_isps();
+  PeeringStudyOutcome outcome;
+  std::map<AsIndex, IspPeeringEvidence> evidence =
+      study.run(hg_as, targets, routing(), &outcome);
+
+  fault::StageHealth health;
+  health.total = outcome.targets;
+  if (outcome.unstable_targets > 0) {
+    health.status = fault::StageStatus::kDegraded;
+    health.reasons.push_back(count_reason("targets with unstable paths",
+                                          outcome.unstable_targets,
+                                          outcome.targets));
+    health.reasons.push_back(count_reason("peer verdicts downgraded",
+                                          outcome.downgraded_peers,
+                                          outcome.targets));
+  }
+  record_health("peering", health);
+  return peering_.emplace(hg, std::move(evidence)).first->second;
 }
 
 const DemandModel& Pipeline::demand() const {

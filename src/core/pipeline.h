@@ -42,7 +42,9 @@
 #include "core/scenario.h"
 #include "fault/fault_plan.h"
 #include "fault/stage_health.h"
+#include "rdns/ptr_store.h"
 #include "route/bgp.h"
+#include "route/peering_inference.h"
 #include "scan/classifier.h"
 #include "traffic/spillover.h"
 
@@ -74,7 +76,8 @@ class Pipeline {
   }
 
   /// Health of every stage executed so far, keyed by stage name
-  /// ("tls_population", "scan", "discovery", "ping_mesh", "clustering").
+  /// ("tls_population", "scan", "discovery", "ping_mesh", "clustering",
+  /// "rdns", "peering").
   const std::map<std::string, fault::StageHealth>& stage_health() const noexcept {
     return health_;
   }
@@ -113,6 +116,16 @@ class Pipeline {
   /// Routing engine over the world.
   const RoutingEngine& routing() const;
 
+  /// PTR corpus over the 2023 ground truth (cached; the plan's rDNS faults
+  /// are folded into the synthesizer exactly once and recorded as the
+  /// "rdns" StageHealth).
+  const PtrStore& ptr_store() const;
+
+  /// Section 4.2.1 peering evidence for one hypergiant (cached per HG; the
+  /// traceroute engine carries the plan's BGP-flap faults, and instability
+  /// downgrades are recorded as the "peering" StageHealth).
+  const std::map<AsIndex, IspPeeringEvidence>& peering_study(Hypergiant hg) const;
+
   /// Traffic models over the 2023 ground truth.
   const DemandModel& demand() const;
   const CapacityModel& capacity() const;
@@ -147,6 +160,10 @@ class Pipeline {
   mutable std::unique_ptr<RoutingEngine> routing_;
   mutable std::unique_ptr<DemandModel> demand_;
   mutable std::unique_ptr<CapacityModel> capacity_;
+  mutable std::unique_ptr<PtrStore> ptr_;
+  mutable std::unique_ptr<TracerouteEngine> traceroute_engine_;
+  mutable std::unique_ptr<IxpRegistry> ixp_registry_;
+  mutable std::map<Hypergiant, std::map<AsIndex, IspPeeringEvidence>> peering_;
 };
 
 }  // namespace repro

@@ -1,10 +1,12 @@
 #include "fault/fault_plan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace repro::fault {
 
@@ -12,6 +14,18 @@ namespace {
 
 double clamp_rate(double rate) noexcept {
   return std::clamp(rate, 0.0, 0.95);
+}
+
+/// Forces `value` into [lo, hi], mapping NaN to `lo`. Bumps `repairs` when
+/// the input was out of range.
+double repair(double value, double lo, double hi, std::uint64_t* repairs) {
+  if (std::isnan(value)) {
+    ++*repairs;
+    return lo;
+  }
+  const double clamped = std::clamp(value, lo, hi);
+  if (clamped != value) ++*repairs;
+  return clamped;
 }
 
 void append_field(std::string& out, const char* name, double value,
@@ -30,7 +44,10 @@ bool FaultPlan::active() const noexcept {
          (scan.burst_coverage > 0.0 && scan.burst_miss_rate > 0.0) ||
          ping.vp_outage_rate > 0.0 || ping.icmp_storm_rate > 0.0 ||
          ping.extra_unresponsive_rate > 0.0 || cert.churn_rate > 0.0 ||
-         cert.garbled_cn_rate > 0.0 || anycast.impossible_ip_rate > 0.0;
+         cert.garbled_cn_rate > 0.0 || anycast.impossible_ip_rate > 0.0 ||
+         route.flap_rate > 0.0 || rdns.missing_ptr_rate > 0.0 ||
+         rdns.stale_ptr_rate > 0.0 || rdns.garbled_ptr_rate > 0.0 ||
+         store.corrupt_rate > 0.0;
 }
 
 FaultPlan FaultPlan::chaos() noexcept {
@@ -45,6 +62,11 @@ FaultPlan FaultPlan::chaos() noexcept {
   plan.cert.churn_rate = 0.05;
   plan.cert.garbled_cn_rate = 0.02;
   plan.anycast.impossible_ip_rate = 0.01;
+  plan.route.flap_rate = 0.12;
+  plan.route.flap_period = 4;
+  plan.rdns.missing_ptr_rate = 0.10;
+  plan.rdns.stale_ptr_rate = 0.05;
+  plan.rdns.garbled_ptr_rate = 0.03;
   return plan;
 }
 
@@ -61,10 +83,41 @@ FaultPlan FaultPlan::scaled_by(double factor) const noexcept {
   out.cert.churn_rate = clamp_rate(cert.churn_rate * f);
   out.cert.garbled_cn_rate = clamp_rate(cert.garbled_cn_rate * f);
   out.anycast.impossible_ip_rate = clamp_rate(anycast.impossible_ip_rate * f);
+  out.route.flap_rate = clamp_rate(route.flap_rate * f);
+  out.rdns.missing_ptr_rate = clamp_rate(rdns.missing_ptr_rate * f);
+  out.rdns.stale_ptr_rate = clamp_rate(rdns.stale_ptr_rate * f);
+  out.rdns.garbled_ptr_rate = clamp_rate(rdns.garbled_ptr_rate * f);
+  out.store.corrupt_rate = clamp_rate(store.corrupt_rate * f);
+  return out;
+}
+
+FaultPlan FaultPlan::sanitized() const {
+  std::uint64_t repairs = 0;
+  FaultPlan out = *this;
+  double* const rates[] = {
+      &out.scan.shard_truncation,     &out.scan.burst_coverage,
+      &out.scan.burst_miss_rate,      &out.ping.vp_outage_rate,
+      &out.ping.icmp_storm_rate,      &out.ping.extra_unresponsive_rate,
+      &out.cert.churn_rate,           &out.cert.garbled_cn_rate,
+      &out.anycast.impossible_ip_rate, &out.route.flap_rate,
+      &out.rdns.missing_ptr_rate,     &out.rdns.stale_ptr_rate,
+      &out.rdns.garbled_ptr_rate,     &out.store.corrupt_rate,
+  };
+  for (double* rate : rates) *rate = repair(*rate, 0.0, 0.95, &repairs);
+  out.ping.icmp_storm_failure =
+      repair(ping.icmp_storm_failure, 0.0, 1.0, &repairs);
+  out.store.truncate_fraction =
+      repair(store.truncate_fraction, 0.0, 1.0, &repairs);
+  if (out.route.flap_period == 0) {
+    out.route.flap_period = 1;
+    ++repairs;
+  }
+  if (repairs > 0) obs::metrics().counter("fault.plan_clamped").add(repairs);
   return out;
 }
 
 FaultPlan FaultPlan::from_env() {
+  std::uint64_t garbage = 0;
   const char* toggle = std::getenv("REPRO_FAULT");
   FaultPlan plan = none();
   if (toggle != nullptr && *toggle != '\0') {
@@ -76,23 +129,39 @@ FaultPlan FaultPlan::from_env() {
       const double factor = std::strtod(value.c_str(), &end);
       if (end != value.c_str() && factor > 0.0) {
         plan = chaos().scaled_by(factor);
+      } else if (end != value.c_str() && (std::isnan(factor) || factor < 0.0)) {
+        ++garbage;  // "-3" or "nan": treated as no plan, not a crash knob
       }
     }
   }
   if (const char* intensity = std::getenv("REPRO_FAULT_INTENSITY")) {
     char* end = nullptr;
     const double factor = std::strtod(intensity, &end);
-    if (end != intensity && factor >= 0.0) plan = plan.scaled_by(factor);
+    if (end != intensity && factor >= 0.0) {
+      plan = plan.scaled_by(factor);
+    } else if (end != intensity) {
+      ++garbage;  // NaN or negative intensity: ignored, counted
+    }
+  }
+  if (const char* rate = std::getenv("REPRO_FAULT_STORE")) {
+    char* end = nullptr;
+    const double value = std::strtod(rate, &end);
+    if (end != rate && value > 0.0) {
+      plan.store.corrupt_rate = value;  // sanitized() clamps > 0.95
+    } else if (end != rate && (std::isnan(value) || value < 0.0)) {
+      ++garbage;
+    }
   }
   if (const char* seed = std::getenv("REPRO_FAULT_SEED")) {
     char* end = nullptr;
     const unsigned long long value = std::strtoull(seed, &end, 10);
     if (end != seed) plan.seed = value;
   }
-  return plan;
+  if (garbage > 0) obs::metrics().counter("fault.plan_clamped").add(garbage);
+  return plan.sanitized();
 }
 
-std::string FaultPlan::to_json() const {
+std::string FaultPlan::measurement_json() const {
   std::string out = "{\"seed\":" + std::to_string(seed);
   bool first = false;
   append_field(out, "scan.shard_truncation", scan.shard_truncation, &first);
@@ -107,6 +176,22 @@ std::string FaultPlan::to_json() const {
   append_field(out, "cert.garbled_cn_rate", cert.garbled_cn_rate, &first);
   append_field(out, "anycast.impossible_ip_rate", anycast.impossible_ip_rate,
                &first);
+  out += "}";
+  return out;
+}
+
+std::string FaultPlan::to_json() const {
+  std::string out = measurement_json();
+  out.pop_back();  // reopen the measurement object to append the rest
+  bool first = false;
+  append_field(out, "route.flap_rate", route.flap_rate, &first);
+  append_field(out, "route.flap_period",
+               static_cast<double>(route.flap_period), &first);
+  append_field(out, "rdns.missing_ptr_rate", rdns.missing_ptr_rate, &first);
+  append_field(out, "rdns.stale_ptr_rate", rdns.stale_ptr_rate, &first);
+  append_field(out, "rdns.garbled_ptr_rate", rdns.garbled_ptr_rate, &first);
+  append_field(out, "store.corrupt_rate", store.corrupt_rate, &first);
+  append_field(out, "store.truncate_fraction", store.truncate_fraction, &first);
   out += "}";
   return out;
 }

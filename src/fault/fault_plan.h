@@ -6,10 +6,11 @@
 // Appendix A). A FaultPlan injects the measurement pathologies those
 // defenses exist for -- scan shard loss, miss-rate bursts, vantage-point
 // outages, ICMP rate-limit storms, certificate churn and corruption,
-// anycast "impossible IP" artifacts -- so the defenses are exercised
-// instead of assumed. Every pathology is driven by stateless hashing from
-// one seed: the same plan over the same world is bit-for-bit reproducible,
-// and a plan with every rate at zero is a no-op.
+// anycast "impossible IP" artifacts, BGP path flapping mid-study, stale or
+// missing PTR records, and live artifact-store corruption -- so the
+// defenses are exercised instead of assumed. Every pathology is driven by
+// stateless hashing from one seed: the same plan over the same world is
+// bit-for-bit reproducible, and a plan with every rate at zero is a no-op.
 //
 // See docs/ROBUSTNESS.md for the fault taxonomy and the REPRO_FAULT_* env
 // toggles.
@@ -70,6 +71,47 @@ struct AnycastFaults {
   double impossible_ip_rate = 0.0;
 };
 
+/// BGP pathologies during the Section 4.2.1 traceroute/peering study.
+struct RouteFaults {
+  /// Per-AS probability the AS's routes flap during the campaign: in a flap
+  /// epoch the AS withdraws its best route and forwards via its next-best
+  /// (or blackholes when it has none), so probes issued at different times
+  /// observe disagreeing paths through it.
+  double flap_rate = 0.0;
+
+  /// Probes per flap epoch: smaller periods flip routing state more often
+  /// within one study. Structural knob, never scaled by intensity.
+  std::uint64_t flap_period = 4;
+};
+
+/// Reverse-DNS pathologies in the Rapid7-Sonar-style PTR corpus (S3.2).
+struct RdnsFaults {
+  /// Fraction of would-be PTR records withdrawn entirely (zone outage or a
+  /// lapsed delegation mid-snapshot).
+  double missing_ptr_rate = 0.0;
+
+  /// Fraction of located hostnames whose metro code is stale: the record
+  /// still names the metro the server occupied before a migration.
+  double stale_ptr_rate = 0.0;
+
+  /// Fraction of hostnames garbled in the snapshot (encoding damage): the
+  /// record exists but no location hint can be extracted from it.
+  double garbled_ptr_rate = 0.0;
+};
+
+/// Live artifact-store chaos: corruption while warm readers are running.
+struct StoreFaults {
+  /// Per-artifact probability that its on-disk bytes are garbled right
+  /// before the first load (a torn write or disk fault landing mid-run).
+  /// Exercises the corrupt -> delete -> recompute -> republish self-heal
+  /// path under concurrency; never changes recomputed content.
+  double corrupt_rate = 0.0;
+
+  /// Of the injected corruptions: fraction realized as file truncation
+  /// (the rest are single-byte flips). Severity knob, never scaled.
+  double truncate_fraction = 0.5;
+};
+
 /// One composable, reproducible fault configuration.
 struct FaultPlan {
   std::uint64_t seed = 4242;
@@ -77,6 +119,9 @@ struct FaultPlan {
   PingFaults ping;
   CertFaults cert;
   AnycastFaults anycast;
+  RouteFaults route;
+  RdnsFaults rdns;
+  StoreFaults store;
 
   /// True when any fault rate is nonzero.
   bool active() const noexcept;
@@ -84,24 +129,44 @@ struct FaultPlan {
   /// Every rate at zero: guaranteed no-op, bit-identical to no plan.
   static FaultPlan none() noexcept { return FaultPlan{}; }
 
-  /// The default degraded-campaign plan: every pathology at a level a real
-  /// Censys/M-Lab campaign plausibly sees, severe enough that stages report
-  /// degraded but the run completes end to end.
+  /// The default degraded-campaign plan: every measurement pathology at a
+  /// level a real Censys/M-Lab campaign plausibly sees, severe enough that
+  /// stages report degraded but the run completes end to end. Store chaos
+  /// stays off -- it is an infrastructure fault, not a campaign one; opt in
+  /// via store.corrupt_rate or REPRO_FAULT_STORE.
   static FaultPlan chaos() noexcept;
 
   /// This plan with every rate multiplied by `factor` (clamped to
-  /// [0, 0.95]; failure severities and the seed are left alone). factor 0
-  /// yields an inactive plan.
+  /// [0, 0.95]; failure severities, the flap period and the seed are left
+  /// alone). factor 0 yields an inactive plan.
   FaultPlan scaled_by(double factor) const noexcept;
+
+  /// This plan with every knob forced into its legal range: NaN and
+  /// negative rates become 0, rates above 0.95 saturate, severities clamp
+  /// to [0, 1], and a zero flap period becomes 1. Each repaired field bumps
+  /// the fault.plan_clamped counter; a well-formed plan returns unchanged.
+  FaultPlan sanitized() const;
 
   /// Plan from the environment: REPRO_FAULT unset/"0" -> none();
   /// "1"/"chaos" -> chaos(); a number -> chaos().scaled_by(value).
-  /// REPRO_FAULT_INTENSITY scales whatever REPRO_FAULT selected and
-  /// REPRO_FAULT_SEED overrides the seed.
+  /// REPRO_FAULT_INTENSITY scales whatever REPRO_FAULT selected,
+  /// REPRO_FAULT_STORE sets store.corrupt_rate, and REPRO_FAULT_SEED
+  /// overrides the seed. Garbage values (NaN, negatives) are clamped via
+  /// sanitized() -- counted in fault.plan_clamped -- never propagated.
   static FaultPlan from_env();
 
-  /// Compact JSON object of the plan parameters (for run_report.json).
+  /// Compact JSON object of every plan parameter (for run_report.json).
   std::string to_json() const;
+
+  /// JSON of only the knobs that can change *measured artifact content*
+  /// (seed + scan/ping/cert/anycast). Route and rdns faults perturb studies
+  /// computed downstream of the persisted artifacts, and store faults are
+  /// self-healing by construction, so plans differing only in those share
+  /// artifacts -- which is also what lets a store-chaos run hit (and so
+  /// corrupt, and so prove it can heal) a clean baseline's warm artifacts.
+  /// Byte-compatible with the pre-route/rdns/store to_json(), so existing
+  /// stores stay warm.
+  std::string measurement_json() const;
 };
 
 }  // namespace repro::fault

@@ -100,7 +100,15 @@ void inject_cert_faults(CertStore& store, const FaultPlan& plan,
 }
 
 void apply_ping_faults(PingConfig& config, const FaultPlan& plan) {
-  if (!plan.active()) return;
+  // Gate on the ping/anycast knobs specifically, not plan.active(): a plan
+  // carrying only route/rdns/store faults must leave the ping config (and
+  // with it the measurement digest) untouched, so such plans keep sharing
+  // measurement artifacts with the clean baseline.
+  if (plan.ping.vp_outage_rate <= 0.0 && plan.ping.icmp_storm_rate <= 0.0 &&
+      plan.ping.extra_unresponsive_rate <= 0.0 &&
+      plan.anycast.impossible_ip_rate <= 0.0) {
+    return;
+  }
   const auto add_rate = [](double base, double extra) {
     return std::clamp(base + extra, 0.0, 0.95);
   };
@@ -116,6 +124,28 @@ void apply_ping_faults(PingConfig& config, const FaultPlan& plan) {
                                          plan.ping.extra_unresponsive_rate);
   config.split_personality_rate = add_rate(config.split_personality_rate,
                                            plan.anycast.impossible_ip_rate);
+}
+
+void apply_route_faults(TracerouteConfig& config, const FaultPlan& plan) {
+  if (plan.route.flap_rate <= 0.0) return;
+  config.fault_seed = plan.seed;
+  config.flap_rate = std::clamp(plan.route.flap_rate, 0.0, 0.95);
+  config.flap_period = plan.route.flap_period == 0 ? 1 : plan.route.flap_period;
+}
+
+void apply_rdns_faults(PtrConfig& config, const FaultPlan& plan) {
+  const RdnsFaults& faults = plan.rdns;
+  if (faults.missing_ptr_rate <= 0.0 && faults.stale_ptr_rate <= 0.0 &&
+      faults.garbled_ptr_rate <= 0.0) {
+    return;
+  }
+  const auto clamp_rate = [](double rate) {
+    return std::clamp(rate, 0.0, 0.95);
+  };
+  config.fault_seed = plan.seed;
+  config.missing_ptr_rate = clamp_rate(faults.missing_ptr_rate);
+  config.stale_ptr_rate = clamp_rate(faults.stale_ptr_rate);
+  config.garbled_ptr_rate = clamp_rate(faults.garbled_ptr_rate);
 }
 
 }  // namespace repro::fault

@@ -10,6 +10,8 @@
 
 #include "fault/fault_plan.h"
 #include "mlab/ping_mesh.h"
+#include "rdns/ptr_store.h"
+#include "route/traceroute.h"
 #include "scan/scanner.h"
 #include "tls/cert_store.h"
 
@@ -42,5 +44,13 @@ void inject_cert_faults(CertStore& store, const FaultPlan& plan,
 /// outages, ICMP storms, extra unresponsive IPs, and extra impossible-IP
 /// (split-personality) artifacts. No-op for an inactive plan.
 void apply_ping_faults(PingConfig& config, const FaultPlan& plan);
+
+/// Folds the plan's BGP flap faults into a TracerouteConfig. No-op when
+/// route faults are inactive, so the engine stays bit-identical.
+void apply_route_faults(TracerouteConfig& config, const FaultPlan& plan);
+
+/// Folds the plan's PTR-record faults into a PtrConfig. No-op when rdns
+/// faults are inactive, so the synthesized corpus stays bit-identical.
+void apply_rdns_faults(PtrConfig& config, const FaultPlan& plan);
 
 }  // namespace repro::fault

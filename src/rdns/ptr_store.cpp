@@ -1,5 +1,9 @@
 #include "rdns/ptr_store.h"
 
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -17,6 +21,31 @@ std::string_view hg_tag(Hypergiant hg) noexcept {
   return "cdn";
 }
 
+// Fault hash-stream salts, independent of each other and of the synthesis
+// Rng (which is keyed on PtrConfig::seed, not fault_seed).
+constexpr std::uint64_t kMissingPtrSalt = 0x9199;
+constexpr std::uint64_t kStalePtrSalt = 0x57A1;
+constexpr std::uint64_t kGarblePtrSalt = 0x6B1D;
+
+double hash_uniform(std::uint64_t key) noexcept {
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t ip_key(Ipv4 ip, std::uint64_t seed, std::uint64_t salt) noexcept {
+  return mix64((std::uint64_t{ip.value()} << 8) ^ seed ^ salt);
+}
+
+/// Encoding-damaged hostname: full tokens of hex junk, so HOIHO's
+/// whole-token dictionary can never read a location out of it.
+std::string garbled_hostname(Ipv4 ip, std::uint64_t seed,
+                             const std::string& domain) {
+  char junk[32];
+  std::snprintf(junk, sizeof(junk), "x%016llx",
+                static_cast<unsigned long long>(
+                    mix64(ip.value() ^ seed ^ kGarblePtrSalt)));
+  return std::string(junk) + "." + domain;
+}
+
 }  // namespace
 
 std::string metro_alias_code(const std::string& iata) {
@@ -26,15 +55,33 @@ std::string metro_alias_code(const std::string& iata) {
 }
 
 PtrStore PtrStore::build(const Internet& internet, const OffnetRegistry& registry,
-                         const PtrConfig& config) {
+                         const PtrConfig& config, PtrFaultCounts* faults) {
+  obs::ScopedSpan span("rdns.build_ptr_store");
+  static obs::CachedCounter records_counter("rdns.records");
+  static obs::CachedCounter missing_counter("rdns.missing_ptr");
+  static obs::CachedCounter stale_counter("rdns.stale_ptr");
+  static obs::CachedCounter garbled_counter("rdns.garbled_ptr");
+  PtrFaultCounts counts;
   PtrStore store;
   for (const OffnetServer& server : registry.servers()) {
     Rng rng(mix64(config.seed ^ (std::uint64_t{server.ip.value()} << 13)));
     if (!rng.chance(config.coverage)) continue;
 
+    if (config.missing_ptr_rate > 0.0 &&
+        hash_uniform(ip_key(server.ip, config.fault_seed, kMissingPtrSalt)) <
+            config.missing_ptr_rate) {
+      ++counts.missing;  // the zone withdrew this record mid-snapshot
+      continue;
+    }
+
     const As& isp = internet.ases[server.isp];
     const std::string domain = "as" + std::to_string(isp.asn) + ".example.net";
     const std::string host_id = std::to_string(server.ip.value() & 0xffff);
+
+    const bool garbled =
+        config.garbled_ptr_rate > 0.0 &&
+        hash_uniform(ip_key(server.ip, config.fault_seed, kGarblePtrSalt)) <
+            config.garbled_ptr_rate;
 
     if (rng.chance(config.generic_rate)) {
       // Generic name, no usable location information. "host-" names are the
@@ -42,8 +89,12 @@ PtrStore PtrStore::build(const Internet& internet, const OffnetRegistry& registr
       static constexpr const char* kGenericPrefixes[] = {"static", "host",
                                                          "pool", "dyn"};
       const auto prefix = kGenericPrefixes[rng.uniform_int(0, 3)];
-      store.records_.emplace(server.ip,
-                             std::string(prefix) + "-" + host_id + "." + domain);
+      std::string name = std::string(prefix) + "-" + host_id + "." + domain;
+      if (garbled) {
+        name = garbled_hostname(server.ip, config.fault_seed, domain);
+        ++counts.garbled;
+      }
+      store.records_.emplace(server.ip, std::move(name));
       continue;
     }
 
@@ -58,11 +109,34 @@ PtrStore PtrStore::build(const Internet& internet, const OffnetRegistry& registr
     } else if (rng.chance(config.alias_rate)) {
       code = metro_alias_code(true_metro.iata);
     }
+    // Injected staleness rides on top of the baseline defects: the record
+    // still names the metro this server occupied before a migration. Applied
+    // after every Rng draw so the synthesis stream is untouched.
+    if (!garbled && config.stale_ptr_rate > 0.0 && internet.metros.size() > 1 &&
+        hash_uniform(ip_key(server.ip, config.fault_seed, kStalePtrSalt)) <
+            config.stale_ptr_rate) {
+      const std::size_t step =
+          1 + mix64(ip_key(server.ip, config.fault_seed, kStalePtrSalt) ^
+                    0x1DULL) %
+                  (internet.metros.size() - 1);
+      code = internet.metros[(true_metro.index + step) % internet.metros.size()]
+                 .iata;
+      ++counts.stale;
+    }
 
-    store.records_.emplace(server.ip, "cache-" + std::string(hg_tag(server.hg)) +
-                                          "-" + code + "-" + host_id + "." +
-                                          domain);
+    std::string name = "cache-" + std::string(hg_tag(server.hg)) + "-" + code +
+                       "-" + host_id + "." + domain;
+    if (garbled) {
+      name = garbled_hostname(server.ip, config.fault_seed, domain);
+      ++counts.garbled;
+    }
+    store.records_.emplace(server.ip, std::move(name));
   }
+  records_counter.add(store.records_.size());
+  missing_counter.add(counts.missing);
+  stale_counter.add(counts.stale);
+  garbled_counter.add(counts.garbled);
+  if (faults != nullptr) *faults = counts;
   return store;
 }
 

@@ -26,6 +26,28 @@ struct PtrConfig {
   /// Among located hostnames: fraction using the metro's alternate
   /// ("suburb") code instead of the main one.
   double alias_rate = 0.015;
+
+  // rDNS snapshot faults (FaultPlan::rdns, folded in by apply_rdns_faults).
+  // Drawn from stateless hashes on fault_seed -- never from the per-IP Rng
+  // stream above -- so zero rates are bit-identical to a fault-free build.
+  /// Seed for the fault hash streams.
+  std::uint64_t fault_seed = 0;
+  /// Among would-be records: fraction withdrawn entirely (zone outage).
+  double missing_ptr_rate = 0.0;
+  /// Among located hostnames: fraction naming the metro the server occupied
+  /// before a migration (on top of the baseline wrong_location_rate).
+  double stale_ptr_rate = 0.0;
+  /// Among named IPs: fraction garbled in the snapshot -- the record exists
+  /// but carries no extractable hint.
+  double garbled_ptr_rate = 0.0;
+};
+
+/// What the fault knobs did to one build (ground truth for StageHealth).
+struct PtrFaultCounts {
+  std::size_t missing = 0;
+  std::size_t stale = 0;
+  std::size_t garbled = 0;
+  std::size_t total() const noexcept { return missing + stale + garbled; }
 };
 
 /// IP -> PTR hostname map for the offnet population.
@@ -33,7 +55,8 @@ class PtrStore {
  public:
   /// Synthesizes PTR records for the registry's servers. Deterministic.
   static PtrStore build(const Internet& internet, const OffnetRegistry& registry,
-                        const PtrConfig& config);
+                        const PtrConfig& config,
+                        PtrFaultCounts* faults = nullptr);
 
   std::optional<std::string> lookup(Ipv4 ip) const;
 

@@ -3,6 +3,9 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace repro {
 
 namespace {
@@ -46,6 +49,9 @@ ValidationSummary validate_clusters(
     const Internet& internet, const OffnetRegistry& registry,
     const std::vector<IspClustering>& clusterings, const PtrStore& ptr,
     const Hoiho& hoiho) {
+  obs::ScopedSpan span("rdns.validate_clusters");
+  static obs::CachedCounter validated_counter("rdns.clusters_validated");
+  static obs::CachedCounter hints_counter("rdns.hints_extracted");
   ValidationSummary summary;
   for (const IspClustering& clustering : clusterings) {
     if (!clustering.usable) continue;
@@ -56,11 +62,13 @@ ValidationSummary validate_clusters(
       const int label = clustering.labels[i];
       if (label < 0) continue;
       labels_seen.insert(label);
+      ++summary.members_examined;
       const Ipv4 ip = registry.servers()[clustering.registry_indices[i]].ip;
       const auto hostname = ptr.lookup(ip);
       if (!hostname) continue;
       const auto hint = hoiho.extract(*hostname);
       if (!hint) continue;
+      ++summary.hints_extracted;
       hints_by_cluster[label].push_back(*hint);
     }
     summary.clusters_total += labels_seen.size();
@@ -82,6 +90,8 @@ ValidationSummary validate_clusters(
       }
     }
   }
+  validated_counter.add(summary.clusters_with_hints);
+  hints_counter.add(summary.hints_extracted);
   return summary;
 }
 

@@ -25,12 +25,31 @@ struct ValidationSummary {
   std::size_t single_metro_area = 0;
   std::size_t multi_city_same_country = 0;
   std::size_t multi_country = 0;
+  std::size_t members_examined = 0;         // clustered servers looked up
+  std::size_t hints_extracted = 0;          // ...that yielded a location hint
 
   double consistent_fraction() const noexcept {
     return clusters_with_hints == 0
                ? 0.0
                : static_cast<double>(single_city + single_metro_area) /
                      static_cast<double>(clusters_with_hints);
+  }
+
+  /// Fraction of clustered servers whose PTR record yielded a usable
+  /// location hint. Missing/generic/garbled records all lower it.
+  double hint_coverage() const noexcept {
+    return members_examined == 0
+               ? 0.0
+               : static_cast<double>(hints_extracted) /
+                     static_cast<double>(members_examined);
+  }
+
+  /// How much the validation verdict should be trusted: agreement among the
+  /// hints, discounted by how much of the population the hints cover. An
+  /// rDNS snapshot that went mostly dark can still show perfect agreement
+  /// on its survivors; the confidence stays low.
+  double confidence() const noexcept {
+    return consistent_fraction() * hint_coverage();
   }
 };
 

@@ -18,12 +18,22 @@ std::string_view to_string(RouteKind kind) noexcept {
   return "?";
 }
 
-RoutingTable::RoutingTable(AsIndex destination, std::vector<RouteEntry> entries)
-    : destination_(destination), entries_(std::move(entries)) {}
+RoutingTable::RoutingTable(AsIndex destination, std::vector<RouteEntry> entries,
+                           std::vector<RouteEntry> alternates)
+    : destination_(destination),
+      entries_(std::move(entries)),
+      alternates_(std::move(alternates)) {}
 
 const RouteEntry& RoutingTable::entry(AsIndex source) const {
   require(source < entries_.size(), "RoutingTable::entry: bad AS index");
   return entries_[source];
+}
+
+const RouteEntry& RoutingTable::alternate(AsIndex source) const {
+  static const RouteEntry kNoRoute{};
+  require(source < entries_.size(), "RoutingTable::alternate: bad AS index");
+  if (source >= alternates_.size()) return kNoRoute;
+  return alternates_[source];
 }
 
 std::vector<AsIndex> RoutingTable::as_path(AsIndex source) const {
@@ -164,7 +174,59 @@ RoutingTable RoutingEngine::routes_to(AsIndex destination) const {
     }
   }
 
-  return RoutingTable(destination, std::move(best));
+  // Post-pass: second-best routes. Every AS re-offers its installed route to
+  // every neighbor the Gao-Rexford export rules allow; a neighbor keeps the
+  // best offer arriving through a different next hop than its installed
+  // route. O(E), and purely additive -- the best routes above are untouched.
+  std::vector<RouteEntry> alternates(n);
+  const auto exportable_upward = [](const RouteEntry& route) {
+    // Customer and self routes are exported to peers and providers; peer and
+    // provider routes are exported to customers only.
+    return route.kind == RouteKind::kSelf || route.kind == RouteKind::kCustomer;
+  };
+  const auto full_better = [&](const RouteEntry& candidate,
+                               const RouteEntry& current) {
+    if (!current.reachable) return true;
+    if (candidate.kind != current.kind) {
+      return candidate.kind < current.kind;  // enum order is the preference
+    }
+    if (candidate.path_length != current.path_length) {
+      return candidate.path_length < current.path_length;
+    }
+    return ases[candidate.next_hop].asn < ases[current.next_hop].asn;
+  };
+  const auto offer = [&](AsIndex to, const RouteEntry& candidate) {
+    if (to == destination) return;
+    if (!best[to].reachable) return;  // nothing to flap away from
+    if (candidate.next_hop == best[to].next_hop) return;  // same next hop
+    // Refuse an alternate whose first hop immediately routes back through
+    // us; longer transient loops are possible (as on the real Internet) and
+    // are the traceroute walker's TTL cap to absorb.
+    if (best[candidate.next_hop].next_hop == to) return;
+    if (full_better(candidate, alternates[to])) alternates[to] = candidate;
+  };
+  for (AsIndex current = 0; current < n; ++current) {
+    const RouteEntry& route = best[current];
+    if (!route.reachable) continue;
+    const int length = route.path_length + 1;
+    if (exportable_upward(route)) {
+      for (const LinkIndex li : ases[current].provider_links) {
+        offer(links[li].b,
+              RouteEntry{true, RouteKind::kCustomer, current, li, length});
+      }
+      for (const LinkIndex li : ases[current].peer_links) {
+        const auto& link = links[li];
+        const AsIndex neighbor = link.a == current ? link.b : link.a;
+        offer(neighbor, RouteEntry{true, RouteKind::kPeer, current, li, length});
+      }
+    }
+    for (const LinkIndex li : ases[current].customer_links) {
+      offer(links[li].a,
+            RouteEntry{true, RouteKind::kProvider, current, li, length});
+    }
+  }
+
+  return RoutingTable(destination, std::move(best), std::move(alternates));
 }
 
 }  // namespace repro

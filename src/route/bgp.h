@@ -34,11 +34,18 @@ struct RouteEntry {
 /// Routing table for one destination AS.
 class RoutingTable {
  public:
-  RoutingTable(AsIndex destination, std::vector<RouteEntry> entries);
+  RoutingTable(AsIndex destination, std::vector<RouteEntry> entries,
+               std::vector<RouteEntry> alternates = {});
 
   AsIndex destination() const noexcept { return destination_; }
 
   const RouteEntry& entry(AsIndex source) const;
+
+  /// The source's best valley-free route through a *different* next hop
+  /// than entry(source) -- what the AS falls back to when its best route
+  /// is withdrawn mid-study (BGP flap). Not reachable when the AS has no
+  /// policy-valid second route (a flap then blackholes its traffic).
+  const RouteEntry& alternate(AsIndex source) const;
 
   /// AS-level path source -> destination (inclusive); empty if unreachable.
   std::vector<AsIndex> as_path(AsIndex source) const;
@@ -49,6 +56,7 @@ class RoutingTable {
  private:
   AsIndex destination_;
   std::vector<RouteEntry> entries_;
+  std::vector<RouteEntry> alternates_;
 };
 
 /// Computes routing tables over an Internet's AS graph.

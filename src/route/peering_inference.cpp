@@ -1,7 +1,10 @@
 #include "route/peering_inference.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace repro {
@@ -112,7 +115,16 @@ IspPeeringEvidence PeeringStudy::classify_traceroute(const Traceroute& tracerout
 
 std::map<AsIndex, IspPeeringEvidence> PeeringStudy::run(
     AsIndex hg_as, std::span<const AsIndex> targets,
-    const RoutingEngine& routing) const {
+    const RoutingEngine& routing, PeeringStudyOutcome* outcome) const {
+  obs::ScopedSpan span("route.peering_study");
+  static obs::CachedCounter probes_counter("route.traceroutes");
+  static obs::CachedCounter unstable_counter("route.unstable_targets");
+  static obs::CachedCounter downgrade_counter("route.peer_downgrades");
+  PeeringStudyOutcome local;
+  // One clock for the whole campaign: consecutive probes land in adjacent
+  // flap epochs, so the same destination is revisited under evolving
+  // routing state. Clean engines ignore the clock entirely.
+  std::uint64_t probe_time = 0;
   std::map<AsIndex, IspPeeringEvidence> results;
   for (const AsIndex target : targets) {
     const RoutingTable table = routing.routes_to(target);
@@ -138,10 +150,20 @@ std::map<AsIndex, IspPeeringEvidence> PeeringStudy::run(
       destinations.push_back(as.infra.pool().at(255));
     }
 
+    // Per-destination path signature from *observations only* (hop count +
+    // whether the destination answered). Under stable routing every probe
+    // to one destination agrees on both regardless of VM/flow; disagreement
+    // means the path itself changed under the study.
+    std::vector<std::pair<std::size_t, bool>> first_signature(
+        destinations.size(), {0, false});
+    std::vector<bool> signature_seen(destinations.size(), false);
+
     for (std::size_t vm = 0; vm < config_.vm_count; ++vm) {
-      for (const Ipv4 destination : destinations) {
-        const Traceroute traceroute = engine_.trace(
-            hg_as, destination, table, mix64(config_.seed ^ (vm + 1)));
+      for (std::size_t d = 0; d < destinations.size(); ++d) {
+        const Ipv4 destination = destinations[d];
+        const Traceroute traceroute =
+            engine_.trace(hg_as, destination, table,
+                          mix64(config_.seed ^ (vm + 1)), probe_time++);
         const IspPeeringEvidence one =
             classify_traceroute(traceroute, hg_as, target);
         ++aggregate.traceroutes;
@@ -153,10 +175,31 @@ std::map<AsIndex, IspPeeringEvidence> PeeringStudy::run(
                    aggregate.status == PeeringStatus::kNoEvidence) {
           aggregate.status = PeeringStatus::kPossiblePeer;
         }
+        const std::pair<std::size_t, bool> signature{
+            traceroute.hops.size(), traceroute.destination_reached};
+        if (!signature_seen[d]) {
+          signature_seen[d] = true;
+          first_signature[d] = signature;
+        } else if (first_signature[d] != signature) {
+          aggregate.unstable = true;
+        }
+      }
+    }
+    if (aggregate.unstable) {
+      ++local.unstable_targets;
+      if (aggregate.status == PeeringStatus::kPeer) {
+        aggregate.status = PeeringStatus::kPossiblePeer;
+        ++local.downgraded_peers;
       }
     }
     results.emplace(target, aggregate);
   }
+  local.targets = targets.size();
+  local.probes = probe_time;
+  probes_counter.add(local.probes);
+  unstable_counter.add(local.unstable_targets);
+  downgrade_counter.add(local.downgraded_peers);
+  if (outcome != nullptr) *outcome = local;
   return results;
 }
 

@@ -30,6 +30,19 @@ struct IspPeeringEvidence {
   bool seen_via_ixp = false;  // >= 1 adjacency crossed an IXP peering LAN
   bool seen_via_pni = false;  // >= 1 adjacency on a non-IXP address
   std::size_t traceroutes = 0;
+  /// Probes towards the same destination observed disagreeing paths (path
+  /// signature instability, e.g. a BGP flap mid-study). A kPeer verdict for
+  /// an unstable target is downgraded to kPossiblePeer: the adjacency may
+  /// have been a transient detour, not a standing interconnect.
+  bool unstable = false;
+};
+
+/// What the study observed about its own data quality, for StageHealth.
+struct PeeringStudyOutcome {
+  std::size_t targets = 0;
+  std::size_t probes = 0;
+  std::size_t unstable_targets = 0;
+  std::size_t downgraded_peers = 0;  // kPeer verdicts demoted by instability
 };
 
 struct PeeringStudyConfig {
@@ -56,9 +69,13 @@ class PeeringStudy {
                                          AsIndex hg_as, AsIndex target) const;
 
   /// Full study: traceroutes from `hg_as` to every target, aggregated.
+  /// Probes are issued on a campaign timeline (probe_time ticks once per
+  /// traceroute) so routing faults that evolve during the study surface as
+  /// per-destination path disagreement; stable paths are unaffected.
   std::map<AsIndex, IspPeeringEvidence> run(
       AsIndex hg_as, std::span<const AsIndex> targets,
-      const RoutingEngine& routing) const;
+      const RoutingEngine& routing,
+      PeeringStudyOutcome* outcome = nullptr) const;
 
   const PeeringStudyConfig& config() const noexcept { return config_; }
 

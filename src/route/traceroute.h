@@ -30,6 +30,10 @@ struct Traceroute {
   Ipv4 destination;
   bool destination_reached = false;
   std::vector<TracerouteHop> hops;
+  /// Ground truth for tests: this probe crossed a flap detour / was cut by
+  /// a flap blackhole or transient loop. Inference code must not use these.
+  bool flap_detoured = false;
+  bool flap_truncated = false;
 };
 
 struct TracerouteConfig {
@@ -40,6 +44,16 @@ struct TracerouteConfig {
   double silent_as_rate = 0.06;
   /// Probability the destination host answers the final probe.
   double destination_responds = 0.85;
+
+  // BGP flap faults (FaultPlan::route, folded in by apply_route_faults).
+  // Zero flap_rate is guaranteed bit-identical to the pre-fault engine.
+  /// Seed for the flap hash stream, independent of the ECMP/silence seeds.
+  std::uint64_t fault_seed = 0;
+  /// Per-AS probability of being flap-prone for the whole campaign.
+  double flap_rate = 0.0;
+  /// Probes per flap epoch: a flap-prone AS withdraws its best route on
+  /// (deterministically) half of the epochs.
+  std::uint64_t flap_period = 4;
 };
 
 class TracerouteEngine {
@@ -50,19 +64,31 @@ class TracerouteEngine {
   /// must be the routing table towards the destination's AS). `flow`
   /// distinguishes source hosts / flow ids: different flows traverse
   /// different router interfaces inside each AS (ECMP-style), which is how
-  /// probing from many VMs gains extra visibility.
+  /// probing from many VMs gains extra visibility. `probe_time` is the
+  /// probe's position on the campaign timeline; with flap faults active it
+  /// selects the flap epoch, so probes issued at different times can
+  /// observe disagreeing paths. Clean configs ignore it.
   Traceroute trace(AsIndex src, Ipv4 destination, const RoutingTable& table,
-                   std::uint64_t flow = 0) const;
+                   std::uint64_t flow = 0, std::uint64_t probe_time = 0) const;
 
   /// Ground-truth helpers for tests.
   bool router_silent(AsIndex as, Ipv4 router_ip) const noexcept;
   bool as_silent(AsIndex as) const noexcept;
+  /// True when `as` is flap-prone under this config's fault knobs.
+  bool as_flapping(AsIndex as) const noexcept;
+  /// True when a flap-prone AS has withdrawn its best route at
+  /// `probe_time` (epoch = probe_time / flap_period).
+  bool flap_down(AsIndex as, std::uint64_t probe_time) const noexcept;
 
   /// Deterministic router interface address `slot` of an AS (carved from
   /// the reserved low range of its infra block).
   Ipv4 router_ip(AsIndex as, std::uint64_t slot) const;
 
  private:
+  Traceroute trace_flapped(AsIndex src, Ipv4 destination,
+                           const RoutingTable& table, std::uint64_t flow,
+                           std::uint64_t probe_time) const;
+
   const Internet& internet_;
   TracerouteConfig config_;
 };

@@ -1,6 +1,7 @@
 #include "store/artifact_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -8,6 +9,7 @@
 #include <system_error>
 
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace repro::store {
 
@@ -33,6 +35,24 @@ std::string hex16(std::uint64_t value) {
                 static_cast<unsigned long long>(value));
   return buffer;
 }
+
+std::uint64_t fnv1a_str(std::string_view text) noexcept {
+  std::uint64_t state = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    state ^= static_cast<std::uint8_t>(c);
+    state *= 0x100000001b3ULL;
+  }
+  return state;
+}
+
+double hash_uniform(std::uint64_t key) noexcept {
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+/// Escalating backoff budget for load_or_compute waiters: ~16 waits of
+/// 1ms << min(n, 6) each (~0.5 s total) before a waiter stops trusting the
+/// flight holder and computes for itself.
+constexpr std::uint64_t kHerdMaxWaits = 16;
 
 }  // namespace
 
@@ -157,12 +177,55 @@ void ArtifactStore::evict_to_fit(std::uint64_t incoming,
   }
 }
 
+void ArtifactStore::set_chaos(const StoreChaos& chaos) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  chaos_ = chaos;
+  if (!(chaos_.corrupt_rate > 0.0)) chaos_.corrupt_rate = 0.0;  // NaN guard
+}
+
+void ArtifactStore::maybe_inject_chaos(const std::string& filename) {
+  if (!chaos_.active() || config_.read_only) return;
+  if (chaos_done_.contains(filename)) return;
+  const std::uint64_t key = mix64(fnv1a_str(filename) ^
+                                  chaos_.seed * 0x9E3779B97F4A7C15ULL);
+  if (hash_uniform(key) >= chaos_.corrupt_rate) return;
+
+  const fs::path path = fs::path(config_.root) / filename;
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec || size == 0) return;  // not on disk yet: nothing to garble
+
+  if (hash_uniform(mix64(key ^ 0x7C7C)) < chaos_.truncate_fraction) {
+    // Torn write: cut the file at a key-determined offset.
+    fs::resize_file(path, mix64(key ^ 0x3A3A) % size, ec);
+    if (ec) return;
+  } else {
+    // Disk fault: flip one bit somewhere in the file. The container format
+    // detects a flip anywhere -- header fields mismatch, payload flips fail
+    // the checksum, checksum flips fail against the intact payload.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    if (!file) return;
+    const auto pos =
+        static_cast<std::streamoff>(mix64(key ^ 0x5B5B) % size);
+    file.seekg(pos);
+    const int byte = file.get();
+    if (byte == EOF) return;
+    file.seekp(pos);
+    file.put(static_cast<char>(byte ^ 0x40));
+    if (!file) return;
+  }
+  chaos_done_.insert(filename);
+  ++stats_.chaos_injected;
+  obs::metrics().counter("store.chaos_injected").add(1);
+}
+
 LoadResult ArtifactStore::load(const ArtifactKey& key) {
   obs::ScopedTimer timer("store.load_ms");
   const std::string filename = key.filename();
   const fs::path path = fs::path(config_.root) / filename;
 
   std::lock_guard<std::mutex> lock(mutex_);
+  maybe_inject_chaos(filename);
   LoadResult result;
 
   std::vector<std::uint8_t> bytes;
@@ -317,6 +380,89 @@ bool ArtifactStore::save(const ArtifactKey& key,
   ++stats_.saved;
   obs::metrics().counter("store.saved").add(1);
   return true;
+}
+
+FetchResult ArtifactStore::load_or_compute(
+    const ArtifactKey& key,
+    const std::function<std::vector<std::uint8_t>()>& compute) {
+  FetchResult result;
+  result.load = load(key);
+  if (result.load.hit()) return result;
+  result.recovered_corrupt = result.load.corrupt();
+  const std::string corrupt_detail = result.load.detail;
+  const std::string filename = key.filename();
+
+  std::uint64_t waits = 0;
+  bool computed = false;
+  while (true) {
+    bool claimed = false;
+    bool parked = false;
+    {
+      std::unique_lock<std::mutex> lock(flight_mutex_);
+      if (!inflight_.contains(filename)) {
+        inflight_.insert(filename);
+        claimed = true;
+      } else if (waits < kHerdMaxWaits) {
+        ++waits;
+        parked = true;
+        flight_cv_.wait_for(lock, std::chrono::milliseconds(
+                                      1LL << std::min<std::uint64_t>(waits, 6)));
+      }
+      // else: the flight holder outlived the whole backoff budget; fall
+      // through and compute without claiming (duplicate work, no deadlock).
+    }
+
+    if (claimed) {
+      std::vector<std::uint8_t> payload;
+      try {
+        payload = compute();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(flight_mutex_);
+          inflight_.erase(filename);
+        }
+        flight_cv_.notify_all();
+        throw;
+      }
+      save(key, payload);  // read-only / full disk degrade to no persistence
+      {
+        std::lock_guard<std::mutex> lock(flight_mutex_);
+        inflight_.erase(filename);
+      }
+      flight_cv_.notify_all();
+      computed = true;
+      result.load.status = LoadStatus::kHit;
+      result.load.payload = std::move(payload);
+      break;
+    }
+
+    if (parked) {
+      LoadResult again = load(key);
+      if (again.hit()) {
+        result.load = std::move(again);
+        break;
+      }
+      continue;  // holder not done (or its save failed): claim or park again
+    }
+
+    std::vector<std::uint8_t> payload = compute();
+    save(key, payload);
+    computed = true;
+    result.load.status = LoadStatus::kHit;
+    result.load.payload = std::move(payload);
+    break;
+  }
+
+  result.computed = computed;
+  if (result.recovered_corrupt) result.load.detail = corrupt_detail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.herd_waits += waits;
+    if (computed) ++stats_.recomputed;
+  }
+  if (waits > 0) obs::metrics().counter("store.herd_waits").add(waits);
+  if (computed) obs::metrics().counter("store.recomputed").add(1);
+  return result;
 }
 
 StoreStats ArtifactStore::stats() const {

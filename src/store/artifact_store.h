@@ -33,7 +33,9 @@
 // See docs/PERSISTENCE.md.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,6 +43,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "store/serde.h"
@@ -93,15 +96,44 @@ struct StoreConfig {
   double budget_mb = 0.0;
 };
 
+/// Live-corruption chaos (FaultPlan::store): each artifact is, with
+/// probability corrupt_rate, garbled on disk right before its first load --
+/// while concurrent readers are live. Injection happens under the store
+/// lock (TSan-clean), is deterministic per (seed, filename), and fires at
+/// most once per filename, so a healed artifact stays healed and the
+/// corrupt -> delete -> recompute -> republish path is provably bounded.
+struct StoreChaos {
+  std::uint64_t seed = 0;
+  /// Per-artifact probability of being garbled before its first load.
+  double corrupt_rate = 0.0;
+  /// Of the garbled: fraction truncated (the rest get a mid-file bit flip).
+  double truncate_fraction = 0.5;
+
+  bool active() const noexcept { return corrupt_rate > 0.0; }
+};
+
 /// Cumulative per-instance statistics (process-global mirrors live in the
 /// metrics registry as store.hit / store.miss / store.corrupt /
-/// store.evicted / store.saved).
+/// store.evicted / store.saved / store.chaos_injected / store.recomputed /
+/// store.herd_waits).
 struct StoreStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t corrupt = 0;
   std::uint64_t evicted = 0;
   std::uint64_t saved = 0;
+  std::uint64_t chaos_injected = 0;  // artifacts garbled by StoreChaos
+  std::uint64_t recomputed = 0;      // load_or_compute ran its compute fn
+  std::uint64_t herd_waits = 0;      // callers that parked behind a flight
+};
+
+/// Outcome of ArtifactStore::load_or_compute.
+struct FetchResult {
+  /// Always a hit on return (payload present); `detail` preserves the
+  /// corruption reason when the fetch began with a corrupt artifact.
+  LoadResult load;
+  bool computed = false;           // this caller ran the compute fn
+  bool recovered_corrupt = false;  // the artifact was corrupt before healing
 };
 
 class ArtifactStore {
@@ -126,6 +158,27 @@ class ArtifactStore {
   /// the write fails (a full disk degrades to "no persistence", it never
   /// aborts the run).
   bool save(const ArtifactKey& key, const std::vector<std::uint8_t>& payload);
+
+  /// Arms (or, with a zero rate, disarms) live-corruption chaos. The
+  /// one-shot ledger survives re-arming with the same knobs, so a healed
+  /// artifact is never re-corrupted within one store lifetime. Ignored on
+  /// read-only stores (they cannot modify files).
+  void set_chaos(const StoreChaos& chaos);
+
+  /// Single-flight load-or-compute: a hit returns immediately; on a miss or
+  /// corrupt artifact exactly one caller runs `compute` and republishes
+  /// while concurrent callers for the same key park on a bounded
+  /// escalating-backoff wait and then re-load the published bytes -- N
+  /// workers hitting the same corrupt artifact cost one recompute, not N
+  /// (stats().recomputed counts them; herd_waits counts the parked). The
+  /// wait is bounded: if the flight holder stalls past the backoff budget,
+  /// a waiter gives up waiting and computes too, so no caller can hang on a
+  /// wedged peer. `compute` runs without any store lock held and must
+  /// return the serialized payload; the returned FetchResult always carries
+  /// a usable payload.
+  FetchResult load_or_compute(
+      const ArtifactKey& key,
+      const std::function<std::vector<std::uint8_t>()>& compute);
 
   const StoreConfig& config() const noexcept { return config_; }
   StoreStats stats() const;
@@ -158,6 +211,9 @@ class ArtifactStore {
   /// budget. Never evicts `keep`. Caller holds the lock.
   void evict_to_fit(std::uint64_t incoming, const std::string& keep);
   void drop_entry(const std::string& filename);
+  /// Garbles the on-disk file if armed chaos selects it and it has not been
+  /// hit before. Caller holds the lock.
+  void maybe_inject_chaos(const std::string& filename);
 
   StoreConfig config_;
   std::uint64_t budget_bytes_ = 0;  // 0 = unlimited
@@ -168,6 +224,14 @@ class ArtifactStore {
   std::uint64_t used_bytes_ = 0;
   StoreStats stats_;
   std::uint64_t temp_counter_ = 0;
+  StoreChaos chaos_;                             // guarded by mutex_
+  std::unordered_set<std::string> chaos_done_;   // one-shot ledger
+
+  // Single-flight state for load_or_compute (ordered after mutex_: never
+  // hold flight_mutex_ while taking mutex_ via load/save).
+  std::mutex flight_mutex_;
+  std::condition_variable flight_cv_;
+  std::unordered_set<std::string> inflight_;
 };
 
 }  // namespace repro::store

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -11,6 +12,7 @@
 #include "fault/fault_plan.h"
 #include "fault/stage_health.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 #include "scan/scanner.h"
 #include "topology/generator.h"
@@ -47,6 +49,126 @@ TEST(FaultPlan, ToJsonParses) {
       obs::parse_json(fault::FaultPlan::chaos().to_json());
   EXPECT_EQ(parsed.at("seed").number(), 4242.0);
   EXPECT_GT(parsed.at("ping.vp_outage_rate").number(), 0.0);
+  EXPECT_GT(parsed.at("route.flap_rate").number(), 0.0);
+  EXPECT_GT(parsed.at("rdns.missing_ptr_rate").number(), 0.0);
+  EXPECT_EQ(parsed.at("store.corrupt_rate").number(), 0.0);
+}
+
+TEST(FaultPlan, ScaledByZeroAndSaturation) {
+  // Factor 0 zeroes every rate family, including the new ones.
+  const fault::FaultPlan zero = fault::FaultPlan::chaos().scaled_by(0.0);
+  EXPECT_FALSE(zero.active());
+  EXPECT_DOUBLE_EQ(zero.route.flap_rate, 0.0);
+  EXPECT_DOUBLE_EQ(zero.rdns.missing_ptr_rate, 0.0);
+  EXPECT_DOUBLE_EQ(zero.rdns.stale_ptr_rate, 0.0);
+  EXPECT_DOUBLE_EQ(zero.rdns.garbled_ptr_rate, 0.0);
+  EXPECT_DOUBLE_EQ(zero.store.corrupt_rate, 0.0);
+  // A negative factor behaves like 0, not like a sign flip.
+  EXPECT_FALSE(fault::FaultPlan::chaos().scaled_by(-2.0).active());
+
+  // Factor >> 1 saturates every rate at the clamp, never above.
+  fault::FaultPlan storeful = fault::FaultPlan::chaos();
+  storeful.store.corrupt_rate = 0.5;
+  const fault::FaultPlan huge = storeful.scaled_by(1000.0);
+  EXPECT_DOUBLE_EQ(huge.route.flap_rate, 0.95);
+  EXPECT_DOUBLE_EQ(huge.rdns.missing_ptr_rate, 0.95);
+  EXPECT_DOUBLE_EQ(huge.store.corrupt_rate, 0.95);
+  // Non-rate knobs never scale: periods, severities, fractions.
+  EXPECT_EQ(huge.route.flap_period, fault::FaultPlan::chaos().route.flap_period);
+  EXPECT_DOUBLE_EQ(huge.store.truncate_fraction,
+                   fault::FaultPlan::chaos().store.truncate_fraction);
+
+  // Scaling composes: (x * 0.5) * 2 == x for rates under the clamp.
+  const fault::FaultPlan half = fault::FaultPlan::chaos().scaled_by(0.5);
+  EXPECT_DOUBLE_EQ(half.scaled_by(2.0).route.flap_rate,
+                   fault::FaultPlan::chaos().route.flap_rate);
+}
+
+TEST(FaultPlan, SanitizedRepairsGarbageInputs) {
+  obs::metrics().reset();
+  fault::FaultPlan plan = fault::FaultPlan::chaos();
+  plan.scan.shard_truncation = -0.5;                            // negative
+  plan.rdns.missing_ptr_rate = 3.0;                             // > 1
+  plan.route.flap_rate = std::nan("");                          // NaN
+  plan.ping.icmp_storm_failure = 42.0;                          // severity > 1
+  plan.store.truncate_fraction = -1.0;                          // fraction < 0
+  plan.route.flap_period = 0;                                   // period 0
+  const fault::FaultPlan fixed = plan.sanitized();
+  EXPECT_DOUBLE_EQ(fixed.scan.shard_truncation, 0.0);
+  EXPECT_LE(fixed.rdns.missing_ptr_rate, 0.95);
+  EXPECT_DOUBLE_EQ(fixed.route.flap_rate, 0.0);  // NaN repairs to inactive
+  EXPECT_LE(fixed.ping.icmp_storm_failure, 1.0);
+  EXPECT_GE(fixed.store.truncate_fraction, 0.0);
+  EXPECT_GE(fixed.route.flap_period, 1u);
+  std::uint64_t clamped = 0;
+  for (const auto& [name, value] : obs::metrics().snapshot().counters) {
+    if (name == "fault.plan_clamped") clamped = value;
+  }
+  EXPECT_GE(clamped, 6u) << "every repair must be counted";
+
+  // A plan that is already sane is returned untouched and uncounted.
+  obs::metrics().reset();
+  const fault::FaultPlan sane = fault::FaultPlan::chaos().sanitized();
+  EXPECT_DOUBLE_EQ(sane.route.flap_rate,
+                   fault::FaultPlan::chaos().route.flap_rate);
+  for (const auto& [name, value] : obs::metrics().snapshot().counters) {
+    if (name == "fault.plan_clamped") {
+      EXPECT_EQ(value, 0u);
+    }
+  }
+}
+
+TEST(FaultPlan, MeasurementJsonExcludesNonMeasurementFamilies) {
+  // Route, rDNS and store knobs must not move the measurement digest: they
+  // change observations (or persisted bytes), never the measurement
+  // artifacts, so plans differing only there share warm artifacts.
+  fault::FaultPlan plan = fault::FaultPlan::none();
+  const std::string clean = plan.measurement_json();
+  plan.route.flap_rate = 0.5;
+  plan.rdns.stale_ptr_rate = 0.5;
+  plan.store.corrupt_rate = 0.5;
+  EXPECT_EQ(plan.measurement_json(), clean);
+  EXPECT_NE(plan.to_json(), fault::FaultPlan::none().to_json());
+
+  // Measurement knobs move it.
+  plan.scan.shard_truncation = 0.1;
+  EXPECT_NE(plan.measurement_json(), clean);
+
+  // to_json embeds measurement_json as a prefix (same fields, same order),
+  // so pre-existing stores keyed on the old to_json stay warm for clean
+  // plans.
+  const std::string full = fault::FaultPlan::chaos().to_json();
+  const std::string measurement = fault::FaultPlan::chaos().measurement_json();
+  EXPECT_EQ(full.rfind(measurement.substr(0, measurement.size() - 1), 0), 0u);
+}
+
+TEST(FaultPlan, FromEnvParsesAndSanitizes) {
+  const auto with_env = [](const char* fault, const char* intensity,
+                           const char* store_rate) {
+    if (fault != nullptr) ::setenv("REPRO_FAULT", fault, 1);
+    if (intensity != nullptr) ::setenv("REPRO_FAULT_INTENSITY", intensity, 1);
+    if (store_rate != nullptr) ::setenv("REPRO_FAULT_STORE", store_rate, 1);
+    const fault::FaultPlan plan = fault::FaultPlan::from_env();
+    ::unsetenv("REPRO_FAULT");
+    ::unsetenv("REPRO_FAULT_INTENSITY");
+    ::unsetenv("REPRO_FAULT_STORE");
+    return plan;
+  };
+
+  EXPECT_FALSE(with_env(nullptr, nullptr, nullptr).active());
+  EXPECT_TRUE(with_env("1", nullptr, nullptr).active());
+  EXPECT_DOUBLE_EQ(with_env("chaos", nullptr, nullptr).route.flap_rate,
+                   fault::FaultPlan::chaos().route.flap_rate);
+  EXPECT_DOUBLE_EQ(with_env("0.5", nullptr, nullptr).scan.shard_truncation,
+                   fault::FaultPlan::chaos().scan.shard_truncation * 0.5);
+  // Garbage intensity is repaired, not trusted.
+  EXPECT_LE(with_env("1", "999", nullptr).scan.burst_miss_rate, 0.95);
+  EXPECT_FALSE(with_env("nan", nullptr, nullptr).active());
+  // Store chaos is opt-in via its own knob and clamps like every rate.
+  const fault::FaultPlan store_only = with_env(nullptr, nullptr, "0.4");
+  EXPECT_DOUBLE_EQ(store_only.store.corrupt_rate, 0.4);
+  EXPECT_DOUBLE_EQ(store_only.scan.shard_truncation, 0.0);
+  EXPECT_LE(with_env(nullptr, nullptr, "7.0").store.corrupt_rate, 0.95);
 }
 
 // ---------------------------------------------------------- StageHealth --

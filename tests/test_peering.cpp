@@ -171,5 +171,51 @@ TEST_F(PeeringTest, StudyDeterministic) {
   }
 }
 
+// ----------------------------------------------------- flap instability --
+
+TEST_F(PeeringTest, StableStudyReportsNoInstability) {
+  std::vector<AsIndex> targets = net_->access_isps();
+  targets.resize(std::min<std::size_t>(targets.size(), 30));
+  PeeringStudyOutcome outcome;
+  study_->run(google_, targets, *routing_, &outcome);
+  EXPECT_EQ(outcome.targets, targets.size());
+  EXPECT_GT(outcome.probes, 0u);
+  EXPECT_EQ(outcome.unstable_targets, 0u);
+  EXPECT_EQ(outcome.downgraded_peers, 0u);
+}
+
+TEST_F(PeeringTest, FlappedEngineSurfacesInstabilityAndDowngrades) {
+  TracerouteConfig config;
+  config.fault_seed = 4242;
+  config.flap_rate = 0.5;
+  config.flap_period = 2;
+  const TracerouteEngine flapped(*net_, config);
+  PeeringStudyConfig study_config;
+  study_config.vm_count = 6;
+  study_config.slash24s_per_target = 2;
+  const PeeringStudy flapped_study(*net_, flapped, *registry_, study_config);
+
+  std::vector<AsIndex> targets = net_->access_isps();
+  targets.resize(std::min<std::size_t>(targets.size(), 60));
+  PeeringStudyOutcome outcome;
+  const auto results = flapped_study.run(google_, targets, *routing_, &outcome);
+
+  EXPECT_GT(outcome.unstable_targets, 0u)
+      << "half the ASes flapping every other epoch surfaced no disagreement";
+  EXPECT_LE(outcome.unstable_targets, outcome.targets);
+  EXPECT_LE(outcome.downgraded_peers, outcome.unstable_targets);
+
+  // The per-target evidence agrees with the aggregate: downgraded targets
+  // are flagged unstable and never keep a hard kPeer verdict.
+  std::size_t unstable_seen = 0;
+  for (const auto& [isp, evidence] : results) {
+    if (!evidence.unstable) continue;
+    ++unstable_seen;
+    EXPECT_NE(evidence.status, PeeringStatus::kPeer)
+        << "unstable target kept a hard peer verdict";
+  }
+  EXPECT_EQ(unstable_seen, outcome.unstable_targets);
+}
+
 }  // namespace
 }  // namespace repro

@@ -129,6 +129,119 @@ TEST(MetroAliasCode, DistinctNamespace) {
   EXPECT_NE(metro_alias_code("usa"), "usb");
 }
 
+// --------------------------------------------------------- rdns faults --
+
+TEST_F(RdnsTest, ZeroFaultRatesBitIdenticalToFaultFreeBuild) {
+  // A nonzero fault seed with all rates zero must not move a single
+  // record: the fault draws come from their own hash streams, never from
+  // the synthesis Rng.
+  PtrConfig config;
+  config.fault_seed = 4242;
+  PtrFaultCounts counts;
+  const PtrStore armed = PtrStore::build(*net_, *registry_, config, &counts);
+  EXPECT_EQ(counts.total(), 0u);
+  ASSERT_EQ(armed.size(), ptr_->size());
+  for (const OffnetServer& server : registry_->servers()) {
+    EXPECT_EQ(armed.lookup(server.ip), ptr_->lookup(server.ip));
+  }
+}
+
+TEST_F(RdnsTest, MissingPtrRateWithdrawsRecordsOnly) {
+  PtrConfig config;
+  config.fault_seed = 4242;
+  config.missing_ptr_rate = 0.3;
+  PtrFaultCounts counts;
+  const PtrStore faulted = PtrStore::build(*net_, *registry_, config, &counts);
+  EXPECT_GT(counts.missing, 0u);
+  EXPECT_EQ(counts.stale, 0u);
+  EXPECT_EQ(counts.garbled, 0u);
+  // Withdrawal is purely subtractive: every surviving record is byte-equal
+  // to the fault-free build's, and the arithmetic accounts for every loss.
+  EXPECT_EQ(faulted.size() + counts.missing, ptr_->size());
+  for (const OffnetServer& server : registry_->servers()) {
+    const auto hostname = faulted.lookup(server.ip);
+    if (!hostname) continue;
+    EXPECT_EQ(hostname, ptr_->lookup(server.ip));
+  }
+}
+
+TEST_F(RdnsTest, GarbledPtrYieldsNoHoihoHints) {
+  PtrConfig config;
+  config.fault_seed = 4242;
+  config.garbled_ptr_rate = 0.5;
+  PtrFaultCounts counts;
+  const PtrStore faulted = PtrStore::build(*net_, *registry_, config, &counts);
+  EXPECT_GT(counts.garbled, 0u);
+  EXPECT_EQ(faulted.size(), ptr_->size());  // records exist, hints do not
+  Hoiho hoiho(*net_);
+  hoiho.apply_manual_corrections();
+  std::size_t damaged = 0;
+  for (const OffnetServer& server : registry_->servers()) {
+    const auto hostname = faulted.lookup(server.ip);
+    if (!hostname || hostname == ptr_->lookup(server.ip)) continue;
+    ++damaged;
+    EXPECT_EQ(hoiho.extract(*hostname), std::nullopt)
+        << "garbled record still yielded a hint: " << *hostname;
+  }
+  EXPECT_EQ(damaged, counts.garbled);
+}
+
+TEST_F(RdnsTest, StalePtrNamesWrongMetro) {
+  PtrConfig config;
+  config.fault_seed = 4242;
+  config.stale_ptr_rate = 0.4;
+  PtrFaultCounts counts;
+  const PtrStore faulted = PtrStore::build(*net_, *registry_, config, &counts);
+  EXPECT_GT(counts.stale, 0u);
+  EXPECT_EQ(faulted.size(), ptr_->size());
+  Hoiho hoiho(*net_);
+  hoiho.apply_manual_corrections();
+  std::size_t checked = 0;
+  for (const OffnetServer& server : registry_->servers()) {
+    const auto hostname = faulted.lookup(server.ip);
+    if (!hostname || hostname == ptr_->lookup(server.ip)) continue;
+    // A stale record still parses -- it names a real metro, just not the
+    // server's: exactly the defect the validation study must absorb.
+    const auto hint = hoiho.extract(*hostname);
+    ASSERT_TRUE(hint.has_value()) << *hostname;
+    if (hint->metro == kInvalidIndex) continue;  // country-less token
+    EXPECT_NE(hint->metro, net_->facilities[server.facility].metro)
+        << "stale record kept the true metro: " << *hostname;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_LE(checked, counts.stale);
+}
+
+TEST_F(RdnsTest, FaultDrawsDeterministicPerSeed) {
+  PtrConfig config;
+  config.fault_seed = 4242;
+  config.missing_ptr_rate = 0.2;
+  config.stale_ptr_rate = 0.2;
+  config.garbled_ptr_rate = 0.2;
+  PtrFaultCounts a_counts;
+  PtrFaultCounts b_counts;
+  const PtrStore a = PtrStore::build(*net_, *registry_, config, &a_counts);
+  const PtrStore b = PtrStore::build(*net_, *registry_, config, &b_counts);
+  EXPECT_EQ(a_counts.missing, b_counts.missing);
+  EXPECT_EQ(a_counts.stale, b_counts.stale);
+  EXPECT_EQ(a_counts.garbled, b_counts.garbled);
+  EXPECT_GT(a_counts.total(), 0u);
+  ASSERT_EQ(a.size(), b.size());
+  for (const OffnetServer& server : registry_->servers()) {
+    EXPECT_EQ(a.lookup(server.ip), b.lookup(server.ip));
+  }
+  // A different seed picks a different victim set.
+  config.fault_seed = 1717;
+  PtrFaultCounts other_counts;
+  const PtrStore other = PtrStore::build(*net_, *registry_, config, &other_counts);
+  std::size_t disagreements = 0;
+  for (const OffnetServer& server : registry_->servers()) {
+    if (a.lookup(server.ip) != other.lookup(server.ip)) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0u);
+}
+
 TEST_F(RdnsTest, ValidationMostlyConsistentAfterCorrections) {
   // End-to-end validation over real clusterings of the tiny world.
   VantagePointSet vps(*net_, 40, 163163);

@@ -864,5 +864,175 @@ TEST_F(StoreTest, InMemoryCacheCountersDistinctFromStoreHits) {
   EXPECT_EQ(store_hits, 0u) << "no store attached: store.hit must stay 0";
 }
 
+// --- live store chaos + single-flight fetch --------------------------------
+
+TEST_F(StoreTest, ChaosGarblesAtMostOncePerArtifact) {
+  store::ArtifactStore artifacts(config());
+  const store::ArtifactKey key = test_key("scan", 1, 33);
+  ASSERT_TRUE(artifacts.save(key, test_payload(4096, 0x22)));
+
+  store::StoreChaos chaos;
+  chaos.seed = 7;
+  chaos.corrupt_rate = 1.0;  // every artifact selected
+  artifacts.set_chaos(chaos);
+
+  // First load takes the injected corruption (and quarantines the file).
+  const store::LoadResult first = artifacts.load(key);
+  EXPECT_TRUE(first.corrupt());
+  EXPECT_EQ(artifacts.stats().chaos_injected, 1u);
+
+  // Republishing heals it for good: the one-shot ledger keeps even a
+  // rate-1.0 chaos from touching the same filename twice.
+  ASSERT_TRUE(artifacts.save(key, test_payload(4096, 0x22)));
+  const store::LoadResult second = artifacts.load(key);
+  EXPECT_TRUE(second.hit());
+  EXPECT_EQ(artifacts.stats().chaos_injected, 1u);
+
+  // Disarming stops injection for artifacts not yet selected.
+  artifacts.set_chaos(store::StoreChaos{});
+  const store::ArtifactKey other = test_key("scan", 1, 34);
+  ASSERT_TRUE(artifacts.save(other, test_payload(512, 0x01)));
+  EXPECT_TRUE(artifacts.load(other).hit());
+  EXPECT_EQ(artifacts.stats().chaos_injected, 1u);
+}
+
+TEST_F(StoreTest, ChaosInjectionDeterministicPerSeedAndFilename) {
+  // Two stores over identical contents and knobs corrupt the same subset.
+  const auto victims = [&](const fs::path& root) {
+    store::StoreConfig cfg;
+    cfg.root = root.string();
+    store::ArtifactStore artifacts(cfg);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      artifacts.save(test_key("scan", 1, i), test_payload(1024, 0x33));
+    }
+    store::StoreChaos chaos;
+    chaos.seed = 4242;
+    chaos.corrupt_rate = 0.5;
+    artifacts.set_chaos(chaos);
+    std::vector<std::uint64_t> corrupted;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      if (artifacts.load(test_key("scan", 1, i)).corrupt()) {
+        corrupted.push_back(i);
+      }
+    }
+    return corrupted;
+  };
+  const auto a = victims(root_ / "a");
+  const auto b = victims(root_ / "b");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  EXPECT_LT(a.size(), 16u);  // rate 0.5: some survive, some do not
+}
+
+TEST_F(StoreTest, LoadOrComputeSingleFlightUnderConcurrentReaders) {
+  obs::metrics().reset();
+  store::ArtifactStore artifacts(config());
+  const store::ArtifactKey key = test_key("matrix", 1, 5);
+  ASSERT_TRUE(artifacts.save(key, test_payload(2048, 0x44)));
+
+  // Garble the artifact while concurrent warm readers race for it: the
+  // fetch must heal it with exactly one recompute, not one per reader.
+  store::StoreChaos chaos;
+  chaos.seed = 11;
+  chaos.corrupt_rate = 1.0;
+  artifacts.set_chaos(chaos);
+
+  constexpr std::size_t kReaders = 8;  // >= 4 per the robustness contract
+  std::atomic<std::uint64_t> computes{0};
+  std::vector<store::FetchResult> results(kReaders);
+  parallel_for(
+      kReaders,
+      [&](std::size_t i) {
+        results[i] = artifacts.load_or_compute(key, [&]() {
+          computes.fetch_add(1, std::memory_order_relaxed);
+          return test_payload(2048, 0x44);
+        });
+      },
+      kReaders);
+
+  for (std::size_t i = 0; i < kReaders; ++i) {
+    ASSERT_TRUE(results[i].load.hit()) << "reader " << i;
+    EXPECT_EQ(results[i].load.payload, test_payload(2048, 0x44));
+  }
+  // At most one recompute per corrupted artifact.
+  EXPECT_EQ(computes.load(), 1u);
+  std::size_t computed_flags = 0;
+  bool recovered = false;
+  for (const store::FetchResult& result : results) {
+    if (result.computed) ++computed_flags;
+    recovered |= result.recovered_corrupt;
+  }
+  EXPECT_EQ(computed_flags, 1u);
+  EXPECT_TRUE(recovered) << "someone must observe the pre-heal corruption";
+  const store::StoreStats stats = artifacts.stats();
+  EXPECT_EQ(stats.chaos_injected, 1u);
+  EXPECT_EQ(stats.recomputed, 1u);
+  // The healed artifact stays healed: a later fetch is a plain hit.
+  const store::FetchResult again = artifacts.load_or_compute(key, [&]() {
+    computes.fetch_add(1, std::memory_order_relaxed);
+    return test_payload(2048, 0x44);
+  });
+  EXPECT_TRUE(again.load.hit());
+  EXPECT_FALSE(again.computed);
+  EXPECT_EQ(computes.load(), 1u);
+}
+
+TEST_F(StoreTest, LoadOrComputeMissComputesAndPublishes) {
+  store::ArtifactStore artifacts(config());
+  const store::ArtifactKey key = test_key("matrix", 1, 9);
+  const store::FetchResult fetched =
+      artifacts.load_or_compute(key, [&]() { return test_payload(256, 0x55); });
+  EXPECT_TRUE(fetched.computed);
+  EXPECT_FALSE(fetched.recovered_corrupt);
+  EXPECT_EQ(fetched.load.payload, test_payload(256, 0x55));
+  // Published: a second store over the same root hits.
+  store::ArtifactStore again(config());
+  EXPECT_TRUE(again.load(key).hit());
+}
+
+TEST_F(StoreTest, ChaosUnderConcurrentWarmPipelineReadersSelfHeals) {
+  obs::metrics().reset();
+  const fault::FaultPlan clean = fault::FaultPlan::none();
+  const PipelineOutputs reference = run_pipeline(clean, nullptr);
+  {
+    auto artifacts = std::make_shared<store::ArtifactStore>(config());
+    run_pipeline(clean, artifacts);
+  }
+  // Delete the clustering artifacts so the warm run consults the per-ISP
+  // matrices (fan-out across pool workers) instead of short-circuiting.
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("clustering-v")) fs::remove(entry.path());
+  }
+
+  // Store chaos garbles warm matrices while those workers load them. The
+  // plan is measurement-identical to clean, so every output must match the
+  // storeless reference bit for bit -- corruption is healed, never served.
+  fault::FaultPlan chaos = clean;
+  chaos.store.corrupt_rate = 0.9;
+  auto chaos_store = std::make_shared<store::ArtifactStore>(config());
+  set_default_thread_count(4);  // >= 4 concurrent warm readers
+  const PipelineOutputs warm = run_pipeline(chaos, chaos_store);
+  expect_identical_outputs(reference, warm, "chaos under warm readers");
+
+  const store::StoreStats stats = chaos_store->stats();
+  EXPECT_GT(stats.chaos_injected, 0u) << "chaos must actually fire";
+  // Bounded self-heal: matrices fetch through load_or_compute, so their
+  // recomputes cannot exceed the garbled-artifact count (at most one
+  // recompute per corrupted artifact; the non-matrix artifacts heal through
+  // the plain consult-then-publish path, which recomputes outside this
+  // counter).
+  EXPECT_GT(stats.recomputed, 0u);
+  EXPECT_LE(stats.recomputed, stats.chaos_injected);
+  ASSERT_TRUE(warm.health.count("clustering"));
+  EXPECT_EQ(warm.health.at("clustering").status, fault::StageStatus::kDegraded);
+
+  // A third, chaos-free run over the healed store is warm and clean.
+  auto healed_store = std::make_shared<store::ArtifactStore>(config());
+  const PipelineOutputs healed = run_pipeline(clean, healed_store);
+  expect_identical_outputs(reference, healed, "healed after chaos");
+  EXPECT_EQ(healed_store->stats().corrupt, 0u);
+}
+
 }  // namespace
 }  // namespace repro

@@ -171,5 +171,132 @@ TEST_F(TracerouteTest, RouterSilenceDeterministic) {
   EXPECT_EQ(tracer_->router_silent(as, router), tracer_->router_silent(as, router));
 }
 
+// ---------------------------------------------------------- flap faults --
+
+bool same_trace(const Traceroute& a, const Traceroute& b) {
+  if (a.destination_reached != b.destination_reached) return false;
+  if (a.flap_detoured != b.flap_detoured) return false;
+  if (a.flap_truncated != b.flap_truncated) return false;
+  if (a.hops.size() != b.hops.size()) return false;
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    if (a.hops[i].ip != b.hops[i].ip) return false;
+    if (a.hops[i].true_owner != b.hops[i].true_owner) return false;
+  }
+  return true;
+}
+
+TEST_F(TracerouteTest, ZeroFlapRateBitIdenticalToCleanEngine) {
+  // A nonzero fault seed with a zero flap rate must not perturb a single
+  // hop: the fault path is only entered when the rate is positive.
+  TracerouteConfig config;
+  config.fault_seed = 4242;
+  config.flap_rate = 0.0;
+  const TracerouteEngine armed(*net_, config);
+  for (const AsIndex target : net_->access_isps()) {
+    const RoutingTable table = engine_->routes_to(target);
+    const Ipv4 dst = user_ip(*net_, target);
+    for (std::uint64_t flow = 0; flow < 3; ++flow) {
+      EXPECT_TRUE(same_trace(tracer_->trace(google_, dst, table, flow),
+                             armed.trace(google_, dst, table, flow)));
+    }
+  }
+}
+
+TEST_F(TracerouteTest, FlapWalkMatchesCleanTraceWhenNothingFlaps) {
+  // The flapped walk is a different code path (hop-by-hop forwarding walk
+  // instead of a materialized path); on a path with no flap-prone AS it
+  // must still emit exactly what trace() emits.
+  TracerouteConfig config;
+  config.fault_seed = 4242;
+  config.flap_rate = 0.3;
+  const TracerouteEngine flapped(*net_, config);
+  int compared = 0;
+  for (const AsIndex target : net_->access_isps()) {
+    const RoutingTable table = engine_->routes_to(target);
+    bool any_flapping = flapped.as_flapping(target);
+    for (const AsIndex as : table.as_path(google_)) {
+      if (flapped.as_flapping(as)) any_flapping = true;
+    }
+    if (any_flapping) continue;
+    const Ipv4 dst = user_ip(*net_, target);
+    EXPECT_TRUE(same_trace(tracer_->trace(google_, dst, table, 7),
+                           flapped.trace(google_, dst, table, 7)));
+    ++compared;
+  }
+  EXPECT_GT(compared, 0) << "every probed path had a flap-prone AS";
+}
+
+TEST_F(TracerouteTest, FlapVariesPathsAcrossProbeTimes) {
+  TracerouteConfig config;
+  config.fault_seed = 4242;
+  config.flap_rate = 0.9;
+  config.flap_period = 2;
+  const TracerouteEngine flapped(*net_, config);
+  bool saw_flap_effect = false;
+  bool saw_disagreement = false;
+  for (const AsIndex target : net_->access_isps()) {
+    const RoutingTable table = engine_->routes_to(target);
+    const Ipv4 dst = user_ip(*net_, target);
+    Traceroute first;
+    for (std::uint64_t t = 0; t < 8; ++t) {
+      const Traceroute probe = flapped.trace(google_, dst, table, 7, t);
+      if (probe.flap_detoured || probe.flap_truncated) saw_flap_effect = true;
+      if (t == 0) {
+        first = probe;
+      } else if (!same_trace(first, probe)) {
+        saw_disagreement = true;
+      }
+    }
+    if (saw_flap_effect && saw_disagreement) break;
+  }
+  EXPECT_TRUE(saw_flap_effect) << "no probe detoured or blackholed at 0.9";
+  EXPECT_TRUE(saw_disagreement) << "paths never disagreed across epochs";
+}
+
+TEST_F(TracerouteTest, FlapDeterministicPerFlowAndProbeTime) {
+  TracerouteConfig config;
+  config.fault_seed = 4242;
+  config.flap_rate = 0.9;
+  const TracerouteEngine flapped(*net_, config);
+  const AsIndex target = net_->access_isps()[1];
+  const RoutingTable table = engine_->routes_to(target);
+  const Ipv4 dst = user_ip(*net_, target);
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    EXPECT_TRUE(same_trace(flapped.trace(google_, dst, table, 3, t),
+                           flapped.trace(google_, dst, table, 3, t)));
+  }
+}
+
+TEST_F(TracerouteTest, FlappingDestinationWithdrawsAndBlackholes) {
+  // A flap-down *destination* withdraws its announcement: no probe can
+  // cross the final interdomain hop during a down epoch, even when every
+  // forwarding AS is healthy. This is the direct-peering case -- one AS
+  // hop, no intermediate AS to flap.
+  TracerouteConfig config;
+  config.fault_seed = 4242;
+  config.flap_rate = 0.9;
+  config.flap_period = 1;  // every probe_time is its own epoch
+  const TracerouteEngine flapped(*net_, config);
+  for (const AsIndex target : net_->access_isps()) {
+    if (!flapped.as_flapping(target)) continue;
+    std::uint64_t down_time = 0;
+    bool found = false;
+    for (std::uint64_t t = 0; t < 16 && !found; ++t) {
+      if (flapped.flap_down(target, t)) {
+        down_time = t;
+        found = true;
+      }
+    }
+    if (!found) continue;
+    const RoutingTable table = engine_->routes_to(target);
+    const Traceroute probe =
+        flapped.trace(google_, user_ip(*net_, target), table, 0, down_time);
+    EXPECT_FALSE(probe.destination_reached);
+    EXPECT_TRUE(probe.flap_truncated);
+    return;
+  }
+  GTEST_SKIP() << "no flap-prone destination at rate 0.9 in tiny world";
+}
+
 }  // namespace
 }  // namespace repro
