@@ -3,7 +3,8 @@
 // monotonic stopwatch for stage reporting, and the machine-readable run
 // artifacts every harness emits:
 //   * bench_output/BENCH_<name>.json -- one JSON line per run (steady-clock
-//     seconds, scale, wall-clock unix_ms), consumable by trend tooling;
+//     seconds, scale, wall-clock unix_ms, peak_rss_mb from the resource
+//     sampler's max), consumable by trend tooling;
 //     directory overridable via REPRO_BENCH_OUT. The same line is appended
 //     to bench_output/HISTORY.jsonl so `repro-bench diff/trend` can compare
 //     runs over time (the history file is local-only, see .gitignore).
@@ -30,16 +31,16 @@
 
 namespace repro::bench {
 
-/// Scenario from the REPRO_SCALE environment variable:
-/// "paper" (default), "small", or "tiny".
+/// Scenario from the REPRO_SCALE environment variable: any spelling
+/// parse_scale accepts ("tiny", "small", "paper", "10x"); "paper" when
+/// unset or unrecognized.
 inline Scenario scenario_from_env() {
   const char* scale = std::getenv("REPRO_SCALE");
-  const std::string value = scale == nullptr ? "paper" : scale;
-  if (value == "tiny") return Scenario::tiny();
-  if (value == "small") return Scenario::small();
-  if (value != "paper") {
-    std::fprintf(stderr, "unknown REPRO_SCALE '%s', using paper\n",
-                 value.c_str());
+  if (scale != nullptr) {
+    if (const auto parsed = parse_scale(scale); parsed.has_value()) {
+      return Scenario::at_scale(*parsed);
+    }
+    std::fprintf(stderr, "unknown REPRO_SCALE '%s', using paper\n", scale);
   }
   return Scenario::paper();
 }
@@ -118,12 +119,35 @@ inline std::string health_json_fields(
 /// the header comment. `bench` names the BENCH_<bench>.json file; `stages`
 /// (typically pipeline.stage_health()) becomes the line's health verdict and
 /// `extra_fields` extends the line (see bench_json_line).
+/// Peak resident set over the run, in MB: the max across the background
+/// sampler's series (when it ran) and a sample taken right now, so the
+/// field is present -- if coarser -- even in unsampled runs. RSS only
+/// shrinks on explicit release (madvise), so the footer-time sample is a
+/// faithful floor of the true peak.
+inline double peak_rss_mb_now() {
+  long peak_kb = obs::read_resource_sample().rss_kb;
+  for (const obs::ResourceSample& sample : obs::sampler().samples()) {
+    if (sample.rss_kb > peak_kb) peak_kb = sample.rss_kb;
+  }
+  return static_cast<double>(peak_kb) / 1024.0;
+}
+
 inline void print_footer(const char* bench, const Stopwatch& watch,
                          const std::map<std::string, fault::StageHealth>& stages = {},
                          const std::string& extra_fields = {}) {
   std::printf("\n[completed in %.1f s]\n", watch.seconds());
 
+  // Join the sampler before building the line so its final sample counts
+  // toward peak_rss_mb and the exported series covers the full run.
+  obs::sampler().stop();
+
   std::string fields = health_json_fields(stages);
+  {
+    char rss[64];
+    std::snprintf(rss, sizeof(rss), ",\"peak_rss_mb\":%.1f",
+                  peak_rss_mb_now());
+    fields += rss;
+  }
   if (!extra_fields.empty()) {
     fields += ",";
     fields += extra_fields;
@@ -144,10 +168,6 @@ inline void print_footer(const char* bench, const Stopwatch& watch,
   } catch (const Error& error) {
     std::fprintf(stderr, "bench history not appended: %s\n", error.what());
   }
-
-  // Join the sampler before export so the series covers the full run and
-  // the final sample lands in both the report and the counter tracks.
-  obs::sampler().stop();
 
   if (obs::tracing_enabled()) {
     std::printf("\nPer-stage timing (REPRO_TRACE=1):\n%s\n",

@@ -1,0 +1,263 @@
+// Multi-process shard driver for the clustering stage (docs/SCALING.md).
+//
+// Parent mode forks one worker process per shard; each worker builds its
+// own Pipeline over the shared artifact store, clusters only the hosting
+// ISPs its shard owns (Pipeline::shard_of partitions them by the scenario's
+// measurement digest, so every process agrees without coordination), and
+// publishes a "clustershard" artifact. The parent then merges: it replays
+// every shard's outcomes and domain-counter deltas through the same
+// ISP-ordered merge a single-process run uses, recomputing any shard whose
+// artifact is missing or corrupt. The merged clusterings, StageHealth,
+// Table 1/2 outputs and domain counters are bit-identical to --single
+// (scripts/check.sh diffs the two summaries; tests/test_scale.cpp fences
+// the same contract in-process).
+//
+//   repro-shard --shards 3 --store /tmp/st --scale tiny --out sharded.txt
+//   repro-shard --single   --store /tmp/st2 --scale tiny --out single.txt
+//   diff sharded.txt single.txt
+//
+// REPRO_FAULT selects the fault plan, exactly like the other example
+// binaries. Workers are forked before the parent constructs any Pipeline,
+// so no threads or locked mutexes cross the fork.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyses.h"
+#include "fault/fault_plan.h"
+#include "fault/stage_health.h"
+#include "obs/metrics.h"
+#include "store/artifact_store.h"
+#include "store/serde.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace repro;
+
+struct Options {
+  std::size_t shards = 0;      // 0 = not set
+  bool single = false;
+  int worker = -1;             // >= 0: internal worker mode for that shard
+  std::string store_root;
+  std::string scale = "tiny";
+  double xi = 0.1;
+  std::string out = "-";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--shards K | --single) --store DIR [--scale "
+      "tiny|small|paper|10x] [--xi X] [--out PATH]\n"
+      "  --shards K   fork K worker processes, then merge their shards\n"
+      "  --single     run the whole clustering in this process instead\n"
+      "  --store DIR  artifact store root (the shared medium; required)\n"
+      "  --out PATH   write the comparison summary there (default stdout)\n"
+      "  --worker I   internal: run as the worker for shard I\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--shards") opt.shards = std::strtoul(value(), nullptr, 10);
+    else if (arg == "--single") opt.single = true;
+    else if (arg == "--worker") opt.worker = std::atoi(value());
+    else if (arg == "--store") opt.store_root = value();
+    else if (arg == "--scale") opt.scale = value();
+    else if (arg == "--xi") opt.xi = std::atof(value());
+    else if (arg == "--out") opt.out = value();
+    else usage(argv[0]);
+  }
+  if (opt.store_root.empty()) usage(argv[0]);
+  if (opt.worker >= 0) {
+    if (opt.shards == 0) usage(argv[0]);
+  } else if (opt.single == (opt.shards != 0)) {
+    usage(argv[0]);  // exactly one of --single / --shards
+  }
+  return opt;
+}
+
+Scenario scenario_for(const std::string& name) {
+  const auto scale = parse_scale(name);
+  if (!scale.has_value()) {
+    std::fprintf(stderr, "unknown scale: %s\n", name.c_str());
+    std::exit(2);
+  }
+  return Scenario::at_scale(*scale);
+}
+
+std::shared_ptr<store::ArtifactStore> open_store(const std::string& root) {
+  store::StoreConfig config;
+  config.root = root;
+  return std::make_shared<store::ArtifactStore>(config);
+}
+
+/// Digest over everything an IspClustering decides, so two runs agree
+/// exactly when their clusterings are bit-identical.
+std::uint64_t clusterings_digest(const std::vector<IspClustering>& all) {
+  store::Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(all.size()));
+  for (const IspClustering& c : all) {
+    h.mix(static_cast<std::uint64_t>(c.isp)).mix(c.usable);
+    h.mix(static_cast<std::uint64_t>(c.cluster_count));
+    h.mix(static_cast<std::uint64_t>(c.dropped_unresponsive));
+    h.mix(static_cast<std::uint64_t>(c.dropped_impossible));
+    h.mix(static_cast<std::uint64_t>(c.usable_sites));
+    for (const std::size_t ri : c.registry_indices) {
+      h.mix(static_cast<std::uint64_t>(ri));
+    }
+    for (const int label : c.labels) h.mix(label);
+  }
+  return h.digest();
+}
+
+/// The comparison summary: clustering digests, stage health, Table 1/2
+/// renders, and the domain counters -- everything the bit-identity contract
+/// covers. Deliberately excludes gauges (cluster.threads/tasks describe the
+/// process layout, not the result) and store./pipeline. bookkeeping.
+std::string summarize(const Pipeline& pipeline, double xi) {
+  std::string out;
+  char line[128];
+  for (const double x : (xi == 0.1 || xi == 0.9)
+                            ? std::vector<double>{0.1, 0.9}
+                            : std::vector<double>{xi}) {
+    std::snprintf(line, sizeof(line), "clusterings[%g]: %016llx\n", x,
+                  static_cast<unsigned long long>(
+                      clusterings_digest(pipeline.clusterings(x))));
+    out += line;
+  }
+  out += "health:\n";
+  for (const auto& [stage, health] : pipeline.stage_health()) {
+    out += "  " + stage + ": " + std::string(to_string(health.status)) + " " +
+           std::to_string(health.dropped) + "/" +
+           std::to_string(health.total);
+    for (const std::string& reason : health.reasons) out += " | " + reason;
+    out += "\n";
+  }
+  out += "counters:\n";
+  for (const auto& [name, value] : obs::metrics().snapshot().counters) {
+    if (name.rfind("store.", 0) == 0 || name.rfind("pipeline.", 0) == 0) {
+      continue;
+    }
+    out += "  " + name + " = " + std::to_string(value) + "\n";
+  }
+  out += "table1:\n" + render(table1_study(pipeline));
+  const std::vector<double> xis{0.1, 0.9};
+  out += "table2:\n" + render(table2_study(pipeline, xis));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  const fault::FaultPlan plan = fault::FaultPlan::from_env();
+  const Scenario scenario = scenario_for(opt.scale);
+
+  if (opt.worker >= 0) {
+    // Worker mode: cluster this shard's ISPs and publish the artifact.
+    try {
+      Pipeline pipeline(scenario, plan, open_store(opt.store_root));
+      pipeline.compute_clustering_shard(static_cast<std::size_t>(opt.worker),
+                                        opt.shards, opt.xi);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "worker %d: %s\n", opt.worker, error.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (opt.single) {
+    // Stage-for-stage comparability with shard mode: there the workers
+    // publish the shared stage artifacts (topology, population, scan) and
+    // the parent consumes them warm, with those stages' counters confined
+    // to the worker processes. Mirror that process structure here -- a
+    // forked prewarm child computes the stage artifacts and exits, so the
+    // summarizing parent below is warm for the same stages and cold only
+    // for clustering, exactly like the shard-mode parent.
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      try {
+        Pipeline pipeline(scenario, plan, open_store(opt.store_root));
+        pipeline.hosting_isps_2023();
+        std::_Exit(0);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "prewarm: %s\n", error.what());
+        std::_Exit(1);
+      }
+    }
+    int status = 0;
+    waitpid(pid, &status, 0);
+  } else {
+    // Fork the workers before this process builds any Pipeline: no thread
+    // pool or locked mutex exists yet, so fork() is safe, and each worker
+    // re-execs nothing -- it runs main() logic in its own address space.
+    std::vector<pid_t> children;
+    for (std::size_t shard = 0; shard < opt.shards; ++shard) {
+      const pid_t pid = fork();
+      if (pid < 0) {
+        std::perror("fork");
+        return 1;
+      }
+      if (pid == 0) {
+        try {
+          Pipeline pipeline(scenario, plan, open_store(opt.store_root));
+          pipeline.compute_clustering_shard(shard, opt.shards, opt.xi);
+          std::_Exit(0);
+        } catch (const std::exception& error) {
+          std::fprintf(stderr, "worker %zu: %s\n", shard, error.what());
+          std::_Exit(1);
+        }
+      }
+      children.push_back(pid);
+    }
+    std::size_t failed = 0;
+    for (const pid_t pid : children) {
+      int status = 0;
+      if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+          WEXITSTATUS(status) != 0) {
+        ++failed;
+      }
+    }
+    if (failed > 0) {
+      // The merge below recomputes any shard whose artifact never landed,
+      // so worker failures degrade to extra local work, not wrong output.
+      std::fprintf(stderr, "%zu worker(s) failed; merge will recompute\n",
+                   failed);
+    }
+  }
+
+  Pipeline pipeline(scenario, plan, open_store(opt.store_root));
+  if (!opt.single) {
+    pipeline.merge_clustering_shards(opt.shards, opt.xi);
+  }
+  const std::string summary = summarize(pipeline, opt.xi);
+
+  if (opt.out == "-") {
+    std::fputs(summary.c_str(), stdout);
+  } else {
+    write_file(opt.out, summary);
+    std::printf("wrote %s\n", opt.out.c_str());
+  }
+  return 0;
+}

@@ -12,8 +12,9 @@
 #                                  UBSan build of the `perf` label (the
 #                                  SIMD kernels), a TSan store-chaos smoke
 #                                  (live corruption under concurrent warm
-#                                  readers), the warm-start smoke, and a
-#                                  perf-regression gate
+#                                  readers), the warm-start smoke, an ASan
+#                                  multi-process shard smoke (repro-shard
+#                                  vs --single), and a perf-regression gate
 #   SKIP_ASAN=1 ./scripts/check.sh  skip the ASan pass
 #   SKIP_TSAN=1 ./scripts/check.sh  skip the TSan pass
 #   SKIP_CHAOS=1 ./scripts/check.sh skip the store-chaos smoke
@@ -21,6 +22,7 @@
 #   SKIP_WARM=1 ./scripts/check.sh  skip the warm-equals-cold smoke
 #   SKIP_TRACE=1 ./scripts/check.sh skip the trace-export smoke
 #   SKIP_PERF=1 ./scripts/check.sh  skip the perf-regression gate
+#   SKIP_SHARD=1 ./scripts/check.sh skip the multi-process shard smoke
 #
 # Exits nonzero on the first failure.
 set -euo pipefail
@@ -111,6 +113,27 @@ if [[ "${SKIP_TRACE:-0}" != "1" ]]; then
     REPRO_TRACE_EVENTS="$trace_dir/trace.json" \
     ./build/examples/full_report "$trace_dir/report.md" >/dev/null
   ./build/examples/repro-bench trace-check "$trace_dir/trace.json"
+fi
+
+if [[ "${SKIP_SHARD:-0}" != "1" ]]; then
+  echo "== asan: multi-process shard smoke (3 shards vs single, tiny scale) =="
+  # The repro-shard driver forks 3 workers over a shared artifact store and
+  # merges; a --single run over its own store is the baseline. The two
+  # summaries (clusterings digests, stage health, domain counters, Table 1/2
+  # renders) must be byte-identical -- docs/SCALING.md's bit-identity
+  # contract crossing real process boundaries, with ASan watching the
+  # worker/merge paths. Shard-transport gauges (store.*, pipeline.*) are
+  # excluded from the summary by the driver itself.
+  cmake -B build-asan -S . -DREPRO_SANITIZE=address >/dev/null
+  cmake --build build-asan -j"$(nproc)" --target repro-shard
+  shard_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir:-}" "${trace_dir:-}" "${perf_dir:-}" "${chaos_dir:-}" "${shard_dir:-}"' EXIT
+  ./build-asan/examples/repro-shard --shards 3 --scale tiny \
+    --store "$shard_dir/sharded.store" --out "$shard_dir/sharded.txt" >/dev/null
+  ./build-asan/examples/repro-shard --single --scale tiny \
+    --store "$shard_dir/single.store" --out "$shard_dir/single.txt" >/dev/null
+  diff "$shard_dir/sharded.txt" "$shard_dir/single.txt"
+  echo "3-shard merge byte-identical to single process"
 fi
 
 if [[ "${SKIP_PERF:-0}" != "1" ]]; then

@@ -42,16 +42,29 @@ std::vector<IspClustering> ColocationClusterer::cluster_isp_multi(
 
 std::vector<IspClustering> ColocationClusterer::cluster_isp_multi(
     AsIndex isp, std::span<const double> xis, LatencyMatrix premeasured) const {
+  const LatencyMatrix raw = std::move(premeasured);
+  return cluster_rows(isp, xis, LatencyMatrixRows(raw), /*streamed=*/false, 0);
+}
+
+std::vector<IspClustering> ColocationClusterer::cluster_isp_multi(
+    AsIndex isp, std::span<const double> xis, const LatencyRows& rows,
+    std::size_t block_rows) const {
+  return cluster_rows(isp, xis, rows, /*streamed=*/true, block_rows);
+}
+
+std::vector<IspClustering> ColocationClusterer::cluster_rows(
+    AsIndex isp, std::span<const double> xis, const LatencyRows& rows,
+    bool streamed, std::size_t block_rows) const {
   require(!xis.empty(), "cluster_isp_multi: need at least one xi");
   IspClustering base;
   base.isp = isp;
 
-  const LatencyMatrix raw = std::move(premeasured);
-  bool done = raw.row_count() == 0;
+  bool done = rows.row_count() == 0;
 
   FilteredMatrix cleaned;
   if (!done) {
-    cleaned = clean_matrix(raw, vps_, config_.filter);
+    cleaned = clean_matrix(rows, vps_, config_.filter,
+                           /*materialize=*/!streamed);
     base.dropped_unresponsive = cleaned.dropped_unresponsive;
     base.dropped_impossible = cleaned.dropped_impossible;
     base.usable_sites = cleaned.col_count();
@@ -61,7 +74,7 @@ std::vector<IspClustering> ColocationClusterer::cluster_isp_multi(
     base.usable = true;
     base.registry_indices.reserve(cleaned.row_count());
     for (const std::size_t row : cleaned.kept_rows) {
-      base.registry_indices.push_back(raw.server_indices[row]);
+      base.registry_indices.push_back(rows.server_index(row));
     }
   }
 
@@ -74,6 +87,14 @@ std::vector<IspClustering> ColocationClusterer::cluster_isp_multi(
 
   const DistanceMatrix distances = [&] {
     obs::ScopedTimer timer("cluster.distance_ms");
+    if (streamed) {
+      return pairwise_distances_streamed(
+          [&rows, &cleaned](std::size_t compact_row, double* out_row) {
+            fill_compact_row(rows, cleaned, compact_row, out_row);
+          },
+          cleaned.row_count(), cleaned.col_count(), config_.trim_fraction,
+          block_rows);
+    }
     return pairwise_distances(cleaned.rtt, cleaned.row_count(),
                               cleaned.col_count(), config_.trim_fraction);
   }();

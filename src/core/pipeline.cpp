@@ -1,10 +1,13 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
-#include <cmath>
-#include <string>
-
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <system_error>
 
 #include "fault/injector.h"
 #include "hypergiant/profile.h"
@@ -12,6 +15,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "store/artifact_store.h"
+#include "store/matrix_file.h"
 #include "store/serde.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -57,6 +61,22 @@ void note_store_corruption(fault::StageHealth& health, const std::string& detail
   health.reasons.push_back("store: " + detail);
 }
 
+/// The xi batch clusterings() computes together: the paper's two standard
+/// settings share one OPTICS ordering; an unusual xi is computed alone.
+/// Shard workers and the merge derive the identical batch independently.
+std::vector<double> xi_batch(double xi) {
+  if (xi == 0.1 || xi == 0.9) return {0.1, 0.9};
+  return {xi};
+}
+
+/// Counters that must not ride a shard artifact into the parent: store
+/// traffic and pipeline cache bookkeeping are per-process facts, while the
+/// domain counters (cluster.*, filters.*, ...) sum linearly over ISPs and
+/// replay exactly (docs/SCALING.md).
+bool shard_local_counter(const std::string& name) {
+  return name.rfind("store.", 0) == 0 || name.rfind("pipeline.", 0) == 0;
+}
+
 }  // namespace
 
 Pipeline::Pipeline(Scenario scenario)
@@ -97,6 +117,30 @@ Pipeline::Pipeline(Scenario scenario, fault::FaultPlan plan,
     chaos.corrupt_rate = plan_.store.corrupt_rate;
     chaos.truncate_fraction = plan_.store.truncate_fraction;
     artifacts_->set_chaos(chaos);
+  }
+
+  // Streamed matrices need a spill directory. Anchor it under a writable
+  // store (spills then persist as a rebuildable warm cache next to the .bin
+  // artifacts); otherwise use a private temp directory torn down with the
+  // pipeline. If neither can be created, streaming quietly degrades to the
+  // in-memory path -- the outputs are bit-identical either way.
+  if (scenario_.stream_matrices) {
+    namespace fs = std::filesystem;
+    if (artifacts_ != nullptr && !artifacts_->config().read_only) {
+      std::error_code ec;
+      const std::string dir = artifacts_->config().root + "/stream";
+      fs::create_directories(dir, ec);
+      if (!ec) stream_dir_ = dir;
+    }
+    if (stream_dir_.empty()) {
+      std::error_code ec;
+      std::string tmpl =
+          (fs::temp_directory_path(ec) / "repro-stream-XXXXXX").string();
+      if (!ec && ::mkdtemp(tmpl.data()) != nullptr) {
+        stream_dir_ = tmpl;
+        owns_stream_dir_ = true;
+      }
+    }
   }
 
   obs::ScopedSpan span("pipeline.generate_internet");
@@ -148,6 +192,13 @@ Pipeline::Pipeline(Scenario scenario, fault::FaultPlan plan,
       static_cast<double>(internet_.ases.size()));
   obs::metrics().gauge("topology.links").set(
       static_cast<double>(internet_.links.size()));
+}
+
+Pipeline::~Pipeline() {
+  if (owns_stream_dir_ && !stream_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(stream_dir_, ec);
+  }
 }
 
 void Pipeline::record_health(const std::string& stage,
@@ -411,10 +462,7 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
 
   obs::ScopedSpan span("pipeline.clustering");
 
-  // The ordering phase dominates and is xi-independent, so compute the
-  // paper's two standard settings together; an unusual xi is computed alone.
-  std::vector<double> xis{xi};
-  if (xi == 0.1 || xi == 0.9) xis = {0.1, 0.9};
+  const std::vector<double> xis = xi_batch(xi);
 
   // Warm path: the whole xi batch must hit, else recompute everything (one
   // OPTICS ordering serves every xi, so partial reuse saves nothing).
@@ -463,6 +511,24 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
     }
   }
 
+  const std::vector<AsIndex> isps = hosting_isps_2023();
+  ClusterFanout fanout = cluster_isps(isps, xis);
+  return merge_isp_outcomes(isps, xis, std::move(fanout), corruption, key);
+}
+
+std::string Pipeline::stream_spill_path(AsIndex isp) const {
+  // Keyed exactly like the "matrix" artifact family, with the .mmx
+  // extension marking the aligned spill layout (store/matrix_file.h).
+  std::string name = make_key("matrix", store::kLatencyMatrixSchema,
+                              world_digest_,
+                              {static_cast<std::uint64_t>(isp)})
+                         .filename();
+  name.replace(name.size() - 4, 4, ".mmx");
+  return stream_dir_ + "/" + name;
+}
+
+Pipeline::ClusterFanout Pipeline::cluster_isps(
+    const std::vector<AsIndex>& isps, std::span<const double> xis) const {
   ColocationConfig config;
   config.filter = scenario_.filter;
   const OffnetRegistry& reg = registry(Snapshot::k2023);
@@ -470,30 +536,92 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
   const ColocationClusterer clusterer(reg, mesh, vantage_points(), config);
 
   // Fan the per-ISP clustering across the thread pool. Each ISP's outcome
-  // lands in its own preallocated slot, and the health/result merge below
-  // walks the slots in ISP order on this thread, so results, health records
-  // and counters are bit-identical to the serial loop for any thread count.
-  const std::vector<AsIndex> isps = hosting_isps_2023();
-  struct IspOutcome {
-    std::vector<IspClustering> per_xi;
-    bool failed = false;
-    std::string error;
-  };
-  std::vector<IspOutcome> outcomes(isps.size());
+  // lands in its own preallocated slot, and the health/result merge walks
+  // the slots in ISP order on one thread, so results, health records and
+  // counters are bit-identical to the serial loop for any thread count.
+  ClusterFanout fanout;
+  fanout.outcomes.resize(isps.size());
+  std::vector<IspOutcome>& outcomes = fanout.outcomes;
   const std::size_t threads =
       std::min(default_thread_count(), std::max<std::size_t>(isps.size(), 1));
   obs::metrics().gauge("cluster.threads").set(static_cast<double>(threads));
   obs::metrics().gauge("cluster.tasks").set(static_cast<double>(isps.size()));
   const std::size_t block =
       std::max<std::size_t>(1, isps.size() / (threads * 4));
+  const bool streaming = !stream_dir_.empty();
   // Per-ISP latency matrices are the expensive xi-independent half of the
   // clustering stage, so workers consult/publish them individually; the
   // store serializes internally, keeping the fan-out data-race free (the
   // TSan tier of scripts/check.sh covers this path).
   std::atomic<std::uint64_t> corrupt_matrices{0};
+
+  // Fetches one ISP's matrix: through the attached store when present
+  // (single-flight, self-healing), else by measuring directly.
+  const auto fetch_matrix = [&](AsIndex isp) -> LatencyMatrix {
+    if (artifacts_ == nullptr) return mesh.measure_isp(reg, isp);
+    const store::ArtifactKey mkey =
+        make_key("matrix", store::kLatencyMatrixSchema, world_digest_,
+                 {static_cast<std::uint64_t>(isp)});
+    // Single-flight fetch: when several workers (or several pipelines over
+    // one shared store) race for the same matrix -- including one freshly
+    // garbled by store chaos -- exactly one computes while the rest park
+    // and re-load the healed bytes.
+    const store::FetchResult fetched = artifacts_->load_or_compute(
+        mkey, [&]() {
+          LatencyMatrix computed = mesh.measure_isp(reg, isp);
+          store::ByteWriter writer;
+          store::encode(writer, computed);
+          return writer.bytes();
+        });
+    if (fetched.recovered_corrupt) {
+      corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
+    }
+    try {
+      store::ByteReader reader(fetched.load.payload);
+      return store::decode_latency_matrix(reader);
+    } catch (const Error&) {
+      // Payload decode failed even after the fetch (e.g. a read-only store
+      // serving chaos-garbled bytes it cannot heal): fall back to a direct
+      // compute.
+      corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
+      return mesh.measure_isp(reg, isp);
+    }
+  };
+
+  // Streamed path: the matrix lives in a .mmx spill and clustering reads
+  // it through an mmap view, so the full matrix never sits on the heap. A
+  // malformed spill is treated like a corrupt artifact (delete, recompute,
+  // republish); a failed spill write degrades to the in-memory path --
+  // bit-identical either way (docs/SCALING.md).
+  const auto cluster_streamed = [&](AsIndex isp) -> std::vector<IspClustering> {
+    const std::string path = stream_spill_path(isp);
+    std::optional<store::MappedLatencyMatrix> mapped;
+    try {
+      mapped = store::MappedLatencyMatrix::open_if_exists(path);
+    } catch (const store::SerdeError&) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
+    } catch (const Error&) {
+      // Unmappable (permissions, exotic filesystem): leave the file alone
+      // and fall through to a fresh fetch + in-memory fallback below.
+    }
+    if (!mapped.has_value()) {
+      LatencyMatrix computed = fetch_matrix(isp);
+      try {
+        store::write_matrix_file(path, computed);
+        mapped = store::MappedLatencyMatrix::open(path);
+      } catch (const Error&) {
+        return clusterer.cluster_isp_multi(isp, xis, std::move(computed));
+      }
+    }
+    return clusterer.cluster_isp_multi(isp, xis, *mapped,
+                                       scenario_.stream_block_rows);
+  };
+
   parallel_for_blocks(
       isps.size(), block,
-      [&, this](std::size_t begin, std::size_t end) {
+      [&](std::size_t begin, std::size_t end) {
         // Shard-level aggregation: each worker's contiguous run of ISPs is
         // one sample of cluster.shard_ms, next to the per-ISP wall times.
         // The spans ride the task-context propagation in the pool, so they
@@ -506,39 +634,13 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
           obs::ScopedTimer timer("cluster.isp_wall_ms");
           IspOutcome& out = outcomes[i];
           try {
-            if (artifacts_ == nullptr) {
+            if (streaming) {
+              out.per_xi = cluster_streamed(isps[i]);
+            } else if (artifacts_ == nullptr) {
               out.per_xi = clusterer.cluster_isp_multi(isps[i], xis);
             } else {
-              const store::ArtifactKey mkey =
-                  make_key("matrix", store::kLatencyMatrixSchema, world_digest_,
-                           {static_cast<std::uint64_t>(isps[i])});
-              // Single-flight fetch: when several workers (or several
-              // pipelines over one shared store) race for the same matrix --
-              // including one freshly garbled by store chaos -- exactly one
-              // computes while the rest park and re-load the healed bytes.
-              const store::FetchResult fetched = artifacts_->load_or_compute(
-                  mkey, [&]() {
-                    LatencyMatrix computed = mesh.measure_isp(reg, isps[i]);
-                    store::ByteWriter writer;
-                    store::encode(writer, computed);
-                    return writer.bytes();
-                  });
-              if (fetched.recovered_corrupt) {
-                corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
-              }
-              LatencyMatrix matrix;
-              try {
-                store::ByteReader reader(fetched.load.payload);
-                matrix = store::decode_latency_matrix(reader);
-              } catch (const Error&) {
-                // Payload decode failed even after the fetch (e.g. a
-                // read-only store serving chaos-garbled bytes it cannot
-                // heal): fall back to a direct compute.
-                corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
-                matrix = mesh.measure_isp(reg, isps[i]);
-              }
-              out.per_xi =
-                  clusterer.cluster_isp_multi(isps[i], xis, std::move(matrix));
+              out.per_xi = clusterer.cluster_isp_multi(isps[i], xis,
+                                                       fetch_matrix(isps[i]));
             }
           } catch (const Error& error) {
             // Quality gate: one pathological ISP matrix must not abort the
@@ -553,6 +655,17 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
         }
       },
       threads);
+  fanout.corrupt_matrices = corrupt_matrices.load();
+  return fanout;
+}
+
+const std::vector<IspClustering>& Pipeline::merge_isp_outcomes(
+    const std::vector<AsIndex>& isps, std::span<const double> xis,
+    ClusterFanout fanout, const std::string& corruption,
+    std::uint64_t key) const {
+  std::vector<IspOutcome>& outcomes = fanout.outcomes;
+  require(outcomes.size() == isps.size(),
+          "merge_isp_outcomes: outcome count mismatch");
 
   // Deterministic, ISP-ordered merge on the calling thread.
   fault::StageHealth health;
@@ -598,10 +711,9 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
                        writer.bytes());
     }
   }
-  const std::uint64_t corrupt_count = corrupt_matrices.load();
-  if (corrupt_count > 0) {
+  if (fanout.corrupt_matrices > 0) {
     note_store_corruption(health,
-                          std::to_string(corrupt_count) +
+                          std::to_string(fanout.corrupt_matrices) +
                               " corrupt latency matrices recomputed");
   }
   if (!corruption.empty()) note_store_corruption(health, corruption);
@@ -612,6 +724,205 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
     clusterings_[xi_key(xis[x])] = std::move(results[x]);
   }
   return clusterings_.at(key);
+}
+
+std::size_t Pipeline::shard_of(std::uint64_t measurement_digest, AsIndex isp,
+                               std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  return static_cast<std::size_t>(
+      store::Fnv1a()
+          .mix(measurement_digest)
+          .mix(static_cast<std::uint64_t>(isp))
+          .digest() %
+      shard_count);
+}
+
+void Pipeline::compute_clustering_shard(std::size_t shard,
+                                        std::size_t shard_count,
+                                        double xi) const {
+  require(artifacts_ != nullptr,
+          "compute_clustering_shard: needs an artifact store (the shared "
+          "medium between shard processes)");
+  require(shard_count >= 1 && shard < shard_count,
+          "compute_clustering_shard: shard outside [0, shard_count)");
+  obs::ScopedSpan span("pipeline.clustering_shard");
+
+  const std::vector<double> xis = xi_batch(xi);
+  const std::uint64_t partition_digest = measurement_digest(scenario_);
+
+  // Force every upstream stage before bracketing the counter delta: the
+  // fan-out below must be the only thing between the two snapshots, so the
+  // delta replays cleanly in a parent that forced the same stages itself.
+  const std::vector<AsIndex> all = hosting_isps_2023();
+  registry(Snapshot::k2023);
+  vantage_points();
+  ping_mesh();
+
+  std::vector<AsIndex> mine;
+  for (const AsIndex isp : all) {
+    if (shard_of(partition_digest, isp, shard_count) == shard) {
+      mine.push_back(isp);
+    }
+  }
+
+  std::map<std::string, std::uint64_t> before;
+  for (const auto& [name, value] : obs::metrics().snapshot().counters) {
+    before[name] = value;
+  }
+
+  ClusterFanout fanout = cluster_isps(mine, xis);
+
+  // Domain-counter delta of the fan-out (cluster.*, filters.*, ...); store
+  // and pipeline bookkeeping stays per-process. Counters the fan-out merely
+  // *registered* (zero adds, like filters.nonfinite_leaked on a clean run)
+  // ride along with a zero delta: replaying them registers the same entry
+  // in the parent, so the merged counter listing matches a single-process
+  // run name-for-name, not just value-for-value.
+  std::vector<std::pair<std::string, std::uint64_t>> deltas;
+  for (const auto& [name, value] : obs::metrics().snapshot().counters) {
+    if (shard_local_counter(name)) continue;
+    const auto it = before.find(name);
+    if (it == before.end()) {
+      deltas.emplace_back(name, value);
+    } else if (value > it->second) {
+      deltas.emplace_back(name, value - it->second);
+    }
+  }
+
+  store::ByteWriter writer;
+  writer.u64(shard);
+  writer.u64(shard_count);
+  writer.u64(xis.size());
+  for (const double x : xis) writer.u64(xi_key(x));
+  writer.u64(fanout.corrupt_matrices);
+  writer.u64(mine.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    const IspOutcome& out = fanout.outcomes[i];
+    writer.u64(static_cast<std::uint64_t>(mine[i]));
+    writer.u8(out.failed ? 1 : 0);
+    writer.str(out.error);
+    store::encode(writer, out.per_xi);
+  }
+  writer.u64(deltas.size());
+  for (const auto& [name, value] : deltas) {
+    writer.str(name);
+    writer.u64(value);
+  }
+  artifacts_->save(make_key("clustershard", store::kClusterShardSchema,
+                            world_digest_,
+                            {shard, shard_count, xi_key(xi)}),
+                   writer.bytes());
+}
+
+void Pipeline::merge_clustering_shards(std::size_t shard_count,
+                                       double xi) const {
+  require(artifacts_ != nullptr,
+          "merge_clustering_shards: needs an artifact store");
+  require(shard_count >= 1, "merge_clustering_shards: zero shards");
+  obs::ScopedSpan span("pipeline.clustering_merge");
+
+  const std::vector<double> xis = xi_batch(xi);
+  const std::uint64_t partition_digest = measurement_digest(scenario_);
+
+  // The parent owns the stage health and counters of every non-clustering
+  // stage, exactly like a single-process run: force them before merging.
+  const std::vector<AsIndex> isps = hosting_isps_2023();
+  registry(Snapshot::k2023);
+  vantage_points();
+  ping_mesh();
+
+  // Each shard's slots into the global hosting-ISP order (the shard
+  // artifact lists its ISPs in the same filtered sub-order).
+  std::vector<std::vector<std::size_t>> shard_slots(shard_count);
+  for (std::size_t i = 0; i < isps.size(); ++i) {
+    shard_slots[shard_of(partition_digest, isps[i], shard_count)].push_back(i);
+  }
+
+  ClusterFanout merged;
+  merged.outcomes.resize(isps.size());
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    bool replayed = false;
+    const store::LoadResult loaded =
+        artifacts_->load(make_key("clustershard", store::kClusterShardSchema,
+                                  world_digest_, {s, shard_count, xi_key(xi)}));
+    if (loaded.hit()) {
+      try {
+        store::ByteReader reader(loaded.payload);
+        const std::uint64_t got_shard = reader.u64();
+        const std::uint64_t got_count = reader.u64();
+        const std::uint64_t got_xis = reader.u64();
+        bool consistent = got_shard == s && got_count == shard_count &&
+                          got_xis == xis.size();
+        for (std::uint64_t x = 0; x < got_xis; ++x) {
+          const std::uint64_t got_key = reader.u64();
+          consistent = consistent && x < xis.size() &&
+                       got_key == xi_key(xis[static_cast<std::size_t>(x)]);
+        }
+        if (!consistent) throw store::SerdeError("clustershard layout drift");
+        const std::uint64_t shard_corrupt = reader.u64();
+        const std::uint64_t count = reader.u64();
+        if (count != shard_slots[s].size()) {
+          throw store::SerdeError("clustershard ISP count drift");
+        }
+        std::vector<IspOutcome> outcomes(static_cast<std::size_t>(count));
+        for (std::uint64_t i = 0; i < count; ++i) {
+          IspOutcome& out = outcomes[static_cast<std::size_t>(i)];
+          const AsIndex isp = static_cast<AsIndex>(reader.u64());
+          if (isp != isps[shard_slots[s][static_cast<std::size_t>(i)]]) {
+            throw store::SerdeError("clustershard ISP order drift");
+          }
+          out.failed = reader.u8() != 0;
+          out.error = reader.str();
+          out.per_xi = store::decode_clusterings(reader);
+          if (out.per_xi.size() != xis.size()) {
+            throw store::SerdeError("clustershard xi count drift");
+          }
+        }
+        const std::uint64_t delta_count = reader.u64();
+        std::vector<std::pair<std::string, std::uint64_t>> deltas;
+        deltas.reserve(static_cast<std::size_t>(delta_count));
+        for (std::uint64_t i = 0; i < delta_count; ++i) {
+          std::string name = reader.str();
+          const std::uint64_t value = reader.u64();
+          deltas.emplace_back(std::move(name), value);
+        }
+        // Fully decoded: commit. Replaying the worker's domain-counter
+        // deltas makes the merged registry match a single-process cold
+        // run's counters exactly (the worker bracketed only the fan-out).
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          merged.outcomes[shard_slots[s][i]] = std::move(outcomes[i]);
+        }
+        for (const auto& [name, value] : deltas) {
+          obs::metrics().counter(name).add(value);
+        }
+        merged.corrupt_matrices += shard_corrupt;
+        replayed = true;
+      } catch (const Error&) {
+        replayed = false;
+      }
+    }
+    if (!replayed) {
+      // Missing, corrupt, or drifted shard artifact: recompute its ISPs in
+      // this process. The outputs are bit-identical (that is the whole
+      // bit-identity contract); only store.* bookkeeping shifts, which the
+      // shard tests already exclude. Not a health event -- the transport
+      // cache missed, nothing degraded.
+      obs::metrics().counter("store.shard_fallback").add(1);
+      std::vector<AsIndex> mine;
+      mine.reserve(shard_slots[s].size());
+      for (const std::size_t slot : shard_slots[s]) {
+        mine.push_back(isps[slot]);
+      }
+      ClusterFanout fanout = cluster_isps(mine, xis);
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        merged.outcomes[shard_slots[s][i]] = std::move(fanout.outcomes[i]);
+      }
+      merged.corrupt_matrices += fanout.corrupt_matrices;
+    }
+  }
+
+  merge_isp_outcomes(isps, xis, std::move(merged), std::string(),
+                     xi_key(xi));
 }
 
 const IspClustering* Pipeline::clustering_of(double xi, AsIndex isp) const {

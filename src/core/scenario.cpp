@@ -19,8 +19,27 @@ Scenario with_scale(GeneratorConfig topology, std::size_t vantage_points,
 
 }  // namespace
 
+std::string_view to_string(Scale scale) noexcept {
+  switch (scale) {
+    case Scale::kTiny: return "tiny";
+    case Scale::kSmall: return "small";
+    case Scale::kPaper: return "paper";
+    case Scale::k10x: return "10x";
+  }
+  return "tiny";
+}
+
+std::optional<Scale> parse_scale(std::string_view name) noexcept {
+  if (name == "tiny") return Scale::kTiny;
+  if (name == "small") return Scale::kSmall;
+  if (name == "paper") return Scale::kPaper;
+  if (name == "10x") return Scale::k10x;
+  return std::nullopt;
+}
+
 Scenario Scenario::tiny() {
   Scenario scenario = with_scale(GeneratorConfig::tiny(), 40, 25);
+  scenario.scale = Scale::kTiny;
   scenario.population.background_per_isp = 1;
   scenario.population.onnet_servers_per_hg = 20;
   scenario.population.decoy_count = 10;
@@ -31,12 +50,38 @@ Scenario Scenario::tiny() {
 
 Scenario Scenario::small() {
   Scenario scenario = with_scale(GeneratorConfig::small(), 80, 50);
+  scenario.scale = Scale::kSmall;
   scenario.peering.vm_count = 6;
   return scenario;
 }
 
 Scenario Scenario::paper() {
-  return with_scale(GeneratorConfig::paper(), 163, 100);
+  Scenario scenario = with_scale(GeneratorConfig::paper(), 163, 100);
+  scenario.scale = Scale::kPaper;
+  // At paper scale the per-ISP matrices stop fitting comfortably in RAM all
+  // at once; stream them through mmap spill files (bit-identical, so the
+  // digest -- and every shared artifact -- is unchanged).
+  scenario.stream_matrices = true;
+  scenario.stream_block_rows = 512;
+  return scenario;
+}
+
+Scenario Scenario::tenx() {
+  Scenario scenario = with_scale(GeneratorConfig::tenx(), 163, 100);
+  scenario.scale = Scale::k10x;
+  scenario.stream_matrices = true;
+  scenario.stream_block_rows = 512;
+  return scenario;
+}
+
+Scenario Scenario::at_scale(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny: return tiny();
+    case Scale::kSmall: return small();
+    case Scale::kPaper: return paper();
+    case Scale::k10x: return tenx();
+  }
+  return tiny();
 }
 
 namespace {

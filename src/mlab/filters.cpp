@@ -42,14 +42,21 @@ bool violates_speed_of_light(const std::vector<double>& rtts,
 FilteredMatrix clean_matrix(const LatencyMatrix& matrix,
                             const VantagePointSet& vps,
                             const FilterConfig& config) {
+  return clean_matrix(LatencyMatrixRows(matrix), vps, config);
+}
+
+FilteredMatrix clean_matrix(const LatencyRows& rows, const VantagePointSet& vps,
+                            const FilterConfig& config, bool materialize) {
   FilteredMatrix out;
+  const std::size_t vp_count = rows.vp_count();
 
   // Pass 1: drop unresponsive and physically impossible rows.
-  for (std::size_t row = 0; row < matrix.row_count(); ++row) {
-    std::vector<double> rtts(matrix.vp_count);
+  std::vector<double> rtts(vp_count);
+  for (std::size_t row = 0; row < rows.row_count(); ++row) {
+    const double* values = rows.row(row);
     bool any = false;
-    for (std::size_t col = 0; col < matrix.vp_count; ++col) {
-      rtts[col] = matrix.at(row, col);
+    for (std::size_t col = 0; col < vp_count; ++col) {
+      rtts[col] = values[col];
       any = any || finite(rtts[col]);
     }
     if (!any) {
@@ -64,10 +71,10 @@ FilteredMatrix clean_matrix(const LatencyMatrix& matrix,
   }
 
   // Pass 2: columns with successful measurements to all kept rows.
-  for (std::size_t col = 0; col < matrix.vp_count; ++col) {
+  for (std::size_t col = 0; col < vp_count; ++col) {
     bool all = !out.kept_rows.empty();
     for (const std::size_t row : out.kept_rows) {
-      if (!finite(matrix.at(row, col))) {
+      if (!finite(rows.row(row)[col])) {
         all = false;
         break;
       }
@@ -80,12 +87,18 @@ FilteredMatrix clean_matrix(const LatencyMatrix& matrix,
 
   // Pass 3: compact matrix, counting any failed measurement that slips
   // through (it would otherwise reach trimmed_manhattan as a silent NaN).
-  out.rtt.reserve(out.kept_rows.size() * out.kept_cols.size());
+  // The leak scan runs even when the caller skips materialization, so the
+  // `filters.*` counters below come out identical in streamed and
+  // in-memory modes -- test_scale compares them verbatim.
+  if (materialize) {
+    out.rtt.reserve(out.kept_rows.size() * out.kept_cols.size());
+  }
   for (const std::size_t row : out.kept_rows) {
+    const double* values = rows.row(row);
     for (const std::size_t col : out.kept_cols) {
-      const double value = matrix.at(row, col);
+      const double value = values[col];
       if (!finite(value)) ++out.nonfinite_leaked;
-      out.rtt.push_back(value);
+      if (materialize) out.rtt.push_back(value);
     }
   }
 
@@ -107,10 +120,18 @@ FilteredMatrix clean_matrix(const LatencyMatrix& matrix,
   dropped_unresponsive.add(out.dropped_unresponsive);
   dropped_speed_of_light.add(out.dropped_impossible);
   ips_kept.add(out.kept_rows.size());
-  vps_discarded.add(matrix.vp_count - out.kept_cols.size());
+  vps_discarded.add(vp_count - out.kept_cols.size());
   vps_kept.add(out.kept_cols.size());
   if (!out.usable) below_min_sites.add(1);
   return out;
+}
+
+void fill_compact_row(const LatencyRows& rows, const FilteredMatrix& filtered,
+                      std::size_t compact_row, double* out) {
+  const double* values = rows.row(filtered.kept_rows[compact_row]);
+  for (std::size_t i = 0; i < filtered.kept_cols.size(); ++i) {
+    out[i] = values[filtered.kept_cols[i]];
+  }
 }
 
 }  // namespace repro

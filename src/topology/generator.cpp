@@ -96,6 +96,13 @@ GeneratorConfig GeneratorConfig::small() {
 
 GeneratorConfig GeneratorConfig::paper() { return GeneratorConfig{}; }
 
+GeneratorConfig GeneratorConfig::tenx() {
+  GeneratorConfig config;
+  config.scale = 10.0;
+  config.max_access_per_country = 6000;
+  return config;
+}
+
 double peak_demand_gbps(double users) noexcept {
   // ~1 Mbps per user at evening peak (fits the operator report in the paper:
   // a mid-size ISP sees on the order of 100 Gbps at peak).

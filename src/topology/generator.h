@@ -68,6 +68,9 @@ struct GeneratorConfig {
   static GeneratorConfig small();
   /// Full paper-scale world.
   static GeneratorConfig paper();
+  /// 10x the paper's access-ISP population (the north-star stress world);
+  /// the per-country cap is raised so the extra ISPs actually materialize.
+  static GeneratorConfig tenx();
 };
 
 /// Rough peak traffic demand of an access ISP in Gbps, from its user count.

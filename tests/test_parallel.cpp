@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/colocation.h"
+#include "cluster/distance.h"
 #include "core/pipeline.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
@@ -156,6 +157,44 @@ TEST_F(ParallelTest, PairwiseDistancesBitIdenticalAcrossThreadCounts) {
         // executing thread differs.
         ASSERT_EQ(parallel.at(i, j), serial.at(i, j))
             << "threads=" << threads << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, StreamedPairwiseBitIdenticalAcrossThreadCounts) {
+  // The block-streamed pairwise pass schedules block pairs instead of rows,
+  // so it has its own thread-count story to fence: for every block height,
+  // 2/4/8 threads must reproduce the single-threaded result bit-for-bit
+  // (and the single-threaded result equals the one-shot pass).
+  const std::size_t rows = 64;
+  const std::size_t cols = 40;
+  const std::vector<double> table = random_table(rows, cols, 7171);
+  const RowFiller fill = [&](std::size_t row, double* out) {
+    std::copy(table.begin() + static_cast<std::ptrdiff_t>(row * cols),
+              table.begin() + static_cast<std::ptrdiff_t>((row + 1) * cols),
+              out);
+  };
+
+  set_default_thread_count(1);
+  const DistanceMatrix oneshot = pairwise_distances(table, rows, cols, 0.2);
+
+  for (const std::size_t block : {1u, 7u, 64u, 0u}) {
+    set_default_thread_count(1);
+    const DistanceMatrix serial =
+        pairwise_distances_streamed(fill, rows, cols, 0.2, block);
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      set_default_thread_count(threads);
+      const DistanceMatrix parallel =
+          pairwise_distances_streamed(fill, rows, cols, 0.2, block);
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = i + 1; j < rows; ++j) {
+          ASSERT_EQ(parallel.at(i, j), serial.at(i, j))
+              << "block=" << block << " threads=" << threads << " cell ("
+              << i << "," << j << ")";
+          ASSERT_EQ(serial.at(i, j), oneshot.at(i, j))
+              << "block=" << block << " cell (" << i << "," << j << ")";
+        }
       }
     }
   }
