@@ -27,6 +27,7 @@
 #include "obs/perfetto.h"
 #include "obs/report.h"
 #include "obs/sampler.h"
+#include "obs/trend.h"
 #include "util/table.h"
 
 namespace repro::bench {
@@ -163,8 +164,10 @@ inline void print_footer(const char* bench, const Stopwatch& watch,
   }
   try {
     // Trend history: the same line, appended, so repro-bench can diff this
-    // run against earlier ones.
-    append_file(out_dir + "/HISTORY.jsonl", line);
+    // run against earlier ones. REPRO_HISTORY_MAX_LINES (when set) caps the
+    // file to the newest N lines.
+    append_file_capped(out_dir + "/HISTORY.jsonl", line,
+                       obs::history_max_lines_from_env());
   } catch (const Error& error) {
     std::fprintf(stderr, "bench history not appended: %s\n", error.what());
   }

@@ -86,7 +86,9 @@ int cmd_record(const std::vector<std::string>& args) {
     return 2;
   }
   if (content.empty() || content.back() != '\n') content += '\n';
-  append_file(history, content);
+  // REPRO_HISTORY_MAX_LINES (when set) trims the history to the newest N
+  // lines after the append, matching the bench footers' behavior.
+  append_file_capped(history, content, obs::history_max_lines_from_env());
   std::printf("appended %zu line(s) to %s\n", records.size(),
               history.c_str());
   return 0;

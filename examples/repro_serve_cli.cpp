@@ -1,0 +1,150 @@
+// repro-serve: the resident report service as a CLI (docs/SERVICE.md).
+// Newline-delimited JSON requests in, one-line JSON responses out -- no
+// external dependencies, so any shell or script can drive it:
+//
+//   repro-serve --stdio --store /var/cache/repro
+//       daemon over stdin/stdout: one response line per request line,
+//       until EOF or a {"query":"shutdown"} request
+//   repro-serve --socket /tmp/repro.sock --store /var/cache/repro
+//       Unix-socket daemon; connect with e.g. `nc -U /tmp/repro.sock`
+//   repro-serve --query '{"query":"table1"}' [--render-out FILE]
+//       one-shot: execute a single query, print the response line, and
+//       (with --render-out) write the raw render text to FILE -- the
+//       byte-identity diffs in scripts/check.sh use exactly this
+//
+// Options:
+//   --store ROOT    artifact store root (default: the REPRO_STORE env
+//                   toggles via ArtifactStore::from_env(); no store = no
+//                   persistence, warm reuse spans resident pipelines only)
+//   --scale NAME    default scale for requests that omit "scale"
+//                   (tiny/small/paper/10x; default REPRO_SCALE, else tiny)
+//   --workers N     socket-mode handler threads (default: thread-pool
+//                   default count)
+//
+// Exit status: 0 on clean shutdown/EOF; 1 when a one-shot query returns an
+// error response or the daemon cannot start; 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "serve/service.h"
+#include "store/artifact_store.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: repro-serve [--stdio | --socket PATH | --query JSON]\n"
+               "                   [--store ROOT] [--scale NAME]\n"
+               "                   [--workers N] [--render-out FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repro;
+
+  enum class Mode { kStdio, kSocket, kOneShot };
+  Mode mode = Mode::kStdio;
+  std::string socket_path;
+  std::string query;
+  std::string render_out;
+  std::string store_root;
+  std::string scale_name;
+  std::size_t workers = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--stdio") {
+      mode = Mode::kStdio;
+    } else if (arg == "--socket") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      mode = Mode::kSocket;
+      socket_path = value;
+    } else if (arg == "--query") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      mode = Mode::kOneShot;
+      query = value;
+    } else if (arg == "--render-out") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      render_out = value;
+    } else if (arg == "--store") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      store_root = value;
+    } else if (arg == "--scale") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      scale_name = value;
+    } else if (arg == "--workers") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      workers = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "repro-serve: unknown argument '%s'\n",
+                   arg.c_str());
+      return usage();
+    }
+  }
+
+  try {
+    serve::ServiceConfig config;
+    if (!store_root.empty()) {
+      store::StoreConfig store_config;
+      store_config.root = store_root;
+      config.artifacts = std::make_shared<store::ArtifactStore>(store_config);
+    } else {
+      config.artifacts = store::ArtifactStore::from_env();
+    }
+    config.workers = workers;
+    config.default_scale = Scale::kTiny;
+    if (scale_name.empty()) {
+      if (const char* env = std::getenv("REPRO_SCALE")) scale_name = env;
+    }
+    if (!scale_name.empty()) {
+      const auto parsed = parse_scale(scale_name);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "repro-serve: unknown scale '%s'\n",
+                     scale_name.c_str());
+        return 2;
+      }
+      config.default_scale = *parsed;
+    }
+
+    serve::ReportService service(std::move(config));
+
+    if (mode == Mode::kOneShot) {
+      const serve::QueryResponse response = service.handle_line(query);
+      std::printf("%s\n", response.json.c_str());
+      if (!render_out.empty()) {
+        // Raw render bytes, not the JSON-escaped field: directly diffable
+        // against a batch full_report section body.
+        write_file(render_out, response.render);
+      }
+      return response.ok ? 0 : 1;
+    }
+    if (mode == Mode::kSocket) {
+      std::fprintf(stderr, "repro-serve: listening on %s\n",
+                   socket_path.c_str());
+      service.serve_unix_socket(socket_path);
+      return 0;
+    }
+    service.serve_stream(std::cin, std::cout);
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "repro-serve: %s\n", error.what());
+    return 1;
+  }
+}

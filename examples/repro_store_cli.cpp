@@ -8,6 +8,11 @@
 //   repro-store verify <root>        load every artifact; nonzero on corruption
 //   repro-store prune <root> <mb>    LRU-evict down to a megabyte budget
 //
+// ls and stats take --json for machine-readable output: ls emits an array
+// of {type, schema, digest, bytes} objects (MRU first); stats emits the
+// same occupancy_json document the report service returns for its "stats"
+// query, so dashboards can scrape either source identically.
+//
 // ls/stats/verify open the store read-only, so they never touch mtimes,
 // evict, or delete corrupt files -- verify reports what a pipeline would
 // see without changing it. prune is the only mutating subcommand.
@@ -16,6 +21,7 @@
 #include <map>
 #include <string>
 
+#include "obs/json.h"
 #include "store/artifact_store.h"
 #include "util/error.h"
 
@@ -32,9 +38,29 @@ ArtifactStore open_store(const char* root, bool read_only) {
   return ArtifactStore(config);
 }
 
-int cmd_ls(const char* root) {
+int cmd_ls(const char* root, bool json) {
   const ArtifactStore store = open_store(root, /*read_only=*/true);
   const auto artifacts = store.list();
+  if (json) {
+    // One array, MRU first, mirroring the text listing's order.
+    std::string out = "[";
+    char entry[160];
+    for (std::size_t i = 0; i < artifacts.size(); ++i) {
+      const ArtifactInfo& artifact = artifacts[i];
+      std::snprintf(entry, sizeof(entry),
+                    "%s{\"type\":\"%s\",\"schema\":%u,"
+                    "\"digest\":\"%016llx\",\"bytes\":%llu}",
+                    i == 0 ? "" : ",",
+                    repro::obs::json_escape(artifact.key.type).c_str(),
+                    artifact.key.schema,
+                    static_cast<unsigned long long>(artifact.key.digest),
+                    static_cast<unsigned long long>(artifact.bytes));
+      out += entry;
+    }
+    out += "]\n";
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
   std::printf("%-12s %8s %18s %10s\n", "type", "schema", "digest", "bytes");
   for (const ArtifactInfo& artifact : artifacts) {
     std::printf("%-12s %8u   %016llx %10llu\n", artifact.key.type.c_str(),
@@ -47,8 +73,12 @@ int cmd_ls(const char* root) {
   return 0;
 }
 
-int cmd_stats(const char* root) {
+int cmd_stats(const char* root, bool json) {
   const ArtifactStore store = open_store(root, /*read_only=*/true);
+  if (json) {
+    std::printf("%s\n", repro::store::occupancy_json(store).c_str());
+    return 0;
+  }
   struct TypeStats {
     std::size_t count = 0;
     std::uint64_t bytes = 0;
@@ -111,12 +141,13 @@ int cmd_prune(const char* root, const char* mb_text) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: repro-store <command> <root> [args]\n"
-               "  ls <root>          list artifacts, most recently used first\n"
-               "  stats <root>       totals and per-type breakdown\n"
-               "  verify <root>      check every artifact; nonzero if corrupt\n"
-               "  prune <root> <mb>  LRU-evict down to <mb> megabytes\n");
+  std::fprintf(
+      stderr,
+      "usage: repro-store <command> <root> [args]\n"
+      "  ls <root> [--json]     list artifacts, most recently used first\n"
+      "  stats <root> [--json]  totals and per-type breakdown\n"
+      "  verify <root>          check every artifact; nonzero if corrupt\n"
+      "  prune <root> <mb>      LRU-evict down to <mb> megabytes\n");
   return 2;
 }
 
@@ -126,11 +157,13 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const char* root = argv[2];
+  const bool json = argc == 4 && std::string(argv[3]) == "--json";
   try {
-    if (command == "ls" && argc == 3) return cmd_ls(root);
-    if (command == "stats" && argc == 3) return cmd_stats(root);
+    if (command == "ls" && (argc == 3 || json)) return cmd_ls(root, json);
+    if (command == "stats" && (argc == 3 || json)) return cmd_stats(root, json);
     if (command == "verify" && argc == 3) return cmd_verify(root);
-    if (command == "prune" && argc == 4) return cmd_prune(root, argv[3]);
+    if (command == "prune" && argc == 4 && !json)
+      return cmd_prune(root, argv[3]);
   } catch (const repro::Error& error) {
     std::fprintf(stderr, "repro-store: %s\n", error.what());
     return 1;

@@ -6,15 +6,19 @@
 # warm-equals-cold smoke test of the persistent store.
 #
 #   ./scripts/check.sh             tier-1 build + full ctest, then an
-#                                  ASan build of the `fault` and `store`
-#                                  labels, a TSan build of the `parallel`,
-#                                  `obs`, `fault` and `store` labels, a
-#                                  UBSan build of the `perf` label (the
-#                                  SIMD kernels), a TSan store-chaos smoke
-#                                  (live corruption under concurrent warm
-#                                  readers), the warm-start smoke, an ASan
-#                                  multi-process shard smoke (repro-shard
-#                                  vs --single), and a perf-regression gate
+#                                  ASan build of the `fault`, `store` and
+#                                  `serve` labels, a TSan build of the
+#                                  `parallel`, `obs`, `fault`, `store` and
+#                                  `serve` labels, a UBSan build of the
+#                                  `perf` label (the SIMD kernels), a TSan
+#                                  store-chaos smoke (live corruption under
+#                                  concurrent warm readers), the warm-start
+#                                  smoke, an ASan multi-process shard smoke
+#                                  (repro-shard vs --single), a report-
+#                                  service smoke + latency gate (repro-serve
+#                                  cold/warm byte-identity, warm hits > 0,
+#                                  load-bench warm_p99_ms vs the committed
+#                                  baseline), and a perf-regression gate
 #   SKIP_ASAN=1 ./scripts/check.sh  skip the ASan pass
 #   SKIP_TSAN=1 ./scripts/check.sh  skip the TSan pass
 #   SKIP_CHAOS=1 ./scripts/check.sh skip the store-chaos smoke
@@ -23,6 +27,7 @@
 #   SKIP_TRACE=1 ./scripts/check.sh skip the trace-export smoke
 #   SKIP_PERF=1 ./scripts/check.sh  skip the perf-regression gate
 #   SKIP_SHARD=1 ./scripts/check.sh skip the multi-process shard smoke
+#   SKIP_SERVE=1 ./scripts/check.sh skip the report-service smoke + gate
 #
 # Exits nonzero on the first failure.
 set -euo pipefail
@@ -36,17 +41,17 @@ echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== asan: fault + store tests =="
+  echo "== asan: fault + store + serve tests =="
   cmake -B build-asan -S . -DREPRO_SANITIZE=address >/dev/null
-  cmake --build build-asan -j"$(nproc)" --target test_fault test_store
-  (cd build-asan && ctest -L 'fault|store' --output-on-failure -j"$(nproc)")
+  cmake --build build-asan -j"$(nproc)" --target test_fault test_store test_serve
+  (cd build-asan && ctest -L 'fault|store|serve' --output-on-failure -j"$(nproc)")
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "== tsan: parallel + obs + fault + store tests =="
+  echo "== tsan: parallel + obs + fault + store + serve tests =="
   cmake -B build-tsan -S . -DREPRO_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j"$(nproc)" --target test_parallel test_obs test_fault test_store
-  (cd build-tsan && ctest -L 'parallel|obs|fault|store' --output-on-failure -j"$(nproc)")
+  cmake --build build-tsan -j"$(nproc)" --target test_parallel test_obs test_fault test_store test_serve
+  (cd build-tsan && ctest -L 'parallel|obs|fault|store|serve' --output-on-failure -j"$(nproc)")
 
   if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
     echo "== tsan: store-chaos smoke (concurrent warm readers + live corruption) =="
@@ -136,6 +141,50 @@ if [[ "${SKIP_SHARD:-0}" != "1" ]]; then
   echo "3-shard merge byte-identical to single process"
 fi
 
+if [[ "${SKIP_SERVE:-0}" != "1" ]]; then
+  echo "== report-service smoke + latency gate (tiny scale) =="
+  # Cold one-shot query populates a store; a second process over the same
+  # store must render byte-identically from warm artifacts. Then a short
+  # stdio daemon session proves the render cache actually hits, and the
+  # load bench's warm p99 is gated against the committed baseline with
+  # repro-bench naming the regressed field. Shared CI hosts are noisy, so
+  # the gate takes the best of up to three attempts before failing.
+  serve_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir:-}" "${trace_dir:-}" "${perf_dir:-}" "${chaos_dir:-}" "${shard_dir:-}" "${serve_dir:-}"' EXIT
+  ./build/examples/repro-serve --store "$serve_dir/store" --scale tiny \
+    --render-out "$serve_dir/cold.txt" --query '{"query":"table1"}' >/dev/null
+  ./build/examples/repro-serve --store "$serve_dir/store" --scale tiny \
+    --render-out "$serve_dir/warm.txt" --query '{"query":"table1"}' >/dev/null
+  diff "$serve_dir/cold.txt" "$serve_dir/warm.txt"
+  echo "warm service render byte-identical to cold"
+
+  printf '%s\n%s\n%s\n' '{"query":"table1"}' '{"query":"table1"}' '{"query":"stats"}' \
+    | ./build/examples/repro-serve --stdio --store "$serve_dir/store" --scale tiny \
+    >"$serve_dir/stdio.out"
+  hits="$(sed -n 's/.*"hit":\([0-9]\{1,\}\).*/\1/p' "$serve_dir/stdio.out" | tail -1)"
+  if [[ -z "$hits" || "$hits" -eq 0 ]]; then
+    echo "FAIL: stdio daemon reported '$hits' render-cache hits"
+    exit 1
+  fi
+  echo "stdio daemon warm ($hits render-cache hits)"
+
+  serve_ok=0
+  for attempt in 1 2 3; do
+    REPRO_SCALE=tiny REPRO_BENCH_OUT="$serve_dir" \
+      ./build/bench/report_service_load >/dev/null
+    if ./build/examples/repro-bench diff \
+        --baseline bench_output/BENCH_report_service.json \
+        --gate 2.0 --gate-fields warm_p99_ms \
+        "$serve_dir/BENCH_report_service.json"
+    then serve_ok=1; break; fi
+    echo "attempt $attempt over gate; retrying"
+  done
+  if [[ "$serve_ok" != "1" ]]; then
+    echo "FAIL: warm service p99 regressed more than 2x vs baseline"
+    exit 1
+  fi
+fi
+
 if [[ "${SKIP_PERF:-0}" != "1" ]]; then
   echo "== perf-regression gate: pairwise_distances vs committed baseline =="
   # Rerun the perf_micro headline measurement (the google-benchmark suite is
@@ -146,7 +195,7 @@ if [[ "${SKIP_PERF:-0}" != "1" ]]; then
   # baseline) fails the check. Shared CI hosts are noisy, so the gate takes
   # the best of up to three attempts before failing.
   perf_dir="$(mktemp -d)"
-  trap 'rm -rf "${smoke_dir:-}" "${trace_dir:-}" "${perf_dir:-}"' EXIT
+  trap 'rm -rf "${smoke_dir:-}" "${trace_dir:-}" "${perf_dir:-}" "${chaos_dir:-}" "${shard_dir:-}" "${serve_dir:-}"' EXIT
   perf_ok=0
   for attempt in 1 2 3; do
     REPRO_SCALE=tiny REPRO_BENCH_OUT="$perf_dir" \

@@ -216,6 +216,7 @@ void Pipeline::record_health(const std::string& stage,
 }
 
 const OffnetRegistry& Pipeline::registry(Snapshot snapshot) const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   const auto it = registries_.find(snapshot);
   if (it != registries_.end()) return it->second;
   obs::ScopedSpan span("pipeline.deploy_registry");
@@ -227,6 +228,7 @@ const OffnetRegistry& Pipeline::registry(Snapshot snapshot) const {
 }
 
 const CertStore& Pipeline::population(Snapshot snapshot) const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   const auto it = populations_.find(snapshot);
   if (it != populations_.end()) {
     // In-process memoization, distinct from a store warm hit (store.hit).
@@ -296,6 +298,7 @@ const CertStore& Pipeline::population(Snapshot snapshot) const {
 }
 
 const std::vector<ScanRecord>& Pipeline::scan_records(Snapshot snapshot) const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   const auto it = scans_.find(snapshot);
   if (it != scans_.end()) {
     // In-process memoization, distinct from a store warm hit (store.hit).
@@ -365,6 +368,7 @@ const std::vector<ScanRecord>& Pipeline::scan_records(Snapshot snapshot) const {
 
 const DiscoveryReport& Pipeline::discovery(Snapshot snapshot,
                                            Methodology methodology) const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   const auto key = std::make_pair(snapshot, methodology);
   const auto it = reports_.find(key);
   if (it != reports_.end()) return it->second;
@@ -407,6 +411,7 @@ const DiscoveryReport& Pipeline::discovery(Snapshot snapshot,
 }
 
 const VantagePointSet& Pipeline::vantage_points() const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   if (!vps_) {
     obs::ScopedSpan span("pipeline.vantage_points");
     vps_ = std::make_unique<VantagePointSet>(internet_, scenario_.vantage_points,
@@ -418,6 +423,7 @@ const VantagePointSet& Pipeline::vantage_points() const {
 }
 
 const PingMesh& Pipeline::ping_mesh() const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   if (!mesh_) {
     obs::ScopedSpan span("pipeline.ping_mesh");
     mesh_ = std::make_unique<PingMesh>(internet_, vantage_points(),
@@ -456,6 +462,7 @@ std::vector<AsIndex> Pipeline::hosting_isps_2023() const {
 }
 
 const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   const std::uint64_t key = xi_key(xi);
   const auto it = clusterings_.find(key);
   if (it != clusterings_.end()) return it->second;
@@ -516,6 +523,57 @@ const std::vector<IspClustering>& Pipeline::clusterings(double xi) const {
   return merge_isp_outcomes(isps, xis, std::move(fanout), corruption, key);
 }
 
+LatencyMatrix Pipeline::fetch_isp_matrix(
+    const OffnetRegistry& reg, const PingMesh& mesh, AsIndex isp,
+    std::atomic<std::uint64_t>& corrupt) const {
+  if (artifacts_ == nullptr) return mesh.measure_isp(reg, isp);
+  const store::ArtifactKey mkey =
+      make_key("matrix", store::kLatencyMatrixSchema, world_digest_,
+               {static_cast<std::uint64_t>(isp)});
+  // Single-flight fetch: when several workers (or several pipelines over
+  // one shared store) race for the same matrix -- including one freshly
+  // garbled by store chaos -- exactly one computes while the rest park
+  // and re-load the healed bytes.
+  const store::FetchResult fetched = artifacts_->load_or_compute(
+      mkey, [&]() {
+        LatencyMatrix computed = mesh.measure_isp(reg, isp);
+        store::ByteWriter writer;
+        store::encode(writer, computed);
+        return writer.bytes();
+      });
+  if (fetched.recovered_corrupt) {
+    corrupt.fetch_add(1, std::memory_order_relaxed);
+  }
+  try {
+    store::ByteReader reader(fetched.load.payload);
+    return store::decode_latency_matrix(reader);
+  } catch (const Error&) {
+    // Payload decode failed even after the fetch (e.g. a read-only store
+    // serving chaos-garbled bytes it cannot heal): fall back to a direct
+    // compute.
+    corrupt.fetch_add(1, std::memory_order_relaxed);
+    return mesh.measure_isp(reg, isp);
+  }
+}
+
+LatencyMatrix Pipeline::isp_latency_matrix(AsIndex isp) const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
+  obs::ScopedSpan span("pipeline.isp_matrix");
+  const OffnetRegistry& reg = registry(Snapshot::k2023);
+  const PingMesh& mesh = ping_mesh();
+  std::atomic<std::uint64_t> corrupt{0};
+  LatencyMatrix matrix = fetch_isp_matrix(reg, mesh, isp, corrupt);
+  if (corrupt.load() > 0) {
+    // Same degraded-run note the fan-out merge would make: the matrix is
+    // recomputed and correct, but persistence failed this run.
+    fault::StageHealth health;
+    note_store_corruption(health, std::to_string(corrupt.load()) +
+                                      " corrupt latency matrices recomputed");
+    record_health("clustering", health);
+  }
+  return matrix;
+}
+
 std::string Pipeline::stream_spill_path(AsIndex isp) const {
   // Keyed exactly like the "matrix" artifact family, with the .mmx
   // extension marking the aligned spill layout (store/matrix_file.h).
@@ -556,36 +614,11 @@ Pipeline::ClusterFanout Pipeline::cluster_isps(
   std::atomic<std::uint64_t> corrupt_matrices{0};
 
   // Fetches one ISP's matrix: through the attached store when present
-  // (single-flight, self-healing), else by measuring directly.
+  // (single-flight, self-healing), else by measuring directly. Shared with
+  // the public isp_latency_matrix() accessor; lock-free so pool workers can
+  // call it while the fan-out caller holds the stage mutex.
   const auto fetch_matrix = [&](AsIndex isp) -> LatencyMatrix {
-    if (artifacts_ == nullptr) return mesh.measure_isp(reg, isp);
-    const store::ArtifactKey mkey =
-        make_key("matrix", store::kLatencyMatrixSchema, world_digest_,
-                 {static_cast<std::uint64_t>(isp)});
-    // Single-flight fetch: when several workers (or several pipelines over
-    // one shared store) race for the same matrix -- including one freshly
-    // garbled by store chaos -- exactly one computes while the rest park
-    // and re-load the healed bytes.
-    const store::FetchResult fetched = artifacts_->load_or_compute(
-        mkey, [&]() {
-          LatencyMatrix computed = mesh.measure_isp(reg, isp);
-          store::ByteWriter writer;
-          store::encode(writer, computed);
-          return writer.bytes();
-        });
-    if (fetched.recovered_corrupt) {
-      corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
-    }
-    try {
-      store::ByteReader reader(fetched.load.payload);
-      return store::decode_latency_matrix(reader);
-    } catch (const Error&) {
-      // Payload decode failed even after the fetch (e.g. a read-only store
-      // serving chaos-garbled bytes it cannot heal): fall back to a direct
-      // compute.
-      corrupt_matrices.fetch_add(1, std::memory_order_relaxed);
-      return mesh.measure_isp(reg, isp);
-    }
+    return fetch_isp_matrix(reg, mesh, isp, corrupt_matrices);
   };
 
   // Streamed path: the matrix lives in a .mmx spill and clustering reads
@@ -745,6 +778,7 @@ void Pipeline::compute_clustering_shard(std::size_t shard,
           "medium between shard processes)");
   require(shard_count >= 1 && shard < shard_count,
           "compute_clustering_shard: shard outside [0, shard_count)");
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   obs::ScopedSpan span("pipeline.clustering_shard");
 
   const std::vector<double> xis = xi_batch(xi);
@@ -819,6 +853,7 @@ void Pipeline::merge_clustering_shards(std::size_t shard_count,
   require(artifacts_ != nullptr,
           "merge_clustering_shards: needs an artifact store");
   require(shard_count >= 1, "merge_clustering_shards: zero shards");
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   obs::ScopedSpan span("pipeline.clustering_merge");
 
   const std::vector<double> xis = xi_batch(xi);
@@ -926,6 +961,7 @@ void Pipeline::merge_clustering_shards(std::size_t shard_count,
 }
 
 const IspClustering* Pipeline::clustering_of(double xi, AsIndex isp) const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   const auto& all = clusterings(xi);
   const auto& index = cluster_index_.at(xi_key(xi));
   const auto it = index.find(isp);
@@ -934,6 +970,7 @@ const IspClustering* Pipeline::clustering_of(double xi, AsIndex isp) const {
 }
 
 const RoutingEngine& Pipeline::routing() const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   if (!routing_) {
     obs::ScopedSpan span("pipeline.routing");
     routing_ = std::make_unique<RoutingEngine>(internet_);
@@ -942,6 +979,7 @@ const RoutingEngine& Pipeline::routing() const {
 }
 
 const PtrStore& Pipeline::ptr_store() const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   if (!ptr_) {
     obs::ScopedSpan span("pipeline.ptr_store");
     PtrFaultCounts counts;
@@ -966,6 +1004,7 @@ const PtrStore& Pipeline::ptr_store() const {
 
 const std::map<AsIndex, IspPeeringEvidence>& Pipeline::peering_study(
     Hypergiant hg) const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   const auto it = peering_.find(hg);
   if (it != peering_.end()) return it->second;
 
@@ -1005,6 +1044,7 @@ const std::map<AsIndex, IspPeeringEvidence>& Pipeline::peering_study(
 }
 
 const DemandModel& Pipeline::demand() const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   if (!demand_) {
     obs::ScopedSpan span("pipeline.demand");
     demand_ = std::make_unique<DemandModel>(internet_);
@@ -1013,6 +1053,7 @@ const DemandModel& Pipeline::demand() const {
 }
 
 const CapacityModel& Pipeline::capacity() const {
+  std::lock_guard<std::recursive_mutex> lock(stage_mutex_);
   if (!capacity_) {
     obs::ScopedSpan span("pipeline.capacity");
     capacity_ = std::make_unique<CapacityModel>(internet_, registry(Snapshot::k2023),

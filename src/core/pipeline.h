@@ -22,6 +22,18 @@
 // store attached (the default) behaviour is bit-identical to before the
 // store existed. See docs/PERSISTENCE.md.
 //
+// Thread safety: every lazy accessor serializes stage computation behind one
+// recursive mutex, so a Pipeline can sit resident inside the report service
+// (src/serve/) with many reader threads asking for stages concurrently --
+// the first caller computes, the rest see the cached result. The mutex is
+// recursive because stages force each other (discovery -> scan -> population
+// -> registry). The clustering fan-out's pool workers never touch the
+// accessors (they run on captured references), so the caller holding the
+// stage mutex while participating in the parallel region cannot deadlock
+// against its own workers. Cross-pipeline concurrency (the common service
+// shape: different worlds resident over one store) needs no coordination
+// beyond the store's own locking.
+//
 // Typical use:
 //   Pipeline pipeline(Scenario::paper());
 //   auto table1 = table1_study(pipeline);            // analyses.h
@@ -32,6 +44,7 @@
 //   chaos.overall_status();                          // kDegraded
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -78,6 +91,12 @@ class Pipeline {
     return artifacts_.get();
   }
 
+  /// Digest over (measurement config, fault plan measurement_json); every
+  /// persisted artifact key derives from it. Two pipelines with equal world
+  /// digests share warm artifacts byte-for-byte -- the identity the
+  /// ArtifactResolver (src/serve/) keys residency and reuse on.
+  std::uint64_t world_digest() const noexcept { return world_digest_; }
+
   /// Health of every stage executed so far, keyed by stage name
   /// ("tls_population", "scan", "discovery", "ping_mesh", "clustering",
   /// "rdns", "peering").
@@ -107,6 +126,14 @@ class Pipeline {
   /// Vantage points and ping mesh over the 2023 ground truth.
   const VantagePointSet& vantage_points() const;
   const PingMesh& ping_mesh() const;
+
+  /// One ISP's vantage-point latency matrix, individually addressable: the
+  /// xi-independent half of the clustering stage, fetched through the
+  /// store's single-flight load_or_compute path exactly like the fan-out
+  /// does (compute on miss, publish, self-heal corruption), or measured
+  /// directly with no store attached. Returns by value -- the store is the
+  /// cache; the pipeline keeps no per-matrix heap residency.
+  LatencyMatrix isp_latency_matrix(AsIndex isp) const;
 
   /// Clustering of every 2023 offnet-hosting ISP at a given xi (cached).
   /// Indexed by position in discovery(2023, 2023 methodology) hosting order.
@@ -186,6 +213,14 @@ class Pipeline {
   ClusterFanout cluster_isps(const std::vector<AsIndex>& isps,
                              std::span<const double> xis) const;
 
+  /// Lock-free matrix fetch shared by the public isp_latency_matrix() and
+  /// the fan-out's pool workers: store single-flight when attached, direct
+  /// measurement otherwise. Takes the already-forced registry/mesh by
+  /// reference so worker threads never re-enter the locked accessors.
+  LatencyMatrix fetch_isp_matrix(const OffnetRegistry& reg,
+                                 const PingMesh& mesh, AsIndex isp,
+                                 std::atomic<std::uint64_t>& corrupt) const;
+
   /// Deterministic ISP-ordered merge of fan-out outcomes: aggregates the
   /// clustering StageHealth, publishes the per-xi clustering artifacts,
   /// folds in corruption notes, and fills the in-process caches. Returns
@@ -217,6 +252,11 @@ class Pipeline {
   std::string stream_dir_;
   bool owns_stream_dir_ = false;
 
+  /// Serializes the lazy stage accessors (recursive: stages force each
+  /// other). Never taken by pool-worker bodies, so the fan-out caller can
+  /// hold it across parallel_for_blocks. Ordering: stage_mutex_ before
+  /// health_mutex_, never the reverse.
+  mutable std::recursive_mutex stage_mutex_;
   mutable std::mutex health_mutex_;
   mutable std::map<std::string, fault::StageHealth> health_;
   mutable std::map<Snapshot, OffnetRegistry> registries_;

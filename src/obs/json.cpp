@@ -140,7 +140,13 @@ class Parser {
       if (peek() != '"') fail("expected object key");
       std::string key = parse_string();
       expect(':');
-      members.emplace(std::move(key), parse_value());
+      // Duplicate keys are rejected rather than silently resolved: which
+      // copy wins differs between JSON parsers, so a duplicated key in a
+      // service request is an ambiguity the caller must fix.
+      JsonValue value = parse_value();
+      if (!members.emplace(key, std::move(value)).second) {
+        fail("duplicate object key '" + key + "'");
+      }
       const char next = peek();
       ++pos_;
       if (next == '}') {

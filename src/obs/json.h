@@ -4,7 +4,8 @@
 // repro-bench trend CLI, and the check.sh trace-smoke validation; not a
 // general-purpose JSON library (no surrogate-pair decoding, numbers parsed
 // as double, nesting capped at 192 levels to keep adversarial input from
-// overflowing the parser stack).
+// overflowing the parser stack, duplicate object keys rejected as a
+// ParseError since "which copy wins" is parser-dependent ambiguity).
 #pragma once
 
 #include <map>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "obs/json.h"
 #include "util/strings.h"
@@ -117,6 +118,15 @@ std::string render_diff(const TrendDiff& diff) {
     out += "verdict: ok\n";
   }
   return out;
+}
+
+std::size_t history_max_lines_from_env() {
+  const char* text = std::getenv("REPRO_HISTORY_MAX_LINES");
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return 0;  // unparsable -> unbounded
+  return static_cast<std::size_t>(value);
 }
 
 }  // namespace repro::obs

@@ -69,4 +69,10 @@ TrendDiff diff_records(const BenchRecord& before, const BenchRecord& after,
 /// after, the percent delta, and a verdict column naming regressions.
 std::string render_diff(const TrendDiff& diff);
 
+/// Retention cap for JSONL history files from REPRO_HISTORY_MAX_LINES:
+/// the number of newest lines to keep, or 0 (unset / unparsable / "0")
+/// for unbounded. Every HISTORY.jsonl appender (bench_common.h footers,
+/// `repro-bench record`) feeds this to repro::append_file_capped.
+std::size_t history_max_lines_from_env();
+
 }  // namespace repro::obs

@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <system_error>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 
@@ -509,6 +511,52 @@ std::uint64_t ArtifactStore::prune_to_budget(double mb) {
     obs::metrics().counter("store.evicted").add(1);
   }
   return removed;
+}
+
+std::string occupancy_json(const ArtifactStore& store) {
+  // Aggregate list() by artifact type; std::map keeps the breakdown sorted
+  // so the output is stable run to run.
+  struct TypeUse {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::string, TypeUse> by_type;
+  std::uint64_t total_bytes = 0;
+  for (const ArtifactInfo& info : store.list()) {
+    TypeUse& use = by_type[info.key.type];
+    ++use.count;
+    use.bytes += info.bytes;
+    total_bytes += info.bytes;
+  }
+
+  std::string out = "{\"root\":\"" + obs::json_escape(store.config().root) +
+                    "\",\"read_only\":" +
+                    (store.config().read_only ? "true" : "false") +
+                    ",\"artifacts\":" + std::to_string(store.object_count()) +
+                    ",\"bytes\":" + std::to_string(total_bytes);
+  char mb[64];
+  std::snprintf(mb, sizeof(mb), ",\"mb\":%.1f", store.used_mb());
+  out += mb;
+  out += ",\"types\":{";
+  bool first = true;
+  for (const auto& [type, use] : by_type) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::json_escape(type) +
+           "\":{\"count\":" + std::to_string(use.count) +
+           ",\"bytes\":" + std::to_string(use.bytes) + "}";
+  }
+  out += "}";
+  const StoreStats stats = store.stats();
+  out += ",\"stats\":{\"hits\":" + std::to_string(stats.hits) +
+         ",\"misses\":" + std::to_string(stats.misses) +
+         ",\"corrupt\":" + std::to_string(stats.corrupt) +
+         ",\"evicted\":" + std::to_string(stats.evicted) +
+         ",\"saved\":" + std::to_string(stats.saved) +
+         ",\"chaos_injected\":" + std::to_string(stats.chaos_injected) +
+         ",\"recomputed\":" + std::to_string(stats.recomputed) +
+         ",\"herd_waits\":" + std::to_string(stats.herd_waits) + "}}";
+  return out;
 }
 
 }  // namespace repro::store

@@ -234,4 +234,11 @@ class ArtifactStore {
   std::unordered_set<std::string> inflight_;
 };
 
+/// One-line JSON describing the store's on-disk occupancy and session
+/// stats: root, artifact count, bytes, per-type breakdown (sorted by type),
+/// and the StoreStats counters. Shared by `repro-store stats --json` and
+/// the report service's "stats" query, so scripts parse occupancy instead
+/// of scraping the human tables.
+std::string occupancy_json(const ArtifactStore& store);
+
 }  // namespace repro::store

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "util/error.h"
 
@@ -117,6 +118,35 @@ void append_file(const std::string& path, const std::string& content) {
   require(static_cast<bool>(out), "append_file: cannot open " + path);
   out << content;
   require(static_cast<bool>(out), "append_file: write failed for " + path);
+}
+
+void append_file_capped(const std::string& path, const std::string& content,
+                        std::size_t max_lines) {
+  append_file(path, content);
+  if (max_lines == 0) return;
+
+  std::ifstream in(path, std::ios::binary);
+  require(static_cast<bool>(in), "append_file_capped: cannot reopen " + path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  in.close();
+
+  std::size_t lines = 0;
+  for (const char c : all) {
+    if (c == '\n') ++lines;
+  }
+  if (!all.empty() && all.back() != '\n') ++lines;  // unterminated tail line
+  if (lines <= max_lines) return;
+
+  // Drop the oldest (lines - max_lines) lines: find the offset just past
+  // that many newlines and rewrite the rest.
+  std::size_t drop = lines - max_lines;
+  std::size_t offset = 0;
+  while (drop > 0 && offset < all.size()) {
+    if (all[offset] == '\n') --drop;
+    ++offset;
+  }
+  write_file(path, all.substr(offset));
 }
 
 }  // namespace repro

@@ -47,4 +47,13 @@ void write_file(const std::string& path, const std::string& content);
 /// files such as bench_output/HISTORY.jsonl.
 void append_file(const std::string& path, const std::string& content);
 
+/// append_file, then -- when max_lines > 0 and the file now holds more than
+/// max_lines newline-terminated lines -- rewrites it keeping only the
+/// newest max_lines. 0 means unbounded (a plain append). This is the
+/// REPRO_HISTORY_MAX_LINES retention cap for JSONL histories; the trim is
+/// read-rewrite, not atomic, which matches the history files' best-effort
+/// local-only contract (concurrent appenders already interleave).
+void append_file_capped(const std::string& path, const std::string& content,
+                        std::size_t max_lines);
+
 }  // namespace repro

@@ -4,12 +4,15 @@
 // std::thread fan-out, the run_report.json / trace.json round-trips
 // through the bundled JSON parser, and the bench-trend diff logic.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -29,6 +32,7 @@
 #include "obs/trend.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/table.h"
 #include "util/thread_pool.h"
 
 namespace repro::obs {
@@ -802,6 +806,91 @@ TEST_F(ObsTest, TrendDiffFlagsRegressionsOnTimeFieldsOnly) {
   EXPECT_TRUE(is_time_field("pairwise_ns_op"));
   EXPECT_FALSE(is_time_field("isp_count"));
   EXPECT_FALSE(is_time_field("threads"));
+}
+
+TEST_F(ObsTest, JsonParserRejectsDuplicateKeys) {
+  // "Which copy wins" is parser-dependent, so a duplicate key is a
+  // ParseError -- the report service relies on this to turn ambiguous
+  // requests into structured errors instead of guessing.
+  EXPECT_THROW(parse_json(R"({"a":1,"a":2})"), ParseError);
+  EXPECT_THROW(parse_json(R"({"x":{"k":true,"k":false}})"), ParseError);
+  EXPECT_THROW(parse_json(R"([{"q":"t","q":"t"}])"), ParseError);
+  // Same key in *different* objects stays legal.
+  const JsonValue ok = parse_json(R"({"a":{"k":1},"b":{"k":2}})");
+  EXPECT_DOUBLE_EQ(ok.object().at("b").object().at("k").number(), 2.0);
+}
+
+TEST_F(ObsTest, AppendFileCappedKeepsNewestLines) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("repro-test-history-" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+  std::filesystem::remove(path);
+
+  // Cap 0: plain unbounded append.
+  for (int i = 0; i < 5; ++i) {
+    append_file_capped(path, "line" + std::to_string(i) + "\n", 0);
+  }
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "line0\nline1\nline2\nline3\nline4\n");
+  }
+
+  // Cap 3: the next append trims to the newest three lines.
+  append_file_capped(path, "line5\n", 3);
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "line3\nline4\nline5\n");
+  }
+
+  // At or under the cap: nothing is trimmed.
+  append_file_capped(path, "line6\n", 4);
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "line3\nline4\nline5\nline6\n");
+  }
+
+  // An unterminated tail still counts as a line for the cap.
+  append_file_capped(path, "tail-no-newline", 2);
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "line6\ntail-no-newline");
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(ObsTest, HistoryMaxLinesFromEnvParsing) {
+  const char* saved = std::getenv("REPRO_HISTORY_MAX_LINES");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+
+  ::unsetenv("REPRO_HISTORY_MAX_LINES");
+  EXPECT_EQ(history_max_lines_from_env(), 0u);
+  ::setenv("REPRO_HISTORY_MAX_LINES", "250", 1);
+  EXPECT_EQ(history_max_lines_from_env(), 250u);
+  ::setenv("REPRO_HISTORY_MAX_LINES", "0", 1);
+  EXPECT_EQ(history_max_lines_from_env(), 0u);
+  // Garbage and trailing junk fall back to unbounded rather than throwing:
+  // a bad env var must never break a bench run's footer.
+  ::setenv("REPRO_HISTORY_MAX_LINES", "abc", 1);
+  EXPECT_EQ(history_max_lines_from_env(), 0u);
+  ::setenv("REPRO_HISTORY_MAX_LINES", "12x", 1);
+  EXPECT_EQ(history_max_lines_from_env(), 0u);
+  ::setenv("REPRO_HISTORY_MAX_LINES", "", 1);
+  EXPECT_EQ(history_max_lines_from_env(), 0u);
+
+  if (saved == nullptr) {
+    ::unsetenv("REPRO_HISTORY_MAX_LINES");
+  } else {
+    ::setenv("REPRO_HISTORY_MAX_LINES", saved_value.c_str(), 1);
+  }
 }
 
 }  // namespace
