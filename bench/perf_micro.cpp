@@ -207,9 +207,10 @@ int main(int argc, char** argv) {
   // distance matrix), recorded in BENCH_perf_micro.json for trend tooling.
   // 8 threads matches the determinism test tier; on smaller machines the
   // pool still runs 8 workers, so the number reflects real oversubscription.
-  // On a single-hardware-thread host the serial/parallel ratio measures
-  // only pool overhead, so the line flags it as not meaningful
-  // (pairwise_speedup_meaningful:false) rather than implying a regression.
+  // On a single-hardware-thread host the serial/parallel ratio would only
+  // measure pool overhead, so the comparison is skipped outright and the
+  // speedup fields stay absent -- repro-bench diff ignores fields missing
+  // from either side, so the gate can never trip on timeslicing noise.
   {
     using namespace repro;
     const std::size_t rows = 256;
@@ -218,40 +219,84 @@ int main(int argc, char** argv) {
     Rng rng(3);
     std::vector<double> table(rows * cols);
     for (auto& value : table) value = rng.uniform(10.0, 200.0);
-    const double serial = time_pairwise(table, rows, cols, 1);
-    const double parallel = time_pairwise(table, rows, cols, threads);
-    const double speedup = parallel > 0.0 ? serial / parallel : 0.0;
     const bool speedup_meaningful = hardware_thread_count() > 1;
+    const double serial = time_pairwise(table, rows, cols, 1);
+    const double parallel =
+        speedup_meaningful ? time_pairwise(table, rows, cols, threads) : 0.0;
+    const double speedup =
+        speedup_meaningful && parallel > 0.0 ? serial / parallel : 0.0;
     // Per-phase cost of the SIMD kernel at the paper's vector length (163
-    // vantage points, 20% trim): |a-b| fill vs sorting-network select vs
-    // ascending-sum reduce, ns per pair at the dispatched level.
+    // vantage points, 20% trim): |a-b| fill vs select vs ascending-sum
+    // reduce, ns per pair at the dispatched level. Both select strategies
+    // (rank-select program, flat Batcher network) are timed each run so the
+    // line names the measured winner alongside the active strategy.
     const KernelPhaseProfile phases = profile_kernel_phases(cols, 0.2, 2000);
-    std::printf(
-        "\npairwise_distances %zux%zu: serial %.4f s, %zu threads %.4f s "
-        "(speedup %.2fx%s, %zu hardware threads)\n",
-        rows, cols, serial, threads, parallel, speedup,
-        speedup_meaningful ? "" : ", not meaningful on 1 hw thread",
-        hardware_thread_count());
+    // Cost of one xi re-extraction sweep over a warm 256-point ordering:
+    // the resident report service re-extracts per (ISP, xi) query, so this
+    // is the serial path the OPTICS scratch-reuse work targets. Best of 5
+    // batches, like the kernel phases.
+    const DistanceMatrix blob_matrix = random_blobs(256, 4);
+    OpticsResult optics_base;
+    optics_order(blob_matrix, 2, optics_base);
+    double optics_extract_ns = 0.0;
+    {
+      constexpr int kBatch = 50;
+      for (int rep = 0; rep < 5; ++rep) {
+        const bench::Stopwatch watch;
+        for (int i = 0; i < kBatch; ++i) {
+          benchmark::DoNotOptimize(
+              extract_xi_clusters(optics_base.reachability, 2, 0.1, 2));
+        }
+        const double ns = watch.seconds() * 1e9 / kBatch;
+        if (rep == 0 || ns < optics_extract_ns) optics_extract_ns = ns;
+      }
+    }
+    if (speedup_meaningful) {
+      std::printf(
+          "\npairwise_distances %zux%zu: serial %.4f s, %zu threads %.4f s "
+          "(speedup %.2fx, %zu hardware threads)\n",
+          rows, cols, serial, threads, parallel, speedup,
+          hardware_thread_count());
+    } else {
+      std::printf(
+          "\npairwise_distances %zux%zu: serial %.4f s (1 hardware thread; "
+          "parallel comparison skipped)\n",
+          rows, cols, serial);
+    }
     std::printf(
         "kernel phases (simd %s, cols %zu): diff %.1f ns/pair, select %.1f "
-        "ns/pair, sum %.1f ns/pair\n",
+        "ns/pair [%s; ranksel %.1f, network %.1f], sum %.1f ns/pair\n",
         phases.simd_level.c_str(), cols, phases.diff_ns_op,
-        phases.select_ns_op, phases.sum_ns_op);
-    char fields[512];
+        phases.select_ns_op, phases.select_strategy.c_str(),
+        phases.select_ranksel_ns_op, phases.select_network_ns_op,
+        phases.sum_ns_op);
+    std::printf("optics xi extraction (n 256): %.0f ns/extract\n",
+                optics_extract_ns);
+    char fields[768];
+    char speedup_fields[192] = "";
+    if (speedup_meaningful) {
+      std::snprintf(speedup_fields, sizeof(speedup_fields),
+                    "\"pairwise_parallel_seconds\":%.6f,"
+                    "\"pairwise_threads\":%zu,\"pairwise_speedup\":%.3f,",
+                    parallel, threads, speedup);
+    }
     std::snprintf(fields, sizeof(fields),
                   "\"pairwise_serial_seconds\":%.6f,"
-                  "\"pairwise_parallel_seconds\":%.6f,"
-                  "\"pairwise_threads\":%zu,\"pairwise_speedup\":%.3f,"
-                  "\"pairwise_speedup_meaningful\":%s,"
+                  "%s"
                   "\"hardware_threads\":%zu,"
                   "\"simd_level\":\"%s\","
+                  "\"kernel_select_strategy\":\"%s\","
                   "\"kernel_diff_ns_op\":%.1f,"
                   "\"kernel_select_ns_op\":%.1f,"
-                  "\"kernel_sum_ns_op\":%.1f",
-                  serial, parallel, threads, speedup,
-                  speedup_meaningful ? "true" : "false",
-                  hardware_thread_count(), phases.simd_level.c_str(),
-                  phases.diff_ns_op, phases.select_ns_op, phases.sum_ns_op);
+                  "\"kernel_select_ranksel_ns_op\":%.1f,"
+                  "\"kernel_select_network_ns_op\":%.1f,"
+                  "\"kernel_sum_ns_op\":%.1f,"
+                  "\"optics_extract_ns_op\":%.0f",
+                  serial, speedup_fields, hardware_thread_count(),
+                  phases.simd_level.c_str(), phases.select_strategy.c_str(),
+                  phases.diff_ns_op, phases.select_ns_op,
+                  phases.select_ranksel_ns_op, phases.select_network_ns_op,
+                  phases.sum_ns_op, optics_extract_ns);
     bench::print_footer("perf_micro", total, {}, fields);
   }
 

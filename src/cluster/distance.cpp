@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "cluster/distance_kernel.h"
+#include "cluster/select_program.h"
 #include "cluster/sort_network.h"
 #include "obs/trace.h"
 #include "util/rng.h"
@@ -46,6 +47,36 @@ void check_trimmed_manhattan_args(std::span<const double> a,
   require(trim_fraction >= 0.0 && trim_fraction < 1.0,
           "trimmed_manhattan: trim_fraction outside [0, 1)");
 }
+
+/// The select phase resolved once per matrix: either the rank-select
+/// program (default) or the flat Batcher network (REPRO_SELECT=network).
+/// Both are cached for the process lifetime and bit-identical, so workers
+/// share the resolved plan read-only.
+struct SelectPlan {
+  const std::uint32_t* data;
+  std::size_t len;  // code length (ranksel) or comparator count (network)
+  bool ranksel;
+
+  static SelectPlan resolve(std::size_t cols, std::size_t keep,
+                            std::size_t lanes) {
+    if (cluster::select_strategy() == cluster::SelectStrategy::kRankSelect) {
+      const cluster::SelectProgram& program =
+          cluster::select_program_for(cols, keep, lanes);
+      return {program.code.data(), program.code.size(), true};
+    }
+    const cluster::SortNetwork& net =
+        cluster::sort_network_for(cols, keep, lanes);
+    return {net.byte_offsets.data(), net.comparators, false};
+  }
+
+  void run(const cluster::KernelOps& ops, double* scratch) const {
+    if (ranksel) {
+      ops.run_select(scratch, data, len);
+    } else {
+      ops.run_network(scratch, data, len);
+    }
+  }
+};
 
 }  // namespace
 
@@ -163,13 +194,11 @@ DistanceMatrix pairwise_distances(std::span<const double> table,
   obs::ScopedSpan span("cluster.pairwise_distances");
 
   // Everything loop-invariant is resolved here, once: kernel level, lane
-  // count, trim boundary, and the sorting network for (cols, keep, lanes).
-  // The network reference is cached for the process lifetime and read-only,
-  // so sharing it across workers is safe.
+  // count, trim boundary, and the select plan for (cols, keep, lanes).
   const cluster::KernelOps& ops = cluster::kernel_ops(simd::active_level());
   const std::size_t lanes = ops.lanes;
   const std::size_t keep = trim_keep_count(cols, trim_fraction);
-  const cluster::SortNetwork& net = cluster::sort_network_for(cols, keep, lanes);
+  const SelectPlan plan = SelectPlan::resolve(cols, keep, lanes);
   const double* data = table.data();
 
   // Row-block sharding: a worker owning rows [begin, end) computes every
@@ -182,11 +211,12 @@ DistanceMatrix pairwise_distances(std::span<const double> table,
   const std::size_t block = std::max<std::size_t>(1, rows / (threads * 8));
   parallel_for_blocks(
       rows, block,
-      [&matrix, &ops, &net, data, rows, cols, keep, lanes](std::size_t begin,
-                                                           std::size_t end) {
+      [&matrix, &ops, &plan, data, rows, cols, keep, lanes](std::size_t begin,
+                                                            std::size_t end) {
         // One aligned scratch per worker thread for the whole shard.
         thread_local cluster::AlignedScratch scratch_owner;
-        double* scratch = scratch_owner.ensure(cols * lanes);
+        double* scratch =
+            scratch_owner.ensure(cluster::kernel_scratch_doubles(cols, lanes));
         const double* batch[cluster::kMaxKernelLanes];
         double results[cluster::kMaxKernelLanes];
         for (std::size_t i = begin; i < end; ++i) {
@@ -202,7 +232,7 @@ DistanceMatrix pairwise_distances(std::span<const double> table,
               batch[l] = data + j * cols;
             }
             ops.fill_diffs(row_i, batch, cols, scratch);
-            ops.run_network(scratch, net.byte_offsets.data(), net.comparators);
+            plan.run(ops, scratch);
             ops.reduce_mean(scratch, keep, results);
             for (std::size_t l = 0; l < live; ++l) {
               out_row[jb + l] = results[l];
@@ -230,7 +260,7 @@ DistanceMatrix pairwise_distances_streamed(const RowFiller& fill_row,
   const cluster::KernelOps& ops = cluster::kernel_ops(simd::active_level());
   const std::size_t lanes = ops.lanes;
   const std::size_t keep = trim_keep_count(cols, trim_fraction);
-  const cluster::SortNetwork& net = cluster::sort_network_for(cols, keep, lanes);
+  const SelectPlan plan = SelectPlan::resolve(cols, keep, lanes);
 
   const std::size_t block =
       block_rows == 0 ? rows : std::min(block_rows, rows);
@@ -248,7 +278,8 @@ DistanceMatrix pairwise_distances_streamed(const RowFiller& fill_row,
         thread_local std::vector<double> stage_i;
         thread_local std::vector<double> stage_j;
         thread_local cluster::AlignedScratch scratch_owner;
-        double* scratch = scratch_owner.ensure(cols * lanes);
+        double* scratch =
+            scratch_owner.ensure(cluster::kernel_scratch_doubles(cols, lanes));
         const double* batch[cluster::kMaxKernelLanes];
         double results[cluster::kMaxKernelLanes];
 
@@ -295,8 +326,7 @@ DistanceMatrix pairwise_distances_streamed(const RowFiller& fill_row,
                 batch[l] = rows_j + (j - rows_j_base) * cols;
               }
               ops.fill_diffs(row_i, batch, cols, scratch);
-              ops.run_network(scratch, net.byte_offsets.data(),
-                              net.comparators);
+              plan.run(ops, scratch);
               ops.reduce_mean(scratch, keep, results);
               for (std::size_t l = 0; l < live; ++l) {
                 // Cell (i, lo + jb + l) belongs to exactly this block pair,
@@ -321,6 +351,8 @@ KernelPhaseProfile profile_kernel_phases(std::size_t n, double trim_fraction,
   const cluster::KernelOps& ops = cluster::kernel_ops(simd::active_level());
   const std::size_t lanes = ops.lanes;
   const std::size_t keep = trim_keep_count(n, trim_fraction);
+  const cluster::SelectProgram& program =
+      cluster::select_program_for(n, keep, lanes);
   const cluster::SortNetwork& net = cluster::sort_network_for(n, keep, lanes);
 
   Rng rng(0x9d15);
@@ -332,7 +364,8 @@ KernelPhaseProfile profile_kernel_phases(std::size_t n, double trim_fraction,
   for (std::size_t l = 0; l < lanes; ++l) batch[l] = b.data() + l * n;
 
   cluster::AlignedScratch scratch_owner;
-  double* scratch = scratch_owner.ensure(n * lanes);
+  double* scratch =
+      scratch_owner.ensure(cluster::kernel_scratch_doubles(n, lanes));
   double results[cluster::kMaxKernelLanes];
 
   const auto time_phase = [&](auto&& body) {
@@ -350,10 +383,23 @@ KernelPhaseProfile profile_kernel_phases(std::size_t n, double trim_fraction,
   profile.simd_level = std::string(simd::to_string(ops.level));
   profile.diff_ns_op =
       time_phase([&] { ops.fill_diffs(a.data(), batch, n, scratch); });
-  // The network pass is data-independent, so re-running it on the already
-  // sorted scratch exercises the exact same instruction stream.
-  profile.select_ns_op = time_phase(
-      [&] { ops.run_network(scratch, net.byte_offsets.data(), net.comparators); });
+  // Both select strategies are data-independent compare-exchange
+  // sequences, so re-running them on the already sorted scratch exercises
+  // the exact same instruction stream; timing each keeps the A/B honest
+  // and lets the bench line name the measured winner.
+  profile.select_ranksel_ns_op = time_phase([&] {
+    ops.run_select(scratch, program.code.data(), program.code.size());
+  });
+  profile.select_network_ns_op = time_phase([&] {
+    ops.run_network(scratch, net.byte_offsets.data(), net.comparators);
+  });
+  const bool ranksel_active =
+      cluster::select_strategy() == cluster::SelectStrategy::kRankSelect;
+  profile.select_strategy =
+      cluster::to_string(ranksel_active ? cluster::SelectStrategy::kRankSelect
+                                        : cluster::SelectStrategy::kNetwork);
+  profile.select_ns_op = ranksel_active ? profile.select_ranksel_ns_op
+                                        : profile.select_network_ns_op;
   profile.sum_ns_op =
       time_phase([&] { ops.reduce_mean(scratch, keep, results); });
   return profile;

@@ -131,13 +131,19 @@ DistanceMatrix pairwise_distances_streamed(const RowFiller& fill_row,
                                            std::size_t block_rows = 0);
 
 /// Per-phase kernel timings for bench/perf_micro: median-free best-of-run
-/// ns per pair for the |a-b| fill, the sorting-network select, and the
-/// ascending-sum reduce, at the active SIMD level.
+/// ns per pair for the |a-b| fill, the select phase, and the ascending-sum
+/// reduce, at the active SIMD level. Both select strategies are timed each
+/// run: select_ns_op is the strategy actually in effect (REPRO_SELECT,
+/// default ranksel) and select_strategy names it; the per-strategy fields
+/// let the bench line name the measured winner.
 struct KernelPhaseProfile {
   std::string simd_level;
+  std::string select_strategy;
   double diff_ns_op = 0.0;
   double select_ns_op = 0.0;
   double sum_ns_op = 0.0;
+  double select_ranksel_ns_op = 0.0;
+  double select_network_ns_op = 0.0;
 };
 
 /// Times each kernel phase over `iterations` batched invocations on a

@@ -6,10 +6,19 @@
 // matching the bench's per-phase timings:
 //
 //   fill_diffs   scratch[d][l] = |a[d] - bs[l][d]|
-//   run_network  sorting-network pass (see sort_network.h): each lane ends
-//                ascending; offsets are precomputed byte offsets into scratch
+//   run_select   rank-select program pass (select_program.h) or, under
+//                REPRO_SELECT=network, the flat Batcher network pass
+//                (sort_network.h): each lane's kept prefix ends ascending
 //   reduce_mean  per lane, sequential sum of rows [0, keep) ascending,
 //                divided by keep
+//
+// Scratch rows live at the *padded* row index (padded_row_index in
+// select_program.h): one pad row per 4 KiB alias period keeps comparators
+// a power-of-two stride apart from ever being exactly one page apart,
+// which otherwise serializes the select phase on false store-forwarding
+// conflicts. fill_diffs, both select variants and reduce_mean all address
+// rows through the same mapping; callers size the scratch with
+// kernel_scratch_doubles. Pad rows are never read or written.
 //
 // Every instruction-set level implements the same three phases and is
 // bit-identical by contract: |a-b| is exact sign-bit clearing everywhere,
@@ -43,10 +52,15 @@ struct KernelOps {
   /// the last row to pad a tail batch).
   void (*fill_diffs)(const double* a, const double* const* bs, std::size_t n,
                      double* scratch);
-  /// byte_offsets: 2*comparators offsets into scratch, pre-scaled for this
-  /// lane count (from sort_network_for(n, keep, lanes)).
+  /// byte_offsets: 2*comparators offsets into scratch, pre-scaled and
+  /// pad-mapped for this lane count (from sort_network_for(n, keep,
+  /// lanes)). Fallback select strategy.
   void (*run_network)(double* scratch, const std::uint32_t* byte_offsets,
                       std::size_t comparators);
+  /// Runs a rank-select program stream (select_program_for(n, keep,
+  /// lanes).code). Default select strategy; bit-identical to run_network.
+  void (*run_select)(double* scratch, const std::uint32_t* code,
+                     std::size_t code_len);
   /// Writes `lanes` means to out.
   void (*reduce_mean)(const double* scratch, std::size_t keep, double* out);
 };

@@ -7,6 +7,9 @@
 #include <immintrin.h>
 
 #include <cmath>
+#include <limits>
+
+#include "cluster/select_program.h"
 
 namespace repro::cluster {
 
@@ -32,14 +35,19 @@ void fill_diffs(const double* a, const double* const* bs, std::size_t n,
     const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
     const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
     const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
-    _mm256_store_pd(scratch + (d + 0) * 4, _mm256_permute2f128_pd(t0, t2, 0x20));
-    _mm256_store_pd(scratch + (d + 1) * 4, _mm256_permute2f128_pd(t1, t3, 0x20));
-    _mm256_store_pd(scratch + (d + 2) * 4, _mm256_permute2f128_pd(t0, t2, 0x31));
-    _mm256_store_pd(scratch + (d + 3) * 4, _mm256_permute2f128_pd(t1, t3, 0x31));
+    _mm256_store_pd(scratch + padded_row_index(d + 0, 4) * 4,
+                    _mm256_permute2f128_pd(t0, t2, 0x20));
+    _mm256_store_pd(scratch + padded_row_index(d + 1, 4) * 4,
+                    _mm256_permute2f128_pd(t1, t3, 0x20));
+    _mm256_store_pd(scratch + padded_row_index(d + 2, 4) * 4,
+                    _mm256_permute2f128_pd(t0, t2, 0x31));
+    _mm256_store_pd(scratch + padded_row_index(d + 3, 4) * 4,
+                    _mm256_permute2f128_pd(t1, t3, 0x31));
   }
   for (; d < n; ++d) {
+    double* row = scratch + padded_row_index(d, 4) * 4;
     for (std::size_t l = 0; l < 4; ++l) {
-      scratch[d * 4 + l] = std::fabs(a[d] - bs[l][d]);
+      row[l] = std::fabs(a[d] - bs[l][d]);
     }
   }
 }
@@ -57,17 +65,33 @@ void run_network(double* scratch, const std::uint32_t* byte_offsets,
   }
 }
 
+#define REPRO_SELECT_VEC __m256d
+#define REPRO_SELECT_LOAD(p) _mm256_load_pd(p)
+#define REPRO_SELECT_STORE(p, v) _mm256_store_pd((p), (v))
+#define REPRO_SELECT_MIN(x, y) _mm256_min_pd((x), (y))
+#define REPRO_SELECT_MAX(x, y) _mm256_max_pd((x), (y))
+#define REPRO_SELECT_INF \
+  _mm256_set1_pd(std::numeric_limits<double>::infinity())
+#include "cluster/kernel_select.inl"
+#undef REPRO_SELECT_VEC
+#undef REPRO_SELECT_LOAD
+#undef REPRO_SELECT_STORE
+#undef REPRO_SELECT_MIN
+#undef REPRO_SELECT_MAX
+#undef REPRO_SELECT_INF
+
 void reduce_mean(const double* scratch, std::size_t keep, double* out) {
   __m256d acc = _mm256_setzero_pd();
   for (std::size_t r = 0; r < keep; ++r) {
-    acc = _mm256_add_pd(acc, _mm256_load_pd(scratch + r * 4));
+    acc = _mm256_add_pd(acc,
+                        _mm256_load_pd(scratch + padded_row_index(r, 4) * 4));
   }
   acc = _mm256_div_pd(acc, _mm256_set1_pd(static_cast<double>(keep)));
   _mm256_storeu_pd(out, acc);
 }
 
-const KernelOps kOps{simd::SimdLevel::kAvx2, 4, &fill_diffs, &run_network,
-                     &reduce_mean};
+const KernelOps kOps{simd::SimdLevel::kAvx2, 4,           &fill_diffs,
+                     &run_network,           &run_select, &reduce_mean};
 
 }  // namespace
 

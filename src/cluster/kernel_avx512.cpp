@@ -7,6 +7,10 @@
 
 #include <immintrin.h>
 
+#include <limits>
+
+#include "cluster/select_program.h"
+
 namespace repro::cluster {
 
 namespace {
@@ -53,7 +57,7 @@ void fill_diffs(const double* a, const double* const* bs, std::size_t n,
     }
     transpose8(rows);
     for (std::size_t r = 0; r < 8; ++r) {
-      _mm512_store_pd(scratch + (d + r) * 8, rows[r]);
+      _mm512_store_pd(scratch + padded_row_index(d + r, 8) * 8, rows[r]);
     }
   }
   if (d < n) {
@@ -69,7 +73,7 @@ void fill_diffs(const double* a, const double* const* bs, std::size_t n,
     }
     transpose8(rows);
     for (std::size_t r = 0; d + r < n; ++r) {
-      _mm512_store_pd(scratch + (d + r) * 8, rows[r]);
+      _mm512_store_pd(scratch + padded_row_index(d + r, 8) * 8, rows[r]);
     }
   }
 }
@@ -87,19 +91,35 @@ void run_network(double* scratch, const std::uint32_t* byte_offsets,
   }
 }
 
+#define REPRO_SELECT_VEC __m512d
+#define REPRO_SELECT_LOAD(p) _mm512_load_pd(p)
+#define REPRO_SELECT_STORE(p, v) _mm512_store_pd((p), (v))
+#define REPRO_SELECT_MIN(x, y) _mm512_min_pd((x), (y))
+#define REPRO_SELECT_MAX(x, y) _mm512_max_pd((x), (y))
+#define REPRO_SELECT_INF \
+  _mm512_set1_pd(std::numeric_limits<double>::infinity())
+#include "cluster/kernel_select.inl"
+#undef REPRO_SELECT_VEC
+#undef REPRO_SELECT_LOAD
+#undef REPRO_SELECT_STORE
+#undef REPRO_SELECT_MIN
+#undef REPRO_SELECT_MAX
+#undef REPRO_SELECT_INF
+
 void reduce_mean(const double* scratch, std::size_t keep, double* out) {
   // One independent sequential-ascending chain per lane; the vector adds
   // run eight chains in parallel while each lane's order stays canonical.
   __m512d acc = _mm512_setzero_pd();
   for (std::size_t r = 0; r < keep; ++r) {
-    acc = _mm512_add_pd(acc, _mm512_load_pd(scratch + r * 8));
+    acc = _mm512_add_pd(acc,
+                        _mm512_load_pd(scratch + padded_row_index(r, 8) * 8));
   }
   acc = _mm512_div_pd(acc, _mm512_set1_pd(static_cast<double>(keep)));
   _mm512_storeu_pd(out, acc);
 }
 
-const KernelOps kOps{simd::SimdLevel::kAvx512, 8, &fill_diffs, &run_network,
-                     &reduce_mean};
+const KernelOps kOps{simd::SimdLevel::kAvx512, 8,           &fill_diffs,
+                     &run_network,             &run_select, &reduce_mean};
 
 }  // namespace
 

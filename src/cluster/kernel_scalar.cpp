@@ -1,8 +1,10 @@
 // Scalar reference kernel (lanes = 1). Always compiled; the floor of the
 // dispatch chain and the portable path on non-x86 builds.
 #include <cmath>
+#include <limits>
 
 #include "cluster/distance_kernel.h"
+#include "cluster/select_program.h"
 
 namespace repro::cluster {
 
@@ -11,7 +13,9 @@ namespace {
 void fill_diffs(const double* a, const double* const* bs, std::size_t n,
                 double* scratch) {
   const double* b = bs[0];
-  for (std::size_t d = 0; d < n; ++d) scratch[d] = std::fabs(a[d] - b[d]);
+  for (std::size_t d = 0; d < n; ++d) {
+    scratch[padded_row_index(d, 1)] = std::fabs(a[d] - b[d]);
+  }
 }
 
 void run_network(double* scratch, const std::uint32_t* byte_offsets,
@@ -29,14 +33,30 @@ void run_network(double* scratch, const std::uint32_t* byte_offsets,
   }
 }
 
+#define REPRO_SELECT_VEC double
+#define REPRO_SELECT_LOAD(p) (*(p))
+#define REPRO_SELECT_STORE(p, v) (void)(*(p) = (v))
+#define REPRO_SELECT_MIN(x, y) ((y) < (x) ? (y) : (x))
+#define REPRO_SELECT_MAX(x, y) ((y) < (x) ? (x) : (y))
+#define REPRO_SELECT_INF (std::numeric_limits<double>::infinity())
+#include "cluster/kernel_select.inl"
+#undef REPRO_SELECT_VEC
+#undef REPRO_SELECT_LOAD
+#undef REPRO_SELECT_STORE
+#undef REPRO_SELECT_MIN
+#undef REPRO_SELECT_MAX
+#undef REPRO_SELECT_INF
+
 void reduce_mean(const double* scratch, std::size_t keep, double* out) {
   double total = 0.0;
-  for (std::size_t r = 0; r < keep; ++r) total += scratch[r];
+  for (std::size_t r = 0; r < keep; ++r) {
+    total += scratch[padded_row_index(r, 1)];
+  }
   out[0] = total / static_cast<double>(keep);
 }
 
-const KernelOps kOps{simd::SimdLevel::kScalar, 1, &fill_diffs, &run_network,
-                     &reduce_mean};
+const KernelOps kOps{simd::SimdLevel::kScalar, 1,           &fill_diffs,
+                     &run_network,             &run_select, &reduce_mean};
 
 }  // namespace
 

@@ -1,0 +1,262 @@
+// Select-phase interpreter shared by every kernel translation unit.
+//
+// Included once per TU, inside `namespace repro::cluster { namespace {`,
+// after the TU defines its vector layer:
+//
+//   REPRO_SELECT_VEC          one scratch row's worth of lanes
+//   REPRO_SELECT_LOAD(p)      aligned row load from double*
+//   REPRO_SELECT_STORE(p, v)  aligned row store
+//   REPRO_SELECT_MIN(x, y)    lane-wise min, SSE semantics (y < x ? y : x)
+//   REPRO_SELECT_MAX(x, y)    lane-wise max, SSE semantics (y < x ? x : y)
+//   REPRO_SELECT_INF          +inf broadcast expression
+//
+// The interpreter walks the run-length opcode stream of a SelectProgram
+// (select_program.h): flat compare-exchange runs (full / min-only /
+// max-only) go through memory; sort16 and merge16 tiles keep their 16 rows
+// in registers for the whole Batcher sub-network, which needs the bodies
+// to be fully unrolled with compile-time register names -- an indexed
+// register array would spill to the stack. The comparator sequences are
+// Batcher's odd-even sort of 16 and odd-even merge of a 16-chain, in
+// generation order; tests replay the whole program against std::sort.
+
+#define REPRO_TILE_CMP(x, y)                         \
+  {                                                  \
+    const REPRO_SELECT_VEC t_ = REPRO_SELECT_MIN(x, y); \
+    y = REPRO_SELECT_MAX(x, y);                      \
+    x = t_;                                          \
+  }
+
+// 63 comparators
+#define REPRO_SORT16_BODY \
+  REPRO_TILE_CMP(r0, r1) \
+  REPRO_TILE_CMP(r2, r3) \
+  REPRO_TILE_CMP(r0, r2) \
+  REPRO_TILE_CMP(r1, r3) \
+  REPRO_TILE_CMP(r1, r2) \
+  REPRO_TILE_CMP(r4, r5) \
+  REPRO_TILE_CMP(r6, r7) \
+  REPRO_TILE_CMP(r4, r6) \
+  REPRO_TILE_CMP(r5, r7) \
+  REPRO_TILE_CMP(r5, r6) \
+  REPRO_TILE_CMP(r0, r4) \
+  REPRO_TILE_CMP(r2, r6) \
+  REPRO_TILE_CMP(r2, r4) \
+  REPRO_TILE_CMP(r1, r5) \
+  REPRO_TILE_CMP(r3, r7) \
+  REPRO_TILE_CMP(r3, r5) \
+  REPRO_TILE_CMP(r1, r2) \
+  REPRO_TILE_CMP(r3, r4) \
+  REPRO_TILE_CMP(r5, r6) \
+  REPRO_TILE_CMP(r8, r9) \
+  REPRO_TILE_CMP(r10, r11) \
+  REPRO_TILE_CMP(r8, r10) \
+  REPRO_TILE_CMP(r9, r11) \
+  REPRO_TILE_CMP(r9, r10) \
+  REPRO_TILE_CMP(r12, r13) \
+  REPRO_TILE_CMP(r14, r15) \
+  REPRO_TILE_CMP(r12, r14) \
+  REPRO_TILE_CMP(r13, r15) \
+  REPRO_TILE_CMP(r13, r14) \
+  REPRO_TILE_CMP(r8, r12) \
+  REPRO_TILE_CMP(r10, r14) \
+  REPRO_TILE_CMP(r10, r12) \
+  REPRO_TILE_CMP(r9, r13) \
+  REPRO_TILE_CMP(r11, r15) \
+  REPRO_TILE_CMP(r11, r13) \
+  REPRO_TILE_CMP(r9, r10) \
+  REPRO_TILE_CMP(r11, r12) \
+  REPRO_TILE_CMP(r13, r14) \
+  REPRO_TILE_CMP(r0, r8) \
+  REPRO_TILE_CMP(r4, r12) \
+  REPRO_TILE_CMP(r4, r8) \
+  REPRO_TILE_CMP(r2, r10) \
+  REPRO_TILE_CMP(r6, r14) \
+  REPRO_TILE_CMP(r6, r10) \
+  REPRO_TILE_CMP(r2, r4) \
+  REPRO_TILE_CMP(r6, r8) \
+  REPRO_TILE_CMP(r10, r12) \
+  REPRO_TILE_CMP(r1, r9) \
+  REPRO_TILE_CMP(r5, r13) \
+  REPRO_TILE_CMP(r5, r9) \
+  REPRO_TILE_CMP(r3, r11) \
+  REPRO_TILE_CMP(r7, r15) \
+  REPRO_TILE_CMP(r7, r11) \
+  REPRO_TILE_CMP(r3, r5) \
+  REPRO_TILE_CMP(r7, r9) \
+  REPRO_TILE_CMP(r11, r13) \
+  REPRO_TILE_CMP(r1, r2) \
+  REPRO_TILE_CMP(r3, r4) \
+  REPRO_TILE_CMP(r5, r6) \
+  REPRO_TILE_CMP(r7, r8) \
+  REPRO_TILE_CMP(r9, r10) \
+  REPRO_TILE_CMP(r11, r12) \
+  REPRO_TILE_CMP(r13, r14)
+
+// 25 comparators
+#define REPRO_MERGE16_BODY \
+  REPRO_TILE_CMP(r0, r8) \
+  REPRO_TILE_CMP(r4, r12) \
+  REPRO_TILE_CMP(r4, r8) \
+  REPRO_TILE_CMP(r2, r10) \
+  REPRO_TILE_CMP(r6, r14) \
+  REPRO_TILE_CMP(r6, r10) \
+  REPRO_TILE_CMP(r2, r4) \
+  REPRO_TILE_CMP(r6, r8) \
+  REPRO_TILE_CMP(r10, r12) \
+  REPRO_TILE_CMP(r1, r9) \
+  REPRO_TILE_CMP(r5, r13) \
+  REPRO_TILE_CMP(r5, r9) \
+  REPRO_TILE_CMP(r3, r11) \
+  REPRO_TILE_CMP(r7, r15) \
+  REPRO_TILE_CMP(r7, r11) \
+  REPRO_TILE_CMP(r3, r5) \
+  REPRO_TILE_CMP(r7, r9) \
+  REPRO_TILE_CMP(r11, r13) \
+  REPRO_TILE_CMP(r1, r2) \
+  REPRO_TILE_CMP(r3, r4) \
+  REPRO_TILE_CMP(r5, r6) \
+  REPRO_TILE_CMP(r7, r8) \
+  REPRO_TILE_CMP(r9, r10) \
+  REPRO_TILE_CMP(r11, r12) \
+  REPRO_TILE_CMP(r13, r14)
+
+
+/// Loads up to `count` rows (the rest pad with +inf, which a Batcher
+/// network provably never moves below a real value), sorts all 16 in
+/// registers, stores the live rows back.
+inline void select_sort16_tile(char* base, const std::uint32_t* offs,
+                               std::uint32_t count) {
+  const REPRO_SELECT_VEC inf_ = REPRO_SELECT_INF;
+  REPRO_SELECT_VEC r0 = inf_, r1 = inf_, r2 = inf_, r3 = inf_, r4 = inf_,
+                   r5 = inf_, r6 = inf_, r7 = inf_, r8 = inf_, r9 = inf_,
+                   r10 = inf_, r11 = inf_, r12 = inf_, r13 = inf_, r14 = inf_,
+                   r15 = inf_;
+#define REPRO_TILE_LOAD(k) \
+  r##k = REPRO_SELECT_LOAD(reinterpret_cast<double*>(base + offs[k]));
+  switch (count) {
+    case 16: REPRO_TILE_LOAD(15) [[fallthrough]];
+    case 15: REPRO_TILE_LOAD(14) [[fallthrough]];
+    case 14: REPRO_TILE_LOAD(13) [[fallthrough]];
+    case 13: REPRO_TILE_LOAD(12) [[fallthrough]];
+    case 12: REPRO_TILE_LOAD(11) [[fallthrough]];
+    case 11: REPRO_TILE_LOAD(10) [[fallthrough]];
+    case 10: REPRO_TILE_LOAD(9) [[fallthrough]];
+    case 9: REPRO_TILE_LOAD(8) [[fallthrough]];
+    case 8: REPRO_TILE_LOAD(7) [[fallthrough]];
+    case 7: REPRO_TILE_LOAD(6) [[fallthrough]];
+    case 6: REPRO_TILE_LOAD(5) [[fallthrough]];
+    case 5: REPRO_TILE_LOAD(4) [[fallthrough]];
+    case 4: REPRO_TILE_LOAD(3) [[fallthrough]];
+    case 3: REPRO_TILE_LOAD(2) [[fallthrough]];
+    case 2: REPRO_TILE_LOAD(1) [[fallthrough]];
+    default: REPRO_TILE_LOAD(0)
+  }
+#undef REPRO_TILE_LOAD
+  REPRO_SORT16_BODY
+#define REPRO_TILE_STORE(k) \
+  REPRO_SELECT_STORE(reinterpret_cast<double*>(base + offs[k]), r##k);
+  switch (count) {
+    case 16: REPRO_TILE_STORE(15) [[fallthrough]];
+    case 15: REPRO_TILE_STORE(14) [[fallthrough]];
+    case 14: REPRO_TILE_STORE(13) [[fallthrough]];
+    case 13: REPRO_TILE_STORE(12) [[fallthrough]];
+    case 12: REPRO_TILE_STORE(11) [[fallthrough]];
+    case 11: REPRO_TILE_STORE(10) [[fallthrough]];
+    case 10: REPRO_TILE_STORE(9) [[fallthrough]];
+    case 9: REPRO_TILE_STORE(8) [[fallthrough]];
+    case 8: REPRO_TILE_STORE(7) [[fallthrough]];
+    case 7: REPRO_TILE_STORE(6) [[fallthrough]];
+    case 6: REPRO_TILE_STORE(5) [[fallthrough]];
+    case 5: REPRO_TILE_STORE(4) [[fallthrough]];
+    case 4: REPRO_TILE_STORE(3) [[fallthrough]];
+    case 3: REPRO_TILE_STORE(2) [[fallthrough]];
+    case 2: REPRO_TILE_STORE(1) [[fallthrough]];
+    default: REPRO_TILE_STORE(0)
+  }
+#undef REPRO_TILE_STORE
+}
+
+/// Odd-even merge of a 16-row chain, all rows live, fully in registers.
+inline void select_merge16_tile(char* base, const std::uint32_t* offs) {
+#define REPRO_TILE_LOAD(k) \
+  REPRO_SELECT_VEC r##k = \
+      REPRO_SELECT_LOAD(reinterpret_cast<double*>(base + offs[k]));
+  REPRO_TILE_LOAD(0) REPRO_TILE_LOAD(1) REPRO_TILE_LOAD(2) REPRO_TILE_LOAD(3)
+  REPRO_TILE_LOAD(4) REPRO_TILE_LOAD(5) REPRO_TILE_LOAD(6) REPRO_TILE_LOAD(7)
+  REPRO_TILE_LOAD(8) REPRO_TILE_LOAD(9) REPRO_TILE_LOAD(10)
+  REPRO_TILE_LOAD(11) REPRO_TILE_LOAD(12) REPRO_TILE_LOAD(13)
+  REPRO_TILE_LOAD(14) REPRO_TILE_LOAD(15)
+#undef REPRO_TILE_LOAD
+  REPRO_MERGE16_BODY
+#define REPRO_TILE_STORE(k) \
+  REPRO_SELECT_STORE(reinterpret_cast<double*>(base + offs[k]), r##k);
+  REPRO_TILE_STORE(0) REPRO_TILE_STORE(1) REPRO_TILE_STORE(2)
+  REPRO_TILE_STORE(3) REPRO_TILE_STORE(4) REPRO_TILE_STORE(5)
+  REPRO_TILE_STORE(6) REPRO_TILE_STORE(7) REPRO_TILE_STORE(8)
+  REPRO_TILE_STORE(9) REPRO_TILE_STORE(10) REPRO_TILE_STORE(11)
+  REPRO_TILE_STORE(12) REPRO_TILE_STORE(13) REPRO_TILE_STORE(14)
+  REPRO_TILE_STORE(15)
+#undef REPRO_TILE_STORE
+}
+
+void run_select(double* scratch, const std::uint32_t* code,
+                std::size_t code_len) {
+  char* base = reinterpret_cast<char*>(scratch);
+  const std::uint32_t* pc = code;
+  const std::uint32_t* const end = code + code_len;
+  while (pc < end) {
+    switch (*pc++) {
+      case kSelectFlat: {
+        std::uint32_t count = *pc++;
+        for (; count > 0; --count, pc += 2) {
+          double* lo = reinterpret_cast<double*>(base + pc[0]);
+          double* hi = reinterpret_cast<double*>(base + pc[1]);
+          const REPRO_SELECT_VEC x = REPRO_SELECT_LOAD(lo);
+          const REPRO_SELECT_VEC y = REPRO_SELECT_LOAD(hi);
+          REPRO_SELECT_STORE(lo, REPRO_SELECT_MIN(x, y));
+          REPRO_SELECT_STORE(hi, REPRO_SELECT_MAX(x, y));
+        }
+        break;
+      }
+      case kSelectFlatMin: {
+        // The max output is dead past the rank boundary: one store, and the
+        // high row keeps its stale value that nothing reads again.
+        std::uint32_t count = *pc++;
+        for (; count > 0; --count, pc += 2) {
+          double* lo = reinterpret_cast<double*>(base + pc[0]);
+          const double* hi = reinterpret_cast<const double*>(base + pc[1]);
+          const REPRO_SELECT_VEC x = REPRO_SELECT_LOAD(lo);
+          const REPRO_SELECT_VEC y = REPRO_SELECT_LOAD(hi);
+          REPRO_SELECT_STORE(lo, REPRO_SELECT_MIN(x, y));
+        }
+        break;
+      }
+      case kSelectFlatMax: {
+        std::uint32_t count = *pc++;
+        for (; count > 0; --count, pc += 2) {
+          const double* lo = reinterpret_cast<const double*>(base + pc[0]);
+          double* hi = reinterpret_cast<double*>(base + pc[1]);
+          const REPRO_SELECT_VEC x = REPRO_SELECT_LOAD(lo);
+          const REPRO_SELECT_VEC y = REPRO_SELECT_LOAD(hi);
+          REPRO_SELECT_STORE(hi, REPRO_SELECT_MAX(x, y));
+        }
+        break;
+      }
+      case kSelectSort16: {
+        const std::uint32_t count = *pc++;
+        select_sort16_tile(base, pc, count);
+        pc += 16;
+        break;
+      }
+      default: {
+        select_merge16_tile(base, pc);
+        pc += 16;
+        break;
+      }
+    }
+  }
+}
+
+#undef REPRO_TILE_CMP
+#undef REPRO_SORT16_BODY
+#undef REPRO_MERGE16_BODY

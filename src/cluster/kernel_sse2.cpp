@@ -7,6 +7,9 @@
 #include <emmintrin.h>
 
 #include <cmath>
+#include <limits>
+
+#include "cluster/select_program.h"
 
 namespace repro::cluster {
 
@@ -17,8 +20,9 @@ void fill_diffs(const double* a, const double* const* bs, std::size_t n,
   const double* b0 = bs[0];
   const double* b1 = bs[1];
   for (std::size_t d = 0; d < n; ++d) {
-    scratch[d * 2] = std::fabs(a[d] - b0[d]);
-    scratch[d * 2 + 1] = std::fabs(a[d] - b1[d]);
+    double* row = scratch + padded_row_index(d, 2) * 2;
+    row[0] = std::fabs(a[d] - b0[d]);
+    row[1] = std::fabs(a[d] - b1[d]);
   }
 }
 
@@ -35,17 +39,32 @@ void run_network(double* scratch, const std::uint32_t* byte_offsets,
   }
 }
 
+#define REPRO_SELECT_VEC __m128d
+#define REPRO_SELECT_LOAD(p) _mm_load_pd(p)
+#define REPRO_SELECT_STORE(p, v) _mm_store_pd((p), (v))
+#define REPRO_SELECT_MIN(x, y) _mm_min_pd((x), (y))
+#define REPRO_SELECT_MAX(x, y) _mm_max_pd((x), (y))
+#define REPRO_SELECT_INF \
+  _mm_set1_pd(std::numeric_limits<double>::infinity())
+#include "cluster/kernel_select.inl"
+#undef REPRO_SELECT_VEC
+#undef REPRO_SELECT_LOAD
+#undef REPRO_SELECT_STORE
+#undef REPRO_SELECT_MIN
+#undef REPRO_SELECT_MAX
+#undef REPRO_SELECT_INF
+
 void reduce_mean(const double* scratch, std::size_t keep, double* out) {
   __m128d acc = _mm_setzero_pd();
   for (std::size_t r = 0; r < keep; ++r) {
-    acc = _mm_add_pd(acc, _mm_load_pd(scratch + r * 2));
+    acc = _mm_add_pd(acc, _mm_load_pd(scratch + padded_row_index(r, 2) * 2));
   }
   acc = _mm_div_pd(acc, _mm_set1_pd(static_cast<double>(keep)));
   _mm_storeu_pd(out, acc);
 }
 
-const KernelOps kOps{simd::SimdLevel::kSse2, 2, &fill_diffs, &run_network,
-                     &reduce_mean};
+const KernelOps kOps{simd::SimdLevel::kSse2, 2,           &fill_diffs,
+                     &run_network,           &run_select, &reduce_mean};
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 namespace repro {
@@ -31,6 +32,23 @@ bool down_at(const std::vector<double>& r, std::size_t i) noexcept {
 
 bool up_at(const std::vector<double>& r, std::size_t i) noexcept {
   return r[i] <= r[i + 1];
+}
+
+/// Per-thread scratch for extract_xi_clusters: the xi sweeps and the
+/// resident report service re-extract clusters over the same ordering for
+/// many xi values, so the working buffers are reused across calls instead
+/// of reallocated (the reachability copy plus sentinel, the prefix-max
+/// array behind the tail correction, and the per-steep-up-area cluster
+/// staging).
+struct XiScratch {
+  std::vector<double> r;
+  std::vector<double> prefix_max;
+  std::vector<std::pair<std::size_t, std::size_t>> u_clusters;
+};
+
+XiScratch& xi_scratch() {
+  thread_local XiScratch scratch;
+  return scratch;
 }
 
 /// Extends a steep region starting at `start` (Ankerst Definition 11 /
@@ -105,39 +123,69 @@ void optics_order(const DistanceMatrix& distances, std::size_t min_pts,
     }
   }
 
-  std::vector<bool> processed(n, false);
+  std::vector<char> processed(n, 0);   // byte flags beat vector<bool> bit ops
   std::vector<double> reach(n, kInf);
   std::vector<double> current_row(n);  // reused: distances from `current`
+
+  // Compacted list of unprocessed point ids, swap-removed as points enter
+  // the ordering. The reach-update and next-point scans walk only this list,
+  // so the per-expansion work shrinks with the frontier instead of staying
+  // O(n) with a processed[] branch per point -- and the two scans fuse into
+  // one pass, since every survivor's reach is final for the step once its
+  // update lands.
+  std::vector<std::uint32_t> remaining(n);
+  std::vector<std::uint32_t> slot(n);  // slot[id] = index of id in remaining
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining[i] = static_cast<std::uint32_t>(i);
+    slot[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto remove_remaining = [&](std::uint32_t id) {
+    const std::uint32_t at = slot[id];
+    const std::uint32_t moved = remaining.back();
+    remaining[at] = moved;
+    slot[moved] = at;
+    remaining.pop_back();
+  };
 
   for (std::size_t seed = 0; seed < n; ++seed) {
     if (processed[seed]) continue;
     std::size_t current = seed;
     while (true) {
-      processed[current] = true;
+      processed[current] = 1;
+      remove_remaining(static_cast<std::uint32_t>(current));
       result.ordering.push_back(current);
       result.reachability.push_back(reach[current]);
 
+      // Next: unprocessed point with the smallest reachability (ties to the
+      // smallest index -- the order of `remaining` is scan-order dependent,
+      // so the tie-break keys on the id, which is deterministic).
+      std::uint32_t next = static_cast<std::uint32_t>(n);
+      double next_reach = kInf;
       if (std::isfinite(result.core_distance[current])) {
         // One row-wise copy from the packed triangle, then direct indexing:
         // the per-element at() recomputed the packed offset (with bounds
         // checks) for every neighbor on every expansion.
         distances.copy_row(current, current_row.data());
         const double core = result.core_distance[current];
-        for (std::size_t o = 0; o < n; ++o) {
-          if (processed[o]) continue;
+        for (const std::uint32_t o : remaining) {
           const double candidate = std::max(core, current_row[o]);
-          reach[o] = std::min(reach[o], candidate);
+          const double updated = std::min(reach[o], candidate);
+          reach[o] = updated;
+          if (updated < next_reach || (updated == next_reach && o < next)) {
+            next = o;
+            next_reach = updated;
+          }
+        }
+      } else {
+        for (const std::uint32_t o : remaining) {
+          const double value = reach[o];
+          if (value < next_reach || (value == next_reach && o < next)) {
+            next = o;
+            next_reach = value;
+          }
         }
       }
-
-      // Next: unprocessed point with the smallest reachability (ties to the
-      // smallest index, for determinism).
-      std::size_t next = n;
-      for (std::size_t o = 0; o < n; ++o) {
-        if (processed[o]) continue;
-        if (next == n || reach[o] < reach[next]) next = o;
-      }
-      if (next == n || std::isinf(reach[next])) break;  // component exhausted
+      if (next == n || std::isinf(next_reach)) break;  // component exhausted
       current = next;
     }
   }
@@ -153,8 +201,14 @@ std::vector<std::pair<std::size_t, std::size_t>> extract_xi_clusters(
   if (n < 2) return clusters;
 
   // Sentinel: an infinite value after the end lets the final steep-up close.
-  std::vector<double> r(reachability);
-  r.push_back(kInf);
+  // The copy lives in per-thread scratch: xi sweeps re-extract over the same
+  // ordering dozens of times, and the copy's only job is to carry the
+  // sentinel without mutating the caller's buffer.
+  XiScratch& scratch = xi_scratch();
+  std::vector<double>& r = scratch.r;
+  r.resize(n + 1);
+  std::copy(reachability.begin(), reachability.end(), r.begin());
+  r[n] = kInf;
   const std::size_t last = n;  // valid comparisons are r[i] vs r[i+1], i < n
 
   std::vector<SteepDownArea> sdas;
@@ -184,7 +238,10 @@ std::vector<std::pair<std::size_t, std::size_t>> extract_xi_clusters(
       index = u_end + 1;
       mib = index <= last ? r[index] : 0.0;
 
-      std::vector<std::pair<std::size_t, std::size_t>> u_clusters;
+      std::vector<std::pair<std::size_t, std::size_t>>& u_clusters =
+          scratch.u_clusters;
+      u_clusters.clear();
+      std::vector<double>& prefix_max = scratch.prefix_max;
       for (const SteepDownArea& sda : sdas) {
         std::size_t c_start = sda.start;
         std::size_t c_end = u_end;
@@ -201,16 +258,24 @@ std::vector<std::pair<std::size_t, std::size_t>> extract_xi_clusters(
         // Tail correction (the role of sklearn's predecessor correction):
         // drop trailing points whose reachability rises steeply above the
         // cluster's internal level -- e.g. a lone outlier swallowed because
-        // the sentinel makes the final rise look steep-up.
-        while (c_end > c_start + 1) {
-          double internal_max = 0.0;
+        // the sentinel makes the final rise look steep-up. The internal
+        // maximum over (c_start, c_end) shrinks from the right as the tail
+        // peels, so one prefix-max pass answers every trim test in O(1)
+        // instead of rescanning the interior per dropped point.
+        if (c_end > c_start + 1) {
+          prefix_max.resize(c_end);
+          prefix_max[c_start] = 0.0;
           for (std::size_t k = c_start + 1; k < c_end; ++k) {
-            internal_max = std::max(internal_max, r[k]);
+            prefix_max[k] = std::max(prefix_max[k - 1], r[k]);
           }
-          const bool tail_is_steep_rise =
-              !std::isfinite(r[c_end]) || r[c_end] * xi_complement > internal_max;
-          if (!tail_is_steep_rise) break;
-          --c_end;
+          while (c_end > c_start + 1) {
+            const double internal_max = prefix_max[c_end - 1];
+            const bool tail_is_steep_rise =
+                !std::isfinite(r[c_end]) ||
+                r[c_end] * xi_complement > internal_max;
+            if (!tail_is_steep_rise) break;
+            --c_end;
+          }
         }
         if (c_end < c_start || c_end - c_start + 1 < min_cluster_size) continue;
         if (c_start > sda.end) continue;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "cluster/select_program.h"
 #include "util/error.h"
 
 namespace repro::cluster {
@@ -13,32 +14,6 @@ namespace repro::cluster {
 namespace {
 
 using Comparator = std::pair<std::uint32_t, std::uint32_t>;
-
-/// Batcher's odd-even merge of the chain lo, lo+r, lo+2r, ... within
-/// [lo, lo+m): both sorted halves interleave, then adjacent odd pairs are
-/// fixed up (Knuth 5.2.2M).
-void odd_even_merge(std::vector<Comparator>& out, std::uint32_t lo,
-                    std::uint32_t m, std::uint32_t r) {
-  const std::uint32_t step = r * 2;
-  if (step < m) {
-    odd_even_merge(out, lo, m, step);
-    odd_even_merge(out, lo + r, m, step);
-    for (std::uint32_t i = lo + r; i + r < lo + m; i += step) {
-      out.emplace_back(i, i + r);
-    }
-  } else {
-    out.emplace_back(lo, lo + r);
-  }
-}
-
-void odd_even_sort(std::vector<Comparator>& out, std::uint32_t lo,
-                   std::uint32_t m) {
-  if (m <= 1) return;
-  const std::uint32_t half = m / 2;
-  odd_even_sort(out, lo, half);
-  odd_even_sort(out, lo + half, half);
-  odd_even_merge(out, lo, m, 1);
-}
 
 struct CacheKey {
   std::size_t n, keep, lanes;
@@ -51,24 +26,11 @@ struct CacheKey {
 }  // namespace
 
 std::vector<Comparator> sort_network_pairs(std::size_t n, std::size_t keep) {
-  require(n >= 1 && n <= 0xffffffffu / 2, "sort_network: bad size");
   require(keep >= 1 && keep <= n, "sort_network: bad keep count");
-  if (n == 1) return {};
-
-  std::uint32_t pow2 = 1;
-  while (pow2 < n) pow2 <<= 1;
-  std::vector<Comparator> full;
-  odd_even_sort(full, 0, pow2);
-
-  // Clamp to n: positions >= n hold a virtual +inf. A compare-exchange
-  // writes min to the low index and max to the high index, so +inf can
-  // never leave a high slot and real values never enter one -- comparators
-  // touching those slots are identity operations.
-  std::vector<Comparator> clamped;
-  clamped.reserve(full.size());
-  for (const auto& [i, j] : full) {
-    if (i < n && j < n) clamped.emplace_back(i, j);
-  }
+  // Batcher generation and clamping live in select_program.cpp now -- the
+  // rank-select program builder and this flat fallback share one source of
+  // comparators, so the two strategies cannot drift structurally.
+  std::vector<Comparator> clamped = batcher_comparators(n);
 
   // Backward prune against the trim boundary: outputs at positions >= keep
   // are discarded by the trimmed mean, so a comparator whose both outputs
@@ -123,9 +85,15 @@ const SortNetwork& sort_network_for(std::size_t n, std::size_t keep,
     network->byte_offsets.reserve(pairs.size() * 2);
     const std::uint32_t stride =
         static_cast<std::uint32_t>(lanes * sizeof(double));
+    // Offsets go through the shared anti-alias pad mapping: the scratch
+    // layout belongs to the kernel contract (distance_kernel.h), not to
+    // the select strategy, so the fallback network addresses the exact
+    // same padded rows the rank-select program does.
     for (const auto& [i, j] : pairs) {
-      network->byte_offsets.push_back(i * stride);
-      network->byte_offsets.push_back(j * stride);
+      network->byte_offsets.push_back(
+          static_cast<std::uint32_t>(padded_row_index(i, lanes)) * stride);
+      network->byte_offsets.push_back(
+          static_cast<std::uint32_t>(padded_row_index(j, lanes)) * stride);
     }
     slot = std::move(network);
   }

@@ -1,11 +1,14 @@
-// Batcher odd-even mergesort networks for the trimmed-distance kernel.
+// Flat Batcher odd-even networks: the select phase's *fallback* strategy.
 //
-// The kernel sorts one |a-b| difference vector per SIMD lane; a sorting
-// network makes that possible because its compare-exchange sequence is
-// data-independent -- every lane runs the same comparators, each a single
-// min/max pair, with no branches and no lane crossing. Networks are
-// generated for arbitrary n by clamping the next-power-of-two Batcher
-// network (positions >= n hold a virtual +inf that provably never moves, so
+// The default select phase is the rank-select program (select_program.h);
+// this flat form is kept behind REPRO_SELECT=network for A/B measurement
+// and as the simplest possible reference execution of the same comparator
+// sequence. Both strategies share one Batcher generator
+// (batcher_comparators) and the same padded scratch layout, and are
+// bit-identical by construction.
+//
+// A network for (n, keep) is the clamped next-power-of-two Batcher network
+// (positions >= n hold a virtual +inf that provably never moves, so
 // comparators touching them are no-ops and are dropped), then:
 //
 //   * pruned backward against the trim boundary: positions >= keep are
@@ -17,8 +20,8 @@
 //     adjacent comparators dominate the kernel's runtime.
 //
 // Networks are cached per (n, keep, lanes); the cached form is a flat list
-// of byte-offset pairs into the kernel's [n][lanes] scratch so the inner
-// loop is two loads, min, max, two stores.
+// of byte-offset pairs into the kernel's padded [n][lanes] scratch so the
+// inner loop is two loads, min, max, two stores.
 #pragma once
 
 #include <cstddef>
@@ -34,7 +37,8 @@ struct SortNetwork {
   std::size_t lanes = 0;
   std::size_t comparators = 0;
   /// 2 * comparators entries: byte offsets of each comparator's (low, high)
-  /// row in a [n][lanes] double scratch (row stride = lanes * 8 bytes).
+  /// row in the kernel's padded [n][lanes] double scratch (row stride =
+  /// lanes * 8 bytes, rows mapped through padded_row_index).
   std::vector<std::uint32_t> byte_offsets;
 };
 

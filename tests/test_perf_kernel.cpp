@@ -1,16 +1,23 @@
 // Contract tests for the single-core hot path (ISSUE 5): the fast
 // lane-parallel distance kernel must match the sorted-sum oracle
-// bit-for-bit at every SIMD dispatch level, the sorting networks must sort,
-// and the DistanceMatrix packed layout must agree with its row accessors.
+// bit-for-bit at every SIMD dispatch level -- under both select strategies
+// (the default rank-select program and the flat Batcher network fallback)
+// and across an adversarial tie/denormal corpus -- the sorting networks
+// must sort, the select programs must decode and execute correctly, and
+// the DistanceMatrix packed layout must agree with its row accessors.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "cluster/distance.h"
 #include "cluster/distance_kernel.h"
+#include "cluster/select_program.h"
 #include "cluster/sort_network.h"
 #include "util/rng.h"
 #include "util/simd.h"
@@ -41,6 +48,14 @@ std::vector<simd::SimdLevel> reachable_levels() {
 struct LevelGuard {
   explicit LevelGuard(simd::SimdLevel level) { simd::set_level_override(level); }
   ~LevelGuard() { simd::clear_level_override(); }
+};
+
+/// Same for the select strategy (rank-select program vs Batcher fallback).
+struct StrategyGuard {
+  explicit StrategyGuard(cluster::SelectStrategy strategy) {
+    cluster::set_select_strategy_override(strategy);
+  }
+  ~StrategyGuard() { cluster::set_select_strategy_override(std::nullopt); }
 };
 
 std::vector<double> random_table(Rng& rng, std::size_t rows, std::size_t cols,
@@ -115,6 +130,8 @@ TEST(SortNetwork, LayersNeverReuseAPositionWithinALayer) {
 }
 
 TEST(SortNetworkCache, ScalesOffsetsByLaneCount) {
+  // Below the first 4 KiB alias period (63 rows at 8 lanes) the padded row
+  // mapping is the identity, so offsets scale linearly with the lane count.
   const auto& net1 = cluster::sort_network_for(40, 32, 1);
   const auto& net8 = cluster::sort_network_for(40, 32, 8);
   ASSERT_EQ(net1.comparators, net8.comparators);
@@ -123,6 +140,35 @@ TEST(SortNetworkCache, ScalesOffsetsByLaneCount) {
   }
   // Cached: same reference back.
   EXPECT_EQ(&cluster::sort_network_for(40, 32, 8), &net8);
+}
+
+TEST(SortNetworkCache, PaddedOffsetsNeverAliasAcrossAPage) {
+  // The whole point of the padded row mapping: at the paper shape no
+  // comparator's two rows may sit exactly one 4 KiB page apart (the false
+  // store-forwarding alias the flat network otherwise trips over), and
+  // every offset must land on a real (non-pad) row inside the sized
+  // scratch.
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{8}}) {
+    const std::size_t row_bytes = lanes * sizeof(double);
+    const std::size_t period = 4096 / row_bytes;
+    const auto& net = cluster::sort_network_for(163, 131, lanes);
+    const std::size_t scratch_bytes =
+        cluster::kernel_scratch_doubles(163, lanes) * sizeof(double);
+    for (std::size_t k = 0; k + 1 < net.byte_offsets.size(); k += 2) {
+      const std::uint32_t lo = net.byte_offsets[k];
+      const std::uint32_t hi = net.byte_offsets[k + 1];
+      ASSERT_NE(hi - lo, 4096u) << "lanes=" << lanes << " comparator " << k / 2;
+      for (const std::uint32_t off : {lo, hi}) {
+        ASSERT_EQ(off % row_bytes, 0u);
+        ASSERT_LT(off, scratch_bytes);
+        // Pad rows sit at padded index period-1 (mod period) and must never
+        // be addressed.
+        ASSERT_NE((off / row_bytes) % period, period - 1)
+            << "lanes=" << lanes << " offset " << off << " hits a pad row";
+      }
+    }
+  }
 }
 
 TEST(TrimmedManhattan, MatchesOracleBitForBit) {
@@ -333,12 +379,291 @@ TEST(SimdDispatch, OverrideClampsAndParses) {
   EXPECT_LE(simd::active_level(), simd::highest_supported());
 }
 
-TEST(KernelPhaseProfile, ReportsActiveLevelAndPositiveTimings) {
+TEST(KernelPhaseProfile, ReportsActiveLevelStrategyAndPositiveTimings) {
   const KernelPhaseProfile profile = profile_kernel_phases(163, 0.2, 50);
   EXPECT_EQ(profile.simd_level, simd::to_string(simd::active_level()));
+  EXPECT_EQ(profile.select_strategy,
+            cluster::to_string(cluster::select_strategy()));
   EXPECT_GT(profile.diff_ns_op, 0.0);
   EXPECT_GT(profile.select_ns_op, 0.0);
   EXPECT_GT(profile.sum_ns_op, 0.0);
+  // Both strategies are timed each run so the bench can name the winner;
+  // select_ns_op mirrors whichever one is active.
+  EXPECT_GT(profile.select_ranksel_ns_op, 0.0);
+  EXPECT_GT(profile.select_network_ns_op, 0.0);
+  EXPECT_EQ(profile.select_ns_op,
+            cluster::select_strategy() == cluster::SelectStrategy::kRankSelect
+                ? profile.select_ranksel_ns_op
+                : profile.select_network_ns_op);
+  {
+    StrategyGuard guard(cluster::SelectStrategy::kNetwork);
+    const KernelPhaseProfile fallback = profile_kernel_phases(163, 0.2, 10);
+    EXPECT_EQ(fallback.select_strategy, "network");
+    EXPECT_EQ(fallback.select_ns_op, fallback.select_network_ns_op);
+  }
+}
+
+TEST(SelectProgram, StreamDecodesCleanlyAndStaysOnRealRows) {
+  // Structural validation of the RLE opcode stream for every (n, keep)
+  // shape the Batcher generator supported: runs have sane lengths, every
+  // byte offset is row-aligned, inside the sized scratch, and never a pad
+  // row, and the stream ends exactly at code.size().
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{8}}) {
+    const std::size_t row_bytes = lanes * sizeof(double);
+    const std::size_t period = 4096 / row_bytes;
+    for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 16u, 40u, 163u}) {
+      for (const std::size_t keep : {std::size_t{1}, (n + 1) / 2, n}) {
+        const cluster::SelectProgram program =
+            cluster::build_select_program(n, keep, lanes);
+        EXPECT_EQ(program.n, n);
+        EXPECT_EQ(program.keep, keep);
+        EXPECT_EQ(program.lanes, lanes);
+        const std::size_t scratch_bytes =
+            cluster::kernel_scratch_doubles(n, lanes) * sizeof(double);
+        const auto check_offset = [&](std::uint32_t off) {
+          ASSERT_EQ(off % row_bytes, 0u);
+          ASSERT_LT(off, scratch_bytes);
+          ASSERT_NE((off / row_bytes) % period, period - 1) << "pad row hit";
+        };
+        std::size_t full = 0, min_only = 0, max_only = 0;
+        std::size_t sort16 = 0, merge16 = 0;
+        const std::vector<std::uint32_t>& code = program.code;
+        std::size_t pc = 0;
+        while (pc < code.size()) {
+          ASSERT_LT(pc, code.size());
+          const std::uint32_t op = code[pc++];
+          switch (op) {
+            case cluster::kSelectFlat:
+            case cluster::kSelectFlatMin:
+            case cluster::kSelectFlatMax: {
+              ASSERT_LT(pc, code.size());
+              const std::uint32_t count = code[pc++];
+              ASSERT_GE(count, 1u);
+              ASSERT_LE(pc + 2 * count, code.size());
+              for (std::uint32_t c = 0; c < count; ++c) {
+                check_offset(code[pc]);
+                check_offset(code[pc + 1]);
+                ASSERT_NE(code[pc + 1] - code[pc], 4096u) << "page alias";
+                pc += 2;
+              }
+              (op == cluster::kSelectFlat
+                   ? full
+                   : op == cluster::kSelectFlatMin ? min_only : max_only) +=
+                  count;
+              break;
+            }
+            case cluster::kSelectSort16: {
+              ASSERT_LE(pc + 17, code.size());
+              const std::uint32_t live = code[pc++];
+              ASSERT_GE(live, 1u);
+              ASSERT_LE(live, 16u);
+              for (int s = 0; s < 16; ++s) {
+                if (static_cast<std::uint32_t>(s) < live) check_offset(code[pc]);
+                ++pc;
+              }
+              ++sort16;
+              break;
+            }
+            case cluster::kSelectMerge16: {
+              ASSERT_LE(pc + 16, code.size());
+              for (int s = 0; s < 16; ++s) check_offset(code[pc++]);
+              ++merge16;
+              break;
+            }
+            default:
+              FAIL() << "unknown opcode " << op << " at pc " << pc - 1;
+          }
+        }
+        EXPECT_EQ(pc, code.size());
+        EXPECT_EQ(full, program.full_comparators);
+        EXPECT_EQ(min_only, program.min_only_comparators);
+        EXPECT_EQ(max_only, program.max_only_comparators);
+        EXPECT_EQ(sort16, program.sort16_tiles);
+        EXPECT_EQ(merge16, program.merge16_tiles);
+      }
+    }
+  }
+  // The paper shape actually uses the tiled forms (otherwise the register
+  // tiling is dead code), and the cache hands back a stable reference.
+  const cluster::SelectProgram& paper = cluster::select_program_for(163, 131, 8);
+  EXPECT_GT(paper.sort16_tiles, 0u);
+  EXPECT_GT(paper.merge16_tiles, 0u);
+  EXPECT_GT(paper.min_only_comparators, 0u);
+  EXPECT_EQ(&cluster::select_program_for(163, 131, 8), &paper);
+}
+
+TEST(SelectProgramExec, KeptPrefixMatchesSortBothStrategiesEveryLevel) {
+  // Direct execution of run_select / run_network on a hand-filled padded
+  // scratch: for every reachable level and every (n, keep) shape, the kept
+  // prefix must equal the per-lane ascending sort of the inputs,
+  // bit-for-bit, for random, tie-heavy, and denormal lane columns.
+  Rng rng(0x3e1e);
+  const double denormals[] = {0.0,
+                              std::numeric_limits<double>::denorm_min(),
+                              1e-310,
+                              std::numeric_limits<double>::min(),
+                              1.0};
+  cluster::AlignedScratch scratch_buf;
+  for (const simd::SimdLevel level : reachable_levels()) {
+    const cluster::KernelOps& ops = cluster::kernel_ops(level);
+    const std::size_t lanes = ops.lanes;
+    for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 16u, 40u, 64u, 163u}) {
+      for (const std::size_t keep : {std::size_t{1}, (n + 1) / 2, n}) {
+        const cluster::SelectProgram& program =
+            cluster::select_program_for(n, keep, lanes);
+        const cluster::SortNetwork& network =
+            cluster::sort_network_for(n, keep, lanes);
+        double* scratch =
+            scratch_buf.ensure(cluster::kernel_scratch_doubles(n, lanes));
+        for (int trial = 0; trial < 6; ++trial) {
+          std::vector<double> values(n * lanes);
+          for (double& v : values) {
+            v = trial % 3 == 0   ? rng.uniform(0.0, 1.0)
+                : trial % 3 == 1 ? static_cast<double>(rng.uniform_int(0, 3))
+                                 : denormals[rng.uniform_int(0, 4)];
+          }
+          const auto fill = [&] {
+            for (std::size_t d = 0; d < n; ++d) {
+              for (std::size_t l = 0; l < lanes; ++l) {
+                scratch[cluster::padded_row_index(d, lanes) * lanes + l] =
+                    values[d * lanes + l];
+              }
+            }
+          };
+          std::vector<double> expected(values);
+          for (std::size_t l = 0; l < lanes; ++l) {
+            std::vector<double> column(n);
+            for (std::size_t d = 0; d < n; ++d) column[d] = values[d * lanes + l];
+            std::sort(column.begin(), column.end());
+            for (std::size_t d = 0; d < n; ++d) expected[d * lanes + l] = column[d];
+          }
+          fill();
+          ops.run_select(scratch, program.code.data(), program.code.size());
+          for (std::size_t k = 0; k < keep; ++k) {
+            for (std::size_t l = 0; l < lanes; ++l) {
+              ASSERT_EQ(
+                  scratch[cluster::padded_row_index(k, lanes) * lanes + l],
+                  expected[k * lanes + l])
+                  << simd::to_string(level) << " ranksel n=" << n
+                  << " keep=" << keep << " trial=" << trial << " k=" << k
+                  << " lane=" << l;
+            }
+          }
+          fill();
+          ops.run_network(scratch, network.byte_offsets.data(),
+                          network.comparators);
+          for (std::size_t k = 0; k < keep; ++k) {
+            for (std::size_t l = 0; l < lanes; ++l) {
+              ASSERT_EQ(
+                  scratch[cluster::padded_row_index(k, lanes) * lanes + l],
+                  expected[k * lanes + l])
+                  << simd::to_string(level) << " network n=" << n
+                  << " keep=" << keep << " trial=" << trial << " k=" << k
+                  << " lane=" << l;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Adversarial latency-vector pairs for the rank-select corpus. Each kind
+/// stresses a different failure mode of a selection that must keep the
+/// *exact* kept set and its ascending order:
+///   0  all |a-b| equal (every comparator is a tie)
+///   1  two distinct diff values, duplicates straddling every rank boundary
+///   2  denormal / zero / min-normal mixes (gradual-underflow arithmetic)
+///   3  duplicate plateaus of three around the k-th rank
+///   4  random control
+void adversarial_pair(int kind, std::size_t n, Rng& rng,
+                      std::vector<double>& a, std::vector<double>& b) {
+  a.resize(n);
+  b.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (kind) {
+      case 0:
+        a[i] = 7.5;
+        b[i] = 3.5;
+        break;
+      case 1:
+        a[i] = rng.uniform_int(0, 1) == 0 ? 1.0 : 2.0;
+        b[i] = 0.0;
+        break;
+      case 2: {
+        const double pool[] = {0.0,
+                               std::numeric_limits<double>::denorm_min(),
+                               4.5e-320,
+                               std::numeric_limits<double>::min(),
+                               1.5e-308};
+        a[i] = pool[rng.uniform_int(0, 4)];
+        b[i] = pool[rng.uniform_int(0, 4)];
+        break;
+      }
+      case 3:
+        a[i] = static_cast<double>(i / 3);
+        b[i] = 0.0;
+        break;
+      default:
+        a[i] = rng.uniform(10.0, 200.0);
+        b[i] = rng.uniform(10.0, 200.0);
+        break;
+    }
+  }
+  if (kind == 3) {
+    // Shuffle so the plateaus are not pre-sorted.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(a[i - 1], a[static_cast<std::size_t>(
+                              rng.uniform_int(0, static_cast<int>(i) - 1))]);
+    }
+  }
+}
+
+TEST(RankSelectCorpus, AdversarialPairsMatchOracleEveryLevelAndStrategy) {
+  Rng rng(0xc0a5);
+  for (const simd::SimdLevel level : reachable_levels()) {
+    LevelGuard level_guard(level);
+    for (const cluster::SelectStrategy strategy :
+         {cluster::SelectStrategy::kRankSelect,
+          cluster::SelectStrategy::kNetwork}) {
+      StrategyGuard strategy_guard(strategy);
+      for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 16u, 40u, 163u}) {
+        for (const double trim : {0.0, 0.2, 0.5, 0.9}) {
+          for (int kind = 0; kind < 5; ++kind) {
+            std::vector<double> a, b;
+            adversarial_pair(kind, n, rng, a, b);
+            const double oracle = trimmed_manhattan_oracle(a, b, trim);
+            // Single-pair scalar path.
+            ASSERT_EQ(trimmed_manhattan(a, b, trim), oracle)
+                << simd::to_string(level) << " " << cluster::to_string(strategy)
+                << " n=" << n << " trim=" << trim << " kind=" << kind;
+            // Batched kernel path (2-row table through pairwise_distances).
+            std::vector<double> table(a);
+            table.insert(table.end(), b.begin(), b.end());
+            const DistanceMatrix matrix = pairwise_distances(table, 2, n, trim);
+            ASSERT_EQ(matrix.at(0, 1), oracle)
+                << simd::to_string(level) << " " << cluster::to_string(strategy)
+                << " n=" << n << " trim=" << trim << " kind=" << kind;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SelectStrategy, OverrideAndNames) {
+  EXPECT_STREQ(cluster::to_string(cluster::SelectStrategy::kRankSelect),
+               "ranksel");
+  EXPECT_STREQ(cluster::to_string(cluster::SelectStrategy::kNetwork),
+               "network");
+  {
+    StrategyGuard guard(cluster::SelectStrategy::kNetwork);
+    EXPECT_EQ(cluster::select_strategy(), cluster::SelectStrategy::kNetwork);
+  }
+  if (std::getenv("REPRO_SELECT") == nullptr) {
+    EXPECT_EQ(cluster::select_strategy(), cluster::SelectStrategy::kRankSelect);
+  }
 }
 
 }  // namespace
